@@ -1,0 +1,207 @@
+//! Ablation A1 — checker scaling: the complete (brute-force) search over
+//! linear extensions vs the constructive execution-order witness of
+//! Theorem 4.4.
+//!
+//! The brute-force decision procedure blows up with the number of
+//! concurrent operations; the guided check is near-linear. This gap is the
+//! practical payoff of the paper's proof methodology: once a CRDT is known
+//! to admit execution-order (or timestamp-order) linearizations, a single
+//! witness suffices.
+//!
+//! Run with `cargo bench -p ral-bench --bench checker_scaling`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ral_core::history::{rewrite_history, History};
+use ral_core::ralin::{check_guided, search, Strategy};
+use ral_crdts::op::or_set::{OrSet, OrSetLabel, OrSetRewrite};
+use ral_runtime::op_based::Cluster;
+use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
+use ral_spec::set::OrSetSpec;
+use rand::Rng;
+use std::hint::black_box;
+
+/// Builds an OR-Set history with roughly `steps` scheduler steps.
+fn or_set_history(steps: usize, seed: u64) -> History<OrSetLabel<u8>> {
+    let mut c = Cluster::new(OrSet::<u8>::new(), 3);
+    let cfg = ScheduleConfig {
+        steps,
+        ..ScheduleConfig::default()
+    };
+    drive_op_based(&mut c, &cfg, seed, |rng, _, _| {
+        Some(match rng.random_range(0..4u8) {
+            0 | 1 => ral_crdts::op::or_set::OrSetCall::Add(rng.random_range(0..3)),
+            2 => ral_crdts::op::or_set::OrSetCall::Remove(rng.random_range(0..3)),
+            _ => ral_crdts::op::or_set::OrSetCall::Read,
+        })
+    });
+    c.into_history()
+}
+
+fn guided_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guided_eo");
+    for steps in [15, 30, 60, 120, 240, 480] {
+        let h = or_set_history(steps, 7);
+        let rewritten = rewrite_history(&h, &OrSetRewrite::new());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rewritten.history.len()),
+            &rewritten.history,
+            |b, h| {
+                b.iter(|| {
+                    let lin = check_guided(h, &OrSetSpec::new(), Strategy::ExecutionOrder);
+                    assert!(lin.is_ok());
+                    black_box(lin)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn brute_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(10);
+    // The brute-force search explodes: keep histories tiny.
+    for steps in [4, 6, 8, 10, 12] {
+        let h = or_set_history(steps, 7);
+        let rewritten = rewrite_history(&h, &OrSetRewrite::new());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rewritten.history.len()),
+            &rewritten.history,
+            |b, h| {
+                b.iter(|| {
+                    let outcome = search(h, &OrSetSpec::new());
+                    assert!(outcome.is_linearizable());
+                    black_box(outcome)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Refutations are where the exponential bites: a history with an
+/// impossible read forces the search to exhaust every linear extension,
+/// while the guided check rejects in linear time.
+fn brute_refutation_scaling(c: &mut Criterion) {
+    use ral_core::history::{History, OpRecord};
+    use ral_core::ids::ReplicaId;
+    use ral_spec::counter::{CounterOp, CounterSpec};
+
+    fn impossible_history(concurrent_incs: usize) -> History<CounterOp> {
+        let mut h = History::new();
+        let incs: Vec<usize> = (0..concurrent_incs)
+            .map(|i| h.push(OpRecord::new(CounterOp::Inc, ReplicaId(i as u32)), []))
+            .collect();
+        // A read that saw every inc but claims one too many.
+        h.push(
+            OpRecord::new(CounterOp::Read(concurrent_incs as i64 + 1), ReplicaId(0)),
+            incs,
+        );
+        h
+    }
+
+    let mut group = c.benchmark_group("brute_refute");
+    group.sample_size(10);
+    for n in [4usize, 5, 6, 7, 8] {
+        let h = impossible_history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let outcome = search(h, &CounterSpec);
+                assert!(outcome.is_refuted());
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("guided_refute");
+    for n in [4usize, 5, 6, 7, 8, 64, 512] {
+        let h = impossible_history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let violation = check_guided(h, &CounterSpec, Strategy::ExecutionOrder);
+                assert!(violation.is_err());
+                black_box(violation)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation A4 — nondeterministic specifications: the generic frontier
+/// checker vs the polynomial constraint-graph validator on Wooki.
+fn wooki_checker_scaling(c: &mut Criterion) {
+    use ral_core::label::Identity;
+    use ral_core::ralin::ra_check;
+    use ral_crdts::op::wooki::{Wooki, WookiCall};
+    use ral_spec::wooki::{WookiAnchor, WookiSpec};
+    use ral_spec::wooki_fast::check_wooki_guided;
+
+    fn wooki_history(steps: usize, cap: u16, seed: u64) -> History<ral_spec::wooki::WookiOp<u16>> {
+        let mut c = Cluster::new(Wooki::<u16>::new(), 3);
+        let mut next: u16 = 0;
+        let cfg = ScheduleConfig {
+            steps,
+            invoke_weight: 1,
+            deliver_weight: 1,
+            final_sync: true,
+        };
+        drive_op_based(&mut c, &cfg, seed, |rng, _, state| {
+            let roll: u8 = rng.random_range(0..10);
+            if roll < 4 && next < cap {
+                let all = state.all_values();
+                let (l, r2) = if all.is_empty() {
+                    (WookiAnchor::Begin, WookiAnchor::End)
+                } else {
+                    let i = rng.random_range(0..=all.len());
+                    let j = rng.random_range(i..=all.len());
+                    (
+                        if i == 0 { WookiAnchor::Begin } else { WookiAnchor::Elem(all[i - 1]) },
+                        if j == all.len() { WookiAnchor::End } else { WookiAnchor::Elem(all[j]) },
+                    )
+                };
+                next += 1;
+                Some(WookiCall::AddBetween(l, next, r2))
+            } else {
+                Some(WookiCall::Read)
+            }
+        });
+        c.into_history()
+    }
+
+    let mut group = c.benchmark_group("wooki_frontier");
+    group.sample_size(10);
+    for (steps, cap) in [(16usize, 4u16), (28, 7), (40, 10)] {
+        let h = wooki_history(steps, cap, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(h.len()), &h, |b, h| {
+            b.iter(|| {
+                let lin = ra_check(h, &Identity, &WookiSpec::new(), Strategy::ExecutionOrder);
+                assert!(lin.is_ok());
+                black_box(lin)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wooki_constraint_graph");
+    for (steps, cap) in [(24usize, 8u16), (80, 30), (200, 60), (400, 120)] {
+        let h = wooki_history(steps, cap, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(h.len()), &h, |b, h| {
+            b.iter(|| {
+                let lin = check_wooki_guided(h);
+                assert!(lin.is_ok());
+                black_box(lin)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    scaling,
+    guided_scaling,
+    brute_scaling,
+    brute_refutation_scaling,
+    wooki_checker_scaling
+);
+criterion_main!(scaling);

@@ -1,0 +1,66 @@
+//! Ablation A3 — convergence cost: operation-based causal broadcast vs
+//! state-based merge under an unreliable network.
+//!
+//! Operation-based propagation delivers one effector per (operation,
+//! replica) pair and needs causal delivery; state-based propagation ships
+//! whole states but tolerates loss, duplication, and reordering. The bench
+//! measures time to full convergence as the number of operations grows, for
+//! the two counter variants of the paper (Listings 3 and 9).
+//!
+//! Run with `cargo bench -p ral-bench --bench convergence`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ral_core::ids::ReplicaId;
+use ral_crdts::op::counter::{CounterCall, OpCounter};
+use ral_crdts::state::pn_counter::{PnCall, PnCounter};
+use ral_runtime::op_based::Cluster;
+use ral_runtime::state_based::StateCluster;
+use std::hint::black_box;
+
+const REPLICAS: usize = 4;
+
+fn op_based_round(ops: usize) -> i64 {
+    let mut c = Cluster::new(OpCounter, REPLICAS);
+    for i in 0..ops {
+        c.invoke(ReplicaId((i % REPLICAS) as u32), CounterCall::Inc);
+    }
+    c.deliver_all();
+    assert!(c.converged());
+    *c.state(ReplicaId(0))
+}
+
+fn state_based_round(ops: usize) -> i64 {
+    let mut c = StateCluster::new(PnCounter, REPLICAS);
+    for i in 0..ops {
+        c.invoke(ReplicaId((i % REPLICAS) as u32), PnCall::Inc);
+    }
+    // One full synchronization round suffices regardless of `ops` — the
+    // state carries everything (and duplicates are free).
+    c.sync_all();
+    assert!(c.converged());
+    c.state(ReplicaId(0)).value()
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    for ops in [16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("op_based", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let v = op_based_round(ops);
+                assert_eq!(v, ops as i64);
+                black_box(v)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("state_based", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let v = state_based_round(ops);
+                assert_eq!(v, ops as i64);
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(convergence, bench_convergence);
+criterion_main!(convergence);

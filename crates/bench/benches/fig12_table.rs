@@ -1,0 +1,45 @@
+//! The Figure 12 table as a benchmark: each row's full verification
+//! pipeline (proof obligations + history model-checking), timed per data
+//! type, and the rendered table printed once at the end.
+//!
+//! Run with `cargo bench -p ral-bench --bench fig12_table`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ral_verify::table;
+use std::hint::black_box;
+
+const HISTORIES: u64 = 5;
+const SEED: u64 = 0xBE7C;
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    macro_rules! row {
+        ($name:literal, $f:path) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let row = $f(HISTORIES, SEED);
+                    assert!(row.verified(), "{} failed", row.name);
+                    black_box(row)
+                })
+            });
+        };
+    }
+    row!("counter", table::counter_row);
+    row!("pn_counter", table::pn_counter_row);
+    row!("lww_register", table::lww_register_row);
+    row!("mv_register", table::mv_register_row);
+    row!("lww_element_set", table::lww_element_set_row);
+    row!("two_phase_set", table::two_phase_set_row);
+    row!("or_set", table::or_set_row);
+    row!("rga", table::rga_row);
+    row!("wooki", table::wooki_row);
+    group.finish();
+
+    // Print the reproduced table once, alongside the timings.
+    let rows = table::fig12_rows(HISTORIES, SEED);
+    println!("\n{}", table::render_fig12(&rows));
+}
+
+criterion_group!(fig12, bench_rows);
+criterion_main!(fig12);

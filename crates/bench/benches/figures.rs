@@ -1,0 +1,233 @@
+//! One benchmark per figure of the paper: each iteration rebuilds the
+//! figure's execution on the simulator and re-derives its verdict
+//! (asserting it matches the paper's claim).
+//!
+//! Run with `cargo bench -p ral-bench --bench figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ral_core::compose::{check_composed, MultiObjRewrite, MultiObjSpec};
+use ral_core::ids::{ObjId, ReplicaId};
+use ral_core::label::Identity;
+use ral_core::linearizability::linearizable;
+use ral_core::ralin::{ra_check, ra_search, Strategy};
+use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
+use ral_crdts::op::rga::{Rga, RgaCall};
+use ral_crdts::op::rga_addat::{AddAtCall, RgaAddAtSilent};
+use ral_runtime::multi::{MultiCluster, TsMode};
+use ral_runtime::op_based::Cluster;
+use ral_spec::addat::{AddAt1Spec, AddAt2Spec};
+use ral_spec::rga::{Anchor, RgaSpec};
+use ral_spec::set::{OrSetSpec, SetSpec};
+use std::hint::black_box;
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId(i)
+}
+
+fn o(i: u32) -> ObjId {
+    ObjId(i)
+}
+
+/// Figure 2: RGA conflict resolution and convergence.
+fn fig2(c: &mut Criterion) {
+    c.bench_function("fig2_rga_conflict_resolution", |b| {
+        b.iter(|| {
+            let mut cl = Cluster::new(Rga::<char>::new(), 2);
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+            cl.deliver_all();
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'c')).unwrap();
+            cl.deliver_all();
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b')).unwrap();
+            cl.deliver_all();
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'e')).unwrap();
+            cl.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'd')).unwrap();
+            cl.deliver_all();
+            cl.invoke(r(1), RgaCall::Remove('d')).unwrap();
+            cl.deliver_all();
+            assert!(cl.converged());
+            let read = cl.invoke(r(0), RgaCall::Read).unwrap();
+            assert_eq!(read.ret, Some(vec!['a', 'b', 'c', 'e']));
+            let h = cl.into_history();
+            let lin = ra_check(&h, &Identity, &RgaSpec::new(), Strategy::TimestampOrder);
+            assert!(lin.is_ok());
+            black_box(lin)
+        })
+    });
+}
+
+/// Figure 5: the OR-Set execution — refute plain linearizability, certify
+/// RA-linearizability after the query-update rewriting.
+fn fig5(c: &mut Criterion) {
+    fn history() -> ral_core::history::History<ral_crdts::op::or_set::OrSetLabel<char>> {
+        let mut cl = Cluster::new(OrSet::<char>::new(), 2);
+        cl.invoke(r(0), OrSetCall::Add('b')).unwrap();
+        cl.invoke(r(1), OrSetCall::Add('a')).unwrap();
+        cl.invoke(r(0), OrSetCall::Add('a')).unwrap();
+        cl.invoke(r(1), OrSetCall::Add('b')).unwrap();
+        cl.invoke(r(0), OrSetCall::Remove('a')).unwrap();
+        cl.invoke(r(1), OrSetCall::Remove('b')).unwrap();
+        cl.deliver_all();
+        cl.invoke(r(0), OrSetCall::Read).unwrap();
+        cl.invoke(r(1), OrSetCall::Read).unwrap();
+        cl.into_history()
+    }
+    c.bench_function("fig5a_refute_plain_linearizability", |b| {
+        b.iter(|| {
+            let h = history().map(|l| OrSet::plain_label(&l));
+            let outcome = linearizable(&h, &SetSpec::new());
+            assert!(outcome.is_refuted());
+            black_box(outcome)
+        })
+    });
+    c.bench_function("fig5b_certify_after_rewriting", |b| {
+        b.iter(|| {
+            let h = history();
+            let lin = ra_check(
+                &h,
+                &OrSetRewrite::new(),
+                &OrSetSpec::new(),
+                Strategy::ExecutionOrder,
+            );
+            assert!(lin.is_ok());
+            black_box(lin)
+        })
+    });
+}
+
+/// Figure 8: execution order fails, timestamp order succeeds.
+fn fig8(c: &mut Criterion) {
+    fn history() -> ral_core::history::History<ral_spec::rga::RgaOp<char>> {
+        let mut cl = Cluster::new(Rga::<char>::new(), 2);
+        let l2 = cl.invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
+        cl.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+        cl.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'c')).unwrap();
+        let d = cl
+            .deliverable(r(0))
+            .into_iter()
+            .find(|&d| cl.delivery_op(d) == l2)
+            .unwrap();
+        cl.deliver(r(0), d);
+        cl.invoke(r(0), RgaCall::Read).unwrap();
+        cl.deliver_all();
+        cl.into_history()
+    }
+    c.bench_function("fig8_eo_fails_to_succeeds", |b| {
+        b.iter(|| {
+            let h = history();
+            assert!(ra_check(&h, &Identity, &RgaSpec::new(), Strategy::ExecutionOrder).is_err());
+            let lin = ra_check(&h, &Identity, &RgaSpec::new(), Strategy::TimestampOrder);
+            assert!(lin.is_ok());
+            black_box(lin)
+        })
+    });
+}
+
+/// Figure 9: two OR-Sets still compose.
+fn fig9(c: &mut Criterion) {
+    c.bench_function("fig9_or_set_composition", |b| {
+        b.iter(|| {
+            let mut cl = MultiCluster::new(OrSet::<char>::new(), 2, 2, TsMode::PerObject);
+            cl.invoke(r(0), o(0), OrSetCall::Add('d')).unwrap();
+            cl.invoke(r(0), o(1), OrSetCall::Add('a')).unwrap();
+            cl.invoke(r(1), o(1), OrSetCall::Add('b')).unwrap();
+            cl.invoke(r(1), o(0), OrSetCall::Add('c')).unwrap();
+            let h = cl.into_history();
+            let spec = MultiObjSpec::new(OrSetSpec::new(), 2);
+            let rw = MultiObjRewrite::new(OrSetRewrite::new());
+            let lin = ra_check(&h, &rw, &spec, Strategy::ExecutionOrder);
+            assert!(lin.is_ok());
+            black_box(lin)
+        })
+    });
+}
+
+/// Figure 10: two RGAs refute composition under ⊗ and verify under ⊗ts.
+fn fig10(c: &mut Criterion) {
+    fn history(mode: TsMode) -> ral_core::history::History<
+        ral_core::compose::ObjLabel<ral_spec::rga::RgaOp<char>>,
+    > {
+        let mut cl = MultiCluster::new(Rga::<char>::new(), 2, 3, mode);
+        let cc = cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c')).unwrap().op;
+        cl.invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap();
+        let dc = cl
+            .deliverable(r(1))
+            .into_iter()
+            .find(|&d| cl.delivery_op(d) == cc)
+            .unwrap();
+        cl.deliver(r(1), dc);
+        let d = cl.invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd')).unwrap().op;
+        let dd = cl
+            .deliverable(r(0))
+            .into_iter()
+            .find(|&x| cl.delivery_op(x) == d)
+            .unwrap();
+        cl.deliver(r(0), dd);
+        cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e')).unwrap();
+        cl.invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+        cl.deliver_all();
+        cl.invoke(r(2), o(1), RgaCall::Read).unwrap();
+        cl.invoke(r(2), o(0), RgaCall::Read).unwrap();
+        cl.into_history()
+    }
+    c.bench_function("fig10_refute_unrestricted_composition", |b| {
+        b.iter(|| {
+            let h = history(TsMode::PerObject);
+            let spec = MultiObjSpec::new(RgaSpec::new(), 2);
+            let outcome = ra_search(&h, &Identity, &spec);
+            assert!(outcome.is_refuted());
+            black_box(outcome)
+        })
+    });
+    c.bench_function("fig11_verify_shared_ts_composition", |b| {
+        b.iter(|| {
+            let h = history(TsMode::Shared);
+            let spec = MultiObjSpec::new(RgaSpec::new(), 2);
+            let lin = check_composed(&h, &spec, Strategy::TimestampOrder);
+            assert!(lin.is_ok());
+            black_box(lin)
+        })
+    });
+}
+
+/// Figure 14: the addAt refutations (Lemma C.1).
+fn fig14(c: &mut Criterion) {
+    fn history() -> ral_core::history::History<ral_spec::addat::AddAtOp<char>> {
+        let mut cl = Cluster::new(RgaAddAtSilent::<char>::new(), 3);
+        cl.invoke(r(0), AddAtCall::AddAt('a', 0)).unwrap();
+        cl.deliver_all();
+        cl.invoke(r(1), AddAtCall::AddAt('b', 0)).unwrap();
+        cl.deliver_all();
+        cl.invoke(r(2), AddAtCall::Remove('b')).unwrap();
+        cl.deliver_all();
+        cl.invoke(r(0), AddAtCall::AddAt('c', 1)).unwrap();
+        let d_op = cl.invoke(r(1), AddAtCall::AddAt('d', 0)).unwrap().op;
+        let del = cl
+            .deliverable(r(2))
+            .into_iter()
+            .find(|&x| cl.delivery_op(x) == d_op)
+            .unwrap();
+        cl.deliver(r(2), del);
+        cl.invoke(r(2), AddAtCall::Remove('a')).unwrap();
+        cl.invoke(r(2), AddAtCall::AddAt('e', 2)).unwrap();
+        cl.deliver_all();
+        cl.invoke(r(2), AddAtCall::Read).unwrap();
+        cl.into_history()
+    }
+    c.bench_function("fig14_refute_addat1", |b| {
+        b.iter(|| {
+            let outcome = ra_search(&history(), &Identity, &AddAt1Spec::new());
+            assert!(outcome.is_refuted());
+            black_box(outcome)
+        })
+    });
+    c.bench_function("fig14_refute_addat2", |b| {
+        b.iter(|| {
+            let outcome = ra_search(&history(), &Identity, &AddAt2Spec::new());
+            assert!(outcome.is_refuted());
+            black_box(outcome)
+        })
+    });
+}
+
+criterion_group!(figures, fig2, fig5, fig8, fig9, fig10, fig14);
+criterion_main!(figures);

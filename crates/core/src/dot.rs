@@ -1,0 +1,102 @@
+//! Graphviz DOT export for histories — the tool that draws the paper's
+//! history figures (Figures 3, 5a, 9, 10).
+//!
+//! Visibility arrows point from the seen operation to the seeing one, as in
+//! the paper; redundant (transitively implied) edges are elided so the
+//! output matches the hand-drawn figures.
+
+use crate::history::History;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+/// Renders a history as a DOT digraph. Node labels come from the label's
+/// `Debug` form; replicas become horizontal ranks.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::dot::to_dot;
+/// use ral_core::history::{History, OpRecord};
+/// use ral_core::ids::ReplicaId;
+///
+/// let mut h = History::new();
+/// let a = h.push(OpRecord::new("add(x)", ReplicaId(0)), []);
+/// h.push(OpRecord::new("read()", ReplicaId(1)), [a]);
+/// let dot = to_dot(&h);
+/// assert!(dot.contains("digraph history"));
+/// assert!(dot.contains("op0 -> op1"));
+/// ```
+pub fn to_dot<L: Debug>(h: &History<L>) -> String {
+    let mut out = String::from("digraph history {\n  rankdir=LR;\n  node [shape=box];\n");
+    for (i, op) in h.iter() {
+        let label = format!("{:?}", op.label).replace('"', "'");
+        let ts = match op.ts {
+            Some(ts) => format!("\\n{ts}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  op{i} [label=\"{label}\\n{replica}{ts}\"];",
+            replica = op.replica
+        );
+    }
+    for b in 0..h.len() {
+        for a in h.preds(b) {
+            // Elide edges implied by transitivity, as the paper's figures do.
+            let redundant = h
+                .preds(b)
+                .iter()
+                .any(|m| m != a && h.sees(m, a));
+            if !redundant {
+                let _ = writeln!(out, "  op{a} -> op{b};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::ids::ReplicaId;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut h = History::new();
+        let a = h.push(OpRecord::new("w", ReplicaId(0)), []);
+        let b = h.push(OpRecord::new("x", ReplicaId(1)), [a]);
+        h.push(OpRecord::new("r", ReplicaId(1)), [a, b]);
+        let dot = to_dot(&h);
+        assert!(dot.starts_with("digraph history"));
+        assert!(dot.contains("op0 [label="));
+        assert!(dot.contains("op0 -> op1;"));
+        assert!(dot.contains("op1 -> op2;"));
+        // a -> r is transitively implied through b and must be elided.
+        assert!(!dot.contains("op0 -> op2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes_and_shows_timestamps() {
+        use crate::timestamp::Ts;
+        let mut h = History::new();
+        h.push(
+            OpRecord::with_ts("say \"hi\"", ReplicaId(0), Ts::new(3, ReplicaId(0))),
+            [],
+        );
+        let dot = to_dot(&h);
+        assert!(!dot.contains("\"hi\""), "quotes must be escaped");
+        assert!(dot.contains("3@r0"));
+    }
+
+    #[test]
+    fn concurrent_ops_have_no_edges() {
+        let mut h = History::new();
+        h.push(OpRecord::new("a", ReplicaId(0)), []);
+        h.push(OpRecord::new("b", ReplicaId(1)), []);
+        let dot = to_dot(&h);
+        assert!(!dot.contains("->"));
+    }
+}

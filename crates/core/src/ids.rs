@@ -1,0 +1,76 @@
+//! Identifiers for the semantic domains of Section 3.1: replicas `r ∈ R`,
+//! objects `o ∈ O`, operation identifiers `i`, and the unique identifiers
+//! sampled by generators (e.g. the tags of OR-Set `add`).
+
+use std::fmt;
+
+/// A replica identifier `r ∈ R`.
+///
+/// Replicas are numbered densely from zero within a cluster. The derived
+/// `Ord` gives the arbitrary-but-fixed replica order the paper uses to break
+/// ties between equal timestamps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId(pub u32);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An object identifier `o ∈ O`, used when composing several objects
+/// (Section 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// The unique identifier `i` that tags an operation label `o.m(a) ⇒^{i,ts} b`.
+///
+/// In this implementation an `OpId` doubles as the dense index of the
+/// operation inside its [`History`](crate::history::History).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A unique identifier sampled by a generator (`getUniqueIdentifier()` in the
+/// OR-Set of Listing 2).
+///
+/// Uniqueness is guaranteed per cluster by a monotone counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Uid(pub u64);
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ReplicaId(2).to_string(), "r2");
+        assert_eq!(ObjId(1).to_string(), "o1");
+        assert_eq!(OpId(7).to_string(), "#7");
+        assert_eq!(Uid(9).to_string(), "u9");
+    }
+
+    #[test]
+    fn replica_order_is_total() {
+        assert!(ReplicaId(0) < ReplicaId(1));
+        assert!(ObjId(3) > ObjId(2));
+        assert!(Uid(1) < Uid(2));
+    }
+}

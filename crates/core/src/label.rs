@@ -1,0 +1,156 @@
+//! Operation labels, the query/update classification, and query-update
+//! rewritings `γ` (Section 3.1 and Definition 3.7).
+//!
+//! The paper partitions methods into
+//!
+//! * **queries** — identity effectors (`read` of every data type here);
+//! * **updates** — effectors and return values that do not depend on the
+//!   origin replica's state (`addAfter`, OR-Set `add`, counter `inc`…);
+//! * **query-updates** — everything else (OR-Set `remove`).
+//!
+//! Definition 3.5 only applies to histories of queries and updates, so
+//! query-update labels are first *rewritten* by a mapping
+//! `γ : L → L^{≤2}` into a query part followed by an update part
+//! (Definition 3.7, illustrated in Figure 5b for OR-Set).
+
+use std::fmt::Debug;
+
+/// Classification of a specification label (after rewriting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// A pure method: its effector is the identity.
+    Query,
+    /// An effectful method whose effector does not depend on the origin
+    /// replica's state.
+    Update,
+}
+
+/// A label that knows whether it is a query or an update.
+///
+/// Implemented by the label types of sequential specifications; the
+/// RA-linearizability checker uses it to project linearizations onto updates
+/// (condition (ii) of Definition 3.5) and to justify queries (condition
+/// (iii)).
+pub trait SpecLabel {
+    /// Whether this label is a query or an update.
+    fn kind(&self) -> Kind;
+
+    /// Convenience: `kind() == Kind::Query`.
+    fn is_query(&self) -> bool {
+        self.kind() == Kind::Query
+    }
+
+    /// Convenience: `kind() == Kind::Update`.
+    fn is_update(&self) -> bool {
+        self.kind() == Kind::Update
+    }
+}
+
+/// The image of one label under a query-update rewriting `γ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rewritten<T> {
+    /// The label was a plain query or update and is mapped to a singleton.
+    One(T),
+    /// The label was a query-update and is split into a query followed by an
+    /// update (in this visibility order).
+    Split {
+        /// The query part `qry(γ(ℓ))`, e.g. OR-Set `readIds(a) ⇒ R`.
+        query: T,
+        /// The update part `upd(γ(ℓ))`, e.g. OR-Set `remove(R)`.
+        update: T,
+    },
+}
+
+impl<T> Rewritten<T> {
+    /// The query part `qry(γ(ℓ))`: the singleton itself, or the first
+    /// component of a split.
+    pub fn query(&self) -> &T {
+        match self {
+            Rewritten::One(t) => t,
+            Rewritten::Split { query, .. } => query,
+        }
+    }
+
+    /// The update part `upd(γ(ℓ))`: the singleton itself, or the second
+    /// component of a split.
+    pub fn update(&self) -> &T {
+        match self {
+            Rewritten::One(t) => t,
+            Rewritten::Split { update, .. } => update,
+        }
+    }
+}
+
+/// A query-update rewriting `γ` from implementation labels `In` to
+/// specification labels.
+///
+/// The implementation must preserve the status of plain queries and updates
+/// (they map to singletons of the same kind) and split query-updates into a
+/// query followed by an update; [`rewrite_history`](crate::history::rewrite_history)
+/// checks these requirements with debug assertions.
+pub trait Rewrite<In> {
+    /// Specification label type produced by the rewriting.
+    type Out: SpecLabel + Clone + Debug;
+
+    /// Rewrites one label.
+    fn rewrite(&self, label: &In) -> Rewritten<Self::Out>;
+}
+
+/// The identity rewriting, for data types without query-update methods
+/// (their implementation labels already are specification labels).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Identity;
+
+impl<L: SpecLabel + Clone + Debug> Rewrite<L> for Identity {
+    type Out = L;
+
+    fn rewrite(&self, label: &L) -> Rewritten<L> {
+        Rewritten::One(label.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum L {
+        Upd,
+        Qry,
+    }
+
+    impl SpecLabel for L {
+        fn kind(&self) -> Kind {
+            match self {
+                L::Upd => Kind::Update,
+                L::Qry => Kind::Query,
+            }
+        }
+    }
+
+    #[test]
+    fn kind_helpers() {
+        assert!(L::Upd.is_update());
+        assert!(!L::Upd.is_query());
+        assert!(L::Qry.is_query());
+    }
+
+    #[test]
+    fn identity_rewrite() {
+        let rw = Identity;
+        assert_eq!(rw.rewrite(&L::Upd), Rewritten::One(L::Upd));
+    }
+
+    #[test]
+    fn rewritten_parts() {
+        let one = Rewritten::One(L::Qry);
+        assert_eq!(one.query(), &L::Qry);
+        assert_eq!(one.update(), &L::Qry);
+        let split = Rewritten::Split {
+            query: L::Qry,
+            update: L::Upd,
+        };
+        assert_eq!(split.query(), &L::Qry);
+        assert_eq!(split.update(), &L::Upd);
+    }
+}

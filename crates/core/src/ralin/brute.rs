@@ -1,0 +1,390 @@
+//! Complete (brute-force) RA-linearizability search.
+//!
+//! Enumerates linear extensions of the visibility relation by depth-first
+//! search, pruning with two sound cuts:
+//!
+//! * placing an update whose frontier dies can never be completed
+//!   (specification runs only shrink);
+//! * a query's justification (condition (iii)) is fully determined the moment
+//!   it is placed — all its visible updates are already placed and their
+//!   relative order is fixed — so an unjustified query prunes immediately.
+//!
+//! The search is exponential in the number of concurrent operations; it is
+//! the ground truth against which the guided strategies are cross-checked,
+//! and the tool that establishes the paper's *negative* results (Figures 5a,
+//! 9, 10, 14 need "no linearization exists").
+
+use super::Linearization;
+use crate::history::History;
+use crate::label::SpecLabel;
+use crate::spec::{Frontier, Spec};
+
+/// Result of a brute-force search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A valid RA-linearization was found.
+    Linearizable(Linearization),
+    /// The search space was exhausted: no RA-linearization exists.
+    NotLinearizable,
+    /// The node budget ran out before the search completed.
+    BudgetExhausted,
+}
+
+impl SearchOutcome {
+    /// Returns `true` if a linearization was found.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, SearchOutcome::Linearizable(_))
+    }
+
+    /// Returns `true` if the search proved that no linearization exists.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, SearchOutcome::NotLinearizable)
+    }
+}
+
+struct Search<'a, S: Spec> {
+    h: &'a History<S::Label>,
+    spec: &'a S,
+    // Number of not-yet-placed predecessors per operation.
+    missing: Vec<usize>,
+    placed: Vec<bool>,
+    pos: Vec<usize>,
+    order: Vec<usize>,
+    budget: u64,
+    exhausted: bool,
+}
+
+impl<S: Spec> Search<'_, S> {
+    fn justify_query(&self, q: usize) -> bool {
+        let mut visible: Vec<usize> = self
+            .h
+            .preds(q)
+            .iter()
+            .filter(|&u| self.h.label(u).is_update())
+            .collect();
+        visible.sort_by_key(|&u| self.pos[u]);
+        let mut f = Frontier::new(self.spec);
+        for u in visible {
+            if !f.advance(self.h.label(u)) {
+                return false;
+            }
+        }
+        f.admits(self.h.label(q))
+    }
+
+    fn dfs(&mut self, depth: usize, frontier: &Frontier<'_, S>) -> Option<Vec<usize>> {
+        if self.budget == 0 {
+            self.exhausted = true;
+            return None;
+        }
+        self.budget -= 1;
+        if depth == self.h.len() {
+            return Some(self.order.clone());
+        }
+        for x in 0..self.h.len() {
+            if self.placed[x] || self.missing[x] != 0 {
+                continue;
+            }
+            // Tentatively place x.
+            self.placed[x] = true;
+            self.pos[x] = depth;
+            self.order.push(x);
+
+            let feasible;
+            let mut next_frontier = None;
+            if self.h.label(x).is_update() {
+                let mut f = frontier.clone();
+                feasible = f.advance(self.h.label(x));
+                next_frontier = Some(f);
+            } else {
+                feasible = self.justify_query(x);
+            }
+
+            if feasible {
+                for succ in 0..self.h.len() {
+                    if self.h.sees(succ, x) {
+                        self.missing[succ] -= 1;
+                    }
+                }
+                let res = match &next_frontier {
+                    Some(f) => self.dfs(depth + 1, f),
+                    None => self.dfs(depth + 1, frontier),
+                };
+                for succ in 0..self.h.len() {
+                    if self.h.sees(succ, x) {
+                        self.missing[succ] += 1;
+                    }
+                }
+                if res.is_some() {
+                    return res;
+                }
+            }
+
+            self.order.pop();
+            self.pos[x] = usize::MAX;
+            self.placed[x] = false;
+            if self.exhausted {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+fn init_missing<L>(h: &History<L>) -> Vec<usize> {
+    (0..h.len()).map(|i| h.preds(i).len()).collect()
+}
+
+/// Searches for an RA-linearization of `h` w.r.t. `spec` without a budget.
+/// The history must be query-update free.
+pub fn search<S: Spec>(h: &History<S::Label>, spec: &S) -> SearchOutcome {
+    search_with_budget(h, spec, u64::MAX)
+}
+
+/// Searches for an RA-linearization, visiting at most `budget` search nodes.
+pub fn search_with_budget<S: Spec>(
+    h: &History<S::Label>,
+    spec: &S,
+    budget: u64,
+) -> SearchOutcome {
+    let mut s = Search {
+        h,
+        spec,
+        missing: init_missing(h),
+        placed: vec![false; h.len()],
+        pos: vec![usize::MAX; h.len()],
+        order: Vec::with_capacity(h.len()),
+        budget,
+        exhausted: false,
+    };
+    let frontier = Frontier::new(spec);
+    match s.dfs(0, &frontier) {
+        Some(order) => {
+            debug_assert_eq!(
+                super::check::check_linearization(h, spec, &order),
+                Ok(()),
+                "search returned an invalid linearization"
+            );
+            SearchOutcome::Linearizable(Linearization { order })
+        }
+        None if s.exhausted => SearchOutcome::BudgetExhausted,
+        None => SearchOutcome::NotLinearizable,
+    }
+}
+
+/// Counts all valid RA-linearizations of `h` (up to `budget` search nodes).
+///
+/// Returns `(count, completed)`; `completed` is `false` if the budget ran
+/// out. Useful for ablation benchmarks on the size of the witness space.
+pub fn count_linearizations<S: Spec>(
+    h: &History<S::Label>,
+    spec: &S,
+    budget: u64,
+) -> (u64, bool) {
+    struct Counter<'a, S: Spec> {
+        inner: Search<'a, S>,
+        count: u64,
+    }
+    impl<S: Spec> Counter<'_, S> {
+        fn dfs(&mut self, depth: usize, frontier: &Frontier<'_, S>) {
+            if self.inner.budget == 0 {
+                self.inner.exhausted = true;
+                return;
+            }
+            self.inner.budget -= 1;
+            if depth == self.inner.h.len() {
+                self.count += 1;
+                return;
+            }
+            for x in 0..self.inner.h.len() {
+                if self.inner.placed[x] || self.inner.missing[x] != 0 {
+                    continue;
+                }
+                self.inner.placed[x] = true;
+                self.inner.pos[x] = depth;
+
+                let feasible;
+                let mut next_frontier = None;
+                if self.inner.h.label(x).is_update() {
+                    let mut f = frontier.clone();
+                    feasible = f.advance(self.inner.h.label(x));
+                    next_frontier = Some(f);
+                } else {
+                    feasible = self.inner.justify_query(x);
+                }
+
+                if feasible {
+                    for succ in 0..self.inner.h.len() {
+                        if self.inner.h.sees(succ, x) {
+                            self.inner.missing[succ] -= 1;
+                        }
+                    }
+                    match &next_frontier {
+                        Some(f) => self.dfs(depth + 1, f),
+                        None => self.dfs(depth + 1, frontier),
+                    }
+                    for succ in 0..self.inner.h.len() {
+                        if self.inner.h.sees(succ, x) {
+                            self.inner.missing[succ] += 1;
+                        }
+                    }
+                }
+
+                self.inner.pos[x] = usize::MAX;
+                self.inner.placed[x] = false;
+                if self.inner.exhausted {
+                    return;
+                }
+            }
+        }
+    }
+    let mut c = Counter {
+        inner: Search {
+            h,
+            spec,
+            missing: init_missing(h),
+            placed: vec![false; h.len()],
+            pos: vec![usize::MAX; h.len()],
+            order: Vec::new(),
+            budget,
+            exhausted: false,
+        },
+        count: 0,
+    };
+    let frontier = Frontier::new(spec);
+    c.dfs(0, &frontier);
+    (c.count, !c.inner.exhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::ids::ReplicaId;
+    use crate::label::Kind;
+
+    /// Plain set with add/remove/read — remove here is a *plain update*
+    /// (this is the specification under which OR-Set is NOT linearizable).
+    struct SetSpec;
+
+    #[derive(Clone, Debug, PartialEq)]
+    #[allow(dead_code)]
+    enum L {
+        Add(u32),
+        Rem(u32),
+        Read(Vec<u32>),
+    }
+
+    impl SpecLabel for L {
+        fn kind(&self) -> Kind {
+            match self {
+                L::Read(_) => Kind::Query,
+                _ => Kind::Update,
+            }
+        }
+    }
+
+    impl Spec for SetSpec {
+        type Label = L;
+        type State = Vec<u32>;
+        fn initial(&self) -> Vec<u32> {
+            Vec::new()
+        }
+        fn step(&self, s: &Vec<u32>, l: &L) -> Vec<Vec<u32>> {
+            match l {
+                L::Add(x) => {
+                    let mut t = s.clone();
+                    if !t.contains(x) {
+                        t.push(*x);
+                        t.sort_unstable();
+                    }
+                    vec![t]
+                }
+                L::Rem(x) => {
+                    let t: Vec<u32> = s.iter().copied().filter(|y| y != x).collect();
+                    vec![t]
+                }
+                L::Read(v) => {
+                    let mut sorted = v.clone();
+                    sorted.sort_unstable();
+                    if sorted == *s {
+                        vec![s.clone()]
+                    } else {
+                        vec![]
+                    }
+                }
+            }
+        }
+    }
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn finds_reordering_witness() {
+        // add(1) || add(2), then a read that saw only add(2).
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Add(1), r(0)), []);
+        let b = h.push(OpRecord::new(L::Add(2), r(1)), []);
+        let q = h.push(OpRecord::new(L::Read(vec![2]), r(1)), [b]);
+        let out = search(&h, &SetSpec);
+        let lin = match out {
+            SearchOutcome::Linearizable(l) => l,
+            other => panic!("expected witness, got {other:?}"),
+        };
+        assert!(h.order_consistent(&lin.order));
+        let _ = (a, q);
+    }
+
+    #[test]
+    fn refutes_impossible_history() {
+        // One replica adds 1 then reads {} while seeing its own add: no
+        // linearization can justify the read.
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Add(1), r(0)), []);
+        h.push(OpRecord::new(L::Read(vec![]), r(0)), [a]);
+        assert_eq!(search(&h, &SetSpec), SearchOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut h = History::new();
+        for i in 0..6 {
+            h.push(OpRecord::new(L::Add(i), r(i)), []);
+        }
+        h.push(OpRecord::new(L::Read(vec![]), r(0)), []);
+        assert_eq!(
+            search_with_budget(&h, &SetSpec, 1),
+            SearchOutcome::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn counts_all_witnesses() {
+        // Two concurrent adds, no queries: both orders are valid.
+        let mut h = History::new();
+        h.push(OpRecord::new(L::Add(1), r(0)), []);
+        h.push(OpRecord::new(L::Add(2), r(1)), []);
+        let (count, complete) = count_linearizations(&h, &SetSpec, u64::MAX);
+        assert!(complete);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn count_respects_visibility() {
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Add(1), r(0)), []);
+        h.push(OpRecord::new(L::Add(2), r(0)), [a]);
+        let (count, complete) = count_linearizations(&h, &SetSpec, u64::MAX);
+        assert!(complete);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<L> = History::new();
+        assert!(search(&h, &SetSpec).is_linearizable());
+        assert_eq!(count_linearizations(&h, &SetSpec, 100), (1, true));
+    }
+}

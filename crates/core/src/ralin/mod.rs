@@ -1,0 +1,97 @@
+//! The RA-linearizability checker (Definitions 3.5 and 3.7).
+//!
+//! A history `h = (L, vis)` with `L ⊆ Queries ⊎ Updates` is RA-linearizable
+//! w.r.t. a specification `Spec` if there is a sequence `(L, seq)` such that
+//!
+//! 1. `seq` is consistent with `vis` (their union is acyclic);
+//! 2. the projection of `seq` onto updates is admitted by `Spec`;
+//! 3. every query `ℓ` is justified by the sub-sequence of updates visible to
+//!    it: `seq ↓ (vis⁻¹(ℓ) ∩ Updates) · ℓ ∈ Spec`.
+//!
+//! Histories containing query-updates are first rewritten with a
+//! query-update rewriting `γ` ([`crate::history::rewrite_history`]).
+//!
+//! Three checkers are provided:
+//!
+//! * [`check_linearization`] validates a *given* candidate sequence;
+//! * [`check_guided`] builds the constructive *execution-order* (Section 4.1)
+//!   or *timestamp-order* (Section 4.2) linearization and validates it —
+//!   linear-size work, the practical path justified by Theorems 4.4/4.6;
+//! * [`brute::search`] enumerates linear extensions of visibility with
+//!   pruning — complete but exponential, used for counterexamples
+//!   (Figures 5a, 9, 10, 14) and to cross-check the guided strategies.
+
+mod brute;
+mod check;
+mod guided;
+
+pub use brute::{count_linearizations, search, search_with_budget, SearchOutcome};
+pub use check::{check_linearization, Violation};
+pub use guided::{check_guided, check_rewritten, execution_order_of, timestamp_order_of};
+
+use crate::history::{rewrite_history, History};
+use crate::label::Rewrite;
+use crate::spec::Spec;
+
+/// Which constructive linearization an object admits (Figure 12's "Lin"
+/// column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Execution-order linearizations (Section 4.1): operations linearize in
+    /// the order their generators executed.
+    ExecutionOrder,
+    /// Timestamp-order linearizations (Section 4.2): operations linearize by
+    /// (virtual) timestamp, ties broken by generator order.
+    TimestampOrder,
+}
+
+impl Strategy {
+    /// Short name as used in the paper's Figure 12 ("EO" / "TO").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Strategy::ExecutionOrder => "EO",
+            Strategy::TimestampOrder => "TO",
+        }
+    }
+}
+
+/// A linearization: a permutation of the (rewritten) history's operation
+/// indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Linearization {
+    /// Operation indices in linearization order.
+    pub order: Vec<usize>,
+}
+
+/// Applies a query-update rewriting and then checks the guided linearization
+/// of the given strategy — the full pipeline of Definition 3.7 plus
+/// Theorem 4.4/4.6.
+///
+/// # Errors
+///
+/// Returns the [`Violation`] that the constructed linearization exhibits, if
+/// any.
+pub fn ra_check<In, R, S>(
+    h: &History<In>,
+    rw: &R,
+    spec: &S,
+    strategy: Strategy,
+) -> Result<Linearization, Violation>
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: Spec,
+{
+    let rewritten = rewrite_history(h, rw);
+    check_guided(&rewritten.history, spec, strategy)
+}
+
+/// Applies a query-update rewriting and then searches all linearizations —
+/// the complete (but exponential) decision procedure for Definition 3.7.
+pub fn ra_search<In, R, S>(h: &History<In>, rw: &R, spec: &S) -> SearchOutcome
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: Spec,
+{
+    let rewritten = rewrite_history(h, rw);
+    search(&rewritten.history, spec)
+}

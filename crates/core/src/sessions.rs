@@ -1,0 +1,205 @@
+//! Session guarantees (Terry et al. 1994), as checks over histories.
+//!
+//! Section 7 places RA-linearizability strictly above the session
+//! guarantees of weakly consistent systems: any history produced under the
+//! paper's semantics (program order within a replica, causal delivery)
+//! satisfies all four. This module makes the claim checkable:
+//!
+//! * **Read Your Writes** — an operation sees every earlier update of its
+//!   own replica;
+//! * **Monotonic Reads** — the set of operations visible at a replica only
+//!   grows along its program order;
+//! * **Monotonic Writes** — two updates of one replica are visible in
+//!   program order wherever both are visible;
+//! * **Writes Follow Reads** — an update is ordered after the updates its
+//!   replica had observed.
+//!
+//! The checks take a *session order* — for histories recorded by the
+//! runtime, program order per replica, recovered from the origin replica
+//! and the generation order.
+
+use crate::history::History;
+use crate::label::SpecLabel;
+use std::fmt;
+
+/// Which session guarantees a history satisfies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Violations of Read Your Writes: `(earlier_write, later_op)` of one
+    /// replica with the write invisible to the later operation.
+    pub read_your_writes: Vec<(usize, usize)>,
+    /// Violations of Monotonic Reads: `(seen_by_earlier, earlier, later)` —
+    /// a later operation of the replica lost sight of something.
+    pub monotonic_reads: Vec<(usize, usize, usize)>,
+    /// Violations of Monotonic Writes: `(w1, w2, observer)` — an operation
+    /// sees `w2` but not the same-replica-earlier `w1`.
+    pub monotonic_writes: Vec<(usize, usize, usize)>,
+    /// Violations of Writes Follow Reads: `(seen, write, observer)` — an
+    /// operation sees `write` but not the operation `seen` that `write`'s
+    /// replica had observed before issuing it.
+    pub writes_follow_reads: Vec<(usize, usize, usize)>,
+}
+
+impl SessionReport {
+    /// Returns `true` if all four guarantees hold.
+    pub fn all_hold(&self) -> bool {
+        self.read_your_writes.is_empty()
+            && self.monotonic_reads.is_empty()
+            && self.monotonic_writes.is_empty()
+            && self.writes_follow_reads.is_empty()
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.all_hold() {
+            return write!(f, "all session guarantees hold");
+        }
+        writeln!(f, "session-guarantee violations:")?;
+        for (w, op) in &self.read_your_writes {
+            writeln!(f, "  RYW: operation {op} misses own-replica write {w}")?;
+        }
+        for (seen, earlier, later) in &self.monotonic_reads {
+            writeln!(f, "  MR: {later} lost sight of {seen} seen by {earlier}")?;
+        }
+        for (w1, w2, obs) in &self.monotonic_writes {
+            writeln!(f, "  MW: {obs} sees {w2} but not earlier write {w1}")?;
+        }
+        for (seen, w, obs) in &self.writes_follow_reads {
+            writeln!(f, "  WFR: {obs} sees {w} but not {seen} observed before it")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the four session guarantees of a history whose operations carry
+/// their origin replica (as runtime-recorded histories do). Session order is
+/// program order per replica: generation order restricted to each replica.
+pub fn check_sessions<L: SpecLabel>(h: &History<L>) -> SessionReport {
+    let mut report = SessionReport::default();
+    let n = h.len();
+
+    // Read Your Writes and Monotonic Reads over same-replica program order.
+    for later in 0..n {
+        for earlier in 0..later {
+            if h.op(earlier).replica != h.op(later).replica {
+                continue;
+            }
+            if h.label(earlier).is_update() && !h.sees(later, earlier) {
+                report.read_your_writes.push((earlier, later));
+            }
+            for seen in h.preds(earlier) {
+                if !h.sees(later, seen) {
+                    report.monotonic_reads.push((seen, earlier, later));
+                }
+            }
+        }
+    }
+
+    // Monotonic Writes and Writes Follow Reads, from any observer's view.
+    for observer in 0..n {
+        for w2 in h.preds(observer) {
+            if !h.label(w2).is_update() {
+                continue;
+            }
+            for w1 in 0..w2 {
+                if h.op(w1).replica == h.op(w2).replica
+                    && h.label(w1).is_update()
+                    && !h.sees(observer, w1)
+                {
+                    report.monotonic_writes.push((w1, w2, observer));
+                }
+            }
+            for seen in h.preds(w2) {
+                if !h.sees(observer, seen) && h.label(seen).is_update() {
+                    report.writes_follow_reads.push((seen, w2, observer));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::ids::ReplicaId;
+    use crate::label::Kind;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum L {
+        Write(u32),
+        Read,
+    }
+
+    impl SpecLabel for L {
+        fn kind(&self) -> Kind {
+            match self {
+                L::Write(_) => Kind::Update,
+                L::Read => Kind::Query,
+            }
+        }
+    }
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn causal_histories_satisfy_everything() {
+        // r0 writes, r1 sees it and writes, r0 reads both.
+        let mut h = History::new();
+        let w1 = h.push(OpRecord::new(L::Write(1), r(0)), []);
+        let w2 = h.push(OpRecord::new(L::Write(2), r(1)), [w1]);
+        h.push(OpRecord::new(L::Read, r(0)), [w1, w2]);
+        let report = check_sessions(&h);
+        assert!(report.all_hold(), "{report}");
+    }
+
+    #[test]
+    fn detects_read_your_writes_violation() {
+        let mut h = History::new();
+        let w = h.push(OpRecord::new(L::Write(1), r(0)), []);
+        // Same replica reads but doesn't see its own write.
+        let q = h.push(OpRecord::new(L::Read, r(0)), []);
+        let report = check_sessions(&h);
+        assert_eq!(report.read_your_writes, vec![(w, q)]);
+        assert!(!report.all_hold());
+        assert!(report.to_string().contains("RYW"));
+    }
+
+    #[test]
+    fn detects_monotonic_reads_violation() {
+        let mut h = History::new();
+        let w = h.push(OpRecord::new(L::Write(1), r(1)), []);
+        let q1 = h.push(OpRecord::new(L::Read, r(0)), [w]);
+        // The later read at r0 forgot w.
+        let q2 = h.push(OpRecord::new(L::Read, r(0)), []);
+        let report = check_sessions(&h);
+        assert!(report.monotonic_reads.contains(&(w, q1, q2)));
+    }
+
+    #[test]
+    fn detects_monotonic_writes_violation() {
+        let mut h = History::new();
+        let w1 = h.push(OpRecord::new(L::Write(1), r(0)), []);
+        let w2 = h.push(OpRecord::new(L::Write(2), r(0)), [w1]);
+        // An observer sees w2 without w1 (causal delivery would forbid it).
+        let obs = h.push(OpRecord::new(L::Read, r(1)), [w2]);
+        let report = check_sessions(&h);
+        assert!(report.monotonic_writes.contains(&(w1, w2, obs)));
+    }
+
+    #[test]
+    fn detects_writes_follow_reads_violation() {
+        let mut h = History::new();
+        let w1 = h.push(OpRecord::new(L::Write(1), r(0)), []);
+        // r1 observed w1, then wrote w2.
+        let w2 = h.push(OpRecord::new(L::Write(2), r(1)), [w1]);
+        // An observer sees w2 but not w1.
+        let obs = h.push(OpRecord::new(L::Read, r(2)), [w2]);
+        let report = check_sessions(&h);
+        assert!(report.writes_follow_reads.contains(&(w1, w2, obs)));
+    }
+}

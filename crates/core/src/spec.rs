@@ -1,0 +1,194 @@
+//! Sequential specifications (Section 3.2).
+//!
+//! A specification is presented operationally: an abstract state domain `Φ`,
+//! an initial state `ϕ₀`, and a transition relation `ϕ —ℓ→ ϕ′` per label.
+//! Transitions may be *nondeterministic* — Wooki's `addBetween(a,b,c)`
+//! inserts at any position between `a` and `c`, and `Spec(addAt3)` observes
+//! an arbitrary sub-sequence — so [`Spec::step`] returns the set of successor
+//! states; an empty set means the label is not admitted (its precondition
+//! fails or its return value is wrong).
+//!
+//! The checker explores the resulting state space with a [`Frontier`]: the
+//! set of abstract states reachable by some run of the specification over a
+//! prefix of labels. A sequence is *admitted* (`seq ∈ Spec`) iff the frontier
+//! stays non-empty.
+
+use crate::label::SpecLabel;
+use std::fmt::Debug;
+
+/// A sequential specification: labels, abstract states, and a transition
+/// relation.
+pub trait Spec {
+    /// Specification label type (already query/update classified).
+    type Label: SpecLabel + Clone + Debug;
+    /// Abstract state domain `Φ`.
+    type State: Clone + Debug + PartialEq;
+
+    /// The initial abstract state `ϕ₀`.
+    fn initial(&self) -> Self::State;
+
+    /// All successor states of `state` under `label`; empty when the label is
+    /// not admitted in `state`.
+    fn step(&self, state: &Self::State, label: &Self::Label) -> Vec<Self::State>;
+}
+
+/// The set of abstract states reachable by some specification run over the
+/// labels fed to [`Frontier::advance`].
+///
+/// For deterministic specifications the frontier has at most one state; for
+/// nondeterministic ones duplicates are pruned with `PartialEq`.
+pub struct Frontier<'a, S: Spec> {
+    spec: &'a S,
+    states: Vec<S::State>,
+}
+
+impl<S: Spec> Clone for Frontier<'_, S> {
+    fn clone(&self) -> Self {
+        Frontier {
+            spec: self.spec,
+            states: self.states.clone(),
+        }
+    }
+}
+
+impl<S: Spec> Debug for Frontier<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frontier").field("states", &self.states).finish()
+    }
+}
+
+impl<'a, S: Spec> Frontier<'a, S> {
+    /// A frontier containing only the initial state.
+    pub fn new(spec: &'a S) -> Self {
+        Frontier {
+            spec,
+            states: vec![spec.initial()],
+        }
+    }
+
+    /// Advances the frontier by one label; returns `false` (and leaves the
+    /// frontier empty) if no run admits it.
+    pub fn advance(&mut self, label: &S::Label) -> bool {
+        let mut next: Vec<S::State> = Vec::new();
+        for st in &self.states {
+            for succ in self.spec.step(st, label) {
+                if !next.contains(&succ) {
+                    next.push(succ);
+                }
+            }
+        }
+        self.states = next;
+        !self.states.is_empty()
+    }
+
+    /// Returns `true` if some frontier state admits `label`, without
+    /// advancing. Used for justifying queries (condition (iii) of
+    /// Definition 3.5).
+    pub fn admits(&self, label: &S::Label) -> bool {
+        self.states
+            .iter()
+            .any(|st| !self.spec.step(st, label).is_empty())
+    }
+
+    /// The current frontier states.
+    pub fn states(&self) -> &[S::State] {
+        &self.states
+    }
+
+    /// Returns `true` if no run admits the labels consumed so far.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Returns `true` if the label sequence is admitted by the specification
+/// (`seq ∈ Spec`).
+pub fn admits<'l, S: Spec>(spec: &S, seq: impl IntoIterator<Item = &'l S::Label>) -> bool
+where
+    S::Label: 'l,
+{
+    let mut f = Frontier::new(spec);
+    for l in seq {
+        if !f.advance(l) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Kind;
+
+    /// A register whose write is nondeterministic: it may round up by one.
+    struct Fuzzy;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum L {
+        Write(i64),
+        Read(i64),
+    }
+
+    impl SpecLabel for L {
+        fn kind(&self) -> Kind {
+            match self {
+                L::Write(_) => Kind::Update,
+                L::Read(_) => Kind::Query,
+            }
+        }
+    }
+
+    impl Spec for Fuzzy {
+        type Label = L;
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn step(&self, s: &i64, l: &L) -> Vec<i64> {
+            match l {
+                L::Write(v) => vec![*v, *v + 1],
+                L::Read(v) if v == s => vec![*s],
+                L::Read(_) => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_tracks_nondeterminism() {
+        let spec = Fuzzy;
+        let mut f = Frontier::new(&spec);
+        assert!(f.advance(&L::Write(10)));
+        assert_eq!(f.states().len(), 2);
+        assert!(f.admits(&L::Read(10)));
+        assert!(f.admits(&L::Read(11)));
+        assert!(!f.admits(&L::Read(12)));
+    }
+
+    #[test]
+    fn frontier_dedups() {
+        let spec = Fuzzy;
+        let mut f = Frontier::new(&spec);
+        f.advance(&L::Write(5));
+        f.advance(&L::Write(5));
+        // {5,6} x write(5) = {5,6} again, deduplicated
+        assert_eq!(f.states().len(), 2);
+    }
+
+    #[test]
+    fn admits_sequences() {
+        let spec = Fuzzy;
+        assert!(admits(&spec, &[L::Write(1), L::Read(2)]));
+        assert!(!admits(&spec, &[L::Write(1), L::Read(3)]));
+        assert!(admits(&spec, &[]));
+    }
+
+    #[test]
+    fn rejection_is_sticky() {
+        let spec = Fuzzy;
+        let mut f = Frontier::new(&spec);
+        assert!(!f.advance(&L::Read(9)));
+        assert!(f.is_empty());
+        assert!(!f.advance(&L::Write(9)));
+    }
+}

@@ -1,0 +1,97 @@
+//! The totally ordered timestamp domain `T` of Section 3.1.
+//!
+//! The paper assumes timestamps are sampled from a totally ordered set, are
+//! unique, and grow monotonically with visibility: a generator always samples
+//! a timestamp strictly larger than every timestamp visible at its replica
+//! (side condition of the OPERATION rule, Figure 7). Footnote 6 suggests the
+//! standard realization — a Lamport pair of a counter and a replica
+//! identifier — which is what [`Ts`] implements. The distinguished minimal
+//! element `⊥` (for operations that generate no timestamp) is represented as
+//! `Option<Ts>` with `None < Some(_)`, which is exactly the derived order.
+
+use crate::ids::ReplicaId;
+use std::fmt;
+
+/// A Lamport timestamp: a counter tagged with the originating replica.
+///
+/// The derived lexicographic order `(counter, replica)` is total because no
+/// two operations of the same replica share a counter, and ties between
+/// replicas are broken by the fixed replica order — the paper's
+/// "arbitrary order among replica identifiers".
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::{ids::ReplicaId, timestamp::Ts};
+///
+/// let a = Ts::new(1, ReplicaId(1));
+/// let b = Ts::new(2, ReplicaId(0));
+/// assert!(a < b); // counter dominates
+/// let c = Ts::new(2, ReplicaId(1));
+/// assert!(b < c); // replica order breaks ties
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ts {
+    /// Logical clock value.
+    pub counter: u64,
+    /// Replica that generated the timestamp.
+    pub replica: ReplicaId,
+}
+
+impl Ts {
+    /// Creates a timestamp from a counter value and the generating replica.
+    pub fn new(counter: u64, replica: ReplicaId) -> Self {
+        Ts { counter, replica }
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.counter, self.replica)
+    }
+}
+
+/// Returns the larger of two optional timestamps, treating `None` as `⊥`
+/// (the minimal element).
+pub fn max_ts(a: Option<Ts>, b: Option<Ts>) -> Option<Ts> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => Some(x.max(y)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        let t10 = Ts::new(1, ReplicaId(0));
+        let t11 = Ts::new(1, ReplicaId(1));
+        let t20 = Ts::new(2, ReplicaId(0));
+        assert!(t10 < t11);
+        assert!(t11 < t20);
+        assert!(t10 < t20);
+    }
+
+    #[test]
+    fn bottom_is_minimal() {
+        let t = Some(Ts::new(0, ReplicaId(0)));
+        assert!(None < t);
+        assert_eq!(max_ts(None, t), t);
+        assert_eq!(max_ts(t, None), t);
+        assert_eq!(max_ts(None, None), None);
+    }
+
+    #[test]
+    fn max_of_two() {
+        let a = Some(Ts::new(3, ReplicaId(0)));
+        let b = Some(Ts::new(3, ReplicaId(1)));
+        assert_eq!(max_ts(a, b), b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ts::new(4, ReplicaId(2)).to_string(), "4@r2");
+    }
+}

@@ -1,0 +1,229 @@
+//! The operation-based Last-Writer-Wins Register (Listing 4, Appendix B.2).
+//!
+//! `write` samples a timestamp and the effector keeps the greater-timestamped
+//! value, so conflicting writes resolve identically everywhere. Because the
+//! winning write can be the one whose generator ran *first*, the register
+//! admits **timestamp-order**, not execution-order, linearizations
+//! (Figure 12).
+
+use ral_core::elem::Elem;
+use ral_core::ralin::Strategy;
+use ral_core::timestamp::Ts;
+use ral_runtime::gen::{GenCtx, GenOutcome};
+use ral_runtime::op_based::OpBased;
+use ral_spec::register::RegOp;
+use std::marker::PhantomData;
+
+/// Method invocations of the register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegCall<E> {
+    /// `write(a)`.
+    Write(E),
+    /// `read()`.
+    Read,
+}
+
+/// Replica state: the current value and the timestamp that installed it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LwwState<E> {
+    /// Last written value (`None` before any write).
+    pub value: Option<E>,
+    /// Timestamp of the installed write (`None` initially).
+    pub ts: Option<Ts>,
+}
+
+/// The operation-based LWW register CRDT.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::ids::ReplicaId;
+/// use ral_crdts::op::lww_register::{LwwRegister, RegCall};
+/// use ral_runtime::op_based::Cluster;
+///
+/// let mut cluster = Cluster::new(LwwRegister::<char>::new(), 2);
+/// cluster.invoke(ReplicaId(0), RegCall::Write('x'));
+/// cluster.invoke(ReplicaId(1), RegCall::Write('y'));
+/// cluster.deliver_all();
+/// assert!(cluster.converged());
+/// ```
+pub struct LwwRegister<E> {
+    _elem: PhantomData<E>,
+}
+
+impl<E> LwwRegister<E> {
+    /// The linearization class of Figure 12.
+    pub const STRATEGY: Strategy = Strategy::TimestampOrder;
+
+    /// Creates the register descriptor.
+    pub fn new() -> Self {
+        LwwRegister { _elem: PhantomData }
+    }
+}
+
+impl<E: Elem> LwwRegister<E> {
+    /// The refinement mapping `abs` onto `Spec(Reg)` states.
+    pub fn abs(state: &LwwState<E>) -> Option<E> {
+        state.value.clone()
+    }
+
+    /// All timestamps stored in the state (for `Refinement_ts`).
+    pub fn state_timestamps(state: &LwwState<E>) -> Vec<Ts> {
+        state.ts.into_iter().collect()
+    }
+}
+
+impl<E> Clone for LwwRegister<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E> Copy for LwwRegister<E> {}
+
+impl<E> Default for LwwRegister<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for LwwRegister<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LwwRegister")
+    }
+}
+
+impl<E: Elem> OpBased for LwwRegister<E> {
+    type State = LwwState<E>;
+    type Call = RegCall<E>;
+    type Ret = Option<E>;
+    type Eff = (E, Ts);
+    type Label = RegOp<E>;
+
+    fn initial(&self) -> LwwState<E> {
+        LwwState {
+            value: None,
+            ts: None,
+        }
+    }
+
+    fn generator(
+        &self,
+        state: &LwwState<E>,
+        call: &RegCall<E>,
+        ctx: &mut GenCtx,
+    ) -> GenOutcome<Option<E>, (E, Ts)> {
+        match call {
+            RegCall::Write(a) => GenOutcome::update(None, (a.clone(), ctx.fresh_ts())),
+            RegCall::Read => GenOutcome::query(state.value.clone()),
+        }
+    }
+
+    fn apply(&self, state: &mut LwwState<E>, eff: &(E, Ts)) {
+        if state.ts < Some(eff.1) {
+            state.value = Some(eff.0.clone());
+            state.ts = Some(eff.1);
+        }
+    }
+
+    fn label(&self, call: &RegCall<E>, ret: &Option<E>) -> RegOp<E> {
+        match call {
+            RegCall::Write(a) => RegOp::Write(a.clone()),
+            RegCall::Read => RegOp::Read(ret.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use ral_core::ids::ReplicaId;
+    use ral_core::label::Identity;
+    use ral_core::ralin::{ra_check, Strategy};
+    use ral_runtime::op_based::Cluster;
+    use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
+    use ral_spec::register::RegSpec;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn later_timestamp_wins_both_orders() {
+        // r0 writes then r1 writes concurrently; r1's clock is also 1, so
+        // the replica order breaks the tie: r1 wins.
+        let mut c = Cluster::new(LwwRegister::<u32>::new(), 2);
+        c.invoke(r(0), RegCall::Write(10));
+        c.invoke(r(1), RegCall::Write(20));
+        c.deliver_all();
+        assert!(c.converged());
+        assert_eq!(c.state(r(0)).value, Some(20));
+    }
+
+    #[test]
+    fn causally_later_write_wins() {
+        let mut c = Cluster::new(LwwRegister::<u32>::new(), 2);
+        c.invoke(r(1), RegCall::Write(20));
+        c.deliver_all();
+        c.invoke(r(0), RegCall::Write(10));
+        c.deliver_all();
+        assert_eq!(c.state(r(1)).value, Some(10));
+    }
+
+    #[test]
+    fn stale_effector_is_ignored() {
+        let mut c = Cluster::new(LwwRegister::<u32>::new(), 2);
+        c.invoke(r(0), RegCall::Write(1)); // ts 1@r0
+        c.invoke(r(1), RegCall::Write(2)); // ts 1@r1 > 1@r0
+        // Deliver r1's write to r0 first, then r0's old write to r1.
+        let at_r0 = c.deliverable(r(0));
+        c.deliver(r(0), at_r0[0]);
+        let at_r1 = c.deliverable(r(1));
+        c.deliver(r(1), at_r1[0]);
+        assert!(c.converged());
+        assert_eq!(c.state(r(0)).value, Some(2));
+    }
+
+    #[test]
+    fn random_histories_are_ra_linearizable_to() {
+        for seed in 0..20 {
+            let mut c = Cluster::new(LwwRegister::<u8>::new(), 3);
+            drive_op_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, _| {
+                Some(if rng.random_bool(0.5) {
+                    RegCall::Write(rng.random_range(0..4))
+                } else {
+                    RegCall::Read
+                })
+            });
+            assert!(c.converged());
+            let h = c.into_history();
+            ra_check(&h, &Identity, &RegSpec::new(), LwwRegister::<u8>::STRATEGY)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn execution_order_can_fail() {
+        // The Figure 8 phenomenon, register flavour: find a seed whose
+        // history refutes the execution-order strategy while timestamp order
+        // succeeds.
+        let mut failed_eo = false;
+        for seed in 0..200 {
+            let mut c = Cluster::new(LwwRegister::<u8>::new(), 3);
+            drive_op_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, _| {
+                Some(if rng.random_bool(0.5) {
+                    RegCall::Write(rng.random_range(0..4))
+                } else {
+                    RegCall::Read
+                })
+            });
+            let h = c.into_history();
+            if ra_check(&h, &Identity, &RegSpec::new(), Strategy::ExecutionOrder).is_err() {
+                failed_eo = true;
+                break;
+            }
+        }
+        assert!(failed_eo, "expected some history to refute execution order");
+    }
+}

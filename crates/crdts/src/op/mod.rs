@@ -1,0 +1,8 @@
+//! Operation-based CRDT implementations (Section 2 and Appendix B).
+
+pub mod counter;
+pub mod lww_register;
+pub mod or_set;
+pub mod rga;
+pub mod rga_addat;
+pub mod wooki;

@@ -1,0 +1,311 @@
+//! The Observed-Remove Set (Listing 2, Section 2.2).
+//!
+//! `add(a)` tags the element with a fresh unique identifier; `remove(a)` is a
+//! **query-update**: its generator observes the identifiers currently paired
+//! with `a` at the origin and its effector removes exactly those pairs. The
+//! query-update rewriting `γ` (Example 3.6, Figure 5b) splits each
+//! `remove(a) ⇒ R` into `readIds(a) ⇒ R · remove(R)`; after rewriting the
+//! OR-Set admits **execution-order** linearizations w.r.t. `Spec(OR-Set)`
+//! (Figure 12).
+
+use ral_core::elem::Elem;
+use ral_core::ids::Uid;
+use ral_core::label::{Rewrite, Rewritten};
+use ral_core::ralin::Strategy;
+use ral_runtime::gen::{GenCtx, GenOutcome};
+use ral_runtime::op_based::OpBased;
+use ral_spec::set::{OrSetOp, SetOp};
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// Method invocations of the OR-Set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrSetCall<E> {
+    /// `add(a)`.
+    Add(E),
+    /// `remove(a)`.
+    Remove(E),
+    /// `read()`.
+    Read,
+}
+
+/// Return values of the OR-Set (the paper gives `add`/`remove` return values
+/// "for technical reasons": they are what the rewriting needs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrSetRet<E> {
+    /// The identifier minted by `add`.
+    Added(Uid),
+    /// The element/identifier pairs observed (and removed) by `remove`.
+    Removed(BTreeSet<(E, Uid)>),
+    /// The element view returned by `read`.
+    Values(BTreeSet<E>),
+}
+
+/// Effector payloads of the OR-Set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrSetEff<E> {
+    /// Insert the pair `(a, k)`.
+    Add(E, Uid),
+    /// Erase exactly the observed pairs.
+    Remove(BTreeSet<(E, Uid)>),
+}
+
+/// Implementation labels `m(a) ⇒ b` of the OR-Set (before rewriting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrSetLabel<E> {
+    /// `add(a) ⇒ k`.
+    Add(E, Uid),
+    /// `remove(a) ⇒ R`.
+    Remove(E, BTreeSet<(E, Uid)>),
+    /// `read() ⇒ A`.
+    Read(BTreeSet<E>),
+}
+
+/// The query-update rewriting `γ` of Example 3.6.
+pub struct OrSetRewrite<E> {
+    _elem: PhantomData<E>,
+}
+
+impl<E> OrSetRewrite<E> {
+    /// Creates the rewriting.
+    pub fn new() -> Self {
+        OrSetRewrite { _elem: PhantomData }
+    }
+}
+
+impl<E> Default for OrSetRewrite<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for OrSetRewrite<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OrSetRewrite")
+    }
+}
+
+impl<E: Elem> Rewrite<OrSetLabel<E>> for OrSetRewrite<E> {
+    type Out = OrSetOp<E>;
+
+    fn rewrite(&self, label: &OrSetLabel<E>) -> Rewritten<OrSetOp<E>> {
+        match label {
+            OrSetLabel::Add(a, k) => Rewritten::One(OrSetOp::Add(a.clone(), *k)),
+            OrSetLabel::Read(values) => Rewritten::One(OrSetOp::Read(values.clone())),
+            OrSetLabel::Remove(a, observed) => Rewritten::Split {
+                query: OrSetOp::ReadIds(a.clone(), observed.clone()),
+                update: OrSetOp::Remove(observed.clone()),
+            },
+        }
+    }
+}
+
+/// The OR-Set CRDT.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::ids::ReplicaId;
+/// use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRet};
+/// use ral_runtime::op_based::Cluster;
+/// use std::collections::BTreeSet;
+///
+/// let mut cluster = Cluster::new(OrSet::<char>::new(), 2);
+/// cluster.invoke(ReplicaId(0), OrSetCall::Add('a'));
+/// cluster.deliver_all();
+/// let read = cluster.invoke(ReplicaId(1), OrSetCall::Read).unwrap();
+/// assert_eq!(read.ret, OrSetRet::Values(BTreeSet::from(['a'])));
+/// ```
+pub struct OrSet<E> {
+    _elem: PhantomData<E>,
+}
+
+impl<E> OrSet<E> {
+    /// The linearization class of Figure 12.
+    pub const STRATEGY: Strategy = Strategy::ExecutionOrder;
+
+    /// Creates the OR-Set descriptor.
+    pub fn new() -> Self {
+        OrSet { _elem: PhantomData }
+    }
+}
+
+impl<E: Elem> OrSet<E> {
+    /// The refinement mapping `abs` onto `Spec(OR-Set)` states — the
+    /// identity (Example 4.3).
+    pub fn abs(state: &BTreeSet<(E, Uid)>) -> BTreeSet<(E, Uid)> {
+        state.clone()
+    }
+
+    /// Projects an implementation label onto the *plain* `Spec(Set)` label
+    /// vocabulary (dropping identifiers), as used to show the Figure 5a
+    /// execution is not linearizable against the naive specification.
+    pub fn plain_label(label: &OrSetLabel<E>) -> SetOp<E> {
+        match label {
+            OrSetLabel::Add(a, _) => SetOp::Add(a.clone()),
+            OrSetLabel::Remove(a, _) => SetOp::Remove(a.clone()),
+            OrSetLabel::Read(values) => SetOp::Read(values.clone()),
+        }
+    }
+}
+
+impl<E> Clone for OrSet<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E> Copy for OrSet<E> {}
+
+impl<E> Default for OrSet<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for OrSet<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OrSet")
+    }
+}
+
+impl<E: Elem> OpBased for OrSet<E> {
+    type State = BTreeSet<(E, Uid)>;
+    type Call = OrSetCall<E>;
+    type Ret = OrSetRet<E>;
+    type Eff = OrSetEff<E>;
+    type Label = OrSetLabel<E>;
+
+    fn initial(&self) -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn generator(
+        &self,
+        state: &Self::State,
+        call: &OrSetCall<E>,
+        ctx: &mut GenCtx,
+    ) -> GenOutcome<OrSetRet<E>, OrSetEff<E>> {
+        match call {
+            OrSetCall::Add(a) => {
+                let k = ctx.fresh_uid();
+                GenOutcome::update(OrSetRet::Added(k), OrSetEff::Add(a.clone(), k))
+            }
+            OrSetCall::Remove(a) => {
+                let observed: BTreeSet<(E, Uid)> = state
+                    .iter()
+                    .filter(|(e, _)| e == a)
+                    .cloned()
+                    .collect();
+                GenOutcome::update(
+                    OrSetRet::Removed(observed.clone()),
+                    OrSetEff::Remove(observed),
+                )
+            }
+            OrSetCall::Read => {
+                let values: BTreeSet<E> = state.iter().map(|(e, _)| e.clone()).collect();
+                GenOutcome::query(OrSetRet::Values(values))
+            }
+        }
+    }
+
+    fn apply(&self, state: &mut Self::State, eff: &OrSetEff<E>) {
+        match eff {
+            OrSetEff::Add(a, k) => {
+                state.insert((a.clone(), *k));
+            }
+            OrSetEff::Remove(observed) => {
+                for pair in observed {
+                    state.remove(pair);
+                }
+            }
+        }
+    }
+
+    fn label(&self, call: &OrSetCall<E>, ret: &OrSetRet<E>) -> OrSetLabel<E> {
+        match (call, ret) {
+            (OrSetCall::Add(a), OrSetRet::Added(k)) => OrSetLabel::Add(a.clone(), *k),
+            (OrSetCall::Remove(a), OrSetRet::Removed(observed)) => {
+                OrSetLabel::Remove(a.clone(), observed.clone())
+            }
+            (OrSetCall::Read, OrSetRet::Values(values)) => OrSetLabel::Read(values.clone()),
+            _ => unreachable!("mismatched call/return pair"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use ral_core::ids::ReplicaId;
+    use ral_core::ralin::ra_check;
+    use ral_runtime::op_based::Cluster;
+    use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
+    use ral_spec::set::OrSetSpec;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn add_wins_over_concurrent_remove() {
+        // r0: add(a); sync; r0: remove(a) || r1: add(a) — the concurrent add
+        // survives because its identifier was not observed by the remove.
+        let mut c = Cluster::new(OrSet::<char>::new(), 2);
+        c.invoke(r(0), OrSetCall::Add('a'));
+        c.deliver_all();
+        c.invoke(r(0), OrSetCall::Remove('a'));
+        c.invoke(r(1), OrSetCall::Add('a'));
+        c.deliver_all();
+        assert!(c.converged());
+        let read = c.invoke(r(0), OrSetCall::Read).unwrap();
+        assert_eq!(read.ret, OrSetRet::Values(BTreeSet::from(['a'])));
+    }
+
+    #[test]
+    fn observed_remove_erases_everything_seen() {
+        let mut c = Cluster::new(OrSet::<char>::new(), 2);
+        c.invoke(r(0), OrSetCall::Add('a'));
+        c.invoke(r(1), OrSetCall::Add('a'));
+        c.deliver_all();
+        c.invoke(r(0), OrSetCall::Remove('a'));
+        c.deliver_all();
+        assert!(c.converged());
+        let read = c.invoke(r(1), OrSetCall::Read).unwrap();
+        assert_eq!(read.ret, OrSetRet::Values(BTreeSet::new()));
+    }
+
+    #[test]
+    fn remove_of_absent_element_is_harmless() {
+        let mut c = Cluster::new(OrSet::<char>::new(), 2);
+        let rem = c.invoke(r(0), OrSetCall::Remove('z')).unwrap();
+        assert_eq!(rem.ret, OrSetRet::Removed(BTreeSet::new()));
+    }
+
+    #[test]
+    fn random_histories_are_ra_linearizable_eo() {
+        for seed in 0..20 {
+            let mut c = Cluster::new(OrSet::<u8>::new(), 3);
+            drive_op_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, _| {
+                Some(match rng.random_range(0..4u8) {
+                    0 | 1 => OrSetCall::Add(rng.random_range(0..3)),
+                    2 => OrSetCall::Remove(rng.random_range(0..3)),
+                    _ => OrSetCall::Read,
+                })
+            });
+            assert!(c.converged());
+            let h = c.into_history();
+            ra_check(&h, &OrSetRewrite::new(), &OrSetSpec::new(), OrSet::<u8>::STRATEGY)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn plain_projection_strips_ids() {
+        let label = OrSetLabel::Add('a', Uid(7));
+        assert_eq!(OrSet::plain_label(&label), SetOp::Add('a'));
+        let label = OrSetLabel::Remove('a', BTreeSet::from([('a', Uid(7))]));
+        assert_eq!(OrSet::plain_label(&label), SetOp::Remove('a'));
+    }
+}

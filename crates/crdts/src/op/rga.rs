@@ -1,0 +1,390 @@
+//! The Replicated Growable Array (Listing 1, Section 2.1).
+//!
+//! Each replica keeps a *timestamp tree* (`Ti-Tree`): every inserted element
+//! is a child of the element it was added after, tagged with the timestamp
+//! its generator sampled. Reading traverses the tree in pre-order with
+//! siblings ordered by **descending** timestamp; removal only marks elements
+//! in a tombstone set, so a concurrent `addAfter` under a removed element
+//! still finds its parent. Conflicting sibling insertions are resolved by
+//! timestamp, which is why RGA admits **timestamp-order** (not
+//! execution-order) linearizations (Figure 8, Figure 12).
+
+use ral_core::elem::Elem;
+use ral_core::ralin::Strategy;
+use ral_core::timestamp::Ts;
+use ral_runtime::gen::{GenCtx, GenOutcome};
+use ral_runtime::op_based::OpBased;
+use ral_spec::rga::{Anchor, RgaOp};
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+
+/// Method invocations of RGA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RgaCall<E> {
+    /// `addAfter(a, b)` — insert `b` right after `a` (`Anchor::Head` is `◦`).
+    AddAfter(Anchor<E>, E),
+    /// `remove(a)`.
+    Remove(E),
+    /// `read()`.
+    Read,
+}
+
+/// Effector payloads of RGA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RgaEff<E> {
+    /// Add `(parent, ts, elem)` to the timestamp tree.
+    Insert {
+        /// Parent node (the `addAfter` anchor).
+        parent: Anchor<E>,
+        /// Timestamp sampled by the generator.
+        ts: Ts,
+        /// The inserted element.
+        elem: E,
+    },
+    /// Add `elem` to the tombstone set.
+    Tomb(E),
+}
+
+/// Replica state: the timestamp tree plus the tombstone set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RgaState<E: Elem> {
+    /// Children of each node, sorted by descending timestamp.
+    children: BTreeMap<Anchor<E>, Vec<(Ts, E)>>,
+    /// Every element in the tree with its timestamp.
+    present: BTreeMap<E, Ts>,
+    /// Tombstoned (conceptually erased) elements.
+    tomb: BTreeSet<E>,
+}
+
+impl<E: Elem> RgaState<E> {
+    fn new() -> Self {
+        RgaState {
+            children: BTreeMap::new(),
+            present: BTreeMap::new(),
+            tomb: BTreeSet::new(),
+        }
+    }
+
+    /// Returns `true` if `elem` is in the timestamp tree (tombstoned or not).
+    pub fn contains(&self, elem: &E) -> bool {
+        self.present.contains_key(elem)
+    }
+
+    /// Returns `true` if `elem` has been tombstoned.
+    pub fn is_tombstoned(&self, elem: &E) -> bool {
+        self.tomb.contains(elem)
+    }
+
+    /// The timestamp of `elem`, if present.
+    pub fn timestamp_of(&self, elem: &E) -> Option<Ts> {
+        self.present.get(elem).copied()
+    }
+
+    /// The tombstone set.
+    pub fn tombstones(&self) -> &BTreeSet<E> {
+        &self.tomb
+    }
+
+    fn walk(&self, node: &Anchor<E>, include_tombstoned: bool, out: &mut Vec<E>) {
+        if let Some(kids) = self.children.get(node) {
+            for (_, elem) in kids {
+                if include_tombstoned || !self.tomb.contains(elem) {
+                    out.push(elem.clone());
+                }
+                self.walk(&Anchor::Elem(elem.clone()), include_tombstoned, out);
+            }
+        }
+    }
+
+    /// Pre-order traversal skipping tombstones — the `read()` result.
+    pub fn visible(&self) -> Vec<E> {
+        let mut out = Vec::new();
+        self.walk(&Anchor::Head, false, &mut out);
+        out
+    }
+
+    /// Pre-order traversal including tombstoned elements — the sequence `l`
+    /// of the abstract state.
+    pub fn all_elements(&self) -> Vec<E> {
+        let mut out = Vec::new();
+        self.walk(&Anchor::Head, true, &mut out);
+        out
+    }
+}
+
+/// The RGA CRDT.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::ids::ReplicaId;
+/// use ral_crdts::op::rga::{Rga, RgaCall};
+/// use ral_spec::rga::Anchor;
+/// use ral_runtime::op_based::Cluster;
+///
+/// let mut cluster = Cluster::new(Rga::<char>::new(), 2);
+/// cluster.invoke(ReplicaId(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+/// cluster.deliver_all();
+/// cluster.invoke(ReplicaId(1), RgaCall::AddAfter(Anchor::Elem('a'), 'b')).unwrap();
+/// cluster.deliver_all();
+/// let read = cluster.invoke(ReplicaId(0), RgaCall::Read).unwrap();
+/// assert_eq!(read.ret, Some(vec!['a', 'b']));
+/// ```
+pub struct Rga<E> {
+    _elem: PhantomData<E>,
+}
+
+impl<E> Rga<E> {
+    /// The linearization class of Figure 12.
+    pub const STRATEGY: Strategy = Strategy::TimestampOrder;
+
+    /// Creates the RGA descriptor.
+    pub fn new() -> Self {
+        Rga { _elem: PhantomData }
+    }
+}
+
+impl<E: Elem> Rga<E> {
+    /// The refinement mapping `abs` of Example 4.5: the pre-order traversal
+    /// (ignoring tombstones for membership in `l`) plus the tombstone set.
+    pub fn abs(state: &RgaState<E>) -> (Vec<E>, BTreeSet<E>) {
+        (state.all_elements(), state.tomb.clone())
+    }
+
+    /// All timestamps stored in the state (for `Refinement_ts`).
+    pub fn state_timestamps(state: &RgaState<E>) -> Vec<Ts> {
+        state.present.values().copied().collect()
+    }
+}
+
+impl<E> Clone for Rga<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E> Copy for Rga<E> {}
+
+impl<E> Default for Rga<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Rga<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Rga")
+    }
+}
+
+impl<E: Elem> OpBased for Rga<E> {
+    type State = RgaState<E>;
+    type Call = RgaCall<E>;
+    type Ret = Option<Vec<E>>;
+    type Eff = RgaEff<E>;
+    type Label = RgaOp<E>;
+
+    fn initial(&self) -> RgaState<E> {
+        RgaState::new()
+    }
+
+    fn generator(
+        &self,
+        state: &RgaState<E>,
+        call: &RgaCall<E>,
+        ctx: &mut GenCtx,
+    ) -> GenOutcome<Option<Vec<E>>, RgaEff<E>> {
+        match call {
+            RgaCall::AddAfter(a, b) => {
+                let anchor_ok = match a {
+                    Anchor::Head => true,
+                    Anchor::Elem(x) => state.contains(x) && !state.is_tombstoned(x),
+                };
+                if !anchor_ok || state.contains(b) {
+                    return GenOutcome::Refused;
+                }
+                GenOutcome::update(
+                    None,
+                    RgaEff::Insert {
+                        parent: a.clone(),
+                        ts: ctx.fresh_ts(),
+                        elem: b.clone(),
+                    },
+                )
+            }
+            RgaCall::Remove(a) => {
+                if !state.contains(a) || state.is_tombstoned(a) {
+                    return GenOutcome::Refused;
+                }
+                GenOutcome::update(None, RgaEff::Tomb(a.clone()))
+            }
+            RgaCall::Read => GenOutcome::query(Some(state.visible())),
+        }
+    }
+
+    fn apply(&self, state: &mut RgaState<E>, eff: &RgaEff<E>) {
+        match eff {
+            RgaEff::Insert { parent, ts, elem } => {
+                let kids = state.children.entry(parent.clone()).or_default();
+                // Siblings are kept in descending timestamp order.
+                let at = kids.partition_point(|(t, _)| *t > *ts);
+                kids.insert(at, (*ts, elem.clone()));
+                state.present.insert(elem.clone(), *ts);
+            }
+            RgaEff::Tomb(elem) => {
+                state.tomb.insert(elem.clone());
+            }
+        }
+    }
+
+    fn label(&self, call: &RgaCall<E>, ret: &Option<Vec<E>>) -> RgaOp<E> {
+        match call {
+            RgaCall::AddAfter(a, b) => RgaOp::AddAfter(a.clone(), b.clone()),
+            RgaCall::Remove(a) => RgaOp::Remove(a.clone()),
+            RgaCall::Read => RgaOp::Read(ret.clone().expect("read returns the list")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ral_core::ids::ReplicaId;
+    use ral_core::label::Identity;
+    use ral_core::ralin::{ra_check, Strategy};
+    use ral_runtime::op_based::Cluster;
+    use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
+    use ral_spec::rga::RgaSpec;
+    use rand::Rng;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    fn head() -> Anchor<char> {
+        Anchor::Head
+    }
+
+    fn after(c: char) -> Anchor<char> {
+        Anchor::Elem(c)
+    }
+
+    #[test]
+    fn sequential_inserts_read_in_order() {
+        let mut c = Cluster::new(Rga::<char>::new(), 1);
+        c.invoke(r(0), RgaCall::AddAfter(head(), 'a')).unwrap();
+        c.invoke(r(0), RgaCall::AddAfter(after('a'), 'b')).unwrap();
+        c.invoke(r(0), RgaCall::AddAfter(after('b'), 'c')).unwrap();
+        let read = c.invoke(r(0), RgaCall::Read).unwrap();
+        assert_eq!(read.ret, Some(vec!['a', 'b', 'c']));
+    }
+
+    #[test]
+    fn concurrent_siblings_resolve_by_timestamp() {
+        // Two replicas insert after the same parent; the higher timestamp
+        // is read first (Section 2.1).
+        let mut c = Cluster::new(Rga::<char>::new(), 2);
+        c.invoke(r(0), RgaCall::AddAfter(head(), 'a')).unwrap();
+        c.deliver_all();
+        c.invoke(r(0), RgaCall::AddAfter(after('a'), 'b')).unwrap(); // ts 2@r0
+        c.invoke(r(1), RgaCall::AddAfter(after('a'), 'c')).unwrap(); // ts 2@r1
+        c.deliver_all();
+        assert!(c.converged());
+        let read = c.invoke(r(0), RgaCall::Read).unwrap();
+        // 2@r1 > 2@r0, so c comes first among the siblings.
+        assert_eq!(read.ret, Some(vec!['a', 'c', 'b']));
+    }
+
+    #[test]
+    fn remove_keeps_subtree_reachable() {
+        // A concurrent addAfter under a removed element still lands.
+        let mut c = Cluster::new(Rga::<char>::new(), 2);
+        c.invoke(r(0), RgaCall::AddAfter(head(), 'a')).unwrap();
+        c.deliver_all();
+        c.invoke(r(0), RgaCall::Remove('a')).unwrap();
+        c.invoke(r(1), RgaCall::AddAfter(after('a'), 'b')).unwrap();
+        c.deliver_all();
+        assert!(c.converged());
+        let read = c.invoke(r(1), RgaCall::Read).unwrap();
+        assert_eq!(read.ret, Some(vec!['b']));
+    }
+
+    #[test]
+    fn preconditions_refuse_bad_calls() {
+        let mut c = Cluster::new(Rga::<char>::new(), 1);
+        assert!(c.invoke(r(0), RgaCall::AddAfter(after('z'), 'a')).is_none());
+        assert!(c.invoke(r(0), RgaCall::Remove('z')).is_none());
+        c.invoke(r(0), RgaCall::AddAfter(head(), 'a')).unwrap();
+        // duplicate element refused
+        assert!(c.invoke(r(0), RgaCall::AddAfter(head(), 'a')).is_none());
+        // removing twice refused
+        c.invoke(r(0), RgaCall::Remove('a')).unwrap();
+        assert!(c.invoke(r(0), RgaCall::Remove('a')).is_none());
+        // adding after a tombstoned element refused at the generator
+        assert!(c.invoke(r(0), RgaCall::AddAfter(after('a'), 'b')).is_none());
+    }
+
+    fn random_rga_run(seed: u64) -> ral_core::history::History<RgaOp<u16>> {
+        let mut c = Cluster::new(Rga::<u16>::new(), 3);
+        let mut next: u16 = 0;
+        drive_op_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, state| {
+            let roll: u8 = rng.random_range(0..10);
+            if roll < 5 {
+                let visible = state.visible();
+                let anchor = if visible.is_empty() || rng.random_bool(0.3) {
+                    Anchor::Head
+                } else {
+                    Anchor::Elem(visible[rng.random_range(0..visible.len())])
+                };
+                next += 1;
+                Some(RgaCall::AddAfter(anchor, next))
+            } else if roll < 7 {
+                let visible = state.visible();
+                if visible.is_empty() {
+                    None
+                } else {
+                    Some(RgaCall::Remove(visible[rng.random_range(0..visible.len())]))
+                }
+            } else {
+                Some(RgaCall::Read)
+            }
+        });
+        assert!(c.converged(), "seed {seed} did not converge");
+        c.into_history()
+    }
+
+    #[test]
+    fn random_histories_are_ra_linearizable_to() {
+        for seed in 0..20 {
+            let h = random_rga_run(seed);
+            ra_check(&h, &Identity, &RgaSpec::new(), Rga::<u16>::STRATEGY)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn execution_order_can_fail() {
+        // Figure 8: some RGA history refutes the execution-order strategy.
+        let mut failed_eo = false;
+        for seed in 0..300 {
+            let h = random_rga_run(seed);
+            if ra_check(&h, &Identity, &RgaSpec::new(), Strategy::ExecutionOrder).is_err() {
+                failed_eo = true;
+                break;
+            }
+        }
+        assert!(failed_eo, "expected some history to refute execution order");
+    }
+
+    #[test]
+    fn abs_projects_tree_to_sequence() {
+        let mut c = Cluster::new(Rga::<char>::new(), 1);
+        c.invoke(r(0), RgaCall::AddAfter(head(), 'a')).unwrap();
+        c.invoke(r(0), RgaCall::AddAfter(after('a'), 'b')).unwrap();
+        c.invoke(r(0), RgaCall::Remove('a')).unwrap();
+        let (l, t) = Rga::abs(c.state(r(0)));
+        assert_eq!(l, vec!['a', 'b']);
+        assert_eq!(t, BTreeSet::from(['a']));
+        assert_eq!(c.state(r(0)).visible(), vec!['b']);
+    }
+}

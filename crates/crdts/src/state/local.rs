@@ -1,0 +1,91 @@
+//! "Local" effectors — the proof artifact of Appendix D.
+//!
+//! State-based replicas exchange whole states, so the operation-based proof
+//! story (a linearization of effectors reproduces every replica state) does
+//! not apply directly. Appendix D recovers it by associating to each update
+//! a *local effector* with an argument `arg(ℓ)`, a universal application
+//! function `apply(σ, arg(ℓ))`, and a classification of the data type by how
+//! arguments interact with `merge`:
+//!
+//! * **uniquely identified** (Appendix D.3) — arguments are unique and carry
+//!   a partial order consistent with visibility (MV-Register,
+//!   LWW-Element-Set);
+//! * **cumulative** (Appendix D.4) — arguments coincide exactly for
+//!   same-method/same-origin repetitions (PN-Counter);
+//! * **idempotent** (Appendix D.5) — re-applying an argument is a no-op
+//!   (2P-Set).
+//!
+//! The properties Prop1–Prop6 over `apply`/`merge`/`P1`/`P2` are checked by
+//! `ral-verify`.
+
+use ral_core::ids::ReplicaId;
+use ral_core::timestamp::Ts;
+use ral_runtime::state_based::StateBased;
+use std::fmt::Debug;
+
+/// The three classes of Appendix D.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EffectorClass {
+    /// Arguments are globally unique and partially ordered consistently with
+    /// visibility (Appendix D.3, proved via `P1` and Prop1–Prop5).
+    UniquelyIdentified,
+    /// Arguments repeat exactly when method, argument, result, *and origin
+    /// replica* coincide (Appendix D.4, via `P2` and Prop1'–Prop3').
+    Cumulative,
+    /// Re-applying the same argument is a no-op (Appendix D.5, additionally
+    /// Prop6).
+    Idempotent,
+}
+
+/// The local-effector interface a state-based CRDT exposes for the
+/// Appendix D proofs.
+pub trait LocalEffector: StateBased {
+    /// Argument domain of the local effectors.
+    type Arg: Clone + Debug + PartialEq;
+
+    /// The argument `arg(ℓ)` of an operation's local effector; `None` for
+    /// queries. `ts` is the timestamp the history recorded for the
+    /// operation (needed by timestamp-tagged payloads like the
+    /// LWW-Element-Set).
+    fn effector_arg(
+        &self,
+        label: &Self::Label,
+        origin: ReplicaId,
+        ts: Option<Ts>,
+    ) -> Option<Self::Arg>;
+
+    /// The universal local effector: `apply(σ, arg(ℓ))`.
+    fn apply_arg(&self, state: &mut Self::State, arg: &Self::Arg);
+
+    /// Which class the data type falls into.
+    fn class(&self) -> EffectorClass;
+
+    /// The partial order on arguments (uniquely-identified class only).
+    fn arg_lt(&self, a: &Self::Arg, b: &Self::Arg) -> bool {
+        let _ = (a, b);
+        false
+    }
+
+    /// Whether concurrent operations are guaranteed *incomparable*
+    /// arguments (Lemma E.2 — true for the MV-Register's version vectors,
+    /// false for totally ordered timestamps).
+    fn concurrent_incomparable(&self) -> bool {
+        false
+    }
+
+    /// The predicate `P1` (uniquely-identified) or `P2` (cumulative /
+    /// idempotent): roughly, "no effector with this (or a larger) argument
+    /// contributed to `state` yet".
+    fn p_pred(&self, state: &Self::State, arg: &Self::Arg) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_distinct() {
+        assert_ne!(EffectorClass::UniquelyIdentified, EffectorClass::Cumulative);
+        assert_ne!(EffectorClass::Cumulative, EffectorClass::Idempotent);
+    }
+}

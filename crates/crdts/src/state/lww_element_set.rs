@@ -1,0 +1,344 @@
+//! The state-based Last-Writer-Wins Element Set (Listing 8, Appendix E.2).
+//!
+//! The payload keeps every `(element, timestamp)` pair ever added or
+//! removed; an element is visible when some add-stamp beats every
+//! remove-stamp for it. `merge` is plain union, so the lattice laws are
+//! immediate. Conflict resolution is by timestamp, so the set admits
+//! **timestamp-order** linearizations w.r.t. `Spec(Set)` (Figure 12); local
+//! effectors are **uniquely identified** by their timestamps (Appendix D.3).
+
+use crate::state::local::{EffectorClass, LocalEffector};
+use ral_core::elem::Elem;
+use ral_core::ids::ReplicaId;
+use ral_core::ralin::Strategy;
+use ral_core::timestamp::Ts;
+use ral_runtime::gen::GenCtx;
+use ral_runtime::state_based::{StateBased, StateOutcome};
+use ral_spec::set::SetOp;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// Method invocations of the LWW-Element-Set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LwwSetCall<E> {
+    /// `add(a)`.
+    Add(E),
+    /// `remove(a)`.
+    Remove(E),
+    /// `read()`.
+    Read,
+}
+
+/// Replica payload: timestamped add and remove sets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LwwSetState<E> {
+    /// `(element, timestamp)` pairs recorded by `add`.
+    pub added: BTreeSet<(E, Ts)>,
+    /// `(element, timestamp)` pairs recorded by `remove`.
+    pub removed: BTreeSet<(E, Ts)>,
+}
+
+impl<E: Elem> LwwSetState<E> {
+    /// The visible set: elements with an add-stamp above all their
+    /// remove-stamps.
+    pub fn view(&self) -> BTreeSet<E> {
+        self.added
+            .iter()
+            .filter(|(a, ts)| {
+                self.removed
+                    .iter()
+                    .filter(|(b, _)| b == a)
+                    .all(|(_, rts)| rts < ts)
+            })
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// The largest timestamp counter stored anywhere in the payload.
+    pub fn max_counter(&self) -> u64 {
+        self.added
+            .iter()
+            .chain(self.removed.iter())
+            .map(|(_, ts)| ts.counter)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Local-effector argument: the tagged pair plus its polarity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LwwSetArg<E> {
+    /// Insert into the add set.
+    Add(E, Ts),
+    /// Insert into the remove set.
+    Remove(E, Ts),
+}
+
+impl<E> LwwSetArg<E> {
+    fn ts(&self) -> Ts {
+        match self {
+            LwwSetArg::Add(_, ts) | LwwSetArg::Remove(_, ts) => *ts,
+        }
+    }
+}
+
+/// The state-based LWW-Element-Set CRDT.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::ids::ReplicaId;
+/// use ral_crdts::state::lww_element_set::{LwwElementSet, LwwSetCall};
+/// use ral_runtime::state_based::StateCluster;
+/// use std::collections::BTreeSet;
+///
+/// let mut cluster = StateCluster::new(LwwElementSet::<char>::new(), 2);
+/// cluster.invoke(ReplicaId(0), LwwSetCall::Add('a'));
+/// cluster.sync_all();
+/// cluster.invoke(ReplicaId(1), LwwSetCall::Remove('a'));
+/// cluster.sync_all();
+/// let read = cluster.invoke(ReplicaId(0), LwwSetCall::Read).unwrap();
+/// assert_eq!(read.ret, Some(BTreeSet::new()));
+/// ```
+pub struct LwwElementSet<E> {
+    _elem: PhantomData<E>,
+}
+
+impl<E> LwwElementSet<E> {
+    /// The linearization class of Figure 12.
+    pub const STRATEGY: Strategy = Strategy::TimestampOrder;
+
+    /// Creates the LWW-Element-Set descriptor.
+    pub fn new() -> Self {
+        LwwElementSet { _elem: PhantomData }
+    }
+}
+
+impl<E: Elem> LwwElementSet<E> {
+    /// The refinement mapping `abs` onto `Spec(Set)` states: the visible
+    /// view.
+    pub fn abs(state: &LwwSetState<E>) -> BTreeSet<E> {
+        state.view()
+    }
+
+    /// All timestamps stored in the state (for `Refinement_ts`).
+    pub fn state_timestamps(state: &LwwSetState<E>) -> Vec<Ts> {
+        state
+            .added
+            .iter()
+            .chain(state.removed.iter())
+            .map(|(_, ts)| *ts)
+            .collect()
+    }
+}
+
+impl<E> Clone for LwwElementSet<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E> Copy for LwwElementSet<E> {}
+
+impl<E> Default for LwwElementSet<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for LwwElementSet<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LwwElementSet")
+    }
+}
+
+impl<E: Elem> StateBased for LwwElementSet<E> {
+    type State = LwwSetState<E>;
+    type Call = LwwSetCall<E>;
+    type Ret = Option<BTreeSet<E>>;
+    type Label = SetOp<E>;
+
+    fn initial(&self, _n_replicas: usize) -> LwwSetState<E> {
+        LwwSetState {
+            added: BTreeSet::new(),
+            removed: BTreeSet::new(),
+        }
+    }
+
+    fn invoke(
+        &self,
+        state: &LwwSetState<E>,
+        call: &LwwSetCall<E>,
+        ctx: &mut GenCtx,
+    ) -> StateOutcome<Option<BTreeSet<E>>, LwwSetState<E>> {
+        match call {
+            LwwSetCall::Add(a) => {
+                let mut next = state.clone();
+                next.added.insert((a.clone(), ctx.fresh_ts()));
+                StateOutcome::Done { ret: None, next }
+            }
+            LwwSetCall::Remove(a) => {
+                let mut next = state.clone();
+                next.removed.insert((a.clone(), ctx.fresh_ts()));
+                StateOutcome::Done { ret: None, next }
+            }
+            LwwSetCall::Read => StateOutcome::Done {
+                ret: Some(state.view()),
+                next: state.clone(),
+            },
+        }
+    }
+
+    fn merge(&self, a: &LwwSetState<E>, b: &LwwSetState<E>) -> LwwSetState<E> {
+        LwwSetState {
+            added: a.added.union(&b.added).cloned().collect(),
+            removed: a.removed.union(&b.removed).cloned().collect(),
+        }
+    }
+
+    fn leq(&self, a: &LwwSetState<E>, b: &LwwSetState<E>) -> bool {
+        a.added.is_subset(&b.added) && a.removed.is_subset(&b.removed)
+    }
+
+    fn label(&self, call: &LwwSetCall<E>, ret: &Option<BTreeSet<E>>) -> SetOp<E> {
+        match call {
+            LwwSetCall::Add(a) => SetOp::Add(a.clone()),
+            LwwSetCall::Remove(a) => SetOp::Remove(a.clone()),
+            LwwSetCall::Read => SetOp::Read(ret.clone().expect("read returns the view")),
+        }
+    }
+
+    fn clock_floor(&self, state: &LwwSetState<E>) -> u64 {
+        state.max_counter()
+    }
+}
+
+impl<E: Elem> LocalEffector for LwwElementSet<E> {
+    type Arg = LwwSetArg<E>;
+
+    fn effector_arg(
+        &self,
+        label: &SetOp<E>,
+        _origin: ReplicaId,
+        ts: Option<Ts>,
+    ) -> Option<LwwSetArg<E>> {
+        match label {
+            SetOp::Add(a) => Some(LwwSetArg::Add(
+                a.clone(),
+                ts.expect("updates carry timestamps"),
+            )),
+            SetOp::Remove(a) => Some(LwwSetArg::Remove(
+                a.clone(),
+                ts.expect("updates carry timestamps"),
+            )),
+            SetOp::Read(_) => None,
+        }
+    }
+
+    fn apply_arg(&self, state: &mut LwwSetState<E>, arg: &LwwSetArg<E>) {
+        match arg {
+            LwwSetArg::Add(a, ts) => {
+                state.added.insert((a.clone(), *ts));
+            }
+            LwwSetArg::Remove(a, ts) => {
+                state.removed.insert((a.clone(), *ts));
+            }
+        }
+    }
+
+    fn class(&self) -> EffectorClass {
+        EffectorClass::UniquelyIdentified
+    }
+
+    fn arg_lt(&self, a: &LwwSetArg<E>, b: &LwwSetArg<E>) -> bool {
+        a.ts() < b.ts()
+    }
+
+    fn p_pred(&self, state: &LwwSetState<E>, arg: &LwwSetArg<E>) -> bool {
+        // P1: the argument's timestamp is not below any stored timestamp.
+        let ts = arg.ts();
+        !Self::state_timestamps(state).iter().any(|t| ts < *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use ral_core::label::Identity;
+    use ral_core::ralin::ra_check;
+    use ral_runtime::schedule::{drive_state_based, ScheduleConfig};
+    use ral_runtime::state_based::StateCluster;
+    use ral_spec::set::SetSpec;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn later_add_beats_earlier_remove() {
+        let mut c = StateCluster::new(LwwElementSet::<char>::new(), 2);
+        c.invoke(r(0), LwwSetCall::Remove('a'));
+        c.sync_all();
+        c.invoke(r(1), LwwSetCall::Add('a'));
+        c.sync_all();
+        let read = c.invoke(r(0), LwwSetCall::Read).unwrap();
+        assert_eq!(read.ret, Some(BTreeSet::from(['a'])));
+    }
+
+    #[test]
+    fn later_remove_wins() {
+        let mut c = StateCluster::new(LwwElementSet::<char>::new(), 2);
+        c.invoke(r(0), LwwSetCall::Add('a'));
+        c.sync_all();
+        c.invoke(r(1), LwwSetCall::Remove('a'));
+        c.sync_all();
+        assert!(c.converged());
+        let read = c.invoke(r(0), LwwSetCall::Read).unwrap();
+        assert_eq!(read.ret, Some(BTreeSet::new()));
+    }
+
+    #[test]
+    fn concurrent_add_remove_resolved_by_timestamp_everywhere() {
+        let mut c = StateCluster::new(LwwElementSet::<char>::new(), 2);
+        // Both replicas act concurrently; replica order breaks the tie
+        // between equal counters, so r1's remove (1@r1) beats r0's add
+        // (1@r0).
+        c.invoke(r(0), LwwSetCall::Add('a'));
+        c.invoke(r(1), LwwSetCall::Remove('a'));
+        c.sync_all();
+        assert!(c.converged());
+        let read = c.invoke(r(0), LwwSetCall::Read).unwrap();
+        assert_eq!(read.ret, Some(BTreeSet::new()));
+    }
+
+    #[test]
+    fn random_histories_are_ra_linearizable_to() {
+        for seed in 0..20 {
+            let mut c = StateCluster::new(LwwElementSet::<u8>::new(), 3);
+            drive_state_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, _| {
+                Some(match rng.random_range(0..4u8) {
+                    0 | 1 => LwwSetCall::Add(rng.random_range(0..4)),
+                    2 => LwwSetCall::Remove(rng.random_range(0..4)),
+                    _ => LwwSetCall::Read,
+                })
+            });
+            assert!(c.converged());
+            assert!(c.check_lattice_laws());
+            let h = c.into_history();
+            ra_check(&h, &Identity, &SetSpec::new(), LwwElementSet::<u8>::STRATEGY)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn view_requires_add_above_all_removes() {
+        let mut s = LwwSetState::<char>::default();
+        s.added.insert(('a', Ts::new(1, r(0))));
+        s.removed.insert(('a', Ts::new(2, r(0))));
+        assert_eq!(s.view(), BTreeSet::new());
+        s.added.insert(('a', Ts::new(3, r(1))));
+        assert_eq!(s.view(), BTreeSet::from(['a']));
+        assert_eq!(s.max_counter(), 3);
+    }
+}

@@ -1,0 +1,7 @@
+//! State-based CRDT implementations (Appendices D and E).
+
+pub mod local;
+pub mod lww_element_set;
+pub mod mv_register;
+pub mod pn_counter;
+pub mod two_phase_set;

@@ -1,0 +1,316 @@
+//! The state-based Multi-Value Register (Listing 7, Appendix E.1).
+//!
+//! A write replaces the payload with a single pair `(a, V)` where the
+//! version vector `V` dominates everything the origin has seen; `merge`
+//! keeps the pairs that are not strictly dominated, so concurrent writes
+//! *coexist* and a read may return several values (the Dynamo behaviour).
+//! Local effectors are **uniquely identified** by their version vectors
+//! (Appendix D.3); the register admits **execution-order** linearizations
+//! w.r.t. `Spec(MV-Reg)` (Figure 12).
+
+use crate::state::local::{EffectorClass, LocalEffector};
+use ral_core::elem::Elem;
+use ral_core::ids::ReplicaId;
+use ral_core::ralin::Strategy;
+use ral_runtime::gen::GenCtx;
+use ral_runtime::state_based::{StateBased, StateOutcome};
+use ral_spec::register::{vv_leq, vv_lt, MvRegOp, VersionVec};
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// Method invocations of the MV-Register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MvCall<E> {
+    /// `write(a)`.
+    Write(E),
+    /// `read()`.
+    Read,
+}
+
+/// Return values of the MV-Register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MvRet<E> {
+    /// The version vector minted by a write (needed by the label rewriting).
+    Written(VersionVec),
+    /// The set of concurrently-latest values.
+    Values(BTreeSet<E>),
+}
+
+/// Replica payload: the number of replicas (fixing vector width) and the
+/// set of undominated pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MvState<E> {
+    /// Vector width (number of replicas).
+    pub width: usize,
+    /// Value/version-vector pairs, none strictly dominating another.
+    pub pairs: BTreeSet<(E, VersionVec)>,
+}
+
+impl<E: Elem> MvState<E> {
+    /// The read view: all stored values.
+    pub fn values(&self) -> BTreeSet<E> {
+        self.pairs.iter().map(|(a, _)| a.clone()).collect()
+    }
+}
+
+/// The state-based MV-Register CRDT.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::ids::ReplicaId;
+/// use ral_crdts::state::mv_register::{MvCall, MvRegister, MvRet};
+/// use ral_runtime::state_based::StateCluster;
+/// use std::collections::BTreeSet;
+///
+/// let mut cluster = StateCluster::new(MvRegister::<char>::new(), 2);
+/// cluster.invoke(ReplicaId(0), MvCall::Write('a'));
+/// cluster.invoke(ReplicaId(1), MvCall::Write('b'));
+/// cluster.sync_all();
+/// let read = cluster.invoke(ReplicaId(0), MvCall::Read).unwrap();
+/// // Concurrent writes coexist.
+/// assert_eq!(read.ret, MvRet::Values(BTreeSet::from(['a', 'b'])));
+/// ```
+pub struct MvRegister<E> {
+    _elem: PhantomData<E>,
+}
+
+impl<E> MvRegister<E> {
+    /// The linearization class of Figure 12.
+    pub const STRATEGY: Strategy = Strategy::ExecutionOrder;
+
+    /// Creates the MV-Register descriptor.
+    pub fn new() -> Self {
+        MvRegister { _elem: PhantomData }
+    }
+}
+
+impl<E: Elem> MvRegister<E> {
+    /// The refinement mapping `abs` onto `Spec(MV-Reg)` states — the pair
+    /// set itself.
+    pub fn abs(state: &MvState<E>) -> BTreeSet<(E, VersionVec)> {
+        state.pairs.clone()
+    }
+}
+
+impl<E> Clone for MvRegister<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E> Copy for MvRegister<E> {}
+
+impl<E> Default for MvRegister<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for MvRegister<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MvRegister")
+    }
+}
+
+impl<E: Elem> StateBased for MvRegister<E> {
+    type State = MvState<E>;
+    type Call = MvCall<E>;
+    type Ret = MvRet<E>;
+    type Label = MvRegOp<E>;
+
+    fn initial(&self, n_replicas: usize) -> MvState<E> {
+        MvState {
+            width: n_replicas,
+            pairs: BTreeSet::new(),
+        }
+    }
+
+    fn invoke(
+        &self,
+        state: &MvState<E>,
+        call: &MvCall<E>,
+        ctx: &mut GenCtx,
+    ) -> StateOutcome<MvRet<E>, MvState<E>> {
+        match call {
+            MvCall::Write(a) => {
+                let g = ctx.replica().0 as usize;
+                let mut v = vec![0; state.width];
+                for (_, vv) in &state.pairs {
+                    for (slot, x) in v.iter_mut().zip(vv) {
+                        *slot = (*slot).max(*x);
+                    }
+                }
+                v[g] += 1;
+                let next = MvState {
+                    width: state.width,
+                    pairs: BTreeSet::from([(a.clone(), v.clone())]),
+                };
+                StateOutcome::Done {
+                    ret: MvRet::Written(v),
+                    next,
+                }
+            }
+            MvCall::Read => StateOutcome::Done {
+                ret: MvRet::Values(state.values()),
+                next: state.clone(),
+            },
+        }
+    }
+
+    fn merge(&self, a: &MvState<E>, b: &MvState<E>) -> MvState<E> {
+        let keep = |from: &MvState<E>, other: &MvState<E>| {
+            from.pairs
+                .iter()
+                .filter(|(_, v)| !other.pairs.iter().any(|(_, w)| vv_lt(v, w)))
+                .cloned()
+                .collect::<BTreeSet<_>>()
+        };
+        let mut pairs = keep(a, b);
+        pairs.extend(keep(b, a));
+        MvState {
+            width: a.width.max(b.width),
+            pairs,
+        }
+    }
+
+    fn leq(&self, a: &MvState<E>, b: &MvState<E>) -> bool {
+        a.pairs
+            .iter()
+            .all(|(_, v)| b.pairs.iter().any(|(_, w)| vv_leq(v, w)))
+    }
+
+    fn label(&self, call: &MvCall<E>, ret: &MvRet<E>) -> MvRegOp<E> {
+        match (call, ret) {
+            (MvCall::Write(a), MvRet::Written(v)) => MvRegOp::Write(a.clone(), v.clone()),
+            (MvCall::Read, MvRet::Values(values)) => MvRegOp::Read(values.clone()),
+            _ => unreachable!("mismatched call/return pair"),
+        }
+    }
+}
+
+impl<E: Elem> LocalEffector for MvRegister<E> {
+    type Arg = (E, VersionVec);
+
+    fn effector_arg(
+        &self,
+        label: &MvRegOp<E>,
+        _origin: ReplicaId,
+        _ts: Option<ral_core::timestamp::Ts>,
+    ) -> Option<(E, VersionVec)> {
+        match label {
+            MvRegOp::Write(a, v) => Some((a.clone(), v.clone())),
+            MvRegOp::Read(_) => None,
+        }
+    }
+
+    fn apply_arg(&self, state: &mut MvState<E>, arg: &(E, VersionVec)) {
+        state.pairs.retain(|(_, w)| !vv_lt(w, &arg.1));
+        state.pairs.insert(arg.clone());
+    }
+
+    fn class(&self) -> EffectorClass {
+        EffectorClass::UniquelyIdentified
+    }
+
+    fn arg_lt(&self, a: &(E, VersionVec), b: &(E, VersionVec)) -> bool {
+        vv_lt(&a.1, &b.1)
+    }
+
+    fn concurrent_incomparable(&self) -> bool {
+        true
+    }
+
+    fn p_pred(&self, state: &MvState<E>, arg: &(E, VersionVec)) -> bool {
+        // P1: the argument's vector is not below any vector in the state.
+        !state.pairs.iter().any(|(_, w)| vv_lt(&arg.1, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use ral_core::label::Identity;
+    use ral_core::ralin::ra_check;
+    use ral_runtime::schedule::{drive_state_based, ScheduleConfig};
+    use ral_runtime::state_based::StateCluster;
+    use ral_spec::register::MvRegSpec;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn dominating_write_overwrites() {
+        let mut c = StateCluster::new(MvRegister::<char>::new(), 2);
+        c.invoke(r(0), MvCall::Write('a'));
+        c.sync_all();
+        c.invoke(r(1), MvCall::Write('b'));
+        c.sync_all();
+        let read = c.invoke(r(0), MvCall::Read).unwrap();
+        assert_eq!(read.ret, MvRet::Values(BTreeSet::from(['b'])));
+    }
+
+    #[test]
+    fn concurrent_writes_coexist_until_overwritten() {
+        let mut c = StateCluster::new(MvRegister::<char>::new(), 2);
+        c.invoke(r(0), MvCall::Write('a'));
+        c.invoke(r(1), MvCall::Write('b'));
+        c.sync_all();
+        assert!(c.converged());
+        let read = c.invoke(r(0), MvCall::Read).unwrap();
+        assert_eq!(read.ret, MvRet::Values(BTreeSet::from(['a', 'b'])));
+        // A new write dominates both.
+        c.invoke(r(0), MvCall::Write('c'));
+        c.sync_all();
+        let read = c.invoke(r(1), MvCall::Read).unwrap();
+        assert_eq!(read.ret, MvRet::Values(BTreeSet::from(['c'])));
+    }
+
+    #[test]
+    fn stale_message_does_not_resurrect() {
+        let mut c = StateCluster::new(MvRegister::<char>::new(), 2);
+        c.invoke(r(0), MvCall::Write('a'));
+        let stale = c.send(r(0));
+        c.sync_all();
+        c.invoke(r(1), MvCall::Write('b'));
+        c.sync_all();
+        // Replay the stale snapshot: 'a' is dominated and stays gone.
+        c.apply(r(0), stale);
+        let read = c.invoke(r(0), MvCall::Read).unwrap();
+        assert_eq!(read.ret, MvRet::Values(BTreeSet::from(['b'])));
+    }
+
+    #[test]
+    fn random_histories_are_ra_linearizable_eo() {
+        for seed in 0..20 {
+            let mut c = StateCluster::new(MvRegister::<u8>::new(), 3);
+            drive_state_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, _| {
+                Some(if rng.random_bool(0.55) {
+                    MvCall::Write(rng.random_range(0..5))
+                } else {
+                    MvCall::Read
+                })
+            });
+            assert!(c.converged());
+            assert!(c.check_lattice_laws());
+            let h = c.into_history();
+            ra_check(&h, &Identity, &MvRegSpec::new(), MvRegister::<u8>::STRATEGY)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn local_effector_matches_write() {
+        let crdt = MvRegister::<char>::new();
+        let mut s = crdt.initial(2);
+        crdt.apply_arg(&mut s, &('a', vec![1, 0]));
+        crdt.apply_arg(&mut s, &('b', vec![0, 1]));
+        assert_eq!(s.values(), BTreeSet::from(['a', 'b']));
+        crdt.apply_arg(&mut s, &('c', vec![2, 2]));
+        assert_eq!(s.values(), BTreeSet::from(['c']));
+        assert!(crdt.p_pred(&s, &('d', vec![3, 2])));
+        assert!(!crdt.p_pred(&s, &('d', vec![1, 1])));
+    }
+}

@@ -1,0 +1,245 @@
+//! The state-based PN-Counter (Listing 9, Appendix E.3).
+//!
+//! The payload is a pair of vectors `P`, `N` (one slot per replica);
+//! `inc`/`dec` bump the origin's slot, the value is `ΣP − ΣN`, and `merge`
+//! is the pointwise maximum. Local effectors are **cumulative**
+//! (Appendix D.4) and the counter admits **execution-order** linearizations
+//! (Figure 12).
+
+use crate::state::local::{EffectorClass, LocalEffector};
+use ral_core::ids::ReplicaId;
+use ral_core::ralin::Strategy;
+use ral_runtime::gen::GenCtx;
+use ral_runtime::state_based::{StateBased, StateOutcome};
+use ral_spec::counter::CounterOp;
+
+/// Method invocations of the PN-Counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PnCall {
+    /// `inc()`.
+    Inc,
+    /// `dec()`.
+    Dec,
+    /// `read()`.
+    Read,
+}
+
+/// Replica payload: the increment and decrement vectors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PnState {
+    /// Per-replica increment counts.
+    pub p: Vec<u64>,
+    /// Per-replica decrement counts.
+    pub n: Vec<u64>,
+}
+
+impl PnState {
+    /// The counter value `ΣP − ΣN`.
+    pub fn value(&self) -> i64 {
+        self.p.iter().sum::<u64>() as i64 - self.n.iter().sum::<u64>() as i64
+    }
+}
+
+/// Local-effector argument: which vector to bump, at which replica slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PnArg {
+    /// `inc` at this replica.
+    Inc(ReplicaId),
+    /// `dec` at this replica.
+    Dec(ReplicaId),
+}
+
+/// The state-based PN-Counter CRDT.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::ids::ReplicaId;
+/// use ral_crdts::state::pn_counter::{PnCall, PnCounter};
+/// use ral_runtime::state_based::StateCluster;
+///
+/// let mut cluster = StateCluster::new(PnCounter, 2);
+/// cluster.invoke(ReplicaId(0), PnCall::Inc);
+/// cluster.invoke(ReplicaId(1), PnCall::Dec);
+/// cluster.sync_all();
+/// let read = cluster.invoke(ReplicaId(0), PnCall::Read).unwrap();
+/// assert_eq!(read.ret, Some(0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PnCounter;
+
+impl PnCounter {
+    /// The linearization class of Figure 12.
+    pub const STRATEGY: Strategy = Strategy::ExecutionOrder;
+
+    /// The refinement mapping `abs` onto `Spec(Counter)` states.
+    pub fn abs(state: &PnState) -> i64 {
+        state.value()
+    }
+}
+
+impl StateBased for PnCounter {
+    type State = PnState;
+    type Call = PnCall;
+    type Ret = Option<i64>;
+    type Label = CounterOp;
+
+    fn initial(&self, n_replicas: usize) -> PnState {
+        PnState {
+            p: vec![0; n_replicas],
+            n: vec![0; n_replicas],
+        }
+    }
+
+    fn invoke(
+        &self,
+        state: &PnState,
+        call: &PnCall,
+        ctx: &mut GenCtx,
+    ) -> StateOutcome<Option<i64>, PnState> {
+        let g = ctx.replica().0 as usize;
+        match call {
+            PnCall::Inc => {
+                let mut next = state.clone();
+                next.p[g] += 1;
+                StateOutcome::Done { ret: None, next }
+            }
+            PnCall::Dec => {
+                let mut next = state.clone();
+                next.n[g] += 1;
+                StateOutcome::Done { ret: None, next }
+            }
+            PnCall::Read => StateOutcome::Done {
+                ret: Some(state.value()),
+                next: state.clone(),
+            },
+        }
+    }
+
+    fn merge(&self, a: &PnState, b: &PnState) -> PnState {
+        PnState {
+            p: a.p.iter().zip(&b.p).map(|(x, y)| *x.max(y)).collect(),
+            n: a.n.iter().zip(&b.n).map(|(x, y)| *x.max(y)).collect(),
+        }
+    }
+
+    fn leq(&self, a: &PnState, b: &PnState) -> bool {
+        a.p.iter().zip(&b.p).all(|(x, y)| x <= y)
+            && a.n.iter().zip(&b.n).all(|(x, y)| x <= y)
+    }
+
+    fn label(&self, call: &PnCall, ret: &Option<i64>) -> CounterOp {
+        match call {
+            PnCall::Inc => CounterOp::Inc,
+            PnCall::Dec => CounterOp::Dec,
+            PnCall::Read => CounterOp::Read(ret.expect("read returns a value")),
+        }
+    }
+}
+
+impl LocalEffector for PnCounter {
+    type Arg = PnArg;
+
+    fn effector_arg(
+        &self,
+        label: &CounterOp,
+        origin: ReplicaId,
+        _ts: Option<ral_core::timestamp::Ts>,
+    ) -> Option<PnArg> {
+        match label {
+            CounterOp::Inc => Some(PnArg::Inc(origin)),
+            CounterOp::Dec => Some(PnArg::Dec(origin)),
+            CounterOp::Read(_) => None,
+        }
+    }
+
+    fn apply_arg(&self, state: &mut PnState, arg: &PnArg) {
+        match arg {
+            PnArg::Inc(r) => state.p[r.0 as usize] += 1,
+            PnArg::Dec(r) => state.n[r.0 as usize] += 1,
+        }
+    }
+
+    fn class(&self) -> EffectorClass {
+        EffectorClass::Cumulative
+    }
+
+    fn p_pred(&self, state: &PnState, arg: &PnArg) -> bool {
+        // P2: no effector with this argument has contributed yet.
+        match arg {
+            PnArg::Inc(r) => state.p[r.0 as usize] == 0,
+            PnArg::Dec(r) => state.n[r.0 as usize] == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use ral_core::label::Identity;
+    use ral_core::ralin::ra_check;
+    use ral_runtime::schedule::{drive_state_based, ScheduleConfig};
+    use ral_runtime::state_based::StateCluster;
+    use ral_spec::counter::CounterSpec;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let c = PnCounter;
+        let a = PnState { p: vec![3, 0], n: vec![1, 0] };
+        let b = PnState { p: vec![1, 2], n: vec![0, 1] };
+        let m = c.merge(&a, &b);
+        assert_eq!(m, PnState { p: vec![3, 2], n: vec![1, 1] });
+        assert!(c.leq(&a, &m));
+        assert!(c.leq(&b, &m));
+        assert!(!c.leq(&m, &a));
+        assert_eq!(m.value(), 3);
+    }
+
+    #[test]
+    fn duplicated_messages_do_not_double_count() {
+        let mut c = StateCluster::new(PnCounter, 2);
+        c.invoke(r(0), PnCall::Inc);
+        let m = c.send(r(0));
+        c.apply(r(1), m);
+        c.apply(r(1), m);
+        c.apply(r(1), m);
+        let read = c.invoke(r(1), PnCall::Read).unwrap();
+        assert_eq!(read.ret, Some(1));
+    }
+
+    #[test]
+    fn random_histories_are_ra_linearizable_eo() {
+        for seed in 0..20 {
+            let mut c = StateCluster::new(PnCounter, 3);
+            drive_state_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, _| {
+                Some(match rng.random_range(0..3u8) {
+                    0 => PnCall::Inc,
+                    1 => PnCall::Dec,
+                    _ => PnCall::Read,
+                })
+            });
+            assert!(c.converged());
+            assert!(c.check_lattice_laws());
+            let h = c.into_history();
+            ra_check(&h, &Identity, &CounterSpec, PnCounter::STRATEGY)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn local_effector_reconstructs_state() {
+        let c = PnCounter;
+        let mut s = c.initial(2);
+        c.apply_arg(&mut s, &PnArg::Inc(r(0)));
+        c.apply_arg(&mut s, &PnArg::Inc(r(1)));
+        c.apply_arg(&mut s, &PnArg::Dec(r(1)));
+        assert_eq!(s.value(), 1);
+        assert!(!c.p_pred(&s, &PnArg::Inc(r(0))));
+        assert!(c.p_pred(&c.initial(2), &PnArg::Inc(r(0))));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Replicated-execution substrate for the RA-linearizability reproduction.
+//!
+//! Implements the labeled transition system of Section 3.1 (operation-based
+//! CRDTs: generator/effector split, causal delivery) and Appendix D.2
+//! (state-based CRDTs: local updates, merge-based propagation with message
+//! loss, duplication, and reordering), recording the history `(L, vis)` of
+//! every run.
+//!
+//! * [`gen`] — the generator context: fresh timestamps (Lamport clocks per
+//!   replica) and unique identifiers;
+//! * [`op_based`] — the [`op_based::OpBased`] trait and single-object
+//!   [`op_based::Cluster`];
+//! * [`multi`] — [`multi::MultiCluster`]: several objects of one data type
+//!   under the unrestricted composition `⊗` or the shared-timestamp
+//!   composition `⊗ts` (Section 5.3);
+//! * [`state_based`] — the [`state_based::StateBased`] trait and
+//!   [`state_based::StateCluster`];
+//! * [`schedule`] — seeded random schedulers driving clusters through
+//!   interleavings, plus convergence helpers.
+
+pub mod gen;
+pub mod multi;
+pub mod op_based;
+pub mod schedule;
+pub mod state_based;
+
+pub use gen::{GenCtx, GenOutcome};
+pub use multi::{MultiCluster, TsMode};
+pub use op_based::{Cluster, OpBased};
+pub use state_based::{StateBased, StateCluster, StateOutcome};

@@ -1,0 +1,372 @@
+//! Several objects of one data type, replicated together: the object
+//! compositions `⊗` and `⊗ts` of Section 5.
+//!
+//! The composed history records a *global* visibility relation — an
+//! operation on object `o₁` delivered at replica `r` becomes visible to every
+//! later operation issued at `r`, whatever its object — while **causal
+//! delivery holds only per object** (Section 5.1). The difference between the
+//! unrestricted composition `⊗` and the shared-timestamp composition `⊗ts`
+//! (Figure 11) is whether replicas keep one Lamport clock per object or a
+//! single clock spanning all of them.
+
+use crate::gen::{GenCtx, GenOutcome};
+use crate::op_based::{Invoked, OpBased};
+use ral_core::bitset::BitSet;
+use ral_core::compose::ObjLabel;
+use ral_core::history::{History, OpRecord};
+use ral_core::ids::{ObjId, ReplicaId};
+
+/// Timestamp-generator sharing discipline for a composition of objects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TsMode {
+    /// Unrestricted composition `⊗`: each object has its own timestamp
+    /// generator, so timestamps of different objects may be inconsistent
+    /// with the global visibility (Figure 10).
+    PerObject,
+    /// Shared-timestamp composition `⊗ts`: all objects of a replica share
+    /// one generator, so every new timestamp exceeds all timestamps visible
+    /// at the replica regardless of object (Figure 11).
+    Shared,
+}
+
+struct MultiNode<S> {
+    states: Vec<S>,
+    seen: BitSet,
+    clocks: Vec<u64>,
+}
+
+struct Delivery<E> {
+    op: usize,
+    obj: usize,
+    eff: Option<E>,
+    // Origin's clock (for the object's slot) after the generator ran.
+    clock: u64,
+    delivered: Vec<bool>,
+}
+
+/// A cluster replicating `n` objects of the same data type.
+pub struct MultiCluster<C: OpBased> {
+    crdt: C,
+    mode: TsMode,
+    n_objects: usize,
+    replicas: Vec<MultiNode<C::State>>,
+    deliveries: Vec<Delivery<C::Eff>>,
+    history: History<ObjLabel<C::Label>>,
+    next_uid: u64,
+}
+
+impl<C: OpBased> MultiCluster<C> {
+    /// Creates a cluster of `n_replicas` replicas, each holding `n_objects`
+    /// objects, under the given timestamp discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` or `n_objects` is zero.
+    pub fn new(crdt: C, n_objects: usize, n_replicas: usize, mode: TsMode) -> Self {
+        assert!(n_replicas > 0, "a cluster needs at least one replica");
+        assert!(n_objects > 0, "a composition needs at least one object");
+        let clock_slots = match mode {
+            TsMode::PerObject => n_objects,
+            TsMode::Shared => 1,
+        };
+        let replicas = (0..n_replicas)
+            .map(|_| MultiNode {
+                states: (0..n_objects).map(|_| crdt.initial()).collect(),
+                seen: BitSet::new(),
+                clocks: vec![0; clock_slots],
+            })
+            .collect();
+        MultiCluster {
+            crdt,
+            mode,
+            n_objects,
+            replicas,
+            deliveries: Vec::new(),
+            history: History::new(),
+            next_uid: 0,
+        }
+    }
+
+    /// Number of composed objects.
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The timestamp discipline of this composition.
+    pub fn mode(&self) -> TsMode {
+        self.mode
+    }
+
+    /// The state of object `obj` at replica `r`.
+    pub fn state(&self, r: ReplicaId, obj: ObjId) -> &C::State {
+        &self.replicas[r.0 as usize].states[obj.0 as usize]
+    }
+
+    /// The composed history recorded so far (global visibility).
+    pub fn history(&self) -> &History<ObjLabel<C::Label>> {
+        &self.history
+    }
+
+    /// Consumes the cluster, returning its history.
+    pub fn into_history(self) -> History<ObjLabel<C::Label>> {
+        self.history
+    }
+
+    fn clock_slot(&self, obj: usize) -> usize {
+        match self.mode {
+            TsMode::PerObject => obj,
+            TsMode::Shared => 0,
+        }
+    }
+
+    /// Invokes `call` on object `obj` at replica `r`.
+    ///
+    /// Returns `None` if the generator refuses the call.
+    pub fn invoke(&mut self, r: ReplicaId, obj: ObjId, call: C::Call) -> Option<Invoked<C::Ret>> {
+        let idx = r.0 as usize;
+        let o = obj.0 as usize;
+        assert!(o < self.n_objects, "object {obj} out of range");
+        let slot = self.clock_slot(o);
+        let node = &self.replicas[idx];
+        let mut ctx = GenCtx::new(r, node.clocks[slot], self.next_uid);
+        match self.crdt.generator(&node.states[o], &call, &mut ctx) {
+            GenOutcome::Refused => None,
+            GenOutcome::Done { ret, eff } => {
+                let label = ObjLabel::new(obj, self.crdt.label(&call, &ret));
+                let record = match ctx.issued_ts() {
+                    Some(ts) => OpRecord::with_ts(label, r, ts),
+                    None => OpRecord::new(label, r),
+                };
+                let node = &mut self.replicas[idx];
+                let op = self.history.push_set(record, node.seen.clone());
+                node.clocks[slot] = ctx.clock();
+                self.next_uid = ctx.uid_counter();
+                if let Some(eff) = &eff {
+                    self.crdt.apply(&mut node.states[o], eff);
+                }
+                node.seen.insert(op);
+                let clock = node.clocks[slot];
+                let mut delivered = vec![false; self.replicas.len()];
+                delivered[idx] = true;
+                self.deliveries.push(Delivery {
+                    op,
+                    obj: o,
+                    eff,
+                    clock,
+                    delivered,
+                });
+                Some(Invoked { ret, op })
+            }
+        }
+    }
+
+    /// The history index of pending delivery `d`.
+    pub fn delivery_op(&self, d: usize) -> usize {
+        self.deliveries[d].op
+    }
+
+    /// Pending deliveries applicable at replica `r`: causal delivery is
+    /// required only among operations of the *same* object.
+    pub fn deliverable(&self, r: ReplicaId) -> Vec<usize> {
+        let node = &self.replicas[r.0 as usize];
+        self.deliveries
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.delivered[r.0 as usize])
+            .filter(|(_, d)| {
+                self.history
+                    .preds(d.op)
+                    .iter()
+                    .all(|p| self.history.label(p).obj.0 as usize != d.obj || node.seen.contains(p))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Delivers pending effector `delivery` at replica `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double delivery or a per-object causal violation.
+    pub fn deliver(&mut self, r: ReplicaId, delivery: usize) {
+        let idx = r.0 as usize;
+        let (op, obj) = {
+            let d = &self.deliveries[delivery];
+            assert!(
+                !d.delivered[idx],
+                "effector of operation {} already applied at {r}",
+                d.op
+            );
+            (d.op, d.obj)
+        };
+        let same_obj_causal = self
+            .history
+            .preds(op)
+            .iter()
+            .all(|p| self.history.label(p).obj.0 as usize != obj
+                || self.replicas[idx].seen.contains(p));
+        assert!(
+            same_obj_causal,
+            "causal delivery violated for object o{obj} at {r}"
+        );
+        let slot = self.clock_slot(obj);
+        let node = &mut self.replicas[idx];
+        if let Some(eff) = &self.deliveries[delivery].eff {
+            self.crdt.apply(&mut node.states[obj], eff);
+        }
+        node.clocks[slot] = node.clocks[slot].max(self.deliveries[delivery].clock);
+        node.seen.insert(op);
+        self.deliveries[delivery].delivered[idx] = true;
+    }
+
+    /// Delivers every pending effector everywhere.
+    pub fn deliver_all(&mut self) {
+        loop {
+            let mut progress = false;
+            for r in 0..self.replicas.len() {
+                let r = ReplicaId(r as u32);
+                for d in self.deliverable(r) {
+                    self.deliver(r, d);
+                    progress = true;
+                }
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    /// Returns `true` if every object has converged across replicas.
+    pub fn converged(&self) -> bool {
+        (0..self.n_objects).all(|o| {
+            self.replicas
+                .windows(2)
+                .all(|w| w[0].states[o] == w[1].states[o])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ral_core::timestamp::Ts;
+
+    /// A register that stores the last written value with its timestamp.
+    struct Reg;
+
+    #[derive(Clone, Debug, PartialEq)]
+    #[allow(dead_code)]
+    enum Call {
+        Write(u32),
+        Read,
+    }
+
+    impl OpBased for Reg {
+        type State = (u32, u64);
+        type Call = Call;
+        type Ret = u32;
+        type Eff = (u32, Ts);
+        type Label = Call;
+
+        fn initial(&self) -> (u32, u64) {
+            (0, 0)
+        }
+
+        fn generator(
+            &self,
+            state: &(u32, u64),
+            call: &Call,
+            ctx: &mut GenCtx,
+        ) -> GenOutcome<u32, (u32, Ts)> {
+            match call {
+                Call::Write(v) => GenOutcome::update(0, (*v, ctx.fresh_ts())),
+                Call::Read => GenOutcome::query(state.0),
+            }
+        }
+
+        fn apply(&self, state: &mut (u32, u64), eff: &(u32, Ts)) {
+            if state.1 < eff.1.counter {
+                *state = (eff.0, eff.1.counter);
+            }
+        }
+
+        fn label(&self, call: &Call, _ret: &u32) -> Call {
+            call.clone()
+        }
+    }
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    fn o(i: u32) -> ObjId {
+        ObjId(i)
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let mut c = MultiCluster::new(Reg, 2, 2, TsMode::PerObject);
+        c.invoke(r(0), o(0), Call::Write(5)).unwrap();
+        assert_eq!(c.state(r(0), o(0)), &(5, 1));
+        assert_eq!(c.state(r(0), o(1)), &(0, 0));
+    }
+
+    #[test]
+    fn shared_mode_orders_timestamps_across_objects() {
+        let mut c = MultiCluster::new(Reg, 2, 1, TsMode::Shared);
+        let a = c.invoke(r(0), o(0), Call::Write(1)).unwrap();
+        let b = c.invoke(r(0), o(1), Call::Write(2)).unwrap();
+        let ts_a = c.history().op(a.op).ts.unwrap();
+        let ts_b = c.history().op(b.op).ts.unwrap();
+        assert!(ts_a < ts_b, "shared generator must be monotone");
+    }
+
+    #[test]
+    fn per_object_mode_can_reuse_counters() {
+        let mut c = MultiCluster::new(Reg, 2, 1, TsMode::PerObject);
+        let a = c.invoke(r(0), o(0), Call::Write(1)).unwrap();
+        let b = c.invoke(r(0), o(1), Call::Write(2)).unwrap();
+        let ts_a = c.history().op(a.op).ts.unwrap();
+        let ts_b = c.history().op(b.op).ts.unwrap();
+        // Independent generators: both operations get counter 1.
+        assert_eq!(ts_a.counter, ts_b.counter);
+    }
+
+    #[test]
+    fn global_visibility_crosses_objects() {
+        let mut c = MultiCluster::new(Reg, 2, 2, TsMode::Shared);
+        let a = c.invoke(r(0), o(0), Call::Write(1)).unwrap();
+        c.deliver_all();
+        let b = c.invoke(r(1), o(1), Call::Write(2)).unwrap();
+        assert!(c.history().sees(b.op, a.op));
+    }
+
+    #[test]
+    fn causal_delivery_is_per_object() {
+        let mut c = MultiCluster::new(Reg, 2, 2, TsMode::Shared);
+        // r0 writes o0 then o1; the o1 write "sees" the o0 write globally,
+        // but r1 may receive the o1 effector first.
+        c.invoke(r(0), o(0), Call::Write(1)).unwrap();
+        c.invoke(r(0), o(1), Call::Write(2)).unwrap();
+        let ds = c.deliverable(r(1));
+        assert_eq!(ds.len(), 2, "both effectors deliverable: different objects");
+        c.deliver(r(1), ds[1]);
+        c.deliver_all();
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn convergence_across_objects() {
+        let mut c = MultiCluster::new(Reg, 3, 3, TsMode::Shared);
+        for i in 0..3 {
+            c.invoke(r(i), o(i % 3), Call::Write(i + 10)).unwrap();
+        }
+        c.deliver_all();
+        assert!(c.converged());
+    }
+}

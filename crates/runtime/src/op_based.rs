@@ -1,0 +1,460 @@
+//! Operation-based CRDT objects and their replicated execution (Section 3.1).
+//!
+//! An operation splits into a **generator** — runs once at the origin
+//! replica, reads the state, returns the value and produces an effector —
+//! and an **effector** — applied exactly once at every replica. The
+//! [`Cluster`] implements the OPERATION and EFFECTOR rules of Figure 7,
+//! including their side conditions: timestamps exceed everything visible,
+//! effectors are delivered at most once per replica, and delivery is
+//! *causal* (an effector is deliverable only after the effectors of every
+//! operation visible to it).
+
+use crate::gen::{GenCtx, GenOutcome};
+use ral_core::bitset::BitSet;
+use ral_core::history::{History, OpRecord};
+use ral_core::ids::ReplicaId;
+use std::fmt::Debug;
+
+/// An operation-based CRDT, in the style of Listings 1–5.
+pub trait OpBased {
+    /// Replica state (the `payload` declaration).
+    type State: Clone + Debug + PartialEq;
+    /// A method invocation: name plus arguments.
+    type Call: Clone + Debug;
+    /// Return values.
+    type Ret: Clone + Debug + PartialEq;
+    /// Effector payloads (the arguments the generator passes to the
+    /// effector).
+    type Eff: Clone + Debug;
+    /// Operation labels `m(a) ⇒ b` as recorded in histories.
+    type Label: Clone + Debug;
+
+    /// The initial replica state.
+    fn initial(&self) -> Self::State;
+
+    /// Runs the generator of `call` against `state` at the origin replica.
+    ///
+    /// Returns [`GenOutcome::Refused`] when the precondition fails; the
+    /// cluster then records nothing.
+    fn generator(
+        &self,
+        state: &Self::State,
+        call: &Self::Call,
+        ctx: &mut GenCtx,
+    ) -> GenOutcome<Self::Ret, Self::Eff>;
+
+    /// Applies an effector to a replica state.
+    fn apply(&self, state: &mut Self::State, eff: &Self::Eff);
+
+    /// The label of an invocation that returned `ret`.
+    fn label(&self, call: &Self::Call, ret: &Self::Ret) -> Self::Label;
+}
+
+/// A successful invocation: the return value and the operation's history
+/// index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invoked<R> {
+    /// Return value.
+    pub ret: R,
+    /// Index of the operation in the cluster's history.
+    pub op: usize,
+}
+
+struct ReplicaNode<S> {
+    state: S,
+    seen: BitSet,
+    clock: u64,
+}
+
+struct Delivery<E> {
+    op: usize,
+    eff: Option<E>,
+    // The origin replica's Lamport clock right after the generator ran;
+    // receivers take the max, so clocks propagate even through identity
+    // effectors (the paper's "counter increased monotonically with every
+    // new operation, originating at the replica or delivered from another",
+    // Section 5.3).
+    clock: u64,
+    delivered: Vec<bool>,
+}
+
+/// A single replicated object: `n` replicas, a pool of undelivered
+/// effectors, and the history recorded so far.
+///
+/// # Examples
+///
+/// ```
+/// use ral_runtime::gen::{GenCtx, GenOutcome};
+/// use ral_runtime::op_based::{Cluster, OpBased};
+/// use ral_core::ids::ReplicaId;
+///
+/// /// A grow-only counter.
+/// struct GCounter;
+///
+/// impl OpBased for GCounter {
+///     type State = i64;
+///     type Call = &'static str; // "inc" or "read"
+///     type Ret = i64;
+///     type Eff = ();
+///     type Label = (String, i64);
+///     fn initial(&self) -> i64 { 0 }
+///     fn generator(&self, st: &i64, call: &&'static str, _ctx: &mut GenCtx)
+///         -> GenOutcome<i64, ()> {
+///         match *call {
+///             "inc" => GenOutcome::update(0, ()),
+///             _ => GenOutcome::query(*st),
+///         }
+///     }
+///     fn apply(&self, st: &mut i64, _eff: &()) { *st += 1; }
+///     fn label(&self, call: &&'static str, ret: &i64) -> (String, i64) {
+///         (call.to_string(), *ret)
+///     }
+/// }
+///
+/// let mut cluster = Cluster::new(GCounter, 2);
+/// cluster.invoke(ReplicaId(0), "inc");
+/// // The other replica hasn't seen the increment yet.
+/// let stale = cluster.invoke(ReplicaId(1), "read").unwrap();
+/// assert_eq!(stale.ret, 0);
+/// cluster.deliver_all();
+/// let fresh = cluster.invoke(ReplicaId(1), "read").unwrap();
+/// assert_eq!(fresh.ret, 1);
+/// ```
+pub struct Cluster<C: OpBased> {
+    crdt: C,
+    replicas: Vec<ReplicaNode<C::State>>,
+    deliveries: Vec<Delivery<C::Eff>>,
+    history: History<C::Label>,
+    next_uid: u64,
+}
+
+impl<C: OpBased> Cluster<C> {
+    /// Creates a cluster of `n_replicas` replicas, all in the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero.
+    pub fn new(crdt: C, n_replicas: usize) -> Self {
+        assert!(n_replicas > 0, "a cluster needs at least one replica");
+        let replicas = (0..n_replicas)
+            .map(|_| ReplicaNode {
+                state: crdt.initial(),
+                seen: BitSet::new(),
+                clock: 0,
+            })
+            .collect();
+        Cluster {
+            crdt,
+            replicas,
+            deliveries: Vec::new(),
+            history: History::new(),
+            next_uid: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The CRDT descriptor.
+    pub fn crdt(&self) -> &C {
+        &self.crdt
+    }
+
+    /// The state of replica `r`.
+    pub fn state(&self, r: ReplicaId) -> &C::State {
+        &self.replicas[r.0 as usize].state
+    }
+
+    /// The history recorded so far.
+    pub fn history(&self) -> &History<C::Label> {
+        &self.history
+    }
+
+    /// Consumes the cluster, returning its history.
+    pub fn into_history(self) -> History<C::Label> {
+        self.history
+    }
+
+    /// The set of operations whose effector has been applied at replica `r`.
+    pub fn seen(&self, r: ReplicaId) -> &BitSet {
+        &self.replicas[r.0 as usize].seen
+    }
+
+    /// Invokes `call` at replica `r` (the OPERATION rule).
+    ///
+    /// Returns `None` if the generator's precondition refuses the call.
+    pub fn invoke(&mut self, r: ReplicaId, call: C::Call) -> Option<Invoked<C::Ret>> {
+        let idx = r.0 as usize;
+        let node = &self.replicas[idx];
+        let mut ctx = GenCtx::new(r, node.clock, self.next_uid);
+        match self.crdt.generator(&node.state, &call, &mut ctx) {
+            GenOutcome::Refused => None,
+            GenOutcome::Done { ret, eff } => {
+                let label = self.crdt.label(&call, &ret);
+                let record = match ctx.issued_ts() {
+                    Some(ts) => OpRecord::with_ts(label, r, ts),
+                    None => OpRecord::new(label, r),
+                };
+                let node = &mut self.replicas[idx];
+                let op = self.history.push_set(record, node.seen.clone());
+                node.clock = ctx.clock();
+                self.next_uid = ctx.uid_counter();
+                if let Some(eff) = &eff {
+                    self.crdt.apply(&mut node.state, eff);
+                }
+                node.seen.insert(op);
+                let clock = node.clock;
+                let mut delivered = vec![false; self.replicas.len()];
+                delivered[idx] = true;
+                self.deliveries.push(Delivery {
+                    op,
+                    eff,
+                    clock,
+                    delivered,
+                });
+                Some(Invoked { ret, op })
+            }
+        }
+    }
+
+    /// Operations whose effector is deliverable at replica `r` under causal
+    /// delivery: not yet applied there, with every visible predecessor
+    /// already applied.
+    pub fn deliverable(&self, r: ReplicaId) -> Vec<usize> {
+        let node = &self.replicas[r.0 as usize];
+        self.deliveries
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.delivered[r.0 as usize])
+            .filter(|(_, d)| self.history.preds(d.op).is_subset(&node.seen))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Delivers pending effector `delivery` (an index into the deliverable
+    /// pool) at replica `r` (the EFFECTOR rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the effector was already applied at `r` or if causal
+    /// delivery would be violated.
+    pub fn deliver(&mut self, r: ReplicaId, delivery: usize) {
+        let idx = r.0 as usize;
+        let d = &mut self.deliveries[delivery];
+        assert!(
+            !d.delivered[idx],
+            "effector of operation {} already applied at {r}",
+            d.op
+        );
+        let node = &mut self.replicas[idx];
+        assert!(
+            self.history.preds(d.op).is_subset(&node.seen),
+            "causal delivery violated: operation {} has undelivered predecessors at {r}",
+            d.op
+        );
+        if let Some(eff) = &d.eff {
+            self.crdt.apply(&mut node.state, eff);
+        }
+        node.clock = node.clock.max(d.clock);
+        node.seen.insert(d.op);
+        d.delivered[idx] = true;
+    }
+
+    /// Delivers every pending effector everywhere, respecting causal order.
+    pub fn deliver_all(&mut self) {
+        loop {
+            let mut progress = false;
+            for r in 0..self.replicas.len() {
+                let r = ReplicaId(r as u32);
+                for d in self.deliverable(r) {
+                    self.deliver(r, d);
+                    progress = true;
+                }
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    /// Returns `true` if all replicas are in the same state (strong eventual
+    /// consistency requires this once every effector is delivered).
+    pub fn converged(&self) -> bool {
+        self.replicas
+            .windows(2)
+            .all(|w| w[0].state == w[1].state)
+    }
+
+    /// The history index of pending delivery `d`.
+    pub fn delivery_op(&self, d: usize) -> usize {
+        self.deliveries[d].op
+    }
+
+    /// The effector payload of pending delivery `d` (`None` for queries).
+    pub fn delivery_eff(&self, d: usize) -> Option<&C::Eff> {
+        self.deliveries[d].eff.as_ref()
+    }
+
+    /// Number of (replica, effector) deliveries still pending.
+    pub fn pending(&self) -> usize {
+        self.deliveries
+            .iter()
+            .map(|d| d.delivered.iter().filter(|&&x| !x).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An add-only set used to exercise the cluster plumbing.
+    struct GSet;
+
+    impl OpBased for GSet {
+        type State = Vec<u32>;
+        type Call = Call;
+        type Ret = Vec<u32>;
+        type Eff = u32;
+        type Label = Call;
+
+        fn initial(&self) -> Vec<u32> {
+            Vec::new()
+        }
+
+        fn generator(
+            &self,
+            state: &Vec<u32>,
+            call: &Call,
+            _ctx: &mut GenCtx,
+        ) -> GenOutcome<Vec<u32>, u32> {
+            match call {
+                Call::Add(x) => GenOutcome::update(Vec::new(), *x),
+                Call::Read => GenOutcome::query(state.clone()),
+            }
+        }
+
+        fn apply(&self, state: &mut Vec<u32>, eff: &u32) {
+            if !state.contains(eff) {
+                state.push(*eff);
+                state.sort_unstable();
+            }
+        }
+
+        fn label(&self, call: &Call, _ret: &Vec<u32>) -> Call {
+            call.clone()
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Call {
+        Add(u32),
+        Read,
+    }
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn origin_applies_immediately() {
+        let mut c = Cluster::new(GSet, 3);
+        c.invoke(r(0), Call::Add(7)).unwrap();
+        assert_eq!(c.state(r(0)), &vec![7]);
+        assert_eq!(c.state(r(1)), &Vec::<u32>::new());
+    }
+
+    #[test]
+    fn delivery_propagates() {
+        let mut c = Cluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        assert_eq!(c.pending(), 1);
+        let ds = c.deliverable(r(1));
+        assert_eq!(ds.len(), 1);
+        c.deliver(r(1), ds[0]);
+        assert_eq!(c.state(r(1)), &vec![1]);
+        assert_eq!(c.pending(), 0);
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn causal_delivery_orders_dependent_effectors() {
+        let mut c = Cluster::new(GSet, 2);
+        let a = c.invoke(r(0), Call::Add(1)).unwrap();
+        let b = c.invoke(r(0), Call::Add(2)).unwrap();
+        // b sees a, so at r1 only a is deliverable first.
+        assert_eq!(c.deliverable(r(1)).len(), 1);
+        let first = c.deliverable(r(1))[0];
+        assert_eq!(c.deliveries[first].op, a.op);
+        c.deliver(r(1), first);
+        let second = c.deliverable(r(1))[0];
+        assert_eq!(c.deliveries[second].op, b.op);
+        c.deliver(r(1), second);
+        assert!(c.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "causal delivery violated")]
+    fn out_of_order_delivery_panics() {
+        let mut c = Cluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        c.invoke(r(0), Call::Add(2)).unwrap();
+        // Delivery 1 is the second op; its predecessor hasn't been applied.
+        c.deliver(r(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already applied")]
+    fn double_delivery_panics() {
+        let mut c = Cluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        c.deliver(r(1), 0);
+        c.deliver(r(1), 0);
+    }
+
+    #[test]
+    fn history_records_visibility() {
+        let mut c = Cluster::new(GSet, 2);
+        let a = c.invoke(r(0), Call::Add(1)).unwrap();
+        let b = c.invoke(r(1), Call::Add(2)).unwrap();
+        c.deliver_all();
+        let q = c.invoke(r(1), Call::Read).unwrap();
+        assert_eq!(q.ret, vec![1, 2]);
+        let h = c.history();
+        assert!(h.concurrent(a.op, b.op));
+        assert!(h.sees(q.op, a.op));
+        assert!(h.sees(q.op, b.op));
+        assert!(h.is_transitive());
+    }
+
+    #[test]
+    fn queries_enter_visibility() {
+        // A query generates an identity effector; once delivered it becomes
+        // visible to later operations at that replica.
+        let mut c = Cluster::new(GSet, 2);
+        let q = c.invoke(r(0), Call::Read).unwrap();
+        c.deliver_all();
+        let b = c.invoke(r(1), Call::Add(2)).unwrap();
+        assert!(c.history().sees(b.op, q.op));
+    }
+
+    #[test]
+    fn deliver_all_converges() {
+        let mut c = Cluster::new(GSet, 4);
+        for i in 0..4 {
+            c.invoke(r(i), Call::Add(i)).unwrap();
+        }
+        assert!(!c.converged());
+        c.deliver_all();
+        assert!(c.converged());
+        assert_eq!(c.state(r(0)), &vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_cluster_panics() {
+        let _ = Cluster::new(GSet, 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! State-based CRDT objects and their replicated execution (Appendix D).
+//!
+//! In a state-based CRDT every method executes locally at the origin; instead
+//! of effectors, replicas exchange whole states. Replica states form a join
+//! semilattice; `merge` is the least upper bound and `leq` ("compare") the
+//! lattice order. The network offers **no** guarantees: a message may be
+//! applied several times, at any subset of replicas, in any order, or never
+//! (Appendix D.2) — convergence must come from the lattice laws alone.
+
+use crate::gen::GenCtx;
+use ral_core::bitset::BitSet;
+use ral_core::history::{History, OpRecord};
+use ral_core::ids::ReplicaId;
+use std::fmt::Debug;
+
+/// The result of invoking a method on a state-based CRDT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateOutcome<R, S> {
+    /// The method executed, returning `ret` and moving the replica to
+    /// `next`.
+    Done {
+        /// Return value.
+        ret: R,
+        /// New replica state (equal to the old one for queries).
+        next: S,
+    },
+    /// The method's precondition does not hold.
+    Refused,
+}
+
+/// A state-based CRDT, in the style of Listings 7–10.
+pub trait StateBased {
+    /// Replica state; the carrier of the join semilattice.
+    type State: Clone + Debug + PartialEq;
+    /// A method invocation: name plus arguments.
+    type Call: Clone + Debug;
+    /// Return values.
+    type Ret: Clone + Debug + PartialEq;
+    /// Operation labels `m(a) ⇒ b`.
+    type Label: Clone + Debug;
+
+    /// The initial replica state. Vector-clock based types (MV-Register,
+    /// PN-Counter) size their payload by `n_replicas`.
+    fn initial(&self, n_replicas: usize) -> Self::State;
+
+    /// Executes `call` locally at the origin replica.
+    fn invoke(
+        &self,
+        state: &Self::State,
+        call: &Self::Call,
+        ctx: &mut GenCtx,
+    ) -> StateOutcome<Self::Ret, Self::State>;
+
+    /// The least upper bound of two replica states.
+    fn merge(&self, a: &Self::State, b: &Self::State) -> Self::State;
+
+    /// The lattice order (`compare` in the listings): `a ⊑ b`.
+    fn leq(&self, a: &Self::State, b: &Self::State) -> bool;
+
+    /// The label of an invocation that returned `ret`.
+    fn label(&self, call: &Self::Call, ret: &Self::Ret) -> Self::Label;
+
+    /// The largest timestamp counter stored in `state`, used to keep Lamport
+    /// clocks ahead of merged-in timestamps. Types without timestamps keep
+    /// the default.
+    fn clock_floor(&self, state: &Self::State) -> u64 {
+        let _ = state;
+        0
+    }
+}
+
+struct StateNode<S> {
+    state: S,
+    seen: BitSet,
+    clock: u64,
+}
+
+/// A snapshot message: the sending replica's state plus the set of
+/// operations it reflects (the label set `L` of Appendix D.2, used to extract
+/// visibility).
+#[derive(Clone, Debug)]
+pub struct Message<S> {
+    seen: BitSet,
+    state: S,
+    clock: u64,
+}
+
+/// A successful invocation on a [`StateCluster`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invoked<R> {
+    /// Return value.
+    pub ret: R,
+    /// Index of the operation in the cluster's history.
+    pub op: usize,
+}
+
+/// A cluster of replicas of one state-based object.
+pub struct StateCluster<C: StateBased> {
+    crdt: C,
+    replicas: Vec<StateNode<C::State>>,
+    messages: Vec<Message<C::State>>,
+    history: History<C::Label>,
+    next_uid: u64,
+}
+
+impl<C: StateBased> StateCluster<C> {
+    /// Creates a cluster of `n_replicas` replicas in the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero.
+    pub fn new(crdt: C, n_replicas: usize) -> Self {
+        assert!(n_replicas > 0, "a cluster needs at least one replica");
+        let replicas = (0..n_replicas)
+            .map(|_| StateNode {
+                state: crdt.initial(n_replicas),
+                seen: BitSet::new(),
+                clock: 0,
+            })
+            .collect();
+        StateCluster {
+            crdt,
+            replicas,
+            messages: Vec::new(),
+            history: History::new(),
+            next_uid: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The CRDT descriptor.
+    pub fn crdt(&self) -> &C {
+        &self.crdt
+    }
+
+    /// The state of replica `r`.
+    pub fn state(&self, r: ReplicaId) -> &C::State {
+        &self.replicas[r.0 as usize].state
+    }
+
+    /// The history recorded so far.
+    pub fn history(&self) -> &History<C::Label> {
+        &self.history
+    }
+
+    /// Consumes the cluster, returning its history.
+    pub fn into_history(self) -> History<C::Label> {
+        self.history
+    }
+
+    /// Invokes `call` at replica `r`; returns `None` if refused.
+    pub fn invoke(&mut self, r: ReplicaId, call: C::Call) -> Option<Invoked<C::Ret>> {
+        let idx = r.0 as usize;
+        let node = &self.replicas[idx];
+        let mut ctx = GenCtx::new(r, node.clock, self.next_uid);
+        match self.crdt.invoke(&node.state, &call, &mut ctx) {
+            StateOutcome::Refused => None,
+            StateOutcome::Done { ret, next } => {
+                let label = self.crdt.label(&call, &ret);
+                let record = match ctx.issued_ts() {
+                    Some(ts) => OpRecord::with_ts(label, r, ts),
+                    None => OpRecord::new(label, r),
+                };
+                let node = &mut self.replicas[idx];
+                let op = self.history.push_set(record, node.seen.clone());
+                node.clock = ctx.clock();
+                self.next_uid = ctx.uid_counter();
+                node.state = next;
+                node.seen.insert(op);
+                Some(Invoked { ret, op })
+            }
+        }
+    }
+
+    /// Snapshots replica `r`'s state into a message; returns the message id.
+    pub fn send(&mut self, r: ReplicaId) -> usize {
+        let node = &self.replicas[r.0 as usize];
+        self.messages.push(Message {
+            seen: node.seen.clone(),
+            state: node.state.clone(),
+            clock: node.clock,
+        });
+        self.messages.len() - 1
+    }
+
+    /// Number of messages in flight (messages are never consumed — the
+    /// network may duplicate them arbitrarily).
+    pub fn n_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Applies message `msg` at replica `r` (merging states). May be called
+    /// any number of times, in any order.
+    pub fn apply(&mut self, r: ReplicaId, msg: usize) {
+        let message_state = self.messages[msg].state.clone();
+        let message_seen = self.messages[msg].seen.clone();
+        let message_clock = self.messages[msg].clock;
+        let node = &mut self.replicas[r.0 as usize];
+        node.state = self.crdt.merge(&node.state, &message_state);
+        node.seen.union_with(&message_seen);
+        node.clock = node
+            .clock
+            .max(message_clock)
+            .max(self.crdt.clock_floor(&node.state));
+    }
+
+    /// Broadcasts every replica's current state and applies all snapshots
+    /// everywhere — one full synchronization round.
+    pub fn sync_all(&mut self) {
+        let snapshot_start = self.messages.len();
+        for r in 0..self.replicas.len() {
+            self.send(ReplicaId(r as u32));
+        }
+        for r in 0..self.replicas.len() {
+            for m in snapshot_start..self.messages.len() {
+                self.apply(ReplicaId(r as u32), m);
+            }
+        }
+    }
+
+    /// Returns `true` if all replicas hold the same state.
+    pub fn converged(&self) -> bool {
+        self.replicas
+            .windows(2)
+            .all(|w| w[0].state == w[1].state)
+    }
+
+    /// Checks the lattice laws on the current replica states: merge is
+    /// commutative, idempotent, an upper bound w.r.t. `leq`, and monotone.
+    pub fn check_lattice_laws(&self) -> bool {
+        let states: Vec<&C::State> = self.replicas.iter().map(|n| &n.state).collect();
+        for a in &states {
+            if self.crdt.merge(a, a) != **a {
+                return false;
+            }
+            for b in &states {
+                let ab = self.crdt.merge(a, b);
+                let ba = self.crdt.merge(b, a);
+                if ab != ba {
+                    return false;
+                }
+                if !self.crdt.leq(a, &ab) || !self.crdt.leq(b, &ab) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A grow-only set as a join semilattice.
+    struct GSet;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Call {
+        Add(u32),
+        Read,
+    }
+
+    impl StateBased for GSet {
+        type State = Vec<u32>;
+        type Call = Call;
+        type Ret = Vec<u32>;
+        type Label = Call;
+
+        fn initial(&self, _n: usize) -> Vec<u32> {
+            Vec::new()
+        }
+
+        fn invoke(
+            &self,
+            state: &Vec<u32>,
+            call: &Call,
+            _ctx: &mut GenCtx,
+        ) -> StateOutcome<Vec<u32>, Vec<u32>> {
+            match call {
+                Call::Add(x) => {
+                    let mut next = state.clone();
+                    if !next.contains(x) {
+                        next.push(*x);
+                        next.sort_unstable();
+                    }
+                    StateOutcome::Done {
+                        ret: Vec::new(),
+                        next,
+                    }
+                }
+                Call::Read => StateOutcome::Done {
+                    ret: state.clone(),
+                    next: state.clone(),
+                },
+            }
+        }
+
+        fn merge(&self, a: &Vec<u32>, b: &Vec<u32>) -> Vec<u32> {
+            let mut out = a.clone();
+            for x in b {
+                if !out.contains(x) {
+                    out.push(*x);
+                }
+            }
+            out.sort_unstable();
+            out
+        }
+
+        fn leq(&self, a: &Vec<u32>, b: &Vec<u32>) -> bool {
+            a.iter().all(|x| b.contains(x))
+        }
+
+        fn label(&self, call: &Call, _ret: &Vec<u32>) -> Call {
+            call.clone()
+        }
+    }
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn local_updates_do_not_propagate() {
+        let mut c = StateCluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        assert_eq!(c.state(r(0)), &vec![1]);
+        assert_eq!(c.state(r(1)), &Vec::<u32>::new());
+    }
+
+    #[test]
+    fn merge_propagates_and_is_idempotent() {
+        let mut c = StateCluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        let m = c.send(r(0));
+        c.apply(r(1), m);
+        assert_eq!(c.state(r(1)), &vec![1]);
+        // Duplicate application is harmless.
+        c.apply(r(1), m);
+        assert_eq!(c.state(r(1)), &vec![1]);
+    }
+
+    #[test]
+    fn stale_messages_are_absorbed() {
+        let mut c = StateCluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        let old = c.send(r(0));
+        c.invoke(r(0), Call::Add(2)).unwrap();
+        let new = c.send(r(0));
+        // Out of order: newer snapshot first, stale one after.
+        c.apply(r(1), new);
+        c.apply(r(1), old);
+        assert_eq!(c.state(r(1)), &vec![1, 2]);
+    }
+
+    #[test]
+    fn sync_all_converges() {
+        let mut c = StateCluster::new(GSet, 3);
+        for i in 0..3 {
+            c.invoke(r(i), Call::Add(i)).unwrap();
+        }
+        assert!(!c.converged());
+        c.sync_all();
+        assert!(c.converged());
+        assert_eq!(c.state(r(0)), &vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn history_tracks_visibility_through_merges() {
+        let mut c = StateCluster::new(GSet, 2);
+        let a = c.invoke(r(0), Call::Add(1)).unwrap();
+        let m = c.send(r(0));
+        c.apply(r(1), m);
+        let q = c.invoke(r(1), Call::Read).unwrap();
+        assert_eq!(q.ret, vec![1]);
+        assert!(c.history().sees(q.op, a.op));
+    }
+
+    #[test]
+    fn lattice_laws_hold() {
+        let mut c = StateCluster::new(GSet, 3);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        c.invoke(r(1), Call::Add(2)).unwrap();
+        assert!(c.check_lattice_laws());
+    }
+}

@@ -1,0 +1,91 @@
+//! `Spec(Counter)` — Example 3.2 / Appendix B.1.
+//!
+//! The abstract state is an integer; `inc` and `dec` shift it and
+//! `read() ⇒ k` is admitted exactly when `k` equals the state.
+
+use ral_core::label::{Kind, SpecLabel};
+use ral_core::spec::Spec;
+
+/// Specification labels of the counter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CounterOp {
+    /// `inc()` — an update.
+    Inc,
+    /// `dec()` — an update.
+    Dec,
+    /// `read() ⇒ k` — a query.
+    Read(i64),
+}
+
+impl SpecLabel for CounterOp {
+    fn kind(&self) -> Kind {
+        match self {
+            CounterOp::Inc | CounterOp::Dec => Kind::Update,
+            CounterOp::Read(_) => Kind::Query,
+        }
+    }
+}
+
+/// The counter specification.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::spec::admits;
+/// use ral_spec::counter::{CounterOp, CounterSpec};
+///
+/// assert!(admits(&CounterSpec, &[CounterOp::Inc, CounterOp::Inc,
+///                                CounterOp::Dec, CounterOp::Read(1)]));
+/// assert!(!admits(&CounterSpec, &[CounterOp::Inc, CounterOp::Read(2)]));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSpec;
+
+impl Spec for CounterSpec {
+    type Label = CounterOp;
+    type State = i64;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn step(&self, state: &i64, label: &CounterOp) -> Vec<i64> {
+        match label {
+            CounterOp::Inc => vec![state + 1],
+            CounterOp::Dec => vec![state - 1],
+            CounterOp::Read(k) if k == state => vec![*state],
+            CounterOp::Read(_) => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ral_core::spec::admits;
+
+    #[test]
+    fn inc_dec_read() {
+        assert!(admits(
+            &CounterSpec,
+            &[CounterOp::Inc, CounterOp::Read(1), CounterOp::Dec, CounterOp::Read(0)]
+        ));
+    }
+
+    #[test]
+    fn negative_values_allowed() {
+        assert!(admits(&CounterSpec, &[CounterOp::Dec, CounterOp::Read(-1)]));
+    }
+
+    #[test]
+    fn wrong_read_rejected() {
+        assert!(!admits(&CounterSpec, &[CounterOp::Read(5)]));
+    }
+
+    #[test]
+    fn kinds() {
+        assert!(CounterOp::Inc.is_update());
+        assert!(CounterOp::Dec.is_update());
+        assert!(CounterOp::Read(0).is_query());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Sequential specifications of every data type in the RA-linearizability
+//! paper (Section 3.2, Appendices B, C, E).
+//!
+//! Each specification is an operational transition system over an abstract
+//! state (implementing [`ral_core::spec::Spec`]); transitions double as
+//! precondition and return-value checks. The label types defined here are
+//! also the *targets* of the query-update rewritings shipped with the CRDT
+//! implementations in `ral-crdts`.
+//!
+//! | Module | Specification | Paper |
+//! |---|---|---|
+//! | [`counter`] | `Spec(Counter)` | Example 3.2, Appendix B.1 |
+//! | [`register`] | `Spec(Reg)` (LWW), `Spec(MV-Reg)` | Appendix B.2, E.1 |
+//! | [`set`] | `Spec(Set)`, `Spec(OR-Set)` | Appendix E.2, Example 3.4 |
+//! | [`rga`] | `Spec(RGA)` | Example 3.3 |
+//! | [`wooki`] | `Spec(Wooki)` (nondeterministic) | Appendix B.3 |
+//! | [`wooki_fast`] | polynomial Wooki validator (constraint graphs) | extension |
+//! | [`addat`] | `Spec(addAt1/2/3)` | Appendix C |
+
+pub mod addat;
+pub mod counter;
+pub mod register;
+pub mod rga;
+pub mod seq;
+pub mod set;
+pub mod wooki;
+pub mod wooki_fast;
+
+pub use addat::{AddAt1Spec, AddAt2Spec, AddAt3Spec, AddAtOp, AddAtRetOp};
+pub use counter::{CounterOp, CounterSpec};
+pub use register::{vv_leq, vv_lt, MvRegOp, MvRegSpec, RegOp, RegSpec, VersionVec};
+pub use rga::{Anchor, RgaOp, RgaSpec};
+pub use set::{OrSetOp, OrSetSpec, SetOp, SetSpec};
+pub use wooki::{WookiAnchor, WookiOp, WookiSpec};
+pub use wooki_fast::{check_wooki_guided, check_wooki_linearization};

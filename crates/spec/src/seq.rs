@@ -1,0 +1,56 @@
+//! Sequence utilities shared by the list-like specifications.
+
+/// Returns `true` if `needle` is a (not necessarily contiguous) subsequence
+/// of `hay`.
+///
+/// # Examples
+///
+/// ```
+/// use ral_spec::seq::is_subsequence;
+///
+/// assert!(is_subsequence(&['a', 'c'], &['a', 'b', 'c']));
+/// assert!(!is_subsequence(&['c', 'a'], &['a', 'b', 'c']));
+/// ```
+pub fn is_subsequence<E: PartialEq>(needle: &[E], hay: &[E]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+/// Returns the index of `x` in `hay`, if present.
+pub fn position_of<E: PartialEq>(hay: &[E], x: &E) -> Option<usize> {
+    hay.iter().position(|y| y == x)
+}
+
+/// Removes every element of `tomb` from `l` (the paper's `l / T`).
+pub fn without<E: Clone + PartialEq>(l: &[E], tomb: &[E]) -> Vec<E> {
+    l.iter().filter(|x| !tomb.contains(x)).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequence_basics() {
+        assert!(is_subsequence::<u8>(&[], &[]));
+        assert!(is_subsequence(&[], &[1, 2]));
+        assert!(is_subsequence(&[1, 2], &[1, 2]));
+        assert!(is_subsequence(&[2], &[1, 2, 3]));
+        assert!(is_subsequence(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subsequence(&[3, 1], &[1, 2, 3]));
+        assert!(!is_subsequence(&[1, 1], &[1, 2]));
+        assert!(!is_subsequence(&[4], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn position() {
+        assert_eq!(position_of(&[7, 8, 9], &8), Some(1));
+        assert_eq!(position_of(&[7, 8, 9], &1), None);
+    }
+
+    #[test]
+    fn without_removes_tombstones() {
+        assert_eq!(without(&[1, 2, 3, 2], &[2]), vec![1, 3]);
+        assert_eq!(without(&[1, 2], &[]), vec![1, 2]);
+    }
+}

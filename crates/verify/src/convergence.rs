@@ -1,0 +1,186 @@
+//! Strong eventual consistency (SEC) as a checkable obligation.
+//!
+//! Section 7: RA-linearizability implies a unique total order of updates,
+//! hence "if at some point all updates are visible to all replicas, all
+//! subsequent query operations at any replica will return the same value" —
+//! observably strong eventual consistency. At the state level this is
+//! Lemma 4.2's consequence: replicas that have applied the *same set* of
+//! operations are in the *same state*, not just after full delivery but at
+//! every intermediate instant.
+
+use crate::report::Report;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ral_core::ids::ReplicaId;
+use ral_runtime::op_based::{Cluster, OpBased};
+use ral_runtime::state_based::{StateBased, StateCluster};
+use std::ops::Range;
+
+/// Checks SEC for an operation-based CRDT: along random executions, any two
+/// replicas with equal applied sets hold equal states, and full delivery
+/// converges.
+pub fn check_op_based<C, F>(
+    crdt: C,
+    n_replicas: usize,
+    steps: usize,
+    seeds: Range<u64>,
+    mut call_gen: F,
+) -> Report
+where
+    C: OpBased + Clone,
+    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    let mut report = Report::new("StrongEventualConsistency");
+    for seed in seeds {
+        let mut cluster = Cluster::new(crdt.clone(), n_replicas);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
+            if rng.random_bool(0.6) {
+                if let Some(call) = call_gen(&mut rng, r, cluster.state(r)) {
+                    cluster.invoke(r, call);
+                }
+            } else {
+                let ds = cluster.deliverable(r);
+                if !ds.is_empty() {
+                    let d = ds[rng.random_range(0..ds.len())];
+                    cluster.deliver(r, d);
+                }
+            }
+            check_equal_views_equal_states(&cluster, &mut report);
+        }
+        cluster.deliver_all();
+        if cluster.converged() {
+            report.pass();
+        } else {
+            report.fail(format!("seed {seed}: no convergence after full delivery"));
+        }
+    }
+    report
+}
+
+fn check_equal_views_equal_states<C: OpBased>(cluster: &Cluster<C>, report: &mut Report) {
+    for a in 0..cluster.n_replicas() {
+        for b in a + 1..cluster.n_replicas() {
+            let (ra, rb) = (ReplicaId(a as u32), ReplicaId(b as u32));
+            if cluster.seen(ra) == cluster.seen(rb) {
+                if cluster.state(ra) == cluster.state(rb) {
+                    report.pass();
+                } else {
+                    report.fail(format!(
+                        "replicas {ra} and {rb} saw the same operations but diverged"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Checks SEC for a state-based CRDT under the unreliable network: one full
+/// synchronization round converges whatever loss/duplication/reordering
+/// preceded it.
+pub fn check_state_based<C, F>(
+    crdt: C,
+    n_replicas: usize,
+    steps: usize,
+    seeds: Range<u64>,
+    mut call_gen: F,
+) -> Report
+where
+    C: StateBased + Clone,
+    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    let mut report = Report::new("StrongEventualConsistency");
+    for seed in seeds {
+        let mut cluster = StateCluster::new(crdt.clone(), n_replicas);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
+            match rng.random_range(0..4u8) {
+                0 | 1 => {
+                    if let Some(call) = call_gen(&mut rng, r, cluster.state(r)) {
+                        cluster.invoke(r, call);
+                    }
+                }
+                2 => {
+                    cluster.send(r);
+                }
+                _ => {
+                    if cluster.n_messages() > 0 {
+                        let m = rng.random_range(0..cluster.n_messages());
+                        cluster.apply(r, m);
+                    }
+                }
+            }
+        }
+        if !cluster.check_lattice_laws() {
+            report.fail(format!("seed {seed}: lattice laws violated"));
+        } else {
+            report.pass();
+        }
+        cluster.sync_all();
+        if cluster.converged() {
+            report.pass();
+        } else {
+            report.fail(format!("seed {seed}: no convergence after sync round"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use ral_crdts::op::or_set::OrSet;
+    use ral_crdts::state::pn_counter::PnCounter;
+    use ral_runtime::gen::{GenCtx, GenOutcome};
+
+    #[test]
+    fn or_set_satisfies_sec() {
+        let report = check_op_based(OrSet::<u8>::new(), 3, 40, 0..5, |rng, _, _| {
+            Some(workloads::or_set(rng))
+        });
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn pn_counter_satisfies_sec() {
+        let report = check_state_based(PnCounter, 3, 40, 0..5, |rng, _, _| {
+            Some(workloads::pn_counter(rng))
+        });
+        assert!(report.ok(), "{report}");
+    }
+
+    /// A CRDT whose effector depends on arrival order: SEC must fail.
+    #[derive(Clone)]
+    struct LastArrival;
+
+    impl OpBased for LastArrival {
+        type State = i64;
+        type Call = i64;
+        type Ret = ();
+        type Eff = i64;
+        type Label = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn generator(&self, _st: &i64, call: &i64, _ctx: &mut GenCtx) -> GenOutcome<(), i64> {
+            GenOutcome::update((), *call)
+        }
+        fn apply(&self, st: &mut i64, eff: &i64) {
+            *st = *eff;
+        }
+        fn label(&self, call: &i64, _ret: &()) -> i64 {
+            *call
+        }
+    }
+
+    #[test]
+    fn arrival_order_dependence_is_caught() {
+        let report = check_op_based(LastArrival, 3, 40, 0..10, |rng, _, _| {
+            Some(rng.random_range(0..100))
+        });
+        assert!(!report.ok(), "order-dependent effectors must fail SEC");
+    }
+}

@@ -1,0 +1,343 @@
+//! The **Refinement** and **Refinement_ts** obligations (Sections 4.1/4.2).
+//!
+//! A refinement mapping `abs` relates replica states to specification
+//! states such that
+//!
+//! * *Simulating effectors*: applying the effector of `ℓ` on `σ` is matched
+//!   by the specification transition of `upd(γ(ℓ))` from `abs(σ)`. Under
+//!   `Refinement_ts` the obligation is only required when the effector's
+//!   timestamp is not below any timestamp stored in `σ` (Example 4.5);
+//! * *Simulating generators*: a query (or the query part of a query-update)
+//!   returning `b` from `σ` is admitted by the specification in `abs(σ)`
+//!   and leaves it unchanged.
+//!
+//! The checker replays seeded executions and discharges the obligation at
+//! every generator execution and every effector delivery.
+
+use crate::report::Report;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ral_core::ids::ReplicaId;
+use ral_core::label::{Rewrite, Rewritten, SpecLabel};
+use ral_core::spec::Spec;
+use ral_core::timestamp::Ts;
+use ral_runtime::op_based::{Cluster, OpBased};
+use std::ops::Range;
+
+/// Which flavour of the obligation to check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// `Refinement` (Section 4.1): effectors simulate unconditionally.
+    Plain,
+    /// `Refinement_ts` (Section 4.2): an effector whose timestamp is below
+    /// some timestamp already in the state is exempt.
+    Timestamped,
+}
+
+/// Checks Refinement (or `Refinement_ts`) for an operation-based CRDT.
+///
+/// * `abs` is the refinement mapping;
+/// * `state_ts` lists the timestamps stored in a state (used only in
+///   [`Mode::Timestamped`]).
+#[allow(clippy::too_many_arguments)]
+pub fn check_op_based<C, S, R, FA, FT, F>(
+    crdt: C,
+    spec: &S,
+    rewrite: &R,
+    mode: Mode,
+    abs: FA,
+    state_ts: FT,
+    n_replicas: usize,
+    steps: usize,
+    seeds: Range<u64>,
+    mut call_gen: F,
+) -> Report
+where
+    C: OpBased + Clone,
+    S: Spec,
+    R: Rewrite<C::Label, Out = S::Label>,
+    FA: Fn(&C::State) -> S::State,
+    FT: Fn(&C::State) -> Vec<Ts>,
+    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    let name = match mode {
+        Mode::Plain => "Refinement",
+        Mode::Timestamped => "Refinement_ts",
+    };
+    let mut report = Report::new(name);
+    for seed in seeds.clone() {
+        let mut cluster = Cluster::new(crdt.clone(), n_replicas);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
+            if rng.random_bool(0.6) {
+                let Some(call) = call_gen(&mut rng, r, cluster.state(r)) else {
+                    continue;
+                };
+                let before = cluster.state(r).clone();
+                let Some(inv) = cluster.invoke(r, call) else {
+                    continue;
+                };
+                let after = cluster.state(r).clone();
+                let label = cluster.history().label(inv.op).clone();
+                check_generator_and_origin_effector::<C, S, R, FA>(
+                    spec, rewrite, &abs, &label, &before, &after, &mut report,
+                );
+            } else {
+                let ds = cluster.deliverable(r);
+                if ds.is_empty() {
+                    continue;
+                }
+                let d = ds[rng.random_range(0..ds.len())];
+                let op = cluster.delivery_op(d);
+                let has_eff = cluster.delivery_eff(d).is_some();
+                let before = cluster.state(r).clone();
+                let op_ts = cluster.history().op(op).ts;
+                cluster.deliver(r, d);
+                let after = cluster.state(r).clone();
+                if !has_eff {
+                    // Identity effector: the state must not change.
+                    if before == after {
+                        report.pass();
+                    } else {
+                        report.fail(format!("identity effector of {op} changed the state"));
+                    }
+                    continue;
+                }
+                if mode == Mode::Timestamped {
+                    if let Some(ts) = op_ts {
+                        if state_ts(&before).iter().any(|t| ts < *t) {
+                            // Exempt under Refinement_ts.
+                            report.pass();
+                            continue;
+                        }
+                    }
+                }
+                let label = cluster.history().label(op).clone();
+                let update = match rewrite.rewrite(&label) {
+                    Rewritten::One(l) => l,
+                    Rewritten::Split { update, .. } => update,
+                };
+                check_effector_step(spec, &abs, &update, op, &before, &after, &mut report);
+            }
+        }
+    }
+    report
+}
+
+fn check_generator_and_origin_effector<C, S, R, FA>(
+    spec: &S,
+    rewrite: &R,
+    abs: &FA,
+    label: &C::Label,
+    before: &C::State,
+    after: &C::State,
+    report: &mut Report,
+) where
+    C: OpBased,
+    S: Spec,
+    R: Rewrite<C::Label, Out = S::Label>,
+    FA: Fn(&C::State) -> S::State,
+{
+    match rewrite.rewrite(label) {
+        Rewritten::One(l) => {
+            if l.is_query() {
+                // Simulating generators: abs(σ) —ℓ→ abs(σ).
+                let a = abs(before);
+                if spec.step(&a, &l).contains(&a) {
+                    report.pass();
+                } else {
+                    report.fail(format!("query {l:?} not simulated at {a:?}"));
+                }
+                if before == after {
+                    report.pass();
+                } else {
+                    report.fail(format!("query {l:?} changed the replica state"));
+                }
+            } else {
+                // Origin effector: timestamps are fresh at the origin, so
+                // the obligation applies in both modes.
+                check_effector_step(spec, abs, &l, usize::MAX, before, after, report);
+            }
+        }
+        Rewritten::Split { query, update } => {
+            let a = abs(before);
+            if spec.step(&a, &query).contains(&a) {
+                report.pass();
+            } else {
+                report.fail(format!(
+                    "query part {query:?} of a query-update not simulated at {a:?}"
+                ));
+            }
+            check_effector_step(spec, abs, &update, usize::MAX, before, after, report);
+        }
+    }
+}
+
+fn check_effector_step<S, St, FA>(
+    spec: &S,
+    abs: &FA,
+    update: &S::Label,
+    op: usize,
+    before: &St,
+    after: &St,
+    report: &mut Report,
+) where
+    S: Spec,
+    FA: Fn(&St) -> S::State,
+{
+    let a_before = abs(before);
+    let a_after = abs(after);
+    if spec.step(&a_before, update).contains(&a_after) {
+        report.pass();
+    } else {
+        let what = if op == usize::MAX {
+            "origin effector".to_string()
+        } else {
+            format!("effector of operation {op}")
+        };
+        report.fail(format!(
+            "{what} {update:?} not simulated: {a_before:?} -/-> {a_after:?}"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ral_core::label::{Identity, Kind};
+    use ral_runtime::gen::{GenCtx, GenOutcome};
+
+    /// Grow-only counter with a correct spec.
+    #[derive(Clone)]
+    struct GCtr;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum L {
+        Inc,
+        Read(i64),
+    }
+
+    impl SpecLabel for L {
+        fn kind(&self) -> Kind {
+            match self {
+                L::Inc => Kind::Update,
+                L::Read(_) => Kind::Query,
+            }
+        }
+    }
+
+    impl OpBased for GCtr {
+        type State = i64;
+        type Call = bool;
+        type Ret = i64;
+        type Eff = ();
+        type Label = L;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn generator(&self, st: &i64, call: &bool, _ctx: &mut GenCtx) -> GenOutcome<i64, ()> {
+            if *call {
+                GenOutcome::update(0, ())
+            } else {
+                GenOutcome::query(*st)
+            }
+        }
+        fn apply(&self, st: &mut i64, _eff: &()) {
+            *st += 1;
+        }
+        fn label(&self, call: &bool, ret: &i64) -> L {
+            if *call {
+                L::Inc
+            } else {
+                L::Read(*ret)
+            }
+        }
+    }
+
+    struct CtrSpec;
+
+    impl Spec for CtrSpec {
+        type Label = L;
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn step(&self, s: &i64, l: &L) -> Vec<i64> {
+            match l {
+                L::Inc => vec![s + 1],
+                L::Read(k) if k == s => vec![*s],
+                L::Read(_) => vec![],
+            }
+        }
+    }
+
+    /// A WRONG spec (inc adds two) to prove the checker notices.
+    struct WrongSpec;
+
+    impl Spec for WrongSpec {
+        type Label = L;
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn step(&self, s: &i64, l: &L) -> Vec<i64> {
+            match l {
+                L::Inc => vec![s + 2],
+                L::Read(k) if k == s => vec![*s],
+                L::Read(_) => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_correct_refinement() {
+        let report = check_op_based(
+            GCtr,
+            &CtrSpec,
+            &Identity,
+            Mode::Plain,
+            |s: &i64| *s,
+            |_| vec![],
+            3,
+            40,
+            0..4,
+            |rng, _, _| Some(rng.random_bool(0.7)),
+        );
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn refutes_wrong_specification() {
+        let report = check_op_based(
+            GCtr,
+            &WrongSpec,
+            &Identity,
+            Mode::Plain,
+            |s: &i64| *s,
+            |_| vec![],
+            3,
+            40,
+            0..4,
+            |rng, _, _| Some(rng.random_bool(0.7)),
+        );
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn refutes_wrong_abs() {
+        let report = check_op_based(
+            GCtr,
+            &CtrSpec,
+            &Identity,
+            Mode::Plain,
+            |s: &i64| s + 1, // bogus mapping
+            |_| vec![],
+            3,
+            40,
+            0..4,
+            |rng, _, _| Some(rng.random_bool(0.7)),
+        );
+        assert!(!report.ok());
+    }
+}

@@ -1,0 +1,337 @@
+//! The state-based proof obligations of Appendix D: Prop1–Prop6 over local
+//! effectors, `merge`, and the predicates `P1`/`P2`, plus the
+//! join-semilattice laws.
+//!
+//! | Property | Statement (informally) | Classes |
+//! |---|---|---|
+//! | Prop1 / Prop1' | local effectors commute (of concurrent ops, or unconditionally) | all |
+//! | Prop2 / Prop2' | `merge(σ, apply(σ', x)) = apply(merge(σ, σ'), x)` when `P` holds on both | all |
+//! | Prop3 / Prop3' | `merge(apply(σ, x), apply(σ', x)) = apply(merge(σ, σ'), x)` | all |
+//! | Prop4 | `merge(σ₀, σ₀) = σ₀` and `merge` is commutative | all |
+//! | Prop5 | invoking at the origin equals applying the local effector | all |
+//! | Prop6 | `apply(apply(σ, x), x) = apply(σ, x)` | idempotent |
+//!
+//! For the uniquely-identified class the argument order must additionally be
+//! consistent with visibility (Lemma E.1) and incomparable for concurrent
+//! operations (Lemma E.2).
+
+use crate::report::Report;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ral_core::ids::ReplicaId;
+use ral_crdts::state::local::{EffectorClass, LocalEffector};
+use ral_runtime::state_based::StateCluster;
+use std::ops::Range;
+
+/// Caps on the per-seed sample sizes (states × args × pairs grows fast).
+const MAX_STATES: usize = 12;
+const MAX_ARGS: usize = 24;
+
+/// Checks Prop1–Prop6 (as applicable to the CRDT's effector class) plus the
+/// lattice laws, over seeded random executions.
+pub fn check_state_based<C, F>(
+    crdt: C,
+    n_replicas: usize,
+    steps: usize,
+    seeds: Range<u64>,
+    mut call_gen: F,
+) -> Report
+where
+    C: LocalEffector + Clone,
+    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    let mut report = Report::new("Prop1-Prop6");
+    for seed in seeds {
+        let mut cluster = StateCluster::new(crdt.clone(), n_replicas);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Sampled reachable states and the args of all update operations.
+        let mut states: Vec<C::State> = vec![cluster.state(ReplicaId(0)).clone()];
+        let mut args: Vec<(usize, C::Arg)> = Vec::new();
+
+        for _ in 0..steps {
+            let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
+            if rng.random_bool(0.55) {
+                let Some(call) = call_gen(&mut rng, r, cluster.state(r)) else {
+                    continue;
+                };
+                let before = cluster.state(r).clone();
+                // Prop5: re-run the invocation to compare against apply_arg.
+                let Some(inv) = cluster.invoke(r, call) else {
+                    continue;
+                };
+                let after = cluster.state(r).clone();
+                let record = cluster.history().op(inv.op);
+                if let Some(arg) = crdt.effector_arg(&record.label, r, record.ts) {
+                    let mut replay = before.clone();
+                    crdt.apply_arg(&mut replay, &arg);
+                    if replay == after {
+                        report.pass();
+                    } else {
+                        report.fail(format!(
+                            "Prop5: apply_arg({arg:?}) differs from the invocation"
+                        ));
+                    }
+                    if args.len() < MAX_ARGS {
+                        args.push((inv.op, arg));
+                    }
+                } else if before == after {
+                    report.pass();
+                } else {
+                    report.fail("query changed the replica state".to_string());
+                }
+                if states.len() < MAX_STATES {
+                    states.push(after);
+                }
+            } else if rng.random_bool(0.5) || cluster.n_messages() == 0 {
+                cluster.send(r);
+            } else {
+                let m = rng.random_range(0..cluster.n_messages());
+                cluster.apply(r, m);
+                if states.len() < MAX_STATES && rng.random_bool(0.3) {
+                    states.push(cluster.state(r).clone());
+                }
+            }
+        }
+
+        let history = cluster.history().clone();
+        check_prop1(&crdt, &history, &states, &args, &mut report);
+        check_prop2_prop3(&crdt, &states, &args, &mut report);
+        check_prop4_lattice(&crdt, n_replicas, &states, &mut report);
+        if crdt.class() == EffectorClass::Idempotent {
+            check_prop6(&crdt, &states, &args, &mut report);
+        }
+        if crdt.class() == EffectorClass::UniquelyIdentified {
+            check_unique_order(&crdt, &history, &args, &mut report);
+        }
+    }
+    report
+}
+
+fn check_prop1<C: LocalEffector>(
+    crdt: &C,
+    history: &ral_core::history::History<C::Label>,
+    states: &[C::State],
+    args: &[(usize, C::Arg)],
+    report: &mut Report,
+) {
+    for (i, (op1, a1)) in args.iter().enumerate() {
+        for (op2, a2) in &args[i + 1..] {
+            // Prop1 restricts to concurrent operations for the
+            // uniquely-identified class; Prop1' is unconditional.
+            if crdt.class() == EffectorClass::UniquelyIdentified
+                && !history.concurrent(*op1, *op2)
+            {
+                continue;
+            }
+            for s in states {
+                let mut ab = s.clone();
+                crdt.apply_arg(&mut ab, a1);
+                crdt.apply_arg(&mut ab, a2);
+                let mut ba = s.clone();
+                crdt.apply_arg(&mut ba, a2);
+                crdt.apply_arg(&mut ba, a1);
+                if ab == ba {
+                    report.pass();
+                } else {
+                    report.fail(format!("Prop1: {a1:?} and {a2:?} do not commute"));
+                }
+            }
+        }
+    }
+}
+
+fn check_prop2_prop3<C: LocalEffector>(
+    crdt: &C,
+    states: &[C::State],
+    args: &[(usize, C::Arg)],
+    report: &mut Report,
+) {
+    let unconditional_p3 = crdt.class() != EffectorClass::UniquelyIdentified;
+    for s1 in states {
+        for s2 in states {
+            for (_, arg) in args {
+                let p_both = crdt.p_pred(s1, arg) && crdt.p_pred(s2, arg);
+                if p_both {
+                    // Prop2: merge(σ, apply(σ', x)) = apply(merge(σ, σ'), x)
+                    let mut applied2 = s2.clone();
+                    crdt.apply_arg(&mut applied2, arg);
+                    let lhs = crdt.merge(s1, &applied2);
+                    let mut rhs = crdt.merge(s1, s2);
+                    crdt.apply_arg(&mut rhs, arg);
+                    if lhs == rhs {
+                        report.pass();
+                    } else {
+                        report.fail(format!("Prop2 fails for {arg:?}"));
+                    }
+                }
+                if p_both || unconditional_p3 {
+                    // Prop3: merge(apply(σ, x), apply(σ', x)) = apply(merge, x)
+                    let mut applied1 = s1.clone();
+                    crdt.apply_arg(&mut applied1, arg);
+                    let mut applied2 = s2.clone();
+                    crdt.apply_arg(&mut applied2, arg);
+                    let lhs = crdt.merge(&applied1, &applied2);
+                    let mut rhs = crdt.merge(s1, s2);
+                    crdt.apply_arg(&mut rhs, arg);
+                    if lhs == rhs {
+                        report.pass();
+                    } else {
+                        report.fail(format!("Prop3 fails for {arg:?}"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_prop4_lattice<C: LocalEffector>(
+    crdt: &C,
+    n_replicas: usize,
+    states: &[C::State],
+    report: &mut Report,
+) {
+    let s0 = crdt.initial(n_replicas);
+    if crdt.merge(&s0, &s0) == s0 {
+        report.pass();
+    } else {
+        report.fail("Prop4: merge(σ₀, σ₀) ≠ σ₀".to_string());
+    }
+    for a in states {
+        // Lattice: idempotence.
+        if crdt.merge(a, a) == *a {
+            report.pass();
+        } else {
+            report.fail("merge is not idempotent".to_string());
+        }
+        for b in states {
+            let ab = crdt.merge(a, b);
+            // Prop4: commutativity.
+            if ab == crdt.merge(b, a) {
+                report.pass();
+            } else {
+                report.fail("Prop4: merge is not commutative".to_string());
+            }
+            // Lattice: merge is an upper bound.
+            if crdt.leq(a, &ab) && crdt.leq(b, &ab) {
+                report.pass();
+            } else {
+                report.fail("merge is not an upper bound w.r.t. leq".to_string());
+            }
+            for c in states {
+                // Lattice: associativity.
+                if crdt.merge(&ab, c) == crdt.merge(a, &crdt.merge(b, c)) {
+                    report.pass();
+                } else {
+                    report.fail("merge is not associative".to_string());
+                }
+            }
+        }
+    }
+}
+
+fn check_prop6<C: LocalEffector>(
+    crdt: &C,
+    states: &[C::State],
+    args: &[(usize, C::Arg)],
+    report: &mut Report,
+) {
+    for s in states {
+        for (_, arg) in args {
+            let mut once = s.clone();
+            crdt.apply_arg(&mut once, arg);
+            let mut twice = once.clone();
+            crdt.apply_arg(&mut twice, arg);
+            if once == twice {
+                report.pass();
+            } else {
+                report.fail(format!("Prop6: {arg:?} is not idempotent"));
+            }
+        }
+    }
+}
+
+fn check_unique_order<C: LocalEffector>(
+    crdt: &C,
+    history: &ral_core::history::History<C::Label>,
+    args: &[(usize, C::Arg)],
+    report: &mut Report,
+) {
+    for (i, (op1, a1)) in args.iter().enumerate() {
+        for (op2, a2) in &args[i + 1..] {
+            // Lemma E.1: arguments are unique.
+            if a1 == a2 {
+                report.fail(format!("argument {a1:?} is not unique"));
+                continue;
+            }
+            report.pass();
+            // Lemma E.1: the order is consistent with visibility.
+            if history.sees(*op2, *op1) {
+                if crdt.arg_lt(a1, a2) {
+                    report.pass();
+                } else {
+                    report.fail(format!("visibility {op1}≺{op2} but not {a1:?} < {a2:?}"));
+                }
+            } else if history.sees(*op1, *op2) {
+                if crdt.arg_lt(a2, a1) {
+                    report.pass();
+                } else {
+                    report.fail(format!("visibility {op2}≺{op1} but not {a2:?} < {a1:?}"));
+                }
+            } else if crdt.concurrent_incomparable() {
+                // Lemma E.2: concurrent operations have incomparable args
+                // (holds for version vectors, not for total timestamp
+                // orders).
+                if !crdt.arg_lt(a1, a2) && !crdt.arg_lt(a2, a1) {
+                    report.pass();
+                } else {
+                    report.fail(format!(
+                        "concurrent operations {op1}, {op2} have comparable args"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use ral_crdts::state::lww_element_set::LwwElementSet;
+    use ral_crdts::state::mv_register::MvRegister;
+    use ral_crdts::state::pn_counter::PnCounter;
+    use ral_crdts::state::two_phase_set::TwoPhaseSet;
+
+    #[test]
+    fn pn_counter_satisfies_props() {
+        let report = check_state_based(PnCounter, 3, 40, 0..3, |rng, _, _| {
+            Some(workloads::pn_counter(rng))
+        });
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn two_phase_set_satisfies_props() {
+        let mut next = 0;
+        let report = check_state_based(TwoPhaseSet::<u16>::new(), 3, 40, 0..3, |rng, _, st| {
+            workloads::two_phase_set(rng, st, &mut next)
+        });
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn mv_register_satisfies_props() {
+        let report = check_state_based(MvRegister::<u8>::new(), 3, 40, 0..3, |rng, _, _| {
+            Some(workloads::mv_register(rng))
+        });
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn lww_element_set_satisfies_props() {
+        let report = check_state_based(LwwElementSet::<u8>::new(), 3, 40, 0..3, |rng, _, _| {
+            Some(workloads::lww_element_set(rng))
+        });
+        assert!(report.ok(), "{report}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Reusable random workload generators, one per CRDT.
+//!
+//! Each generator produces the next call for a replica given its current
+//! state; they respect the client obligations the paper assumes (fresh list
+//! elements, no double 2P-Set adds, anchors taken from the local view).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use ral_crdts::op::counter::CounterCall;
+use ral_crdts::op::lww_register::RegCall;
+use ral_crdts::op::or_set::OrSetCall;
+use ral_crdts::op::rga::{RgaCall, RgaState};
+use ral_crdts::op::rga_addat::AddAtCall;
+use ral_crdts::op::wooki::{WookiCall, WookiState};
+use ral_crdts::state::lww_element_set::LwwSetCall;
+use ral_crdts::state::mv_register::MvCall;
+use ral_crdts::state::pn_counter::PnCall;
+use ral_crdts::state::two_phase_set::{TwoPCall, TwoPState};
+use ral_spec::rga::Anchor;
+use ral_spec::wooki::WookiAnchor;
+
+/// Counter workload: inc/dec/read.
+pub fn counter(rng: &mut StdRng) -> CounterCall {
+    match rng.random_range(0..3u8) {
+        0 => CounterCall::Inc,
+        1 => CounterCall::Dec,
+        _ => CounterCall::Read,
+    }
+}
+
+/// LWW-Register workload over a small value domain.
+pub fn lww_register(rng: &mut StdRng) -> RegCall<u8> {
+    if rng.random_bool(0.5) {
+        RegCall::Write(rng.random_range(0..4))
+    } else {
+        RegCall::Read
+    }
+}
+
+/// OR-Set workload over a small element domain (collisions intended).
+pub fn or_set(rng: &mut StdRng) -> OrSetCall<u8> {
+    match rng.random_range(0..4u8) {
+        0 | 1 => OrSetCall::Add(rng.random_range(0..3)),
+        2 => OrSetCall::Remove(rng.random_range(0..3)),
+        _ => OrSetCall::Read,
+    }
+}
+
+/// RGA workload: fresh elements, anchors picked from the local view.
+/// `next` supplies globally fresh element names.
+pub fn rga(rng: &mut StdRng, state: &RgaState<u16>, next: &mut u16) -> Option<RgaCall<u16>> {
+    let roll: u8 = rng.random_range(0..10);
+    if roll < 5 {
+        let visible = state.visible();
+        let anchor = if visible.is_empty() || rng.random_bool(0.3) {
+            Anchor::Head
+        } else {
+            Anchor::Elem(visible[rng.random_range(0..visible.len())])
+        };
+        *next += 1;
+        Some(RgaCall::AddAfter(anchor, *next))
+    } else if roll < 7 {
+        let visible = state.visible();
+        if visible.is_empty() {
+            None
+        } else {
+            Some(RgaCall::Remove(visible[rng.random_range(0..visible.len())]))
+        }
+    } else {
+        Some(RgaCall::Read)
+    }
+}
+
+/// RGA-addAt workload: fresh elements, arbitrary indices.
+pub fn rga_addat(
+    rng: &mut StdRng,
+    state: &RgaState<u16>,
+    next: &mut u16,
+) -> Option<AddAtCall<u16>> {
+    let roll: u8 = rng.random_range(0..10);
+    if roll < 5 {
+        *next += 1;
+        Some(AddAtCall::AddAt(*next, rng.random_range(0..5)))
+    } else if roll < 7 {
+        let visible = state.visible();
+        if visible.is_empty() {
+            None
+        } else {
+            Some(AddAtCall::Remove(visible[rng.random_range(0..visible.len())]))
+        }
+    } else {
+        Some(AddAtCall::Read)
+    }
+}
+
+/// Wooki workload: fresh elements between anchors from the local W-string.
+/// `limit` caps insertions (the nondeterministic specification makes
+/// checking exponential in concurrent inserts).
+pub fn wooki(
+    rng: &mut StdRng,
+    state: &WookiState<u16>,
+    next: &mut u16,
+    limit: u16,
+) -> Option<WookiCall<u16>> {
+    let roll: u8 = rng.random_range(0..10);
+    if roll < 4 && *next < limit {
+        let all = state.all_values();
+        let (left, right) = if all.is_empty() {
+            (WookiAnchor::Begin, WookiAnchor::End)
+        } else {
+            let i = rng.random_range(0..=all.len());
+            let j = rng.random_range(i..=all.len());
+            let left = if i == 0 {
+                WookiAnchor::Begin
+            } else {
+                WookiAnchor::Elem(all[i - 1])
+            };
+            let right = if j == all.len() {
+                WookiAnchor::End
+            } else {
+                WookiAnchor::Elem(all[j])
+            };
+            (left, right)
+        };
+        *next += 1;
+        Some(WookiCall::AddBetween(left, *next, right))
+    } else if roll < 6 {
+        let vis = state.visible();
+        if vis.is_empty() {
+            None
+        } else {
+            Some(WookiCall::Remove(vis[rng.random_range(0..vis.len())]))
+        }
+    } else {
+        Some(WookiCall::Read)
+    }
+}
+
+/// PN-Counter workload.
+pub fn pn_counter(rng: &mut StdRng) -> PnCall {
+    match rng.random_range(0..3u8) {
+        0 => PnCall::Inc,
+        1 => PnCall::Dec,
+        _ => PnCall::Read,
+    }
+}
+
+/// MV-Register workload.
+pub fn mv_register(rng: &mut StdRng) -> MvCall<u8> {
+    if rng.random_bool(0.55) {
+        MvCall::Write(rng.random_range(0..5))
+    } else {
+        MvCall::Read
+    }
+}
+
+/// LWW-Element-Set workload (collisions intended).
+pub fn lww_element_set(rng: &mut StdRng) -> LwwSetCall<u8> {
+    match rng.random_range(0..4u8) {
+        0 | 1 => LwwSetCall::Add(rng.random_range(0..4)),
+        2 => LwwSetCall::Remove(rng.random_range(0..4)),
+        _ => LwwSetCall::Read,
+    }
+}
+
+/// 2P-Set workload: globally fresh adds (the client obligation of
+/// Listing 10), removes drawn from the visible view.
+pub fn two_phase_set(
+    rng: &mut StdRng,
+    state: &TwoPState<u16>,
+    next: &mut u16,
+) -> Option<TwoPCall<u16>> {
+    match rng.random_range(0..4u8) {
+        0 | 1 => {
+            *next += 1;
+            Some(TwoPCall::Add(*next))
+        }
+        2 => {
+            let view: Vec<u16> = state.view().into_iter().collect();
+            if view.is_empty() {
+                None
+            } else {
+                Some(TwoPCall::Remove(view[rng.random_range(0..view.len())]))
+            }
+        }
+        _ => Some(TwoPCall::Read),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_produce_all_variants() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut saw_inc = false;
+        let mut saw_read = false;
+        for _ in 0..100 {
+            match counter(&mut rng) {
+                CounterCall::Inc => saw_inc = true,
+                CounterCall::Read => saw_read = true,
+                CounterCall::Dec => {}
+            }
+        }
+        assert!(saw_inc && saw_read);
+    }
+
+    #[test]
+    fn fresh_value_generators_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let state = TwoPState::default();
+        let mut next = 0;
+        let mut last = 0;
+        for _ in 0..50 {
+            if let Some(TwoPCall::Add(v)) = two_phase_set(&mut rng, &state, &mut next) {
+                assert!(v > last);
+                last = v;
+            }
+        }
+        assert!(last > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the RA-linearizability reproduction.
+//!
+//! Re-exports the workspace crates so examples and downstream users can
+//! depend on a single package:
+//!
+//! * [`core`] — histories, specifications, and the RA-linearizability
+//!   checker;
+//! * [`runtime`] — the replicated execution substrate (op-based and
+//!   state-based clusters, schedulers);
+//! * [`spec`] — sequential specifications of all data types in the paper;
+//! * [`crdts`] — the CRDT implementations (Figure 12);
+//! * [`verify`] — the property-based verification harness (Commutativity,
+//!   Refinement, Prop1–Prop6) and the Figure 12 report.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use ral_core as core;
+pub use ral_crdts as crdts;
+pub use ral_runtime as runtime;
+pub use ral_spec as spec;
+pub use ral_verify as verify;

@@ -1,0 +1,119 @@
+//! Experiment E8 — Section 3.3 "Reasoning with specifications".
+//!
+//! Two replicas run the OR-Set client program
+//!
+//! ```text
+//! r0: add(a); remove(a); X = read()     r1: add(a); Y = read()
+//! ```
+//!
+//! The paper proves, purely at the level of RA-linearizations of
+//! `Spec(OR-Set)`, the postcondition `a ∈ X ⇒ a ∈ Y`. We check it over
+//! every interleaving the scheduler can produce, and sanity-check the
+//! reasoning's case split on whether `(a, i2) ∈ R`.
+
+use ral_core::ids::ReplicaId;
+use ral_core::ralin::{ra_check, Strategy};
+use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRet, OrSetRewrite};
+use ral_runtime::op_based::Cluster;
+use ral_spec::set::OrSetSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId(i)
+}
+
+/// Runs the client program under one scheduler seed and returns `(X, Y)`.
+fn run_program(seed: u64) -> (BTreeSet<char>, BTreeSet<char>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cluster = Cluster::new(OrSet::<char>::new(), 2);
+    let programs: [Vec<OrSetCall<char>>; 2] = [
+        vec![
+            OrSetCall::Add('a'),
+            OrSetCall::Remove('a'),
+            OrSetCall::Read,
+        ],
+        vec![OrSetCall::Add('a'), OrSetCall::Read],
+    ];
+    let mut pc = [0usize, 0usize];
+    let mut x = BTreeSet::new();
+    let mut y = BTreeSet::new();
+    while pc[0] < programs[0].len() || pc[1] < programs[1].len() || {
+        // also flush a random number of deliveries at the end
+        false
+    } {
+        let replica = rng.random_range(0..2usize);
+        if rng.random_bool(0.5) && pc[replica] < programs[replica].len() {
+            let call = programs[replica][pc[replica]].clone();
+            pc[replica] += 1;
+            let ret = cluster
+                .invoke(r(replica as u32), call)
+                .expect("client calls never refuse")
+                .ret;
+            if let OrSetRet::Values(v) = ret {
+                if replica == 0 {
+                    x = v;
+                } else {
+                    y = v;
+                }
+            }
+        } else {
+            let target = r(rng.random_range(0..2) as u32);
+            let ds = cluster.deliverable(target);
+            if !ds.is_empty() {
+                let d = ds[rng.random_range(0..ds.len())];
+                cluster.deliver(target, d);
+            }
+        }
+    }
+    // The history (whatever the interleaving) is RA-linearizable.
+    cluster.deliver_all();
+    let h = cluster.into_history();
+    ra_check(&h, &OrSetRewrite::new(), &OrSetSpec::new(), Strategy::ExecutionOrder)
+        .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    (x, y)
+}
+
+#[test]
+fn postcondition_holds_over_many_schedules() {
+    let mut saw_a_in_x = false;
+    let mut saw_a_absent_in_x = false;
+    for seed in 0..400 {
+        let (x, y) = run_program(seed);
+        // The paper's postcondition.
+        if x.contains(&'a') {
+            saw_a_in_x = true;
+            assert!(
+                y.contains(&'a'),
+                "seed {seed}: a ∈ X but a ∉ Y (X={x:?}, Y={y:?})"
+            );
+        } else {
+            saw_a_absent_in_x = true;
+        }
+    }
+    // Both branches of the case split must actually occur.
+    assert!(saw_a_in_x, "some schedule leaves a visible to X");
+    assert!(saw_a_absent_in_x, "some schedule removes a before X");
+}
+
+#[test]
+fn x_contains_a_exactly_when_remove_missed_the_concurrent_add() {
+    // Deterministic schedule exercising the interesting case: r1's add is
+    // delivered to r0 after r0's remove observed only its own identifier.
+    let mut cluster = Cluster::new(OrSet::<char>::new(), 2);
+    cluster.invoke(r(0), OrSetCall::Add('a')).unwrap();
+    cluster.invoke(r(1), OrSetCall::Add('a')).unwrap();
+    let rem = cluster.invoke(r(0), OrSetCall::Remove('a')).unwrap();
+    // The remove observed one pair (its own replica's).
+    match rem.ret {
+        OrSetRet::Removed(observed) => assert_eq!(observed.len(), 1),
+        _ => unreachable!(),
+    }
+    cluster.deliver_all();
+    let x = cluster.invoke(r(0), OrSetCall::Read).unwrap();
+    let y = cluster.invoke(r(1), OrSetCall::Read).unwrap();
+    // The concurrent add survives at both replicas.
+    assert_eq!(x.ret, OrSetRet::Values(BTreeSet::from(['a'])));
+    assert_eq!(y.ret, OrSetRet::Values(BTreeSet::from(['a'])));
+}

@@ -1,0 +1,143 @@
+//! Experiment E6 — Figures 10 and 11: composing timestamp-order objects
+//! requires a shared timestamp generator.
+//!
+//! Under the unrestricted composition `⊗` (independent timestamp generators
+//! per object), two RGAs produce a history whose per-object linearizations
+//! are forced (`o1: a·b`, `o2: c·d·e`) but globally contradictory through
+//! the cross-object visibility `e ≺ a` and `b ≺ d`. Under `⊗ts` (Figure 11)
+//! the offending timestamp assignment cannot arise and every history is
+//! RA-linearizable (Theorem 5.5).
+
+use ral_core::compose::{check_composed, MultiObjRewrite, MultiObjSpec};
+use ral_core::history::rewrite_history;
+use ral_core::ids::{ObjId, ReplicaId};
+use ral_core::label::Identity;
+use ral_core::ralin::{ra_check, ra_search, Strategy};
+use ral_crdts::op::rga::{Rga, RgaCall};
+use ral_runtime::multi::{MultiCluster, TsMode};
+use ral_runtime::schedule::{drive_multi, ScheduleConfig};
+use ral_spec::rga::{Anchor, RgaSpec};
+use rand::Rng;
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId(i)
+}
+
+fn o(i: u32) -> ObjId {
+    ObjId(i)
+}
+
+/// Builds the Figure 10 execution under the given composition discipline.
+///
+/// Timestamps under `⊗` (per-object clocks):
+/// `ts1(c) = 1@r0 < ts2(d) = 2@r1 < ts3(e) = 3@r0` on `o2`, and
+/// `ts'1(a) = 1@r0 < ts'2(b) = 1@r1` on `o1`.
+fn fig10(mode: TsMode) -> ral_core::history::History<
+    ral_core::compose::ObjLabel<ral_spec::rga::RgaOp<char>>,
+> {
+    let mut cl = MultiCluster::new(Rga::<char>::new(), 2, 3, mode);
+    // r0: o2.addAfter(◦, c).
+    let c = cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c')).unwrap().op;
+    // r1: o1.addAfter(◦, b) — concurrent with everything so far.
+    let b = cl.invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
+    // r1 receives c, then inserts d: ts2 > ts1, and b ≺ d in visibility.
+    let ds = cl.deliverable(r(1));
+    let dc = ds.into_iter().find(|&d| cl.delivery_op(d) == c).unwrap();
+    cl.deliver(r(1), dc);
+    let d = cl.invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd')).unwrap().op;
+    // r0 receives d, then inserts e: ts3 > ts2.
+    let ds = cl.deliverable(r(0));
+    let dd = ds.into_iter().find(|&x| cl.delivery_op(x) == d).unwrap();
+    cl.deliver(r(0), dd);
+    let e = cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e')).unwrap().op;
+    // r0 inserts a on o1 *after* e: e ≺ a in visibility. Under ⊗ the o1
+    // clock at r0 is still fresh, so ts'1 = 1@r0 < ts'2 = 1@r1; under ⊗ts
+    // the shared clock forces ts'1 > ts3.
+    let a = cl.invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
+
+    // Sanity: the visibility edges of Figure 10.
+    let h = cl.history();
+    assert!(h.sees(d, b), "b ≺ d");
+    assert!(h.sees(a, e), "e ≺ a");
+    assert!(h.sees(d, c) && h.sees(e, d));
+
+    // r2 receives everything and reads both objects.
+    cl.deliver_all();
+    assert!(cl.converged());
+    let o2_read = cl.invoke(r(2), o(1), RgaCall::Read).unwrap();
+    let o1_read = cl.invoke(r(2), o(0), RgaCall::Read).unwrap();
+    match mode {
+        TsMode::PerObject => {
+            assert_eq!(o2_read.ret, Some(vec!['e', 'd', 'c']));
+            assert_eq!(o1_read.ret, Some(vec!['b', 'a']));
+        }
+        TsMode::Shared => {
+            // With the shared generator a's timestamp exceeds b's, so o1
+            // reads a·b instead — exactly why the history of Figure 10 is
+            // not reproducible under ⊗ts.
+            assert_eq!(o1_read.ret, Some(vec!['a', 'b']));
+        }
+    }
+    let _ = a;
+    cl.into_history()
+}
+
+#[test]
+fn unrestricted_composition_is_not_ra_linearizable() {
+    let h = fig10(TsMode::PerObject);
+    let spec = MultiObjSpec::new(RgaSpec::new(), 2);
+    // Neither guided strategy can validate it…
+    assert!(check_composed(&h, &spec, Strategy::TimestampOrder).is_err());
+    assert!(ra_check(&h, &Identity, &spec, Strategy::ExecutionOrder).is_err());
+    // …and the complete search proves no linearization exists at all.
+    assert!(
+        ra_search(&h, &Identity, &spec).is_refuted(),
+        "Figure 10 must refute RA-linearizability under ⊗"
+    );
+}
+
+#[test]
+fn shared_timestamp_composition_is_ra_linearizable() {
+    let h = fig10(TsMode::Shared);
+    let spec = MultiObjSpec::new(RgaSpec::new(), 2);
+    check_composed(&h, &spec, Strategy::TimestampOrder)
+        .expect("⊗ts must make the composition RA-linearizable (Theorem 5.5)");
+}
+
+#[test]
+fn random_rga_compositions_under_shared_ts() {
+    // Theorem 5.5 at scale: arbitrary two-object RGA workloads under ⊗ts
+    // are RA-linearizable via timestamp order.
+    for seed in 0..10 {
+        let mut cl = MultiCluster::new(Rga::<u16>::new(), 2, 3, TsMode::Shared);
+        let mut next: u16 = 0;
+        drive_multi(&mut cl, &ScheduleConfig::default(), seed, |rng, _, _, state| {
+            let roll: u8 = rng.random_range(0..10);
+            if roll < 5 {
+                let visible = state.visible();
+                let anchor = if visible.is_empty() || rng.random_bool(0.3) {
+                    Anchor::Head
+                } else {
+                    Anchor::Elem(visible[rng.random_range(0..visible.len())])
+                };
+                next += 1;
+                Some(RgaCall::AddAfter(anchor, next))
+            } else if roll < 7 {
+                Some(RgaCall::Read)
+            } else {
+                let visible = state.visible();
+                if visible.is_empty() {
+                    None
+                } else {
+                    Some(RgaCall::Remove(visible[rng.random_range(0..visible.len())]))
+                }
+            }
+        });
+        assert!(cl.converged());
+        let h = cl.into_history();
+        let rewritten = rewrite_history(&h, &MultiObjRewrite::new(Identity));
+        let spec = MultiObjSpec::new(RgaSpec::new(), 2);
+        check_composed(&rewritten.history, &spec, Strategy::TimestampOrder)
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Experiment E9 — Figure 14 and Lemmas C.1/C.2: the `addAt` interface.
+//!
+//! The RGA-based list with `addAt(a, k)` (index-based insertion) is **not**
+//! RA-linearizable w.r.t. the natural index specifications `Spec(addAt1)`
+//! (no tombstones) or `Spec(addAt2)` (tombstones): the Figure 14 execution
+//! reads `d·e·c` while every consistent linearization yields `d·c·e`.
+//! Returning the origin's updated list from every mutator (`Spec(addAt3)`,
+//! the "local view" specification) restores RA-linearizability.
+
+use ral_core::history::History;
+use ral_core::ids::ReplicaId;
+use ral_core::label::Identity;
+use ral_core::ralin::{ra_check, ra_search, Strategy};
+use ral_crdts::op::rga_addat::{AddAtCall, RgaAddAt, RgaAddAtSilent};
+use ral_runtime::op_based::Cluster;
+use ral_spec::addat::{AddAt1Spec, AddAt2Spec, AddAt3Spec, AddAtOp, AddAtRetOp};
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId(i)
+}
+
+/// Drives the Figure 14 schedule on any of the two `addAt` variants.
+///
+/// Timestamps: `ts_a = 1@r0 < ts_b = 2@r1 < ts_c = 3@r0 < ts_d = 3@r1 <
+/// ts_e = 4@r2`; the final read at r2 sees all operations and returns
+/// `d·e·c`.
+macro_rules! fig14_schedule {
+    ($cluster:expr) => {{
+        let c = $cluster;
+        // addAt(a, 0) at r0, delivered everywhere.
+        c.invoke(r(0), AddAtCall::AddAt('a', 0)).unwrap();
+        c.deliver_all();
+        // addAt(b, 0) at r1, delivered everywhere.
+        c.invoke(r(1), AddAtCall::AddAt('b', 0)).unwrap();
+        c.deliver_all();
+        // remove(b) at r2, delivered everywhere.
+        c.invoke(r(2), AddAtCall::Remove('b')).unwrap();
+        c.deliver_all();
+        // addAt(c, 1) at r0 — local view [a], anchor a. NOT delivered yet.
+        c.invoke(r(0), AddAtCall::AddAt('c', 1)).unwrap();
+        // addAt(d, 0) at r1 — local view [a], anchor ◦. Delivered to r2 only.
+        let d_op = c.invoke(r(1), AddAtCall::AddAt('d', 0)).unwrap().op;
+        let del = c
+            .deliverable(r(2))
+            .into_iter()
+            .find(|&x| c.delivery_op(x) == d_op)
+            .expect("d deliverable at r2");
+        c.deliver(r(2), del);
+        // remove(a) at r2 (sees a, b, rem b, d).
+        c.invoke(r(2), AddAtCall::Remove('a')).unwrap();
+        // addAt(e, 2) at r2 — local view [d], index clamps to the tail,
+        // anchor d.
+        c.invoke(r(2), AddAtCall::AddAt('e', 2)).unwrap();
+        // Everything reaches everyone; the read sees all operations.
+        c.deliver_all();
+        assert!(c.converged(), "Figure 14 cluster must converge");
+        let read = c.invoke(r(2), AddAtCall::Read).unwrap();
+        read
+    }};
+}
+
+fn fig14_silent() -> History<AddAtOp<char>> {
+    let mut c = Cluster::new(RgaAddAtSilent::<char>::new(), 3);
+    let read = fig14_schedule!(&mut c);
+    assert_eq!(
+        read.ret,
+        Some(vec!['d', 'e', 'c']),
+        "the Figure 14 read returns d·e·c"
+    );
+    c.into_history()
+}
+
+#[test]
+fn fig14_not_ra_linearizable_wrt_addat1() {
+    let h = fig14_silent();
+    assert!(
+        ra_search(&h, &Identity, &AddAt1Spec::new()).is_refuted(),
+        "Lemma C.1: no linearization w.r.t. Spec(addAt1) exists"
+    );
+}
+
+#[test]
+fn fig14_not_ra_linearizable_wrt_addat2() {
+    let h = fig14_silent();
+    assert!(
+        ra_search(&h, &Identity, &AddAt2Spec::new()).is_refuted(),
+        "Lemma C.1: no linearization w.r.t. Spec(addAt2) exists"
+    );
+}
+
+#[test]
+fn fig14_proof_linearizations_yield_d_c_e() {
+    // The proof of Lemma C.1 enumerates the candidate linearizations and
+    // shows they all read d·c·e. Check one representative against
+    // Spec(addAt1) directly.
+    use ral_core::spec::admits;
+    let spec = AddAt1Spec::new();
+    let candidate = [
+        AddAtOp::AddAt('a', 0),
+        AddAtOp::AddAt('b', 0),
+        AddAtOp::Remove('b'),
+        AddAtOp::AddAt('c', 1),
+        AddAtOp::AddAt('d', 0),
+        AddAtOp::Remove('a'),
+        AddAtOp::AddAt('e', 2),
+        AddAtOp::Read(vec!['d', 'c', 'e']),
+    ];
+    assert!(admits(&spec, &candidate), "the proof's sequence reads d·c·e");
+    let observed = [
+        AddAtOp::AddAt('a', 0),
+        AddAtOp::AddAt('b', 0),
+        AddAtOp::Remove('b'),
+        AddAtOp::AddAt('c', 1),
+        AddAtOp::AddAt('d', 0),
+        AddAtOp::Remove('a'),
+        AddAtOp::AddAt('e', 2),
+        AddAtOp::Read(vec!['d', 'e', 'c']),
+    ];
+    assert!(
+        !admits(&spec, &observed),
+        "the implementation's d·e·c is inadmissible sequentially"
+    );
+}
+
+#[test]
+fn fig14_ra_linearizable_wrt_addat3() {
+    // Lemma C.2: with local-view returns the same schedule linearizes under
+    // timestamp order.
+    let mut c = Cluster::new(RgaAddAt::<char>::new(), 3);
+    let read = fig14_schedule!(&mut c);
+    assert_eq!(read.ret, vec!['d', 'e', 'c']);
+    let h = c.into_history();
+    ra_check(&h, &Identity, &AddAt3Spec::new(), Strategy::TimestampOrder)
+        .expect("Lemma C.2: Spec(addAt3) admits the Figure 14 history");
+    assert!(ra_search(&h, &Identity, &AddAt3Spec::new()).is_linearizable());
+}
+
+#[test]
+fn addat3_returns_expose_local_views() {
+    // The returning variant exposes exactly the local views the proof of
+    // Lemma C.2 reasons about.
+    let mut c = Cluster::new(RgaAddAt::<char>::new(), 2);
+    let a = c.invoke(r(0), AddAtCall::AddAt('a', 0)).unwrap();
+    assert_eq!(a.ret, vec!['a']);
+    // r1 has seen nothing: its insert at index 5 observes the empty view.
+    let b = c.invoke(r(1), AddAtCall::AddAt('b', 5)).unwrap();
+    assert_eq!(b.ret, vec!['b']);
+    c.deliver_all();
+    assert!(c.converged());
+    let h = c.into_history();
+    assert_eq!(h.label(0), &AddAtRetOp::AddAt('a', 0, vec!['a']));
+    assert_eq!(h.label(1), &AddAtRetOp::AddAt('b', 5, vec!['b']));
+    ra_check(&h, &Identity, &AddAt3Spec::new(), Strategy::TimestampOrder).unwrap();
+}

@@ -1,0 +1,111 @@
+//! Experiment E2 — Figures 3 and 13: histories and the operational
+//! semantics of RGA.
+//!
+//! Figure 13 steps through three global configurations of an RGA execution:
+//! two replicas insert concurrently under a shared parent, the effectors are
+//! exchanged, and a `remove` extends the visibility relation. We replay the
+//! execution and assert the recorded label sets and visibility edges.
+
+use ral_core::ids::ReplicaId;
+use ral_core::label::Identity;
+use ral_core::ralin::{ra_check, Strategy};
+use ral_crdts::op::rga::{Rga, RgaCall};
+use ral_runtime::op_based::Cluster;
+use ral_spec::rga::{Anchor, RgaOp, RgaSpec};
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId(i)
+}
+
+#[test]
+fn fig13_global_configurations() {
+    let mut c = Cluster::new(Rga::<char>::new(), 2);
+
+    // r0: addAfter(◦, a); r1: addAfter(◦, b) — concurrent.
+    let a = c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
+    let b = c.invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
+
+    // b's effector reaches r0; r0 inserts c after b.
+    let to_r0 = c.deliverable(r(0));
+    assert_eq!(to_r0.len(), 1);
+    c.deliver(r(0), to_r0[0]);
+    let cc = c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('b'), 'c')).unwrap().op;
+
+    // r1 concurrently inserts d after b.
+    let d = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'd')).unwrap().op;
+
+    // Figure 13a: r0 has applied {a, b, c}; the visibility relation contains
+    // exactly the pairs drawn in the figure.
+    assert!(c.seen(r(0)).contains(a));
+    assert!(c.seen(r(0)).contains(b));
+    assert!(c.seen(r(0)).contains(cc));
+    assert!(!c.seen(r(0)).contains(d));
+    let h = c.history();
+    assert!(h.sees(cc, a), "addAfter(◦,a) ≺ addAfter(b,c)");
+    assert!(h.sees(cc, b), "addAfter(◦,b) ≺ addAfter(b,c)");
+    assert!(h.sees(d, b), "addAfter(◦,b) ≺ addAfter(b,d)");
+    assert!(!h.sees(d, a), "a is not visible to d");
+    assert!(h.concurrent(a, b));
+    assert!(h.concurrent(cc, d));
+
+    // Figure 13a → 13b: the effector of addAfter(b,d) reaches r0. The
+    // visibility relation does not change — only the local configuration.
+    let edge_count_before: usize = (0..h.len()).map(|i| h.preds(i).len()).sum();
+    let to_r0 = c.deliverable(r(0));
+    assert_eq!(to_r0.len(), 1);
+    c.deliver(r(0), to_r0[0]);
+    assert!(c.seen(r(0)).contains(d));
+    let edge_count_after: usize = {
+        let h = c.history();
+        (0..h.len()).map(|i| h.preds(i).len()).sum()
+    };
+    assert_eq!(
+        edge_count_before, edge_count_after,
+        "delivery must not extend visibility (Figure 13b)"
+    );
+
+    // Figure 13b → 13c: r0 executes remove(b), which sees all four inserts.
+    let rem = c.invoke(r(0), RgaCall::Remove('b')).unwrap().op;
+    let h = c.history();
+    for earlier in [a, b, cc, d] {
+        assert!(h.sees(rem, earlier), "remove(b) must see operation {earlier}");
+    }
+    assert_eq!(c.state(r(0)).tombstones().iter().count(), 1);
+
+    // The Figure 3 history shape: visibility is transitive and the
+    // execution linearizes under timestamp order.
+    assert!(h.is_transitive());
+    c.deliver_all();
+    assert!(c.converged());
+    let h = c.into_history();
+    ra_check(&h, &Identity, &RgaSpec::new(), Strategy::TimestampOrder).unwrap();
+}
+
+#[test]
+fn fig3_labels_and_arrows() {
+    // The history of the Figure 2 execution, as drawn in Figure 3:
+    // addAfter(◦,a) → addAfter(a,b), addAfter(a,c) → addAfter(c,d),
+    // addAfter(c,e) → remove(d).
+    let mut c = Cluster::new(Rga::<char>::new(), 2);
+    let a = c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
+    c.deliver_all();
+    let b = c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b')).unwrap().op;
+    let cc = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('a'), 'c')).unwrap().op;
+    c.deliver_all();
+    let d = c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'd')).unwrap().op;
+    let e = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'e')).unwrap().op;
+    c.deliver_all();
+    let rem = c.invoke(r(0), RgaCall::Remove('d')).unwrap().op;
+
+    let h = c.history();
+    assert_eq!(h.label(a), &RgaOp::AddAfter(Anchor::Head, 'a'));
+    assert_eq!(h.label(rem), &RgaOp::Remove('d'));
+    // Arrows of Figure 3 (transitive closure included).
+    assert!(h.sees(b, a));
+    assert!(h.sees(cc, a));
+    assert!(h.concurrent(b, cc));
+    assert!(h.sees(d, b) && h.sees(d, cc));
+    assert!(h.sees(e, b) && h.sees(e, cc));
+    assert!(h.concurrent(d, e));
+    assert!(h.sees(rem, d) && h.sees(rem, e));
+}

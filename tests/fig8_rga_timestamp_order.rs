@@ -1,0 +1,81 @@
+//! Experiment E4 — Figure 8: execution-order vs timestamp-order
+//! linearizations for RGA.
+//!
+//! `ℓ2 = addAfter(◦,b)` executes before `ℓ1 = addAfter(◦,a)` in wall-clock
+//! order, but `ts_a < ts_b`. A read seeing both returns `b·a`, which the
+//! execution-order linearization `ℓ2·ℓ1·…` cannot justify (it would produce
+//! `a·b`); the timestamp-order linearization `ℓ1·ℓ2·ℓ4·ℓ3` can. The read's
+//! "virtual" timestamp `ts_b` places it before `ℓ3 = addAfter(b,c)`.
+
+use ral_core::ids::ReplicaId;
+use ral_core::label::Identity;
+use ral_core::ralin::{ra_check, ra_search, Strategy, Violation};
+use ral_crdts::op::rga::{Rga, RgaCall};
+use ral_runtime::op_based::Cluster;
+use ral_spec::rga::{Anchor, RgaSpec};
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId(i)
+}
+
+/// Builds the Figure 8 execution. Replica r1 (paper's r1) is `ReplicaId(1)`
+/// so that the replica order breaks the `counter = 1` tie in favour of `b`:
+/// `ts_a = 1@r0 < ts_b = 1@r1`.
+fn fig8() -> (ral_core::history::History<ral_spec::rga::RgaOp<char>>, [usize; 4]) {
+    let mut c = Cluster::new(Rga::<char>::new(), 2);
+    // ℓ2 executes first in wall-clock order, at the higher-ordered replica.
+    let l2 = c.invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
+    let l1 = c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
+    // ℓ3 = addAfter(b, c) at r1: ts_c = 2@r1 > ts_b.
+    let l3 = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'c')).unwrap().op;
+    // Deliver only ℓ2's effector to r0 (not ℓ3): the read sees {ℓ1, ℓ2}.
+    let ds = c.deliverable(r(0));
+    let d_l2 = ds
+        .into_iter()
+        .find(|&d| c.delivery_op(d) == l2)
+        .expect("ℓ2 deliverable at r0");
+    c.deliver(r(0), d_l2);
+    let l4 = c.invoke(r(0), RgaCall::Read).unwrap();
+    assert_eq!(l4.ret, Some(vec!['b', 'a']), "the read returns b·a");
+    c.deliver_all();
+    assert!(c.converged());
+    (c.into_history(), [l1, l2, l3, l4.op])
+}
+
+#[test]
+fn execution_order_fails() {
+    let (h, [_, _, _, l4]) = fig8();
+    let err = ra_check(&h, &Identity, &RgaSpec::new(), Strategy::ExecutionOrder)
+        .expect_err("execution order must fail on Figure 8");
+    // The unjustifiable operation is exactly the read.
+    assert_eq!(err, Violation::QueryNotJustified { query: l4 });
+}
+
+#[test]
+fn timestamp_order_succeeds_with_the_papers_linearization() {
+    let (h, [l1, l2, l3, l4]) = fig8();
+    let lin = ra_check(&h, &Identity, &RgaSpec::new(), Strategy::TimestampOrder)
+        .expect("timestamp order must succeed on Figure 8");
+    // ℓ1 (ts_a) < ℓ2 (ts_b) < ℓ4 (virtual ts_b, later generator) < ℓ3 (ts_c).
+    assert_eq!(lin.order, vec![l1, l2, l4, l3]);
+}
+
+#[test]
+fn brute_force_agrees() {
+    let (h, _) = fig8();
+    assert!(
+        ra_search(&h, &Identity, &RgaSpec::new()).is_linearizable(),
+        "a witness exists, so the complete search must find one"
+    );
+}
+
+#[test]
+fn virtual_timestamps_follow_visibility() {
+    let (h, [l1, l2, l3, l4]) = fig8();
+    // The read generates no timestamp; its virtual timestamp is ts_b, the
+    // max over {ts_a, ts_b}.
+    assert_eq!(h.op(l4).ts, None);
+    assert_eq!(h.virtual_ts(l4), h.op(l2).ts);
+    assert!(h.virtual_ts(l1) < h.virtual_ts(l2));
+    assert!(h.virtual_ts(l2) < h.virtual_ts(l3));
+}

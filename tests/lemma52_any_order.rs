@@ -1,0 +1,163 @@
+//! Lemma 5.2: for an object admitting execution-order linearizations,
+//! *every* linearization consistent with visibility is a valid
+//! RA-linearization — not just the one the generators happened to follow.
+//!
+//! This is the key ingredient of Theorem 5.3 (EO objects compose). We check
+//! it by validating many random linear extensions of random OR-Set and
+//! counter histories. As a control, the same does *not* hold for
+//! timestamp-order objects: for RGA some visibility-consistent orders are
+//! invalid (Figure 8's execution-order witness is one).
+
+use ral_core::history::{rewrite_history, History};
+use ral_core::label::Identity;
+use ral_core::ralin::{check_linearization, ra_check, Strategy};
+use ral_core::spec::Spec;
+use ral_core::label::SpecLabel;
+use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
+use ral_crdts::op::rga::{Rga, RgaCall};
+use ral_runtime::op_based::Cluster;
+use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
+use ral_spec::rga::{Anchor, RgaSpec};
+use ral_spec::set::OrSetSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly-random linear extension of the visibility relation.
+fn random_topological_order<L>(h: &History<L>, rng: &mut StdRng) -> Vec<usize> {
+    let n = h.len();
+    let mut missing: Vec<usize> = (0..n).map(|i| h.preds(i).len()).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| missing[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pick = rng.random_range(0..ready.len());
+        let x = ready.swap_remove(pick);
+        order.push(x);
+        for (b, miss) in missing.iter_mut().enumerate() {
+            if h.sees(b, x) {
+                *miss -= 1;
+                if *miss == 0 {
+                    ready.push(b);
+                }
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "visibility must be acyclic");
+    order
+}
+
+fn assert_all_orders_valid<S: Spec>(h: &History<S::Label>, spec: &S, seed: u64, tries: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..tries {
+        let order = random_topological_order(h, &mut rng);
+        check_linearization(h, spec, &order)
+            .unwrap_or_else(|v| panic!("try {t}: random extension rejected: {v}"));
+    }
+}
+
+#[test]
+fn or_set_accepts_every_consistent_order() {
+    for seed in 0..8 {
+        let mut c = Cluster::new(OrSet::<u8>::new(), 3);
+        drive_op_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, _| {
+            Some(match rng.random_range(0..4u8) {
+                0 | 1 => OrSetCall::Add(rng.random_range(0..3)),
+                2 => OrSetCall::Remove(rng.random_range(0..3)),
+                _ => OrSetCall::Read,
+            })
+        });
+        let h = c.into_history();
+        let rewritten = rewrite_history(&h, &OrSetRewrite::new());
+        assert_all_orders_valid(&rewritten.history, &OrSetSpec::new(), seed * 31 + 1, 20);
+    }
+}
+
+#[test]
+fn rga_rejects_some_consistent_orders() {
+    // Control: the lemma is specific to EO objects. Hunt for an RGA history
+    // and a visibility-consistent order that fails validation (while the
+    // timestamp-order witness succeeds).
+    let mut found_rejection = false;
+    'outer: for seed in 0..40 {
+        let mut c = Cluster::new(Rga::<u16>::new(), 3);
+        let mut next = 0u16;
+        drive_op_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, state| {
+            let visible = state.visible();
+            if rng.random_bool(0.6) {
+                let anchor = if visible.is_empty() || rng.random_bool(0.3) {
+                    Anchor::Head
+                } else {
+                    Anchor::Elem(visible[rng.random_range(0..visible.len())])
+                };
+                next += 1;
+                Some(RgaCall::AddAfter(anchor, next))
+            } else {
+                Some(RgaCall::Read)
+            }
+        });
+        let h = c.into_history();
+        ra_check(&h, &Identity, &RgaSpec::new(), Strategy::TimestampOrder)
+            .unwrap_or_else(|v| panic!("seed {seed}: TO must hold: {v}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let order = random_topological_order(&h, &mut rng);
+            if check_linearization(&h, &RgaSpec::new(), &order).is_err() {
+                found_rejection = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        found_rejection,
+        "some visibility-consistent order must fail for a TO object"
+    );
+}
+
+#[test]
+fn footnote10_virtual_timestamps_unique_generator() {
+    // Footnote 10: among operations sharing a (virtual) timestamp, exactly
+    // one generated it; the rest are timestamp-less observers.
+    for seed in 0..8 {
+        let mut c = Cluster::new(Rga::<u16>::new(), 3);
+        let mut next = 0u16;
+        drive_op_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, state| {
+            let visible = state.visible();
+            if rng.random_bool(0.5) {
+                next += 1;
+                Some(RgaCall::AddAfter(
+                    if visible.is_empty() {
+                        Anchor::Head
+                    } else {
+                        Anchor::Elem(visible[rng.random_range(0..visible.len())])
+                    },
+                    next,
+                ))
+            } else {
+                Some(RgaCall::Read)
+            }
+        });
+        let h = c.into_history();
+        for i in 0..h.len() {
+            for j in 0..h.len() {
+                if i != j && h.op(i).ts.is_some() && h.op(j).ts.is_some() {
+                    assert_ne!(h.op(i).ts, h.op(j).ts, "generated timestamps are unique");
+                }
+            }
+            // Non-generating operations inherit the timestamp of exactly one
+            // visible generator (or ⊥).
+            if h.op(i).ts.is_none() {
+                if let Some(vts) = h.virtual_ts(i) {
+                    let generators = (0..h.len())
+                        .filter(|&g| h.op(g).ts == Some(vts))
+                        .count();
+                    assert_eq!(generators, 1);
+                }
+            }
+        }
+        // Queries are exactly the reads.
+        let queries = (0..h.len()).filter(|&i| h.label(i).is_query()).count();
+        let reads = (0..h.len())
+            .filter(|&i| matches!(h.label(i), ral_spec::rga::RgaOp::Read(_)))
+            .count();
+        assert_eq!(queries, reads);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based cross-checks between the guided linearization strategies
+//! and the complete brute-force search, over random CRDT executions.
+//!
+//! * If the guided witness validates, the brute-force search must find a
+//!   witness too (trivially — but it exercises the search).
+//! * If the brute-force search refutes, the guided check must fail
+//!   (soundness of the guided path).
+//! * For the data types of Figure 12, the guided check of the claimed class
+//!   never fails, so guided and search always agree positively.
+
+use proptest::prelude::*;
+use ral_core::history::rewrite_history;
+use ral_core::label::Identity;
+use ral_core::ralin::{check_guided, count_linearizations, search_with_budget, SearchOutcome, Strategy};
+use ral_crdts::op::counter::{CounterCall, OpCounter};
+use ral_crdts::op::lww_register::{LwwRegister, RegCall};
+use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
+use ral_core::ids::ReplicaId;
+use ral_runtime::op_based::{Cluster, OpBased};
+use ral_spec::counter::CounterSpec;
+use ral_spec::register::RegSpec;
+use ral_spec::set::OrSetSpec;
+
+/// A compact schedule description proptest can shrink: a sequence of
+/// (replica, action) pairs where action < 16 selects an invocation and the
+/// rest request one delivery.
+fn run_schedule<C: OpBased>(
+    crdt: C,
+    schedule: &[(u8, u8)],
+    mut call_of: impl FnMut(u8, &C::State) -> Option<C::Call>,
+) -> Cluster<C> {
+    let mut cluster = Cluster::new(crdt, 3);
+    for &(raw_replica, action) in schedule {
+        let r = ReplicaId((raw_replica % 3) as u32);
+        if action < 16 {
+            if let Some(call) = call_of(action, cluster.state(r)) {
+                cluster.invoke(r, call);
+            }
+        } else {
+            let ds = cluster.deliverable(r);
+            if !ds.is_empty() {
+                let d = ds[(action as usize) % ds.len()];
+                cluster.deliver(r, d);
+            }
+        }
+    }
+    cluster.deliver_all();
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counter: guided EO always validates and the witness space is
+    /// non-empty under the brute-force counter.
+    #[test]
+    fn counter_guided_and_search_agree(
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..14)
+    ) {
+        let cluster = run_schedule(OpCounter, &schedule, |a, _| {
+            Some(match a % 3 {
+                0 => CounterCall::Inc,
+                1 => CounterCall::Dec,
+                _ => CounterCall::Read,
+            })
+        });
+        prop_assert!(cluster.converged());
+        let h = cluster.into_history();
+        let rewritten = rewrite_history(&h, &Identity);
+        let guided = check_guided(&rewritten.history, &CounterSpec, Strategy::ExecutionOrder);
+        prop_assert!(guided.is_ok(), "{:?}", guided);
+        let (count, complete) = count_linearizations(&rewritten.history, &CounterSpec, 2_000_000);
+        prop_assert!(count >= 1);
+        let _ = complete;
+    }
+
+    /// LWW-Register: guided TO always validates; when the execution-order
+    /// strategy fails, a witness still exists (TO is one).
+    #[test]
+    fn lww_register_to_subsumes_search(
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..14)
+    ) {
+        let cluster = run_schedule(LwwRegister::<u8>::new(), &schedule, |a, _| {
+            Some(if a % 2 == 0 {
+                RegCall::Write(a % 4)
+            } else {
+                RegCall::Read
+            })
+        });
+        let h = cluster.into_history();
+        let rewritten = rewrite_history(&h, &Identity);
+        let spec = RegSpec::new();
+        let to = check_guided(&rewritten.history, &spec, Strategy::TimestampOrder);
+        prop_assert!(to.is_ok(), "{:?}", to);
+        if check_guided(&rewritten.history, &spec, Strategy::ExecutionOrder).is_err() {
+            let outcome = search_with_budget(&rewritten.history, &spec, 2_000_000);
+            prop_assert!(
+                matches!(outcome, SearchOutcome::Linearizable(_) | SearchOutcome::BudgetExhausted),
+                "EO may fail, but a witness must still exist: {outcome:?}"
+            );
+        }
+    }
+
+    /// OR-Set: the γ-rewritten guided EO witness always validates, and the
+    /// brute-force search never refutes.
+    #[test]
+    fn or_set_never_refuted(
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..12)
+    ) {
+        let cluster = run_schedule(OrSet::<u8>::new(), &schedule, |a, _| {
+            Some(match a % 4 {
+                0 | 1 => OrSetCall::Add(a % 3),
+                2 => OrSetCall::Remove(a % 3),
+                _ => OrSetCall::Read,
+            })
+        });
+        prop_assert!(cluster.converged());
+        let h = cluster.into_history();
+        let rewritten = rewrite_history(&h, &OrSetRewrite::new());
+        let spec = OrSetSpec::new();
+        let guided = check_guided(&rewritten.history, &spec, Strategy::ExecutionOrder);
+        prop_assert!(guided.is_ok(), "{:?}", guided);
+        let outcome = search_with_budget(&rewritten.history, &spec, 2_000_000);
+        prop_assert!(!outcome.is_refuted());
+    }
+
+    /// Tampering with a counter read's return value must be caught by both
+    /// the guided check and the search.
+    #[test]
+    fn corrupted_reads_are_rejected(
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..10),
+        bump in 1i64..5,
+    ) {
+        let cluster = run_schedule(OpCounter, &schedule, |a, _| {
+            Some(if a % 2 == 0 { CounterCall::Inc } else { CounterCall::Read })
+        });
+        let h = cluster.into_history();
+        // Corrupt the last read, if any.
+        let mut labels: Vec<ral_spec::counter::CounterOp> =
+            (0..h.len()).map(|i| h.label(i).clone()).collect();
+        let Some(pos) = labels.iter().rposition(|l| matches!(l, ral_spec::counter::CounterOp::Read(_)))
+        else {
+            return Ok(());
+        };
+        if let ral_spec::counter::CounterOp::Read(v) = labels[pos] {
+            labels[pos] = ral_spec::counter::CounterOp::Read(v + bump);
+        }
+        let mut corrupted = ral_core::history::History::new();
+        for (i, label) in labels.into_iter().enumerate() {
+            let rec = ral_core::history::OpRecord {
+                label,
+                replica: h.op(i).replica,
+                ts: h.op(i).ts,
+            };
+            corrupted.push_set(rec, h.preds(i).clone());
+        }
+        prop_assert!(check_guided(&corrupted, &CounterSpec, Strategy::ExecutionOrder).is_err());
+        let outcome = search_with_budget(&corrupted, &CounterSpec, 2_000_000);
+        prop_assert!(
+            matches!(outcome, SearchOutcome::NotLinearizable | SearchOutcome::BudgetExhausted)
+        );
+    }
+}

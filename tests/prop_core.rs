@@ -1,0 +1,137 @@
+//! Property-based tests for the core data structures: the bit set against a
+//! `BTreeSet` model, and history invariants on randomly generated DAGs.
+
+use proptest::prelude::*;
+use ral_core::bitset::BitSet;
+use ral_core::history::{History, OpRecord};
+use ral_core::ids::ReplicaId;
+use ral_core::timestamp::Ts;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// Insert/remove/contains agree with the reference set.
+    #[test]
+    fn bitset_matches_btreeset_model(ops in proptest::collection::vec((0usize..300, any::<bool>()), 0..200)) {
+        let mut bits = BitSet::new();
+        let mut model = BTreeSet::new();
+        for (value, insert) in ops {
+            if insert {
+                prop_assert_eq!(bits.insert(value), model.insert(value));
+            } else {
+                prop_assert_eq!(bits.remove(value), model.remove(&value));
+            }
+            prop_assert_eq!(bits.len(), model.len());
+            prop_assert_eq!(bits.contains(value), model.contains(&value));
+        }
+        let collected: Vec<usize> = bits.iter().collect();
+        let expected: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// Union and subset agree with the reference set.
+    #[test]
+    fn bitset_union_subset(
+        a in proptest::collection::btree_set(0usize..200, 0..50),
+        b in proptest::collection::btree_set(0usize..200, 0..50),
+    ) {
+        let mut ba: BitSet = a.iter().copied().collect();
+        let bb: BitSet = b.iter().copied().collect();
+        prop_assert_eq!(ba.is_subset(&bb), a.is_subset(&b));
+        prop_assert_eq!(ba.is_disjoint(&bb), a.is_disjoint(&b));
+        ba.union_with(&bb);
+        let union: BTreeSet<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(ba.iter().collect::<BTreeSet<_>>(), union);
+    }
+
+    /// Timestamps are totally ordered and `max_ts` is commutative,
+    /// associative, and idempotent with `None` as identity.
+    #[test]
+    fn timestamp_lattice(
+        raw in proptest::collection::vec((0u64..50, 0u32..4), 0..20),
+    ) {
+        use ral_core::timestamp::max_ts;
+        let tss: Vec<Option<Ts>> = raw
+            .iter()
+            .map(|&(c, r)| Some(Ts::new(c, ReplicaId(r))))
+            .collect();
+        for &a in &tss {
+            prop_assert_eq!(max_ts(a, None), a);
+            prop_assert_eq!(max_ts(a, a), a);
+            for &b in &tss {
+                prop_assert_eq!(max_ts(a, b), max_ts(b, a));
+                for &c in &tss {
+                    prop_assert_eq!(max_ts(max_ts(a, b), c), max_ts(a, max_ts(b, c)));
+                }
+            }
+        }
+    }
+}
+
+/// Builds a random history DAG: each op sees a random subset of its
+/// predecessors, closed transitively (mimicking causal delivery).
+fn random_history(edges: &[(usize, bool)]) -> History<usize> {
+    let mut h: History<usize> = History::new();
+    for (i, &(window, dense)) in edges.iter().enumerate() {
+        let mut preds: Vec<usize> = Vec::new();
+        if i > 0 {
+            let from = i.saturating_sub(window % (i + 1));
+            for p in from..i {
+                if dense || p % 2 == 0 {
+                    preds.push(p);
+                }
+            }
+        }
+        // Transitive closure (single-object discipline).
+        let mut closed: BTreeSet<usize> = preds.iter().copied().collect();
+        for &p in &preds {
+            closed.extend(h.preds(p).iter());
+        }
+        h.push(OpRecord::new(i, ReplicaId(0)), closed);
+    }
+    h
+}
+
+proptest! {
+    /// Insertion order is always a valid linear extension, and transitively
+    /// closed construction yields a transitive history.
+    #[test]
+    fn history_invariants(edges in proptest::collection::vec((0usize..6, any::<bool>()), 1..30)) {
+        let h = random_history(&edges);
+        let order: Vec<usize> = (0..h.len()).collect();
+        prop_assert!(h.order_consistent(&order));
+        prop_assert!(h.is_transitive());
+        // Concurrency is symmetric and irreflexive.
+        for a in 0..h.len() {
+            prop_assert!(!h.concurrent(a, a));
+            for b in 0..h.len() {
+                prop_assert_eq!(h.concurrent(a, b), h.concurrent(b, a));
+            }
+        }
+    }
+
+    /// Virtual timestamps are monotone along visibility.
+    #[test]
+    fn virtual_ts_monotone(edges in proptest::collection::vec((0usize..6, any::<bool>()), 1..25)) {
+        let mut h = random_history(&edges);
+        // Give every third op a real timestamp, increasing with the index
+        // (as a Lamport discipline would).
+        let mut stamped: History<usize> = History::new();
+        for (i, op) in h.iter() {
+            let record = if i % 3 == 0 {
+                OpRecord::with_ts(*h.label(i), op.replica, Ts::new(i as u64 + 1, ReplicaId(0)))
+            } else {
+                OpRecord::new(*h.label(i), op.replica)
+            };
+            stamped.push_set(record, h.preds(i).clone());
+        }
+        h = stamped;
+        for b in 0..h.len() {
+            for a in h.preds(b).iter() {
+                prop_assert!(
+                    h.virtual_ts(a) <= h.virtual_ts(b),
+                    "ts_h must grow along visibility"
+                );
+            }
+        }
+    }
+}
