@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Hermetic CI for the RA-linearizability workspace.
+#
+# Every step runs with networking disabled (--offline / CARGO_NET_OFFLINE):
+# the workspace has zero external crate dependencies, so a clean checkout
+# with an empty registry cache must pass all of this.
+#
+# Usage: ./ci.sh            # full gate
+#        ./ci.sh quick      # skip the release build (local iteration)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-always}"
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all -- --check
+step cargo clippy --offline --workspace --all-targets -- -D warnings
+if [[ "${1:-}" != "quick" ]]; then
+    step cargo build --offline --release
+fi
+step cargo build --offline --examples
+step cargo test -q --offline
+step cargo bench --offline --no-run
+
+echo
+echo "CI green: fmt, clippy, build, examples, tests, benches all pass offline."

@@ -10,14 +10,13 @@
 //!
 //! Run with `cargo bench -p ral-bench --bench checker_scaling`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ral_bench::{bench_group, bench_main, BenchmarkId, Criterion};
 use ral_core::history::{rewrite_history, History};
 use ral_core::ralin::{check_guided, search, Strategy};
 use ral_crdts::op::or_set::{OrSet, OrSetLabel, OrSetRewrite};
 use ral_runtime::op_based::Cluster;
 use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
 use ral_spec::set::OrSetSpec;
-use rand::Rng;
 use std::hint::black_box;
 
 /// Builds an OR-Set history with roughly `steps` scheduler steps.
@@ -156,8 +155,16 @@ fn wooki_checker_scaling(c: &mut Criterion) {
                     let i = rng.random_range(0..=all.len());
                     let j = rng.random_range(i..=all.len());
                     (
-                        if i == 0 { WookiAnchor::Begin } else { WookiAnchor::Elem(all[i - 1]) },
-                        if j == all.len() { WookiAnchor::End } else { WookiAnchor::Elem(all[j]) },
+                        if i == 0 {
+                            WookiAnchor::Begin
+                        } else {
+                            WookiAnchor::Elem(all[i - 1])
+                        },
+                        if j == all.len() {
+                            WookiAnchor::End
+                        } else {
+                            WookiAnchor::Elem(all[j])
+                        },
                     )
                 };
                 next += 1;
@@ -197,11 +204,11 @@ fn wooki_checker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     scaling,
     guided_scaling,
     brute_scaling,
     brute_refutation_scaling,
     wooki_checker_scaling
 );
-criterion_main!(scaling);
+bench_main!(scaling);

@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo bench -p ral-bench --bench composition`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ral_bench::{bench_group, bench_main, Criterion};
 use ral_core::compose::{check_composed, MultiObjSpec, ObjLabel};
 use ral_core::history::History;
 use ral_core::ralin::Strategy;
@@ -15,27 +15,31 @@ use ral_crdts::op::rga::{Rga, RgaCall};
 use ral_runtime::multi::{MultiCluster, TsMode};
 use ral_runtime::schedule::{drive_multi, ScheduleConfig};
 use ral_spec::rga::{Anchor, RgaOp, RgaSpec};
-use rand::Rng;
 use std::hint::black_box;
 
 fn random_two_rga_history(mode: TsMode, seed: u64) -> History<ObjLabel<RgaOp<u16>>> {
     let mut cl = MultiCluster::new(Rga::<u16>::new(), 2, 3, mode);
     let mut next: u16 = 0;
-    drive_multi(&mut cl, &ScheduleConfig::default(), seed, |rng, _, _, state| {
-        let roll: u8 = rng.random_range(0..10);
-        if roll < 5 {
-            let visible = state.visible();
-            let anchor = if visible.is_empty() || rng.random_bool(0.3) {
-                Anchor::Head
+    drive_multi(
+        &mut cl,
+        &ScheduleConfig::default(),
+        seed,
+        |rng, _, _, state| {
+            let roll: u8 = rng.random_range(0..10);
+            if roll < 5 {
+                let visible = state.visible();
+                let anchor = if visible.is_empty() || rng.random_bool(0.3) {
+                    Anchor::Head
+                } else {
+                    Anchor::Elem(visible[rng.random_range(0..visible.len())])
+                };
+                next += 1;
+                Some(RgaCall::AddAfter(anchor, next))
             } else {
-                Anchor::Elem(visible[rng.random_range(0..visible.len())])
-            };
-            next += 1;
-            Some(RgaCall::AddAfter(anchor, next))
-        } else {
-            Some(RgaCall::Read)
-        }
-    });
+                Some(RgaCall::Read)
+            }
+        },
+    );
     cl.into_history()
 }
 
@@ -77,5 +81,5 @@ fn bench_composition(c: &mut Criterion) {
     assert_eq!(shared_ok, total, "Theorem 5.5 must hold on every workload");
 }
 
-criterion_group!(composition, bench_composition);
-criterion_main!(composition);
+bench_group!(composition, bench_composition);
+bench_main!(composition);

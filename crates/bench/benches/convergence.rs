@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo bench -p ral-bench --bench convergence`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ral_bench::{bench_group, bench_main, BenchmarkId, Criterion};
 use ral_core::ids::ReplicaId;
 use ral_crdts::op::counter::{CounterCall, OpCounter};
 use ral_crdts::state::pn_counter::{PnCall, PnCounter};
@@ -62,5 +62,5 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(convergence, bench_convergence);
-criterion_main!(convergence);
+bench_group!(convergence, bench_convergence);
+bench_main!(convergence);

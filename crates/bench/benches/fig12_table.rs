@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo bench -p ral-bench --bench fig12_table`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ral_bench::{bench_group, bench_main, Criterion};
 use ral_verify::table;
 use std::hint::black_box;
 
@@ -41,5 +41,5 @@ fn bench_rows(c: &mut Criterion) {
     println!("\n{}", table::render_fig12(&rows));
 }
 
-criterion_group!(fig12, bench_rows);
-criterion_main!(fig12);
+bench_group!(fig12, bench_rows);
+bench_main!(fig12);

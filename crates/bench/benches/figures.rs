@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo bench -p ral-bench --bench figures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ral_bench::{bench_group, bench_main, Criterion};
 use ral_core::compose::{check_composed, MultiObjRewrite, MultiObjSpec};
 use ral_core::ids::{ObjId, ReplicaId};
 use ral_core::label::Identity;
@@ -33,14 +33,19 @@ fn fig2(c: &mut Criterion) {
     c.bench_function("fig2_rga_conflict_resolution", |b| {
         b.iter(|| {
             let mut cl = Cluster::new(Rga::<char>::new(), 2);
-            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+                .unwrap();
             cl.deliver_all();
-            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'c')).unwrap();
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'c'))
+                .unwrap();
             cl.deliver_all();
-            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b')).unwrap();
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b'))
+                .unwrap();
             cl.deliver_all();
-            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'e')).unwrap();
-            cl.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'd')).unwrap();
+            cl.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'e'))
+                .unwrap();
+            cl.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'd'))
+                .unwrap();
             cl.deliver_all();
             cl.invoke(r(1), RgaCall::Remove('d')).unwrap();
             cl.deliver_all();
@@ -98,9 +103,14 @@ fn fig5(c: &mut Criterion) {
 fn fig8(c: &mut Criterion) {
     fn history() -> ral_core::history::History<ral_spec::rga::RgaOp<char>> {
         let mut cl = Cluster::new(Rga::<char>::new(), 2);
-        let l2 = cl.invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
-        cl.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
-        cl.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'c')).unwrap();
+        let l2 = cl
+            .invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b'))
+            .unwrap()
+            .op;
+        cl.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+            .unwrap();
+        cl.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'c'))
+            .unwrap();
         let d = cl
             .deliverable(r(0))
             .into_iter()
@@ -143,27 +153,36 @@ fn fig9(c: &mut Criterion) {
 
 /// Figure 10: two RGAs refute composition under ⊗ and verify under ⊗ts.
 fn fig10(c: &mut Criterion) {
-    fn history(mode: TsMode) -> ral_core::history::History<
-        ral_core::compose::ObjLabel<ral_spec::rga::RgaOp<char>>,
-    > {
+    fn history(
+        mode: TsMode,
+    ) -> ral_core::history::History<ral_core::compose::ObjLabel<ral_spec::rga::RgaOp<char>>> {
         let mut cl = MultiCluster::new(Rga::<char>::new(), 2, 3, mode);
-        let cc = cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c')).unwrap().op;
-        cl.invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap();
+        let cc = cl
+            .invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c'))
+            .unwrap()
+            .op;
+        cl.invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b'))
+            .unwrap();
         let dc = cl
             .deliverable(r(1))
             .into_iter()
             .find(|&d| cl.delivery_op(d) == cc)
             .unwrap();
         cl.deliver(r(1), dc);
-        let d = cl.invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd')).unwrap().op;
+        let d = cl
+            .invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd'))
+            .unwrap()
+            .op;
         let dd = cl
             .deliverable(r(0))
             .into_iter()
             .find(|&x| cl.delivery_op(x) == d)
             .unwrap();
         cl.deliver(r(0), dd);
-        cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e')).unwrap();
-        cl.invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+        cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e'))
+            .unwrap();
+        cl.invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+            .unwrap();
         cl.deliver_all();
         cl.invoke(r(2), o(1), RgaCall::Read).unwrap();
         cl.invoke(r(2), o(0), RgaCall::Read).unwrap();
@@ -229,5 +248,5 @@ fn fig14(c: &mut Criterion) {
     });
 }
 
-criterion_group!(figures, fig2, fig5, fig8, fig9, fig10, fig14);
-criterion_main!(figures);
+bench_group!(figures, fig2, fig5, fig8, fig9, fig10, fig14);
+bench_main!(figures);

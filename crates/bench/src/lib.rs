@@ -1,1 +1,456 @@
-//! Benchmark-only crate; see `benches/`.
+//! Minimal internal benchmarking harness — the workspace's `criterion`
+//! replacement, so `cargo bench` works offline with zero external crates.
+//!
+//! Each bench target is a plain binary (`harness = false` in
+//! `Cargo.toml`) built from [`bench_group!`] + [`bench_main!`]. The
+//! measurement protocol per benchmark:
+//!
+//! 1. **warmup** — run the closure for ~`warmup` wall time to stabilise
+//!    caches and frequency scaling;
+//! 2. **calibrate** — pick an iteration count per sample so one sample
+//!    takes ~`sample_time`;
+//! 3. **sample** — collect `sample_size` samples and report the
+//!    **median** per-iteration time (plus min/mean/max).
+//!
+//! Every run prints a human-readable line per benchmark and, at process
+//! exit, a JSON document on stdout (between `BENCH-JSON-BEGIN`/`END`
+//! markers) for machine consumption. Passing `--save <path>` (or setting
+//! `RAL_BENCH_JSON=<path>` in the environment) writes the JSON to a file
+//! instead.
+//!
+//! A benchmark name passed as a CLI argument filters (substring match),
+//! mirroring libtest: `cargo bench --bench figures -- fig5`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: its name and per-iteration statistics.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Full benchmark name (`group/function/param`).
+    pub name: String,
+    /// Samples actually collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Arithmetic mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+}
+
+/// Escapes `s` as a JSON string literal (quotes included). Rust's `{:?}`
+/// is close but not JSON: it renders non-ASCII as `\u{b5}`-style escapes
+/// that no JSON parser accepts.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"samples\":{},\"iters_per_sample\":{},\
+             \"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            json_string(&self.name),
+            self.samples,
+            self.iters_per_sample,
+            self.median.as_nanos(),
+            self.mean.as_nanos(),
+            self.min.as_nanos(),
+            self.max.as_nanos(),
+        )
+    }
+}
+
+/// Formats a duration the way humans read benchmark output.
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Names a benchmark within a group, optionally parameterised.
+///
+/// API-compatible with the criterion type of the same name for the two
+/// constructors the benches use.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (the group name already identifies the function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Hands the benchmark closure to the measurement loop.
+pub struct Bencher<'a> {
+    harness: &'a Harness,
+    sample_size: usize,
+    record: Option<Record>,
+    name: String,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`: warmup, calibration, then `sample_size`
+    /// samples whose median is reported.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup (and a first timing estimate).
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.harness.warmup {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() / u128::from(warmup_iters.max(1));
+
+        // Calibrate iterations per sample to ~sample_time.
+        let target = self.harness.sample_time.as_nanos();
+        let iters = ((target / per_iter.max(1)).min(u128::from(u64::MAX)) as u64).max(1);
+
+        let mut per_iter_times: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter_times.push(start.elapsed() / iters.try_into().unwrap_or(u32::MAX));
+        }
+        per_iter_times.sort_unstable();
+        let median = per_iter_times[per_iter_times.len() / 2];
+        let mean = per_iter_times.iter().sum::<Duration>() / per_iter_times.len() as u32;
+        self.record = Some(Record {
+            name: self.name.clone(),
+            samples: per_iter_times.len(),
+            iters_per_sample: iters,
+            median,
+            mean,
+            min: per_iter_times[0],
+            max: *per_iter_times.last().unwrap(),
+        });
+    }
+}
+
+/// Top-level harness state: configuration, the name filter, and every
+/// record measured so far.
+pub struct Harness {
+    warmup: Duration,
+    sample_time: Duration,
+    default_sample_size: usize,
+    filter: Option<String>,
+    save_path: Option<PathBuf>,
+    records: Vec<Record>,
+}
+
+/// Criterion-compatible alias so bench functions keep their
+/// `fn bench(c: &mut Criterion)` signatures.
+pub type Criterion = Harness;
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::from_args(std::env::args().skip(1))
+    }
+}
+
+impl Harness {
+    /// Builds a harness from CLI-style arguments (used by [`bench_main!`]).
+    ///
+    /// Recognised: `--save <path>` (JSON destination), `--quick` (fewer,
+    /// shorter samples), and a free-form substring filter. Flags libtest
+    /// passes to bench binaries (`--bench`, `--test`) are ignored.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var_os("RAL_BENCH_QUICK").is_some();
+        let mut save_path = std::env::var_os("RAL_BENCH_JSON").map(PathBuf::from);
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                "--save" => {
+                    if let Some(path) = args.next() {
+                        save_path = Some(PathBuf::from(path));
+                    }
+                }
+                "--quick" => quick = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Harness {
+            warmup: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(300)
+            },
+            sample_time: if quick {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(60)
+            },
+            default_sample_size: if quick { 5 } else { 21 },
+            filter,
+            save_path,
+            records: Vec::new(),
+        }
+    }
+
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: String, sample_size: usize, f: impl FnOnce(&mut Bencher<'_>)) {
+        if !self.wants(&name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            harness: self,
+            sample_size,
+            record: None,
+            name: name.clone(),
+        };
+        f(&mut bencher);
+        if let Some(record) = bencher.record {
+            eprintln!(
+                "bench {:<44} median {:>10}   (mean {}, {} samples x {} iters)",
+                record.name,
+                human(record.median),
+                human(record.mean),
+                record.samples,
+                record.iters_per_sample,
+            );
+            self.records.push(record);
+        }
+    }
+
+    /// Measures a single standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher<'_>)) {
+        self.run_one(name.to_string(), self.default_sample_size, f);
+    }
+
+    /// Opens a named group; benchmarks inside are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Renders all collected records as a JSON array.
+    pub fn json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            let _ = writeln!(out, "  {}{}", r.to_json(), sep);
+        }
+        out.push(']');
+        out
+    }
+
+    /// Emits the JSON report: to the `--save` path (or `RAL_BENCH_JSON`)
+    /// if given, else to stdout between explicit markers. Called once by
+    /// [`bench_main!`].
+    pub fn finalize(&self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let json = self.json();
+        match &self.save_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("warning: could not write {path:?}: {e}");
+                } else {
+                    eprintln!("wrote {} records to {path:?}", self.records.len());
+                }
+            }
+            None => {
+                println!("BENCH-JSON-BEGIN");
+                println!("{json}");
+                println!("BENCH-JSON-END");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group
+    /// (use a small count for expensive routines).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    /// Measures `group/id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher<'_>)) {
+        let name = format!("{}/{}", self.name, id.into().id);
+        let samples = self.sample_size.unwrap_or(self.harness.default_sample_size);
+        self.harness.run_one(name, samples, f);
+    }
+
+    /// Measures `group/id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for criterion source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group: a runner function calling each listed
+/// benchmark function in order. Drop-in for `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Harness) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary: builds a [`Harness`] from CLI
+/// args, runs the groups, and emits the JSON report. Drop-in for
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::Harness::default();
+            $( $group(&mut harness); )+
+            harness.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_harness() -> Harness {
+        let mut h = Harness::from_args(["--quick".to_string()]);
+        h.warmup = Duration::from_micros(200);
+        h.sample_time = Duration::from_micros(100);
+        h.default_sample_size = 3;
+        h
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut h = quiet_harness();
+        h.bench_function("tiny", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert_eq!(h.records.len(), 1);
+        let r = &h.records[0];
+        assert_eq!(r.name, "tiny");
+        assert!(r.min <= r.median && r.median <= r.max);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_respect_sample_size() {
+        let mut h = quiet_harness();
+        let mut g = h.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::from_parameter(32), &32u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        g.bench_function(BenchmarkId::new("f", 7), |b| b.iter(|| ()));
+        g.finish();
+        assert_eq!(h.records[0].name, "grp/32");
+        assert_eq!(h.records[0].samples, 5);
+        assert_eq!(h.records[1].name, "grp/f/7");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut h = quiet_harness();
+        h.filter = Some("keep".to_string());
+        h.bench_function("keep_this", |b| b.iter(|| ()));
+        h.bench_function("drop_this", |b| b.iter(|| ()));
+        assert_eq!(h.records.len(), 1);
+        assert_eq!(h.records[0].name, "keep_this");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+        // Non-ASCII passes through raw — valid JSON, unlike {:?}'s \u{b5}.
+        assert_eq!(json_string("5µs"), "\"5µs\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut h = quiet_harness();
+        h.bench_function("a", |b| b.iter(|| ()));
+        h.bench_function("b", |b| b.iter(|| ()));
+        let json = h.json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        assert_eq!(json.matches("median_ns").count(), 2);
+    }
+}

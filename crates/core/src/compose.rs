@@ -420,20 +420,14 @@ mod tests {
             OpRecord::new(ObjLabel::new(ObjId(1), L::Read(1)), ReplicaId(1)),
             [b],
         );
-        assert!(matches!(
-            search(&h, &spec),
-            SearchOutcome::Linearizable(_)
-        ));
+        assert!(matches!(search(&h, &spec), SearchOutcome::Linearizable(_)));
     }
 
     #[test]
     fn pair_spec_dispatches() {
         let spec = PairSpec::new(Ctr, Ctr);
         let st = spec.initial();
-        let st = spec
-            .step(&st, &EitherLabel::First(L::Inc))
-            .pop()
-            .unwrap();
+        let st = spec.step(&st, &EitherLabel::First(L::Inc)).pop().unwrap();
         assert_eq!(st, (1, 0));
         assert!(!spec
             .step(&st, &EitherLabel::<L, L>::Second(L::Read(0)))
@@ -530,9 +524,6 @@ mod tests {
     #[test]
     fn obj_label_kind_passthrough() {
         assert_eq!(ObjLabel::new(ObjId(0), L::Inc).kind(), Kind::Update);
-        assert_eq!(
-            EitherLabel::<L, L>::Second(L::Read(0)).kind(),
-            Kind::Query
-        );
+        assert_eq!(EitherLabel::<L, L>::Second(L::Read(0)).kind(), Kind::Query);
     }
 }

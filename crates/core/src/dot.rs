@@ -43,10 +43,7 @@ pub fn to_dot<L: Debug>(h: &History<L>) -> String {
     for b in 0..h.len() {
         for a in h.preds(b) {
             // Elide edges implied by transitivity, as the paper's figures do.
-            let redundant = h
-                .preds(b)
-                .iter()
-                .any(|m| m != a && h.sees(m, a));
+            let redundant = h.preds(b).iter().any(|m| m != a && h.sees(m, a));
             if !redundant {
                 let _ = writeln!(out, "  op{a} -> op{b};");
             }

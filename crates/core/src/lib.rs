@@ -14,6 +14,8 @@
 //!   (Section 3.1);
 //! * [`spec`] — sequential specifications as (possibly nondeterministic)
 //!   transition relations over abstract states (Section 3.2);
+//! * [`rng`] — deterministic, dependency-free randomness (the workspace's
+//!   `rand` replacement) plus the seeded property-test harness;
 //! * [`ralin`] — the RA-linearizability checker (Definition 3.5/3.7), both
 //!   brute-force over linear extensions and guided by the constructive
 //!   *execution-order* / *timestamp-order* strategies (Sections 4.1, 4.2);
@@ -73,6 +75,7 @@ pub mod ids;
 pub mod label;
 pub mod linearizability;
 pub mod ralin;
+pub mod rng;
 pub mod sessions;
 pub mod spec;
 pub mod timestamp;

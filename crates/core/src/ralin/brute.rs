@@ -142,11 +142,7 @@ pub fn search<S: Spec>(h: &History<S::Label>, spec: &S) -> SearchOutcome {
 }
 
 /// Searches for an RA-linearization, visiting at most `budget` search nodes.
-pub fn search_with_budget<S: Spec>(
-    h: &History<S::Label>,
-    spec: &S,
-    budget: u64,
-) -> SearchOutcome {
+pub fn search_with_budget<S: Spec>(h: &History<S::Label>, spec: &S, budget: u64) -> SearchOutcome {
     let mut s = Search {
         h,
         spec,
@@ -176,11 +172,7 @@ pub fn search_with_budget<S: Spec>(
 ///
 /// Returns `(count, completed)`; `completed` is `false` if the budget ran
 /// out. Useful for ablation benchmarks on the size of the witness space.
-pub fn count_linearizations<S: Spec>(
-    h: &History<S::Label>,
-    spec: &S,
-    budget: u64,
-) -> (u64, bool) {
+pub fn count_linearizations<S: Spec>(h: &History<S::Label>, spec: &S, budget: u64) -> (u64, bool) {
     struct Counter<'a, S: Spec> {
         inner: Search<'a, S>,
         count: u64,

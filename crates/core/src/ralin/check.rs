@@ -45,10 +45,9 @@ impl fmt::Display for Violation {
                 f,
                 "update projection rejected by the specification at operation {at}"
             ),
-            Violation::QueryNotJustified { query } => write!(
-                f,
-                "query {query} is not justified by its visible updates"
-            ),
+            Violation::QueryNotJustified { query } => {
+                write!(f, "query {query} is not justified by its visible updates")
+            }
         }
     }
 }
@@ -198,7 +197,10 @@ mod tests {
         let q = h.push(OpRecord::new(L::Read(vec![1]), r0()), [a]);
         assert_eq!(
             check_linearization(&h, &GSet, &[q, a]),
-            Err(Violation::InconsistentWithVisibility { earlier: a, later: q })
+            Err(Violation::InconsistentWithVisibility {
+                earlier: a,
+                later: q
+            })
         );
     }
 
@@ -281,9 +283,15 @@ mod tests {
     #[test]
     fn violation_display() {
         let v = Violation::QueryNotJustified { query: 3 };
-        assert_eq!(v.to_string(), "query 3 is not justified by its visible updates");
+        assert_eq!(
+            v.to_string(),
+            "query 3 is not justified by its visible updates"
+        );
         assert!(!Violation::NotAPermutation.to_string().is_empty());
-        let v = Violation::InconsistentWithVisibility { earlier: 1, later: 2 };
+        let v = Violation::InconsistentWithVisibility {
+            earlier: 1,
+            later: 2,
+        };
         assert!(v.to_string().contains("sees"));
         let v = Violation::UpdatesNotAdmitted { at: 0 };
         assert!(v.to_string().contains("rejected"));

@@ -53,7 +53,9 @@ impl<S: Spec> Clone for Frontier<'_, S> {
 
 impl<S: Spec> Debug for Frontier<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Frontier").field("states", &self.states).finish()
+        f.debug_struct("Frontier")
+            .field("states", &self.states)
+            .finish()
     }
 }
 

@@ -93,9 +93,7 @@ impl OpBased for OpCounter {
         match call {
             CounterCall::Inc => CounterOp::Inc,
             CounterCall::Dec => CounterOp::Dec,
-            CounterCall::Read => {
-                CounterOp::Read(ret.expect("read always returns a value"))
-            }
+            CounterCall::Read => CounterOp::Read(ret.expect("read always returns a value")),
         }
     }
 }
@@ -103,10 +101,9 @@ impl OpBased for OpCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use ral_core::ids::ReplicaId;
     use ral_core::label::Identity;
     use ral_core::ralin::ra_check;
-    use ral_core::ids::ReplicaId;
     use ral_runtime::op_based::Cluster;
     use ral_spec::counter::CounterSpec;
 

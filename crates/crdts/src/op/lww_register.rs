@@ -137,7 +137,6 @@ impl<E: Elem> OpBased for LwwRegister<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use ral_core::ids::ReplicaId;
     use ral_core::label::Identity;
     use ral_core::ralin::{ra_check, Strategy};
@@ -176,6 +175,7 @@ mod tests {
         let mut c = Cluster::new(LwwRegister::<u32>::new(), 2);
         c.invoke(r(0), RegCall::Write(1)); // ts 1@r0
         c.invoke(r(1), RegCall::Write(2)); // ts 1@r1 > 1@r0
+
         // Deliver r1's write to r0 first, then r0's old write to r1.
         let at_r0 = c.deliverable(r(0));
         c.deliver(r(0), at_r0[0]);

@@ -192,11 +192,8 @@ impl<E: Elem> OpBased for OrSet<E> {
                 GenOutcome::update(OrSetRet::Added(k), OrSetEff::Add(a.clone(), k))
             }
             OrSetCall::Remove(a) => {
-                let observed: BTreeSet<(E, Uid)> = state
-                    .iter()
-                    .filter(|(e, _)| e == a)
-                    .cloned()
-                    .collect();
+                let observed: BTreeSet<(E, Uid)> =
+                    state.iter().filter(|(e, _)| e == a).cloned().collect();
                 GenOutcome::update(
                     OrSetRet::Removed(observed.clone()),
                     OrSetEff::Remove(observed),
@@ -237,7 +234,6 @@ impl<E: Elem> OpBased for OrSet<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use ral_core::ids::ReplicaId;
     use ral_core::ralin::ra_check;
     use ral_runtime::op_based::Cluster;
@@ -296,8 +292,13 @@ mod tests {
             });
             assert!(c.converged());
             let h = c.into_history();
-            ra_check(&h, &OrSetRewrite::new(), &OrSetSpec::new(), OrSet::<u8>::STRATEGY)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            ra_check(
+                &h,
+                &OrSetRewrite::new(),
+                &OrSetSpec::new(),
+                OrSet::<u8>::STRATEGY,
+            )
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         }
     }
 

@@ -246,7 +246,6 @@ mod tests {
     use ral_runtime::op_based::Cluster;
     use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
     use ral_spec::addat::AddAt3Spec;
-    use rand::Rng;
 
     fn r(i: u32) -> ReplicaId {
         ReplicaId(i)

@@ -48,11 +48,7 @@ impl<E: Elem> WookiState<E> {
         match anchor {
             WookiAnchor::Begin => Some(0),
             WookiAnchor::End => Some(self.chars.len() + 1),
-            WookiAnchor::Elem(x) => self
-                .chars
-                .iter()
-                .position(|w| &w.value == x)
-                .map(|i| i + 1),
+            WookiAnchor::Elem(x) => self.chars.iter().position(|w| &w.value == x).map(|i| i + 1),
         }
     }
 
@@ -115,9 +111,7 @@ impl<E: Elem> WookiState<E> {
                 .map(|i| self.chars[i].degree)
                 .min()
                 .expect("non-empty gap");
-            let f: Vec<usize> = between
-                .filter(|&i| self.chars[i].degree == dmin)
-                .collect();
+            let f: Vec<usize> = between.filter(|&i| self.chars[i].degree == dmin).collect();
             if w.id < self.chars[f[0]].id {
                 wn = f[0] + 1;
                 continue;
@@ -305,9 +299,7 @@ impl<E: Elem> OpBased for Wooki<E> {
 
     fn label(&self, call: &WookiCall<E>, ret: &Option<Vec<E>>) -> WookiOp<E> {
         match call {
-            WookiCall::AddBetween(a, b, c) => {
-                WookiOp::AddBetween(a.clone(), b.clone(), c.clone())
-            }
+            WookiCall::AddBetween(a, b, c) => WookiOp::AddBetween(a.clone(), b.clone(), c.clone()),
             WookiCall::Remove(a) => WookiOp::Remove(a.clone()),
             WookiCall::Read => WookiOp::Read(ret.clone().expect("read returns the list")),
         }
@@ -323,7 +315,6 @@ mod tests {
     use ral_runtime::op_based::Cluster;
     use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
     use ral_spec::wooki::WookiSpec;
-    use rand::Rng;
 
     fn r(i: u32) -> ReplicaId {
         ReplicaId(i)
@@ -344,9 +335,12 @@ mod tests {
     #[test]
     fn sequential_inserts() {
         let mut c = Cluster::new(Wooki::<char>::new(), 1);
-        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end())).unwrap();
-        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'c', end())).unwrap();
-        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'b', el('c'))).unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end()))
+            .unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'c', end()))
+            .unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'b', el('c')))
+            .unwrap();
         let read = c.invoke(r(0), WookiCall::Read).unwrap();
         assert_eq!(read.ret, Some(vec!['a', 'b', 'c']));
     }
@@ -354,9 +348,12 @@ mod tests {
     #[test]
     fn concurrent_inserts_converge() {
         let mut c = Cluster::new(Wooki::<char>::new(), 3);
-        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end())).unwrap();
-        c.invoke(r(1), WookiCall::AddBetween(begin(), 'b', end())).unwrap();
-        c.invoke(r(2), WookiCall::AddBetween(begin(), 'c', end())).unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end()))
+            .unwrap();
+        c.invoke(r(1), WookiCall::AddBetween(begin(), 'b', end()))
+            .unwrap();
+        c.invoke(r(2), WookiCall::AddBetween(begin(), 'c', end()))
+            .unwrap();
         c.deliver_all();
         assert!(c.converged());
         // Everyone agrees on some order containing all three.
@@ -367,12 +364,16 @@ mod tests {
     #[test]
     fn insert_between_concurrent_bounds_stays_bounded() {
         let mut c = Cluster::new(Wooki::<char>::new(), 2);
-        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end())).unwrap();
-        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'z', end())).unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end()))
+            .unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'z', end()))
+            .unwrap();
         c.deliver_all();
         // Concurrently insert between a and z at both replicas.
-        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'm', el('z'))).unwrap();
-        c.invoke(r(1), WookiCall::AddBetween(el('a'), 'n', el('z'))).unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'm', el('z')))
+            .unwrap();
+        c.invoke(r(1), WookiCall::AddBetween(el('a'), 'n', el('z')))
+            .unwrap();
         c.deliver_all();
         assert!(c.converged());
         let read = c.invoke(r(0), WookiCall::Read).unwrap().ret.unwrap();
@@ -384,11 +385,13 @@ mod tests {
     #[test]
     fn remove_hides_but_keeps_anchor() {
         let mut c = Cluster::new(Wooki::<char>::new(), 2);
-        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end())).unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end()))
+            .unwrap();
         c.deliver_all();
         c.invoke(r(0), WookiCall::Remove('a')).unwrap();
         // Concurrent insert anchored at the removed element still works.
-        c.invoke(r(1), WookiCall::AddBetween(el('a'), 'b', end())).unwrap();
+        c.invoke(r(1), WookiCall::AddBetween(el('a'), 'b', end()))
+            .unwrap();
         c.deliver_all();
         assert!(c.converged());
         let read = c.invoke(r(0), WookiCall::Read).unwrap();
@@ -398,14 +401,24 @@ mod tests {
     #[test]
     fn preconditions_refuse_bad_calls() {
         let mut c = Cluster::new(Wooki::<char>::new(), 1);
-        assert!(c.invoke(r(0), WookiCall::AddBetween(end(), 'a', end())).is_none());
-        assert!(c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', begin())).is_none());
+        assert!(c
+            .invoke(r(0), WookiCall::AddBetween(end(), 'a', end()))
+            .is_none());
+        assert!(c
+            .invoke(r(0), WookiCall::AddBetween(begin(), 'a', begin()))
+            .is_none());
         assert!(c.invoke(r(0), WookiCall::Remove('z')).is_none());
-        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end())).unwrap();
-        assert!(c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end())).is_none());
-        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'b', end())).unwrap();
+        c.invoke(r(0), WookiCall::AddBetween(begin(), 'a', end()))
+            .unwrap();
+        assert!(c
+            .invoke(r(0), WookiCall::AddBetween(begin(), 'a', end()))
+            .is_none());
+        c.invoke(r(0), WookiCall::AddBetween(el('a'), 'b', end()))
+            .unwrap();
         // anchors out of order
-        assert!(c.invoke(r(0), WookiCall::AddBetween(el('b'), 'x', el('a'))).is_none());
+        assert!(c
+            .invoke(r(0), WookiCall::AddBetween(el('b'), 'x', el('a')))
+            .is_none());
     }
 
     /// Small random runs (the nondeterministic specification makes checking

@@ -264,7 +264,6 @@ impl<E: Elem> LocalEffector for LwwElementSet<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use ral_core::label::Identity;
     use ral_core::ralin::ra_check;
     use ral_runtime::schedule::{drive_state_based, ScheduleConfig};
@@ -326,8 +325,13 @@ mod tests {
             assert!(c.converged());
             assert!(c.check_lattice_laws());
             let h = c.into_history();
-            ra_check(&h, &Identity, &SetSpec::new(), LwwElementSet::<u8>::STRATEGY)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            ra_check(
+                &h,
+                &Identity,
+                &SetSpec::new(),
+                LwwElementSet::<u8>::STRATEGY,
+            )
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         }
     }
 

@@ -230,7 +230,6 @@ impl<E: Elem> LocalEffector for MvRegister<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use ral_core::label::Identity;
     use ral_core::ralin::ra_check;
     use ral_runtime::schedule::{drive_state_based, ScheduleConfig};

@@ -124,8 +124,7 @@ impl StateBased for PnCounter {
     }
 
     fn leq(&self, a: &PnState, b: &PnState) -> bool {
-        a.p.iter().zip(&b.p).all(|(x, y)| x <= y)
-            && a.n.iter().zip(&b.n).all(|(x, y)| x <= y)
+        a.p.iter().zip(&b.p).all(|(x, y)| x <= y) && a.n.iter().zip(&b.n).all(|(x, y)| x <= y)
     }
 
     fn label(&self, call: &PnCall, ret: &Option<i64>) -> CounterOp {
@@ -176,7 +175,6 @@ impl LocalEffector for PnCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use ral_core::label::Identity;
     use ral_core::ralin::ra_check;
     use ral_runtime::schedule::{drive_state_based, ScheduleConfig};
@@ -190,10 +188,22 @@ mod tests {
     #[test]
     fn merge_takes_pointwise_max() {
         let c = PnCounter;
-        let a = PnState { p: vec![3, 0], n: vec![1, 0] };
-        let b = PnState { p: vec![1, 2], n: vec![0, 1] };
+        let a = PnState {
+            p: vec![3, 0],
+            n: vec![1, 0],
+        };
+        let b = PnState {
+            p: vec![1, 2],
+            n: vec![0, 1],
+        };
         let m = c.merge(&a, &b);
-        assert_eq!(m, PnState { p: vec![3, 2], n: vec![1, 1] });
+        assert_eq!(
+            m,
+            PnState {
+                p: vec![3, 2],
+                n: vec![1, 1]
+            }
+        );
         assert!(c.leq(&a, &m));
         assert!(c.leq(&b, &m));
         assert!(!c.leq(&m, &a));

@@ -220,7 +220,6 @@ impl<E: Elem> LocalEffector for TwoPhaseSet<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use ral_core::label::Identity;
     use ral_core::ralin::ra_check;
     use ral_runtime::schedule::{drive_state_based, ScheduleConfig};
@@ -262,8 +261,11 @@ mod tests {
         for seed in 0..20 {
             let mut c = StateCluster::new(TwoPhaseSet::<u16>::new(), 3);
             let mut next: u16 = 0;
-            drive_state_based(&mut c, &ScheduleConfig::default(), seed, |rng, _, state| {
-                match rng.random_range(0..4u8) {
+            drive_state_based(
+                &mut c,
+                &ScheduleConfig::default(),
+                seed,
+                |rng, _, state| match rng.random_range(0..4u8) {
                     0 | 1 => {
                         next += 1;
                         Some(TwoPCall::Add(next))
@@ -277,8 +279,8 @@ mod tests {
                         }
                     }
                     _ => Some(TwoPCall::Read),
-                }
-            });
+                },
+            );
             assert!(c.converged());
             assert!(c.check_lattice_laws());
             let h = c.into_history();

@@ -204,12 +204,9 @@ impl<C: OpBased> MultiCluster<C> {
             );
             (d.op, d.obj)
         };
-        let same_obj_causal = self
-            .history
-            .preds(op)
-            .iter()
-            .all(|p| self.history.label(p).obj.0 as usize != obj
-                || self.replicas[idx].seen.contains(p));
+        let same_obj_causal = self.history.preds(op).iter().all(|p| {
+            self.history.label(p).obj.0 as usize != obj || self.replicas[idx].seen.contains(p)
+        });
         assert!(
             same_obj_causal,
             "causal delivery violated for object o{obj} at {r}"

@@ -282,9 +282,7 @@ impl<C: OpBased> Cluster<C> {
     /// Returns `true` if all replicas are in the same state (strong eventual
     /// consistency requires this once every effector is delivered).
     pub fn converged(&self) -> bool {
-        self.replicas
-            .windows(2)
-            .all(|w| w[0].state == w[1].state)
+        self.replicas.windows(2).all(|w| w[0].state == w[1].state)
     }
 
     /// The history index of pending delivery `d`.

@@ -10,8 +10,7 @@ use crate::multi::MultiCluster;
 use crate::op_based::{Cluster, OpBased};
 use crate::state_based::{StateBased, StateCluster};
 use ral_core::ids::{ObjId, ReplicaId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ral_core::rng::Rng;
 
 /// Knobs for a random schedule.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +37,7 @@ impl Default for ScheduleConfig {
     }
 }
 
-fn pick_replica(rng: &mut StdRng, n: usize) -> ReplicaId {
+fn pick_replica(rng: &mut Rng, n: usize) -> ReplicaId {
     ReplicaId(rng.random_range(0..n) as u32)
 }
 
@@ -54,9 +53,9 @@ pub fn drive_op_based<C, F>(
     mut call_gen: F,
 ) where
     C: OpBased,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total = cfg.invoke_weight + cfg.deliver_weight;
     assert!(total > 0, "at least one action must have non-zero weight");
     for _ in 0..cfg.steps {
@@ -87,9 +86,9 @@ pub fn drive_multi<C, F>(
     mut call_gen: F,
 ) where
     C: OpBased,
-    F: FnMut(&mut StdRng, ReplicaId, ObjId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, ObjId, &C::State) -> Option<C::Call>,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total = cfg.invoke_weight + cfg.deliver_weight;
     assert!(total > 0, "at least one action must have non-zero weight");
     for _ in 0..cfg.steps {
@@ -122,9 +121,9 @@ pub fn drive_state_based<C, F>(
     mut call_gen: F,
 ) where
     C: StateBased,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total = cfg.invoke_weight + cfg.deliver_weight;
     assert!(total > 0, "at least one action must have non-zero weight");
     for _ in 0..cfg.steps {
@@ -185,9 +184,9 @@ pub fn drive_op_based_partitioned<C, F>(
     mut call_gen: F,
 ) where
     C: OpBased,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total = cfg.invoke_weight + cfg.deliver_weight;
     assert!(total > 0, "at least one action must have non-zero weight");
     for _ in 0..cfg.steps {

@@ -224,9 +224,7 @@ impl<C: StateBased> StateCluster<C> {
 
     /// Returns `true` if all replicas hold the same state.
     pub fn converged(&self) -> bool {
-        self.replicas
-            .windows(2)
-            .all(|w| w[0].state == w[1].state)
+        self.replicas.windows(2).all(|w| w[0].state == w[1].state)
     }
 
     /// Checks the lattice laws on the current replica states: merge is

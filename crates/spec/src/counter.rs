@@ -68,7 +68,12 @@ mod tests {
     fn inc_dec_read() {
         assert!(admits(
             &CounterSpec,
-            &[CounterOp::Inc, CounterOp::Read(1), CounterOp::Dec, CounterOp::Read(0)]
+            &[
+                CounterOp::Inc,
+                CounterOp::Read(1),
+                CounterOp::Dec,
+                CounterOp::Read(0)
+            ]
         ));
     }
 

@@ -215,7 +215,10 @@ mod tests {
         assert!(vv_lt(&vec![1, 2], &vec![2, 2]));
         assert!(!vv_leq(&vec![1, 2], &vec![2, 1]));
         assert!(!vv_lt(&vec![1, 2], &vec![1, 2]));
-        assert!(!vv_leq(&vec![1], &vec![1, 2]), "length mismatch is incomparable");
+        assert!(
+            !vv_leq(&vec![1], &vec![1, 2]),
+            "length mismatch is incomparable"
+        );
     }
 
     #[test]

@@ -190,11 +190,7 @@ impl<E: Elem> Spec for OrSetSpec<E> {
                 vec![next]
             }
             OrSetOp::ReadIds(a, s) => {
-                let expect: Self::State = state
-                    .iter()
-                    .filter(|(e, _)| e == a)
-                    .cloned()
-                    .collect();
+                let expect: Self::State = state.iter().filter(|(e, _)| e == a).cloned().collect();
                 if &expect == s {
                     vec![state.clone()]
                 } else {

@@ -229,7 +229,10 @@ mod tests {
     fn sentinel_misuse_rejected() {
         let spec = WookiSpec::new();
         assert!(!admits(&spec, &[WookiOp::AddBetween(end(), 'a', end())]));
-        assert!(!admits(&spec, &[WookiOp::AddBetween(begin(), 'a', begin())]));
+        assert!(!admits(
+            &spec,
+            &[WookiOp::AddBetween(begin(), 'a', begin())]
+        ));
     }
 
     #[test]

@@ -254,9 +254,7 @@ pub fn check_wooki_linearization<E: Elem>(
 /// # Errors
 ///
 /// Propagates the violation from [`check_wooki_linearization`].
-pub fn check_wooki_guided<E: Elem>(
-    h: &History<WookiOp<E>>,
-) -> Result<Linearization, Violation> {
+pub fn check_wooki_guided<E: Elem>(h: &History<WookiOp<E>>) -> Result<Linearization, Violation> {
     let order: Vec<usize> = (0..h.len()).collect();
     check_wooki_linearization(h, &order)?;
     Ok(Linearization { order })
@@ -287,8 +285,14 @@ mod tests {
     #[test]
     fn accepts_reads_within_constraints() {
         let mut h = History::new();
-        let a = h.push(OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)), []);
-        let b = h.push(OpRecord::new(WookiOp::AddBetween(begin(), 'b', end()), r(1)), []);
+        let a = h.push(
+            OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)),
+            [],
+        );
+        let b = h.push(
+            OpRecord::new(WookiOp::AddBetween(begin(), 'b', end()), r(1)),
+            [],
+        );
         // A read seeing both may return either order.
         for view in [vec!['a', 'b'], vec!['b', 'a']] {
             let mut h2 = h.clone();
@@ -300,7 +304,10 @@ mod tests {
     #[test]
     fn rejects_reads_outside_constraints() {
         let mut h = History::new();
-        let a = h.push(OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)), []);
+        let a = h.push(
+            OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)),
+            [],
+        );
         let b = h.push(
             OpRecord::new(WookiOp::AddBetween(el('a'), 'b', end()), r(0)),
             [a],
@@ -318,7 +325,10 @@ mod tests {
         // a < x < b with x removed: reads of [a, b] are justified even
         // though x sits between them in every arrangement.
         let mut h = History::new();
-        let a = h.push(OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)), []);
+        let a = h.push(
+            OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)),
+            [],
+        );
         let x = h.push(
             OpRecord::new(WookiOp::AddBetween(el('a'), 'x', end()), r(0)),
             [a],
@@ -339,7 +349,10 @@ mod tests {
     fn rejects_cyclic_updates() {
         // addBetween(b, x, a) with b constrained after a: infeasible.
         let mut h = History::new();
-        let a = h.push(OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)), []);
+        let a = h.push(
+            OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)),
+            [],
+        );
         let b = h.push(
             OpRecord::new(WookiOp::AddBetween(el('a'), 'b', end()), r(0)),
             [a],
@@ -366,7 +379,10 @@ mod tests {
             Err(Violation::UpdatesNotAdmitted { at: bad })
         );
         let mut h = History::new();
-        let a = h.push(OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)), []);
+        let a = h.push(
+            OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(0)),
+            [],
+        );
         let dup = h.push(
             OpRecord::new(WookiOp::AddBetween(begin(), 'a', end()), r(1)),
             [a],
@@ -381,7 +397,10 @@ mod tests {
     fn greedy_emits_tombstoned_ancestors_in_order() {
         // begin < x < y < b (x, y removed); read [b] must emit x, y first.
         let mut h = History::new();
-        let x = h.push(OpRecord::new(WookiOp::AddBetween(begin(), 'x', end()), r(0)), []);
+        let x = h.push(
+            OpRecord::new(WookiOp::AddBetween(begin(), 'x', end()), r(0)),
+            [],
+        );
         let y = h.push(
             OpRecord::new(WookiOp::AddBetween(el('x'), 'y', end()), r(0)),
             [x],

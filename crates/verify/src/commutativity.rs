@@ -10,9 +10,8 @@
 //! application orders must yield the same state.
 
 use crate::report::Report;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ral_core::ids::ReplicaId;
+use ral_core::rng::Rng;
 use ral_runtime::op_based::{Cluster, OpBased};
 use std::ops::Range;
 
@@ -31,12 +30,12 @@ pub fn check_op_based<C, F>(
 ) -> Report
 where
     C: OpBased + Clone,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
     let mut report = Report::new("Commutativity");
     for seed in seeds {
         let mut cluster = Cluster::new(crdt.clone(), n_replicas);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..steps {
             let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
             if rng.random_bool(0.6) {
@@ -74,8 +73,7 @@ fn check_pending_pairs<C: OpBased>(cluster: &Cluster<C>, report: &mut Report) {
                     h.concurrent(op1, op2),
                     "simultaneously deliverable effectors must be concurrent"
                 );
-                let (Some(e1), Some(e2)) =
-                    (cluster.delivery_eff(d1), cluster.delivery_eff(d2))
+                let (Some(e1), Some(e2)) = (cluster.delivery_eff(d1), cluster.delivery_eff(d2))
                 else {
                     continue; // identity effectors trivially commute
                 };

@@ -9,9 +9,8 @@
 //! every intermediate instant.
 
 use crate::report::Report;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ral_core::ids::ReplicaId;
+use ral_core::rng::Rng;
 use ral_runtime::op_based::{Cluster, OpBased};
 use ral_runtime::state_based::{StateBased, StateCluster};
 use std::ops::Range;
@@ -28,12 +27,12 @@ pub fn check_op_based<C, F>(
 ) -> Report
 where
     C: OpBased + Clone,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
     let mut report = Report::new("StrongEventualConsistency");
     for seed in seeds {
         let mut cluster = Cluster::new(crdt.clone(), n_replicas);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..steps {
             let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
             if rng.random_bool(0.6) {
@@ -88,12 +87,12 @@ pub fn check_state_based<C, F>(
 ) -> Report
 where
     C: StateBased + Clone,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
     let mut report = Report::new("StrongEventualConsistency");
     for seed in seeds {
         let mut cluster = StateCluster::new(crdt.clone(), n_replicas);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..steps {
             let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
             match rng.random_range(0..4u8) {

@@ -15,10 +15,9 @@
 //! every generator execution and every effector delivery.
 
 use crate::report::Report;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ral_core::ids::ReplicaId;
 use ral_core::label::{Rewrite, Rewritten, SpecLabel};
+use ral_core::rng::Rng;
 use ral_core::spec::Spec;
 use ral_core::timestamp::Ts;
 use ral_runtime::op_based::{Cluster, OpBased};
@@ -58,7 +57,7 @@ where
     R: Rewrite<C::Label, Out = S::Label>,
     FA: Fn(&C::State) -> S::State,
     FT: Fn(&C::State) -> Vec<Ts>,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
     let name = match mode {
         Mode::Plain => "Refinement",
@@ -67,7 +66,7 @@ where
     let mut report = Report::new(name);
     for seed in seeds.clone() {
         let mut cluster = Cluster::new(crdt.clone(), n_replicas);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..steps {
             let r = ReplicaId(rng.random_range(0..n_replicas) as u32);
             if rng.random_bool(0.6) {
@@ -81,7 +80,13 @@ where
                 let after = cluster.state(r).clone();
                 let label = cluster.history().label(inv.op).clone();
                 check_generator_and_origin_effector::<C, S, R, FA>(
-                    spec, rewrite, &abs, &label, &before, &after, &mut report,
+                    spec,
+                    rewrite,
+                    &abs,
+                    &label,
+                    &before,
+                    &after,
+                    &mut report,
                 );
             } else {
                 let ds = cluster.deliverable(r);

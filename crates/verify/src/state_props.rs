@@ -16,9 +16,8 @@
 //! operations (Lemma E.2).
 
 use crate::report::Report;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ral_core::ids::ReplicaId;
+use ral_core::rng::Rng;
 use ral_crdts::state::local::{EffectorClass, LocalEffector};
 use ral_runtime::state_based::StateCluster;
 use std::ops::Range;
@@ -38,12 +37,12 @@ pub fn check_state_based<C, F>(
 ) -> Report
 where
     C: LocalEffector + Clone,
-    F: FnMut(&mut StdRng, ReplicaId, &C::State) -> Option<C::Call>,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
     let mut report = Report::new("Prop1-Prop6");
     for seed in seeds {
         let mut cluster = StateCluster::new(crdt.clone(), n_replicas);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Sampled reachable states and the args of all update operations.
         let mut states: Vec<C::State> = vec![cluster.state(ReplicaId(0)).clone()];
         let mut args: Vec<(usize, C::Arg)> = Vec::new();
@@ -118,8 +117,7 @@ fn check_prop1<C: LocalEffector>(
         for (op2, a2) in &args[i + 1..] {
             // Prop1 restricts to concurrent operations for the
             // uniquely-identified class; Prop1' is unconditional.
-            if crdt.class() == EffectorClass::UniquelyIdentified
-                && !history.concurrent(*op1, *op2)
+            if crdt.class() == EffectorClass::UniquelyIdentified && !history.concurrent(*op1, *op2)
             {
                 continue;
             }

@@ -29,9 +29,7 @@ use ral_crdts::state::mv_register::MvRegister;
 use ral_crdts::state::pn_counter::PnCounter;
 use ral_crdts::state::two_phase_set::TwoPhaseSet;
 use ral_runtime::op_based::Cluster;
-use ral_runtime::schedule::{
-    drive_op_based, drive_state_based, ScheduleConfig,
-};
+use ral_runtime::schedule::{drive_op_based, drive_state_based, ScheduleConfig};
 use ral_runtime::state_based::StateCluster;
 use ral_spec::counter::CounterSpec;
 use ral_spec::register::{MvRegSpec, RegSpec};
@@ -62,9 +60,7 @@ pub struct Fig12Row {
 impl Fig12Row {
     /// Returns `true` if every obligation and every history check passed.
     pub fn verified(&self) -> bool {
-        self.history_failures == 0
-            && self.histories > 0
-            && self.obligations.iter().all(Report::ok)
+        self.history_failures == 0 && self.histories > 0 && self.obligations.iter().all(Report::ok)
     }
 }
 
@@ -96,9 +92,13 @@ where
 /// Counter (Shapiro et al. 2011) — OB, EO.
 pub fn counter_row(histories: u64, seed0: u64) -> Fig12Row {
     let obligations = vec![
-        commutativity::check_op_based(OpCounter, N_REPLICAS, STEPS, OBLIGATION_SEEDS, |rng, _, _| {
-            Some(workloads::counter(rng))
-        }),
+        commutativity::check_op_based(
+            OpCounter,
+            N_REPLICAS,
+            STEPS,
+            OBLIGATION_SEEDS,
+            |rng, _, _| Some(workloads::counter(rng)),
+        ),
         refinement::check_op_based(
             OpCounter,
             &CounterSpec,
@@ -111,15 +111,22 @@ pub fn counter_row(histories: u64, seed0: u64) -> Fig12Row {
             OBLIGATION_SEEDS,
             |rng, _, _| Some(workloads::counter(rng)),
         ),
-        convergence::check_op_based(OpCounter, N_REPLICAS, STEPS, OBLIGATION_SEEDS, |rng, _, _| {
-            Some(workloads::counter(rng))
-        }),
+        convergence::check_op_based(
+            OpCounter,
+            N_REPLICAS,
+            STEPS,
+            OBLIGATION_SEEDS,
+            |rng, _, _| Some(workloads::counter(rng)),
+        ),
     ];
     let runs = (0..histories).map(|i| {
         let mut c = Cluster::new(OpCounter, N_REPLICAS);
-        drive_op_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, _| {
-            Some(workloads::counter(rng))
-        });
+        drive_op_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, _| Some(workloads::counter(rng)),
+        );
         c.into_history()
     });
     let (histories, history_failures) =
@@ -138,18 +145,29 @@ pub fn counter_row(histories: u64, seed0: u64) -> Fig12Row {
 /// PN-Counter (Shapiro et al. 2011) — SB, EO.
 pub fn pn_counter_row(histories: u64, seed0: u64) -> Fig12Row {
     let obligations = vec![
-        state_props::check_state_based(PnCounter, N_REPLICAS, STEPS, OBLIGATION_SEEDS, |rng, _, _| {
-            Some(workloads::pn_counter(rng))
-        }),
-        convergence::check_state_based(PnCounter, N_REPLICAS, STEPS, OBLIGATION_SEEDS, |rng, _, _| {
-            Some(workloads::pn_counter(rng))
-        }),
+        state_props::check_state_based(
+            PnCounter,
+            N_REPLICAS,
+            STEPS,
+            OBLIGATION_SEEDS,
+            |rng, _, _| Some(workloads::pn_counter(rng)),
+        ),
+        convergence::check_state_based(
+            PnCounter,
+            N_REPLICAS,
+            STEPS,
+            OBLIGATION_SEEDS,
+            |rng, _, _| Some(workloads::pn_counter(rng)),
+        ),
     ];
     let runs = (0..histories).map(|i| {
         let mut c = StateCluster::new(PnCounter, N_REPLICAS);
-        drive_state_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, _| {
-            Some(workloads::pn_counter(rng))
-        });
+        drive_state_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, _| Some(workloads::pn_counter(rng)),
+        );
         c.into_history()
     });
     let (histories, history_failures) =
@@ -197,13 +215,20 @@ pub fn lww_register_row(histories: u64, seed0: u64) -> Fig12Row {
     ];
     let runs = (0..histories).map(|i| {
         let mut c = Cluster::new(LwwRegister::<u8>::new(), N_REPLICAS);
-        drive_op_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, _| {
-            Some(workloads::lww_register(rng))
-        });
+        drive_op_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, _| Some(workloads::lww_register(rng)),
+        );
         c.into_history()
     });
-    let (histories, history_failures) =
-        check_histories(runs, &Identity, &RegSpec::new(), LwwRegister::<u8>::STRATEGY);
+    let (histories, history_failures) = check_histories(
+        runs,
+        &Identity,
+        &RegSpec::new(),
+        LwwRegister::<u8>::STRATEGY,
+    );
     Fig12Row {
         name: "LWW-Register",
         source: "[Johnson and Thomas 1975]",
@@ -235,9 +260,12 @@ pub fn mv_register_row(histories: u64, seed0: u64) -> Fig12Row {
     ];
     let runs = (0..histories).map(|i| {
         let mut c = StateCluster::new(MvRegister::<u8>::new(), N_REPLICAS);
-        drive_state_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, _| {
-            Some(workloads::mv_register(rng))
-        });
+        drive_state_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, _| Some(workloads::mv_register(rng)),
+        );
         c.into_history()
     });
     let (histories, history_failures) = check_histories(
@@ -277,9 +305,12 @@ pub fn lww_element_set_row(histories: u64, seed0: u64) -> Fig12Row {
     ];
     let runs = (0..histories).map(|i| {
         let mut c = StateCluster::new(LwwElementSet::<u8>::new(), N_REPLICAS);
-        drive_state_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, _| {
-            Some(workloads::lww_element_set(rng))
-        });
+        drive_state_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, _| Some(workloads::lww_element_set(rng)),
+        );
         c.into_history()
     });
     let (histories, history_failures) = check_histories(
@@ -322,9 +353,12 @@ pub fn two_phase_set_row(histories: u64, seed0: u64) -> Fig12Row {
     let runs = (0..histories).map(|i| {
         let mut c = StateCluster::new(TwoPhaseSet::<u16>::new(), N_REPLICAS);
         let mut next = 0;
-        drive_state_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, st| {
-            workloads::two_phase_set(rng, st, &mut next)
-        });
+        drive_state_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, st| workloads::two_phase_set(rng, st, &mut next),
+        );
         c.into_history()
     });
     let (histories, history_failures) = check_histories(
@@ -376,9 +410,12 @@ pub fn or_set_row(histories: u64, seed0: u64) -> Fig12Row {
     ];
     let runs = (0..histories).map(|i| {
         let mut c = Cluster::new(OrSet::<u8>::new(), N_REPLICAS);
-        drive_op_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, _| {
-            Some(workloads::or_set(rng))
-        });
+        drive_op_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, _| Some(workloads::or_set(rng)),
+        );
         c.into_history()
     });
     let (histories, history_failures) = check_histories(
@@ -401,16 +438,10 @@ pub fn or_set_row(histories: u64, seed0: u64) -> Fig12Row {
 /// RGA (Roh et al. 2011) — OB, TO.
 pub fn rga_row(histories: u64, seed0: u64) -> Fig12Row {
     let obligations = vec![
-        commutativity::check_op_based(
-            Rga::<u16>::new(),
-            N_REPLICAS,
-            STEPS,
-            OBLIGATION_SEEDS,
-            {
-                let mut next = 0;
-                move |rng, _, st| workloads::rga(rng, st, &mut next)
-            },
-        ),
+        commutativity::check_op_based(Rga::<u16>::new(), N_REPLICAS, STEPS, OBLIGATION_SEEDS, {
+            let mut next = 0;
+            move |rng, _, st| workloads::rga(rng, st, &mut next)
+        }),
         refinement::check_op_based(
             Rga::<u16>::new(),
             &RgaSpec::new(),
@@ -434,9 +465,12 @@ pub fn rga_row(histories: u64, seed0: u64) -> Fig12Row {
     let runs = (0..histories).map(|i| {
         let mut c = Cluster::new(Rga::<u16>::new(), N_REPLICAS);
         let mut next = 0;
-        drive_op_based(&mut c, &ScheduleConfig::default(), seed0 + i, |rng, _, st| {
-            workloads::rga(rng, st, &mut next)
-        });
+        drive_op_based(
+            &mut c,
+            &ScheduleConfig::default(),
+            seed0 + i,
+            |rng, _, st| workloads::rga(rng, st, &mut next),
+        );
         c.into_history()
     });
     let (histories, history_failures) =
@@ -463,16 +497,10 @@ pub fn wooki_row(histories: u64, seed0: u64) -> Fig12Row {
         final_sync: true,
     };
     let obligations = vec![
-        commutativity::check_op_based(
-            Wooki::<u16>::new(),
-            N_REPLICAS,
-            24,
-            OBLIGATION_SEEDS,
-            {
-                let mut next = 0;
-                move |rng, _, st| workloads::wooki(rng, st, &mut next, 10)
-            },
-        ),
+        commutativity::check_op_based(Wooki::<u16>::new(), N_REPLICAS, 24, OBLIGATION_SEEDS, {
+            let mut next = 0;
+            move |rng, _, st| workloads::wooki(rng, st, &mut next, 10)
+        }),
         refinement::check_op_based(
             Wooki::<u16>::new(),
             &WookiSpec::new(),
@@ -577,8 +605,15 @@ mod tests {
         let table = render_fig12(&rows);
         // The paper's Figure 12 classification, row by row.
         for expected in [
-            "Counter", "PN-Counter", "LWW-Register", "Multi-Value Reg.",
-            "LWW-Element Set", "2P-Set", "OR-Set", "RGA", "Wooki",
+            "Counter",
+            "PN-Counter",
+            "LWW-Register",
+            "Multi-Value Reg.",
+            "LWW-Element Set",
+            "2P-Set",
+            "OR-Set",
+            "RGA",
+            "Wooki",
         ] {
             assert!(table.contains(expected), "missing row {expected}");
         }

@@ -4,8 +4,7 @@
 //! state; they respect the client obligations the paper assumes (fresh list
 //! elements, no double 2P-Set adds, anchors taken from the local view).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use ral_core::rng::Rng;
 use ral_crdts::op::counter::CounterCall;
 use ral_crdts::op::lww_register::RegCall;
 use ral_crdts::op::or_set::OrSetCall;
@@ -20,7 +19,7 @@ use ral_spec::rga::Anchor;
 use ral_spec::wooki::WookiAnchor;
 
 /// Counter workload: inc/dec/read.
-pub fn counter(rng: &mut StdRng) -> CounterCall {
+pub fn counter(rng: &mut Rng) -> CounterCall {
     match rng.random_range(0..3u8) {
         0 => CounterCall::Inc,
         1 => CounterCall::Dec,
@@ -29,7 +28,7 @@ pub fn counter(rng: &mut StdRng) -> CounterCall {
 }
 
 /// LWW-Register workload over a small value domain.
-pub fn lww_register(rng: &mut StdRng) -> RegCall<u8> {
+pub fn lww_register(rng: &mut Rng) -> RegCall<u8> {
     if rng.random_bool(0.5) {
         RegCall::Write(rng.random_range(0..4))
     } else {
@@ -38,7 +37,7 @@ pub fn lww_register(rng: &mut StdRng) -> RegCall<u8> {
 }
 
 /// OR-Set workload over a small element domain (collisions intended).
-pub fn or_set(rng: &mut StdRng) -> OrSetCall<u8> {
+pub fn or_set(rng: &mut Rng) -> OrSetCall<u8> {
     match rng.random_range(0..4u8) {
         0 | 1 => OrSetCall::Add(rng.random_range(0..3)),
         2 => OrSetCall::Remove(rng.random_range(0..3)),
@@ -48,7 +47,7 @@ pub fn or_set(rng: &mut StdRng) -> OrSetCall<u8> {
 
 /// RGA workload: fresh elements, anchors picked from the local view.
 /// `next` supplies globally fresh element names.
-pub fn rga(rng: &mut StdRng, state: &RgaState<u16>, next: &mut u16) -> Option<RgaCall<u16>> {
+pub fn rga(rng: &mut Rng, state: &RgaState<u16>, next: &mut u16) -> Option<RgaCall<u16>> {
     let roll: u8 = rng.random_range(0..10);
     if roll < 5 {
         let visible = state.visible();
@@ -72,11 +71,7 @@ pub fn rga(rng: &mut StdRng, state: &RgaState<u16>, next: &mut u16) -> Option<Rg
 }
 
 /// RGA-addAt workload: fresh elements, arbitrary indices.
-pub fn rga_addat(
-    rng: &mut StdRng,
-    state: &RgaState<u16>,
-    next: &mut u16,
-) -> Option<AddAtCall<u16>> {
+pub fn rga_addat(rng: &mut Rng, state: &RgaState<u16>, next: &mut u16) -> Option<AddAtCall<u16>> {
     let roll: u8 = rng.random_range(0..10);
     if roll < 5 {
         *next += 1;
@@ -86,7 +81,9 @@ pub fn rga_addat(
         if visible.is_empty() {
             None
         } else {
-            Some(AddAtCall::Remove(visible[rng.random_range(0..visible.len())]))
+            Some(AddAtCall::Remove(
+                visible[rng.random_range(0..visible.len())],
+            ))
         }
     } else {
         Some(AddAtCall::Read)
@@ -97,7 +94,7 @@ pub fn rga_addat(
 /// `limit` caps insertions (the nondeterministic specification makes
 /// checking exponential in concurrent inserts).
 pub fn wooki(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     state: &WookiState<u16>,
     next: &mut u16,
     limit: u16,
@@ -137,7 +134,7 @@ pub fn wooki(
 }
 
 /// PN-Counter workload.
-pub fn pn_counter(rng: &mut StdRng) -> PnCall {
+pub fn pn_counter(rng: &mut Rng) -> PnCall {
     match rng.random_range(0..3u8) {
         0 => PnCall::Inc,
         1 => PnCall::Dec,
@@ -146,7 +143,7 @@ pub fn pn_counter(rng: &mut StdRng) -> PnCall {
 }
 
 /// MV-Register workload.
-pub fn mv_register(rng: &mut StdRng) -> MvCall<u8> {
+pub fn mv_register(rng: &mut Rng) -> MvCall<u8> {
     if rng.random_bool(0.55) {
         MvCall::Write(rng.random_range(0..5))
     } else {
@@ -155,7 +152,7 @@ pub fn mv_register(rng: &mut StdRng) -> MvCall<u8> {
 }
 
 /// LWW-Element-Set workload (collisions intended).
-pub fn lww_element_set(rng: &mut StdRng) -> LwwSetCall<u8> {
+pub fn lww_element_set(rng: &mut Rng) -> LwwSetCall<u8> {
     match rng.random_range(0..4u8) {
         0 | 1 => LwwSetCall::Add(rng.random_range(0..4)),
         2 => LwwSetCall::Remove(rng.random_range(0..4)),
@@ -166,7 +163,7 @@ pub fn lww_element_set(rng: &mut StdRng) -> LwwSetCall<u8> {
 /// 2P-Set workload: globally fresh adds (the client obligation of
 /// Listing 10), removes drawn from the visible view.
 pub fn two_phase_set(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     state: &TwoPState<u16>,
     next: &mut u16,
 ) -> Option<TwoPCall<u16>> {
@@ -190,11 +187,10 @@ pub fn two_phase_set(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn generators_produce_all_variants() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let mut saw_inc = false;
         let mut saw_read = false;
         for _ in 0..100 {
@@ -209,7 +205,7 @@ mod tests {
 
     #[test]
     fn fresh_value_generators_are_monotone() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let state = TwoPState::default();
         let mut next = 0;
         let mut last = 0;

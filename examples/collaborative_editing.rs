@@ -16,12 +16,7 @@ use ral_runtime::op_based::Cluster;
 use ral_spec::rga::{Anchor, RgaSpec};
 
 /// Types a word, character by character, after the given anchor.
-fn type_word(
-    doc: &mut Cluster<Rga<char>>,
-    author: ReplicaId,
-    mut after: Anchor<char>,
-    word: &str,
-) {
+fn type_word(doc: &mut Cluster<Rga<char>>, author: ReplicaId, mut after: Anchor<char>, word: &str) {
     for ch in word.chars() {
         doc.invoke(author, RgaCall::AddAfter(after.clone(), ch))
             .unwrap_or_else(|| panic!("character {ch:?} already present"));
@@ -30,7 +25,12 @@ fn type_word(
 }
 
 fn render(doc: &mut Cluster<Rga<char>>, at: ReplicaId) -> String {
-    doc.invoke(at, RgaCall::Read).unwrap().ret.unwrap().into_iter().collect()
+    doc.invoke(at, RgaCall::Read)
+        .unwrap()
+        .ret
+        .unwrap()
+        .into_iter()
+        .collect()
 }
 
 fn main() {
@@ -46,9 +46,11 @@ fn main() {
     // Offline: Alice prepends an article while Bob appends a plural 's'
     // and fixes the casing by retyping the 'c'.
     type_word(&mut doc, alice, Anchor::Head, "a_");
-    doc.invoke(bob, RgaCall::AddAfter(Anchor::Elem('t'), 's')).unwrap();
+    doc.invoke(bob, RgaCall::AddAfter(Anchor::Elem('t'), 's'))
+        .unwrap();
     doc.invoke(bob, RgaCall::Remove('c')).unwrap();
-    doc.invoke(bob, RgaCall::AddAfter(Anchor::Head, 'C')).unwrap();
+    doc.invoke(bob, RgaCall::AddAfter(Anchor::Head, 'C'))
+        .unwrap();
 
     println!("alice offline view:  {}", render(&mut doc, alice));
     println!("bob offline view:    {}", render(&mut doc, bob));
@@ -69,8 +71,13 @@ fn main() {
 
     // Certify the editing session against the sequential specification.
     let history = doc.into_history();
-    let lin = ra_check(&history, &Identity, &RgaSpec::new(), Strategy::TimestampOrder)
-        .expect("RGA sessions are RA-linearizable under timestamp order");
+    let lin = ra_check(
+        &history,
+        &Identity,
+        &RgaSpec::new(),
+        Strategy::TimestampOrder,
+    )
+    .expect("RGA sessions are RA-linearizable under timestamp order");
     println!(
         "session of {} operations certified; witness places operation {} first",
         history.len(),

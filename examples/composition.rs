@@ -49,23 +49,32 @@ fn fig9_two_or_sets() {
 
 fn fig10_two_rgas(mode: TsMode) -> bool {
     let mut cl = MultiCluster::new(Rga::<char>::new(), 2, 3, mode);
-    let c = cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c')).unwrap().op;
-    cl.invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap();
+    let c = cl
+        .invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c'))
+        .unwrap()
+        .op;
+    cl.invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b'))
+        .unwrap();
     let dc = cl
         .deliverable(r(1))
         .into_iter()
         .find(|&d| cl.delivery_op(d) == c)
         .unwrap();
     cl.deliver(r(1), dc);
-    let d = cl.invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd')).unwrap().op;
+    let d = cl
+        .invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd'))
+        .unwrap()
+        .op;
     let dd = cl
         .deliverable(r(0))
         .into_iter()
         .find(|&x| cl.delivery_op(x) == d)
         .unwrap();
     cl.deliver(r(0), dd);
-    cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e')).unwrap();
-    cl.invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+    cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e'))
+        .unwrap();
+    cl.invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+        .unwrap();
     cl.deliver_all();
     cl.invoke(r(2), o(1), RgaCall::Read).unwrap();
     cl.invoke(r(2), o(0), RgaCall::Read).unwrap();

@@ -66,14 +66,22 @@ fn main() {
     // The same story under concurrent edits from the other data center:
     // timestamps resolve the conflict identically everywhere.
     let mut store = MultiCluster::new(LwwRegister::<&str>::new(), 2, 2, TsMode::Shared);
-    store.invoke(dc_a, USER_KEY, RegCall::Write("alice v1")).unwrap();
-    store.invoke(dc_b, USER_KEY, RegCall::Write("alice v2")).unwrap();
+    store
+        .invoke(dc_a, USER_KEY, RegCall::Write("alice v1"))
+        .unwrap();
+    store
+        .invoke(dc_b, USER_KEY, RegCall::Write("alice v2"))
+        .unwrap();
     store.deliver_all();
     assert!(store.converged());
     let winner = store.invoke(dc_a, USER_KEY, RegCall::Read).unwrap();
     println!("concurrent profile edits converge to {:?}", winner.ret);
     let h = store.into_history();
-    check_composed(&h, &MultiObjSpec::new(RegSpec::new(), 2), Strategy::TimestampOrder)
-        .expect("conflicting-edit history is RA-linearizable");
+    check_composed(
+        &h,
+        &MultiObjSpec::new(RegSpec::new(), 2),
+        Strategy::TimestampOrder,
+    )
+    .expect("conflicting-edit history is RA-linearizable");
     println!("composed store certified RA-linearizable");
 }

@@ -70,5 +70,8 @@ fn main() {
         Strategy::ExecutionOrder,
     )
     .expect("OR-Set histories linearize after the query-update rewriting");
-    println!("OR-Set history of {} operations is RA-linearizable", history.len());
+    println!(
+        "OR-Set history of {} operations is RA-linearizable",
+        history.len()
+    );
 }

@@ -13,11 +13,10 @@
 
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::{ra_check, Strategy};
+use ral_core::rng::Rng;
 use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRet, OrSetRewrite};
 use ral_runtime::op_based::Cluster;
 use ral_spec::set::OrSetSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 fn r(i: u32) -> ReplicaId {
@@ -26,14 +25,10 @@ fn r(i: u32) -> ReplicaId {
 
 /// Runs the client program under one scheduler seed and returns `(X, Y)`.
 fn run_program(seed: u64) -> (BTreeSet<char>, BTreeSet<char>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut cluster = Cluster::new(OrSet::<char>::new(), 2);
     let programs: [Vec<OrSetCall<char>>; 2] = [
-        vec![
-            OrSetCall::Add('a'),
-            OrSetCall::Remove('a'),
-            OrSetCall::Read,
-        ],
+        vec![OrSetCall::Add('a'), OrSetCall::Remove('a'), OrSetCall::Read],
         vec![OrSetCall::Add('a'), OrSetCall::Read],
     ];
     let mut pc = [0usize, 0usize];
@@ -70,8 +65,13 @@ fn run_program(seed: u64) -> (BTreeSet<char>, BTreeSet<char>) {
     // The history (whatever the interleaving) is RA-linearizable.
     cluster.deliver_all();
     let h = cluster.into_history();
-    ra_check(&h, &OrSetRewrite::new(), &OrSetSpec::new(), Strategy::ExecutionOrder)
-        .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    ra_check(
+        &h,
+        &OrSetRewrite::new(),
+        &OrSetSpec::new(),
+        Strategy::ExecutionOrder,
+    )
+    .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
     (x, y)
 }
 

@@ -1,0 +1,14 @@
+//! Helpers shared by the integration-test suites (`mod common;`).
+
+use ral_core::rng::Rng;
+
+/// The compact `(replica, action)` schedule encoding the property suites
+/// interpret: a random pair vector whose length is drawn from
+/// `0..max_len`. Kept in one place so the encoding cannot silently
+/// diverge between suites.
+pub fn random_schedule(rng: &mut Rng, max_len: usize) -> Vec<(u8, u8)> {
+    let len = rng.random_range(0..max_len);
+    (0..len)
+        .map(|_| (rng.random_range(0..=u8::MAX), rng.random_range(0..=u8::MAX)))
+        .collect()
+}

@@ -1,0 +1,79 @@
+//! Smoke coverage for `examples/*.rs` so they can never silently rot:
+//! every example is built and executed, and must exit 0.
+//!
+//! The build goes through the same `cargo` that is running this test
+//! (`CARGO` env var), with `--offline` so the suite stays hermetic. Each
+//! example runs under a generous timeout-free `Command::output()` — they
+//! all finish in well under a second in debug builds.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example the facade package ships. Adding an example without
+/// registering it here fails the `all_examples_are_registered` test.
+const EXAMPLES: &[&str] = &[
+    "collaborative_editing",
+    "composition",
+    "fig12_report",
+    "kv_store",
+    "network_partition",
+    "quickstart",
+    "shopping_cart",
+];
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()));
+    cmd.current_dir(manifest_dir());
+    cmd
+}
+
+/// The `examples/` directory and the registry above must agree exactly.
+#[test]
+fn all_examples_are_registered() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(manifest_dir().join("examples"))
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut registered: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    registered.sort();
+    assert_eq!(
+        on_disk, registered,
+        "examples/ and the EXAMPLES registry in tests/examples_smoke.rs diverged"
+    );
+}
+
+/// Builds all examples, then runs each and requires exit status 0.
+#[test]
+fn every_example_builds_and_runs() {
+    let build = cargo()
+        .args(["build", "--offline", "--examples"])
+        .output()
+        .expect("spawn cargo build --examples");
+    assert!(
+        build.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    for example in EXAMPLES {
+        let run = cargo()
+            .args(["run", "--offline", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("spawn example {example}: {e}"));
+        assert!(
+            run.status.success(),
+            "example {example} exited with {:?}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            run.status.code(),
+            String::from_utf8_lossy(&run.stdout),
+            String::from_utf8_lossy(&run.stderr),
+        );
+    }
+}

@@ -17,7 +17,6 @@ use ral_crdts::op::rga::{Rga, RgaCall};
 use ral_runtime::multi::{MultiCluster, TsMode};
 use ral_runtime::schedule::{drive_multi, ScheduleConfig};
 use ral_spec::rga::{Anchor, RgaSpec};
-use rand::Rng;
 
 fn r(i: u32) -> ReplicaId {
     ReplicaId(i)
@@ -32,28 +31,43 @@ fn o(i: u32) -> ObjId {
 /// Timestamps under `⊗` (per-object clocks):
 /// `ts1(c) = 1@r0 < ts2(d) = 2@r1 < ts3(e) = 3@r0` on `o2`, and
 /// `ts'1(a) = 1@r0 < ts'2(b) = 1@r1` on `o1`.
-fn fig10(mode: TsMode) -> ral_core::history::History<
-    ral_core::compose::ObjLabel<ral_spec::rga::RgaOp<char>>,
-> {
+fn fig10(
+    mode: TsMode,
+) -> ral_core::history::History<ral_core::compose::ObjLabel<ral_spec::rga::RgaOp<char>>> {
     let mut cl = MultiCluster::new(Rga::<char>::new(), 2, 3, mode);
     // r0: o2.addAfter(◦, c).
-    let c = cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c')).unwrap().op;
+    let c = cl
+        .invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'c'))
+        .unwrap()
+        .op;
     // r1: o1.addAfter(◦, b) — concurrent with everything so far.
-    let b = cl.invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
+    let b = cl
+        .invoke(r(1), o(0), RgaCall::AddAfter(Anchor::Head, 'b'))
+        .unwrap()
+        .op;
     // r1 receives c, then inserts d: ts2 > ts1, and b ≺ d in visibility.
     let ds = cl.deliverable(r(1));
     let dc = ds.into_iter().find(|&d| cl.delivery_op(d) == c).unwrap();
     cl.deliver(r(1), dc);
-    let d = cl.invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd')).unwrap().op;
+    let d = cl
+        .invoke(r(1), o(1), RgaCall::AddAfter(Anchor::Head, 'd'))
+        .unwrap()
+        .op;
     // r0 receives d, then inserts e: ts3 > ts2.
     let ds = cl.deliverable(r(0));
     let dd = ds.into_iter().find(|&x| cl.delivery_op(x) == d).unwrap();
     cl.deliver(r(0), dd);
-    let e = cl.invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e')).unwrap().op;
+    let e = cl
+        .invoke(r(0), o(1), RgaCall::AddAfter(Anchor::Head, 'e'))
+        .unwrap()
+        .op;
     // r0 inserts a on o1 *after* e: e ≺ a in visibility. Under ⊗ the o1
     // clock at r0 is still fresh, so ts'1 = 1@r0 < ts'2 = 1@r1; under ⊗ts
     // the shared clock forces ts'1 > ts3.
-    let a = cl.invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
+    let a = cl
+        .invoke(r(0), o(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+        .unwrap()
+        .op;
 
     // Sanity: the visibility edges of Figure 10.
     let h = cl.history();
@@ -111,28 +125,33 @@ fn random_rga_compositions_under_shared_ts() {
     for seed in 0..10 {
         let mut cl = MultiCluster::new(Rga::<u16>::new(), 2, 3, TsMode::Shared);
         let mut next: u16 = 0;
-        drive_multi(&mut cl, &ScheduleConfig::default(), seed, |rng, _, _, state| {
-            let roll: u8 = rng.random_range(0..10);
-            if roll < 5 {
-                let visible = state.visible();
-                let anchor = if visible.is_empty() || rng.random_bool(0.3) {
-                    Anchor::Head
+        drive_multi(
+            &mut cl,
+            &ScheduleConfig::default(),
+            seed,
+            |rng, _, _, state| {
+                let roll: u8 = rng.random_range(0..10);
+                if roll < 5 {
+                    let visible = state.visible();
+                    let anchor = if visible.is_empty() || rng.random_bool(0.3) {
+                        Anchor::Head
+                    } else {
+                        Anchor::Elem(visible[rng.random_range(0..visible.len())])
+                    };
+                    next += 1;
+                    Some(RgaCall::AddAfter(anchor, next))
+                } else if roll < 7 {
+                    Some(RgaCall::Read)
                 } else {
-                    Anchor::Elem(visible[rng.random_range(0..visible.len())])
-                };
-                next += 1;
-                Some(RgaCall::AddAfter(anchor, next))
-            } else if roll < 7 {
-                Some(RgaCall::Read)
-            } else {
-                let visible = state.visible();
-                if visible.is_empty() {
-                    None
-                } else {
-                    Some(RgaCall::Remove(visible[rng.random_range(0..visible.len())]))
+                    let visible = state.visible();
+                    if visible.is_empty() {
+                        None
+                    } else {
+                        Some(RgaCall::Remove(visible[rng.random_range(0..visible.len())]))
+                    }
                 }
-            }
-        });
+            },
+        );
         assert!(cl.converged());
         let h = cl.into_history();
         let rewritten = rewrite_history(&h, &MultiObjRewrite::new(Identity));

@@ -39,7 +39,10 @@ fn fig12_reproduces_the_paper_table() {
                 .collect::<Vec<_>>()
                 .join("; ")
         );
-        assert_eq!(row.history_failures, 0, "{name} had non-linearizable histories");
+        assert_eq!(
+            row.history_failures, 0,
+            "{name} had non-linearizable histories"
+        );
         assert!(row.histories >= 10);
         for obligation in &row.obligations {
             assert!(

@@ -105,7 +105,10 @@ fn fig14_proof_linearizations_yield_d_c_e() {
         AddAtOp::AddAt('e', 2),
         AddAtOp::Read(vec!['d', 'c', 'e']),
     ];
-    assert!(admits(&spec, &candidate), "the proof's sequence reads d·c·e");
+    assert!(
+        admits(&spec, &candidate),
+        "the proof's sequence reads d·c·e"
+    );
     let observed = [
         AddAtOp::AddAt('a', 0),
         AddAtOp::AddAt('b', 0),

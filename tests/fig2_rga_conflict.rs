@@ -26,11 +26,14 @@ fn fig2_conflict_resolution() {
 
     // Build a·b·c with ta < tc < tb: a first, then c, then b (so b has the
     // largest timestamp among the children of a and is read before c).
-    c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+    c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+        .unwrap();
     c.deliver_all();
-    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'c')).unwrap();
+    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'c'))
+        .unwrap();
     c.deliver_all();
-    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b')).unwrap();
+    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b'))
+        .unwrap();
     c.deliver_all();
     assert!(c.converged());
     assert_eq!(read(&mut c, r(0)), vec!['a', 'b', 'c']);
@@ -38,8 +41,10 @@ fn fig2_conflict_resolution() {
 
     // Concurrent addAfter(c, e) at r0 and addAfter(c, d) at r1.
     // Timestamps: te = 4@r0 < td = 4@r1.
-    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'e')).unwrap();
-    c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'd')).unwrap();
+    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'e'))
+        .unwrap();
+    c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'd'))
+        .unwrap();
 
     // Before propagation the replicas disagree (second column of Figure 2).
     assert_eq!(read(&mut c, r(0)), vec!['a', 'b', 'c', 'e']);
@@ -72,10 +77,13 @@ fn fig2_delivery_order_is_irrelevant() {
     // replica; commutativity gives the same tree.
     for flip in [false, true] {
         let mut c = Cluster::new(Rga::<char>::new(), 3);
-        c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+        c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+            .unwrap();
         c.deliver_all();
-        c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'e')).unwrap();
-        c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('a'), 'd')).unwrap();
+        c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'e'))
+            .unwrap();
+        c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('a'), 'd'))
+            .unwrap();
         let mut ds = c.deliverable(r(2));
         assert_eq!(ds.len(), 2);
         if flip {
@@ -93,10 +101,13 @@ fn fig2_intermediate_reads_are_justified() {
     // The two pre-propagation reads return different lists, yet both are
     // justified by the sub-sequence relaxation (Section 2.1).
     let mut c = Cluster::new(Rga::<char>::new(), 2);
-    c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap();
+    c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+        .unwrap();
     c.deliver_all();
-    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'c')).unwrap();
-    c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('a'), 'b')).unwrap();
+    c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'c'))
+        .unwrap();
+    c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('a'), 'b'))
+        .unwrap();
     c.invoke(r(0), RgaCall::Read).unwrap();
     c.invoke(r(1), RgaCall::Read).unwrap();
     c.deliver_all();

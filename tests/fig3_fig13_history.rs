@@ -22,17 +22,29 @@ fn fig13_global_configurations() {
     let mut c = Cluster::new(Rga::<char>::new(), 2);
 
     // r0: addAfter(◦, a); r1: addAfter(◦, b) — concurrent.
-    let a = c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
-    let b = c.invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
+    let a = c
+        .invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+        .unwrap()
+        .op;
+    let b = c
+        .invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b'))
+        .unwrap()
+        .op;
 
     // b's effector reaches r0; r0 inserts c after b.
     let to_r0 = c.deliverable(r(0));
     assert_eq!(to_r0.len(), 1);
     c.deliver(r(0), to_r0[0]);
-    let cc = c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('b'), 'c')).unwrap().op;
+    let cc = c
+        .invoke(r(0), RgaCall::AddAfter(Anchor::Elem('b'), 'c'))
+        .unwrap()
+        .op;
 
     // r1 concurrently inserts d after b.
-    let d = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'd')).unwrap().op;
+    let d = c
+        .invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'd'))
+        .unwrap()
+        .op;
 
     // Figure 13a: r0 has applied {a, b, c}; the visibility relation contains
     // exactly the pairs drawn in the figure.
@@ -68,7 +80,10 @@ fn fig13_global_configurations() {
     let rem = c.invoke(r(0), RgaCall::Remove('b')).unwrap().op;
     let h = c.history();
     for earlier in [a, b, cc, d] {
-        assert!(h.sees(rem, earlier), "remove(b) must see operation {earlier}");
+        assert!(
+            h.sees(rem, earlier),
+            "remove(b) must see operation {earlier}"
+        );
     }
     assert_eq!(c.state(r(0)).tombstones().iter().count(), 1);
 
@@ -87,13 +102,28 @@ fn fig3_labels_and_arrows() {
     // addAfter(◦,a) → addAfter(a,b), addAfter(a,c) → addAfter(c,d),
     // addAfter(c,e) → remove(d).
     let mut c = Cluster::new(Rga::<char>::new(), 2);
-    let a = c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
+    let a = c
+        .invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+        .unwrap()
+        .op;
     c.deliver_all();
-    let b = c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b')).unwrap().op;
-    let cc = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('a'), 'c')).unwrap().op;
+    let b = c
+        .invoke(r(0), RgaCall::AddAfter(Anchor::Elem('a'), 'b'))
+        .unwrap()
+        .op;
+    let cc = c
+        .invoke(r(1), RgaCall::AddAfter(Anchor::Elem('a'), 'c'))
+        .unwrap()
+        .op;
     c.deliver_all();
-    let d = c.invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'd')).unwrap().op;
-    let e = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'e')).unwrap().op;
+    let d = c
+        .invoke(r(0), RgaCall::AddAfter(Anchor::Elem('c'), 'd'))
+        .unwrap()
+        .op;
+    let e = c
+        .invoke(r(1), RgaCall::AddAfter(Anchor::Elem('c'), 'e'))
+        .unwrap()
+        .op;
     c.deliver_all();
     let rem = c.invoke(r(0), RgaCall::Remove('d')).unwrap().op;
 

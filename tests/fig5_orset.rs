@@ -73,8 +73,13 @@ fn fig5a_not_linearizable_against_plain_set() {
 fn fig5b_ra_linearizable_after_rewriting() {
     let h = fig5a_history();
     // The guided execution-order linearization validates (Theorem 4.4)…
-    let lin = ra_check(&h, &OrSetRewrite::new(), &OrSetSpec::new(), Strategy::ExecutionOrder)
-        .expect("OR-Set history must be RA-linearizable after γ");
+    let lin = ra_check(
+        &h,
+        &OrSetRewrite::new(),
+        &OrSetSpec::new(),
+        Strategy::ExecutionOrder,
+    )
+    .expect("OR-Set history must be RA-linearizable after γ");
     // …and so does the complete search.
     assert!(ra_search(&h, &OrSetRewrite::new(), &OrSetSpec::new()).is_linearizable());
     // The rewriting splits the two removes: 8 operations become 10.

@@ -21,13 +21,25 @@ fn r(i: u32) -> ReplicaId {
 /// Builds the Figure 8 execution. Replica r1 (paper's r1) is `ReplicaId(1)`
 /// so that the replica order breaks the `counter = 1` tie in favour of `b`:
 /// `ts_a = 1@r0 < ts_b = 1@r1`.
-fn fig8() -> (ral_core::history::History<ral_spec::rga::RgaOp<char>>, [usize; 4]) {
+fn fig8() -> (
+    ral_core::history::History<ral_spec::rga::RgaOp<char>>,
+    [usize; 4],
+) {
     let mut c = Cluster::new(Rga::<char>::new(), 2);
     // ℓ2 executes first in wall-clock order, at the higher-ordered replica.
-    let l2 = c.invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b')).unwrap().op;
-    let l1 = c.invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a')).unwrap().op;
+    let l2 = c
+        .invoke(r(1), RgaCall::AddAfter(Anchor::Head, 'b'))
+        .unwrap()
+        .op;
+    let l1 = c
+        .invoke(r(0), RgaCall::AddAfter(Anchor::Head, 'a'))
+        .unwrap()
+        .op;
     // ℓ3 = addAfter(b, c) at r1: ts_c = 2@r1 > ts_b.
-    let l3 = c.invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'c')).unwrap().op;
+    let l3 = c
+        .invoke(r(1), RgaCall::AddAfter(Anchor::Elem('b'), 'c'))
+        .unwrap()
+        .op;
     // Deliver only ℓ2's effector to r0 (not ℓ3): the read sees {ℓ1, ℓ2}.
     let ds = c.deliverable(r(0));
     let d_l2 = ds

@@ -15,7 +15,6 @@ use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
 use ral_runtime::multi::{MultiCluster, TsMode};
 use ral_runtime::schedule::{drive_multi, ScheduleConfig};
 use ral_spec::set::OrSetSpec;
-use rand::Rng;
 
 fn r(i: u32) -> ReplicaId {
     ReplicaId(i)

@@ -34,10 +34,7 @@ fn interleaved_history_validates() {
     // r0: ctr.inc ; set.add(a) ; ctr.read⇒1 — r1: set.add(b) ; set.read⇒{b}.
     let mut h: History<Label> = History::new();
     let inc = h.push(OpRecord::new(ctr(CounterOp::Inc), r(0)), []);
-    let add_a = h.push(
-        OpRecord::new(set(OrSetOp::Add('a', Uid(0))), r(0)),
-        [inc],
-    );
+    let add_a = h.push(OpRecord::new(set(OrSetOp::Add('a', Uid(0))), r(0)), [inc]);
     let read_c = h.push(OpRecord::new(ctr(CounterOp::Read(1)), r(0)), [inc, add_a]);
     let add_b = h.push(OpRecord::new(set(OrSetOp::Add('b', Uid(1))), r(1)), []);
     h.push(
@@ -58,15 +55,16 @@ fn cross_object_causality_restricts_witnesses() {
     // visible — every linearization orders the record before the pointer.
     let mut h: History<Label> = History::new();
     let record = h.push(OpRecord::new(ctr(CounterOp::Inc), r(0)), []);
-    let pointer = h.push(OpRecord::new(set(OrSetOp::Add('p', Uid(0))), r(1)), [record]);
+    let pointer = h.push(
+        OpRecord::new(set(OrSetOp::Add('p', Uid(0))), r(1)),
+        [record],
+    );
     let spec = PairSpec::new(CounterSpec, OrSetSpec::new());
     let lin = check_guided(&h, &spec, Strategy::ExecutionOrder).unwrap();
     let pos = |x: usize| lin.order.iter().position(|&y| y == x).unwrap();
     assert!(pos(record) < pos(pointer));
     // And the inverted order is rejected outright.
-    assert!(
-        ral_core::ralin::check_linearization(&h, &spec, &[pointer, record]).is_err()
-    );
+    assert!(ral_core::ralin::check_linearization(&h, &spec, &[pointer, record]).is_err());
 }
 
 #[test]

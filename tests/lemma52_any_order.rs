@@ -10,20 +10,19 @@
 
 use ral_core::history::{rewrite_history, History};
 use ral_core::label::Identity;
-use ral_core::ralin::{check_linearization, ra_check, Strategy};
-use ral_core::spec::Spec;
 use ral_core::label::SpecLabel;
+use ral_core::ralin::{check_linearization, ra_check, Strategy};
+use ral_core::rng::Rng;
+use ral_core::spec::Spec;
 use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
 use ral_crdts::op::rga::{Rga, RgaCall};
 use ral_runtime::op_based::Cluster;
 use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
 use ral_spec::rga::{Anchor, RgaSpec};
 use ral_spec::set::OrSetSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A uniformly-random linear extension of the visibility relation.
-fn random_topological_order<L>(h: &History<L>, rng: &mut StdRng) -> Vec<usize> {
+fn random_topological_order<L>(h: &History<L>, rng: &mut Rng) -> Vec<usize> {
     let n = h.len();
     let mut missing: Vec<usize> = (0..n).map(|i| h.preds(i).len()).collect();
     let mut ready: Vec<usize> = (0..n).filter(|&i| missing[i] == 0).collect();
@@ -46,7 +45,7 @@ fn random_topological_order<L>(h: &History<L>, rng: &mut StdRng) -> Vec<usize> {
 }
 
 fn assert_all_orders_valid<S: Spec>(h: &History<S::Label>, spec: &S, seed: u64, tries: usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for t in 0..tries {
         let order = random_topological_order(h, &mut rng);
         check_linearization(h, spec, &order)
@@ -97,7 +96,7 @@ fn rga_rejects_some_consistent_orders() {
         let h = c.into_history();
         ra_check(&h, &Identity, &RgaSpec::new(), Strategy::TimestampOrder)
             .unwrap_or_else(|v| panic!("seed {seed}: TO must hold: {v}"));
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..30 {
             let order = random_topological_order(&h, &mut rng);
             if check_linearization(&h, &RgaSpec::new(), &order).is_err() {
@@ -146,9 +145,7 @@ fn footnote10_virtual_timestamps_unique_generator() {
             // visible generator (or ⊥).
             if h.op(i).ts.is_none() {
                 if let Some(vts) = h.virtual_ts(i) {
-                    let generators = (0..h.len())
-                        .filter(|&g| h.op(g).ts == Some(vts))
-                        .count();
+                    let generators = (0..h.len()).filter(|&g| h.op(g).ts == Some(vts)).count();
                     assert_eq!(generators, 1);
                 }
             }

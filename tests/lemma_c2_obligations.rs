@@ -11,12 +11,11 @@ use ral_core::label::Identity;
 use ral_crdts::op::rga::Rga;
 use ral_crdts::op::rga_addat::{AddAtCall, RgaAddAt};
 use ral_spec::addat::AddAt3Spec;
-use ral_verify::refinement::{check_op_based as check_refinement, Mode};
 use ral_verify::commutativity::check_op_based as check_commutativity;
-use rand::Rng;
+use ral_verify::refinement::{check_op_based as check_refinement, Mode};
 
 fn workload(
-    rng: &mut rand::rngs::StdRng,
+    rng: &mut ral_core::rng::Rng,
     state: &ral_crdts::op::rga::RgaState<u16>,
     next: &mut u16,
 ) -> Option<AddAtCall<u16>> {
@@ -29,7 +28,9 @@ fn workload(
         if visible.is_empty() {
             None
         } else {
-            Some(AddAtCall::Remove(visible[rng.random_range(0..visible.len())]))
+            Some(AddAtCall::Remove(
+                visible[rng.random_range(0..visible.len())],
+            ))
         }
     } else {
         Some(AddAtCall::Read)

@@ -13,12 +13,9 @@ use ral_core::sessions::check_sessions;
 use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
 use ral_crdts::op::rga::{Rga, RgaCall};
 use ral_runtime::op_based::Cluster;
-use ral_runtime::schedule::{
-    drive_op_based_partitioned, Partition, ScheduleConfig,
-};
+use ral_runtime::schedule::{drive_op_based_partitioned, Partition, ScheduleConfig};
 use ral_spec::rga::{Anchor, RgaSpec};
 use ral_spec::set::OrSetSpec;
-use rand::Rng;
 
 fn r(i: u32) -> ReplicaId {
     ReplicaId(i)
@@ -61,8 +58,13 @@ fn both_sides_stay_available_and_reconcile() {
     c.deliver_all();
     assert!(c.converged(), "healing must reconcile the sides");
     let h = c.into_history();
-    ra_check(&h, &OrSetRewrite::new(), &OrSetSpec::new(), Strategy::ExecutionOrder)
-        .expect("partitioned OR-Set history is RA-linearizable");
+    ra_check(
+        &h,
+        &OrSetRewrite::new(),
+        &OrSetSpec::new(),
+        Strategy::ExecutionOrder,
+    )
+    .expect("partitioned OR-Set history is RA-linearizable");
     let plain = h.map(|l| OrSet::plain_label(&l));
     assert!(check_sessions(&plain).all_hold());
     let _ = diverged;

@@ -7,23 +7,30 @@
 //!   (soundness of the guided path).
 //! * For the data types of Figure 12, the guided check of the claimed class
 //!   never fails, so guided and search always agree positively.
+//!
+//! Runs on the workspace's seeded harness
+//! ([`ral_core::rng::run_seeded_cases`]); a failing case prints its seed.
 
-use proptest::prelude::*;
 use ral_core::history::rewrite_history;
+use ral_core::ids::ReplicaId;
 use ral_core::label::Identity;
-use ral_core::ralin::{check_guided, count_linearizations, search_with_budget, SearchOutcome, Strategy};
+use ral_core::ralin::{
+    check_guided, count_linearizations, search_with_budget, SearchOutcome, Strategy,
+};
+use ral_core::rng::run_seeded_cases;
 use ral_crdts::op::counter::{CounterCall, OpCounter};
 use ral_crdts::op::lww_register::{LwwRegister, RegCall};
 use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
-use ral_core::ids::ReplicaId;
 use ral_runtime::op_based::{Cluster, OpBased};
 use ral_spec::counter::CounterSpec;
 use ral_spec::register::RegSpec;
 use ral_spec::set::OrSetSpec;
 
-/// A compact schedule description proptest can shrink: a sequence of
-/// (replica, action) pairs where action < 16 selects an invocation and the
-/// rest request one delivery.
+mod common;
+use common::random_schedule;
+
+/// Interprets a [`random_schedule`]: action < 16 selects an invocation and
+/// the rest request one delivery.
 fn run_schedule<C: OpBased>(
     crdt: C,
     schedule: &[(u8, u8)],
@@ -48,15 +55,12 @@ fn run_schedule<C: OpBased>(
     cluster
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Counter: guided EO always validates and the witness space is
-    /// non-empty under the brute-force counter.
-    #[test]
-    fn counter_guided_and_search_agree(
-        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..14)
-    ) {
+/// Counter: guided EO always validates and the witness space is
+/// non-empty under the brute-force counter.
+#[test]
+fn counter_guided_and_search_agree() {
+    run_seeded_cases("counter_guided_and_search_agree", 64, |_, rng| {
+        let schedule = random_schedule(rng, 14);
         let cluster = run_schedule(OpCounter, &schedule, |a, _| {
             Some(match a % 3 {
                 0 => CounterCall::Inc,
@@ -64,22 +68,23 @@ proptest! {
                 _ => CounterCall::Read,
             })
         });
-        prop_assert!(cluster.converged());
+        assert!(cluster.converged());
         let h = cluster.into_history();
         let rewritten = rewrite_history(&h, &Identity);
         let guided = check_guided(&rewritten.history, &CounterSpec, Strategy::ExecutionOrder);
-        prop_assert!(guided.is_ok(), "{:?}", guided);
+        assert!(guided.is_ok(), "{guided:?}");
         let (count, complete) = count_linearizations(&rewritten.history, &CounterSpec, 2_000_000);
-        prop_assert!(count >= 1);
+        assert!(count >= 1);
         let _ = complete;
-    }
+    });
+}
 
-    /// LWW-Register: guided TO always validates; when the execution-order
-    /// strategy fails, a witness still exists (TO is one).
-    #[test]
-    fn lww_register_to_subsumes_search(
-        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..14)
-    ) {
+/// LWW-Register: guided TO always validates; when the execution-order
+/// strategy fails, a witness still exists (TO is one).
+#[test]
+fn lww_register_to_subsumes_search() {
+    run_seeded_cases("lww_register_to_subsumes_search", 64, |_, rng| {
+        let schedule = random_schedule(rng, 14);
         let cluster = run_schedule(LwwRegister::<u8>::new(), &schedule, |a, _| {
             Some(if a % 2 == 0 {
                 RegCall::Write(a % 4)
@@ -91,22 +96,26 @@ proptest! {
         let rewritten = rewrite_history(&h, &Identity);
         let spec = RegSpec::new();
         let to = check_guided(&rewritten.history, &spec, Strategy::TimestampOrder);
-        prop_assert!(to.is_ok(), "{:?}", to);
+        assert!(to.is_ok(), "{to:?}");
         if check_guided(&rewritten.history, &spec, Strategy::ExecutionOrder).is_err() {
             let outcome = search_with_budget(&rewritten.history, &spec, 2_000_000);
-            prop_assert!(
-                matches!(outcome, SearchOutcome::Linearizable(_) | SearchOutcome::BudgetExhausted),
+            assert!(
+                matches!(
+                    outcome,
+                    SearchOutcome::Linearizable(_) | SearchOutcome::BudgetExhausted
+                ),
                 "EO may fail, but a witness must still exist: {outcome:?}"
             );
         }
-    }
+    });
+}
 
-    /// OR-Set: the γ-rewritten guided EO witness always validates, and the
-    /// brute-force search never refutes.
-    #[test]
-    fn or_set_never_refuted(
-        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..12)
-    ) {
+/// OR-Set: the γ-rewritten guided EO witness always validates, and the
+/// brute-force search never refutes.
+#[test]
+fn or_set_never_refuted() {
+    run_seeded_cases("or_set_never_refuted", 64, |_, rng| {
+        let schedule = random_schedule(rng, 12);
         let cluster = run_schedule(OrSet::<u8>::new(), &schedule, |a, _| {
             Some(match a % 4 {
                 0 | 1 => OrSetCall::Add(a % 3),
@@ -114,33 +123,43 @@ proptest! {
                 _ => OrSetCall::Read,
             })
         });
-        prop_assert!(cluster.converged());
+        assert!(cluster.converged());
         let h = cluster.into_history();
         let rewritten = rewrite_history(&h, &OrSetRewrite::new());
         let spec = OrSetSpec::new();
         let guided = check_guided(&rewritten.history, &spec, Strategy::ExecutionOrder);
-        prop_assert!(guided.is_ok(), "{:?}", guided);
+        assert!(guided.is_ok(), "{guided:?}");
         let outcome = search_with_budget(&rewritten.history, &spec, 2_000_000);
-        prop_assert!(!outcome.is_refuted());
-    }
+        assert!(!outcome.is_refuted());
+    });
+}
 
-    /// Tampering with a counter read's return value must be caught by both
-    /// the guided check and the search.
-    #[test]
-    fn corrupted_reads_are_rejected(
-        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..10),
-        bump in 1i64..5,
-    ) {
+/// Tampering with a counter read's return value must be caught by both
+/// the guided check and the search.
+#[test]
+fn corrupted_reads_are_rejected() {
+    run_seeded_cases("corrupted_reads_are_rejected", 64, |_, rng| {
+        let mut schedule = random_schedule(rng, 10);
+        if schedule.is_empty() {
+            schedule.push((rng.random_range(0..=u8::MAX), rng.random_range(0..=u8::MAX)));
+        }
+        let bump = rng.random_range(1i64..5);
         let cluster = run_schedule(OpCounter, &schedule, |a, _| {
-            Some(if a % 2 == 0 { CounterCall::Inc } else { CounterCall::Read })
+            Some(if a % 2 == 0 {
+                CounterCall::Inc
+            } else {
+                CounterCall::Read
+            })
         });
         let h = cluster.into_history();
         // Corrupt the last read, if any.
         let mut labels: Vec<ral_spec::counter::CounterOp> =
             (0..h.len()).map(|i| h.label(i).clone()).collect();
-        let Some(pos) = labels.iter().rposition(|l| matches!(l, ral_spec::counter::CounterOp::Read(_)))
+        let Some(pos) = labels
+            .iter()
+            .rposition(|l| matches!(l, ral_spec::counter::CounterOp::Read(_)))
         else {
-            return Ok(());
+            return;
         };
         if let ral_spec::counter::CounterOp::Read(v) = labels[pos] {
             labels[pos] = ral_spec::counter::CounterOp::Read(v + bump);
@@ -154,10 +173,11 @@ proptest! {
             };
             corrupted.push_set(rec, h.preds(i).clone());
         }
-        prop_assert!(check_guided(&corrupted, &CounterSpec, Strategy::ExecutionOrder).is_err());
+        assert!(check_guided(&corrupted, &CounterSpec, Strategy::ExecutionOrder).is_err());
         let outcome = search_with_budget(&corrupted, &CounterSpec, 2_000_000);
-        prop_assert!(
-            matches!(outcome, SearchOutcome::NotLinearizable | SearchOutcome::BudgetExhausted)
-        );
-    }
+        assert!(matches!(
+            outcome,
+            SearchOutcome::NotLinearizable | SearchOutcome::BudgetExhausted
+        ));
+    });
 }

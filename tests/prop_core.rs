@@ -1,70 +1,92 @@
 //! Property-based tests for the core data structures: the bit set against a
 //! `BTreeSet` model, and history invariants on randomly generated DAGs.
+//!
+//! These run on the workspace's own seeded harness
+//! ([`ral_core::rng::run_seeded_cases`]) instead of `proptest`: each case is
+//! generated from a per-case seed, and a failure prints the seed to re-run
+//! (`RAL_PROP_SEED=<seed> cargo test ...`).
 
-use proptest::prelude::*;
 use ral_core::bitset::BitSet;
 use ral_core::history::{History, OpRecord};
 use ral_core::ids::ReplicaId;
+use ral_core::rng::{run_seeded_cases, Rng};
 use ral_core::timestamp::Ts;
 use std::collections::BTreeSet;
 
-proptest! {
-    /// Insert/remove/contains agree with the reference set.
-    #[test]
-    fn bitset_matches_btreeset_model(ops in proptest::collection::vec((0usize..300, any::<bool>()), 0..200)) {
+/// A random vector whose length is drawn from `0..max_len`.
+fn random_vec<T>(rng: &mut Rng, max_len: usize, mut item: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| item(rng)).collect()
+}
+
+/// Insert/remove/contains agree with the reference set.
+#[test]
+fn bitset_matches_btreeset_model() {
+    run_seeded_cases("bitset_model", 256, |_, rng| {
+        let ops = random_vec(rng, 200, |rng| {
+            (rng.random_range(0..300usize), rng.random_bool(0.5))
+        });
         let mut bits = BitSet::new();
         let mut model = BTreeSet::new();
         for (value, insert) in ops {
             if insert {
-                prop_assert_eq!(bits.insert(value), model.insert(value));
+                assert_eq!(bits.insert(value), model.insert(value));
             } else {
-                prop_assert_eq!(bits.remove(value), model.remove(&value));
+                assert_eq!(bits.remove(value), model.remove(&value));
             }
-            prop_assert_eq!(bits.len(), model.len());
-            prop_assert_eq!(bits.contains(value), model.contains(&value));
+            assert_eq!(bits.len(), model.len());
+            assert_eq!(bits.contains(value), model.contains(&value));
         }
         let collected: Vec<usize> = bits.iter().collect();
         let expected: Vec<usize> = model.iter().copied().collect();
-        prop_assert_eq!(collected, expected);
-    }
+        assert_eq!(collected, expected);
+    });
+}
 
-    /// Union and subset agree with the reference set.
-    #[test]
-    fn bitset_union_subset(
-        a in proptest::collection::btree_set(0usize..200, 0..50),
-        b in proptest::collection::btree_set(0usize..200, 0..50),
-    ) {
+/// Union and subset agree with the reference set.
+#[test]
+fn bitset_union_subset() {
+    run_seeded_cases("bitset_union_subset", 256, |_, rng| {
+        let random_set = |rng: &mut Rng| -> BTreeSet<usize> {
+            random_vec(rng, 50, |rng| rng.random_range(0..200usize))
+                .into_iter()
+                .collect()
+        };
+        let a = random_set(rng);
+        let b = random_set(rng);
         let mut ba: BitSet = a.iter().copied().collect();
         let bb: BitSet = b.iter().copied().collect();
-        prop_assert_eq!(ba.is_subset(&bb), a.is_subset(&b));
-        prop_assert_eq!(ba.is_disjoint(&bb), a.is_disjoint(&b));
+        assert_eq!(ba.is_subset(&bb), a.is_subset(&b));
+        assert_eq!(ba.is_disjoint(&bb), a.is_disjoint(&b));
         ba.union_with(&bb);
         let union: BTreeSet<usize> = a.union(&b).copied().collect();
-        prop_assert_eq!(ba.iter().collect::<BTreeSet<_>>(), union);
-    }
+        assert_eq!(ba.iter().collect::<BTreeSet<_>>(), union);
+    });
+}
 
-    /// Timestamps are totally ordered and `max_ts` is commutative,
-    /// associative, and idempotent with `None` as identity.
-    #[test]
-    fn timestamp_lattice(
-        raw in proptest::collection::vec((0u64..50, 0u32..4), 0..20),
-    ) {
-        use ral_core::timestamp::max_ts;
-        let tss: Vec<Option<Ts>> = raw
-            .iter()
-            .map(|&(c, r)| Some(Ts::new(c, ReplicaId(r))))
-            .collect();
+/// Timestamps are totally ordered and `max_ts` is commutative,
+/// associative, and idempotent with `None` as identity.
+#[test]
+fn timestamp_lattice() {
+    use ral_core::timestamp::max_ts;
+    run_seeded_cases("timestamp_lattice", 256, |_, rng| {
+        let tss: Vec<Option<Ts>> = random_vec(rng, 20, |rng| {
+            (rng.random_range(0..50u64), rng.random_range(0..4u32))
+        })
+        .into_iter()
+        .map(|(c, r)| Some(Ts::new(c, ReplicaId(r))))
+        .collect();
         for &a in &tss {
-            prop_assert_eq!(max_ts(a, None), a);
-            prop_assert_eq!(max_ts(a, a), a);
+            assert_eq!(max_ts(a, None), a);
+            assert_eq!(max_ts(a, a), a);
             for &b in &tss {
-                prop_assert_eq!(max_ts(a, b), max_ts(b, a));
+                assert_eq!(max_ts(a, b), max_ts(b, a));
                 for &c in &tss {
-                    prop_assert_eq!(max_ts(max_ts(a, b), c), max_ts(a, max_ts(b, c)));
+                    assert_eq!(max_ts(max_ts(a, b), c), max_ts(a, max_ts(b, c)));
                 }
             }
         }
-    }
+    });
 }
 
 /// Builds a random history DAG: each op sees a random subset of its
@@ -91,28 +113,39 @@ fn random_history(edges: &[(usize, bool)]) -> History<usize> {
     h
 }
 
-proptest! {
-    /// Insertion order is always a valid linear extension, and transitively
-    /// closed construction yields a transitive history.
-    #[test]
-    fn history_invariants(edges in proptest::collection::vec((0usize..6, any::<bool>()), 1..30)) {
-        let h = random_history(&edges);
+/// Draws the DAG shape the two invariant tests share: 1..max ops, each
+/// with a visibility window and a density flag.
+fn random_edges(rng: &mut Rng, max: usize) -> Vec<(usize, bool)> {
+    let len = rng.random_range(1..max);
+    (0..len)
+        .map(|_| (rng.random_range(0..6usize), rng.random_bool(0.5)))
+        .collect()
+}
+
+/// Insertion order is always a valid linear extension, and transitively
+/// closed construction yields a transitive history.
+#[test]
+fn history_invariants() {
+    run_seeded_cases("history_invariants", 256, |_, rng| {
+        let h = random_history(&random_edges(rng, 30));
         let order: Vec<usize> = (0..h.len()).collect();
-        prop_assert!(h.order_consistent(&order));
-        prop_assert!(h.is_transitive());
+        assert!(h.order_consistent(&order));
+        assert!(h.is_transitive());
         // Concurrency is symmetric and irreflexive.
         for a in 0..h.len() {
-            prop_assert!(!h.concurrent(a, a));
+            assert!(!h.concurrent(a, a));
             for b in 0..h.len() {
-                prop_assert_eq!(h.concurrent(a, b), h.concurrent(b, a));
+                assert_eq!(h.concurrent(a, b), h.concurrent(b, a));
             }
         }
-    }
+    });
+}
 
-    /// Virtual timestamps are monotone along visibility.
-    #[test]
-    fn virtual_ts_monotone(edges in proptest::collection::vec((0usize..6, any::<bool>()), 1..25)) {
-        let mut h = random_history(&edges);
+/// Virtual timestamps are monotone along visibility.
+#[test]
+fn virtual_ts_monotone() {
+    run_seeded_cases("virtual_ts_monotone", 256, |_, rng| {
+        let mut h = random_history(&random_edges(rng, 25));
         // Give every third op a real timestamp, increasing with the index
         // (as a Lamport discipline would).
         let mut stamped: History<usize> = History::new();
@@ -127,11 +160,11 @@ proptest! {
         h = stamped;
         for b in 0..h.len() {
             for a in h.preds(b).iter() {
-                prop_assert!(
+                assert!(
                     h.virtual_ts(a) <= h.virtual_ts(b),
                     "ts_h must grow along visibility"
                 );
             }
         }
-    }
+    });
 }

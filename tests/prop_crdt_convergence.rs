@@ -7,9 +7,12 @@
 //! return the same value. These tests check the state-level consequence
 //! directly, including for the *unreliable* state-based network (loss,
 //! duplication, reordering).
+//!
+//! Runs on the workspace's seeded harness
+//! ([`ral_core::rng::run_seeded_cases`]); a failing case prints its seed.
 
-use proptest::prelude::*;
 use ral_core::ids::ReplicaId;
+use ral_core::rng::run_seeded_cases;
 use ral_crdts::op::rga::{Rga, RgaCall};
 use ral_crdts::op::wooki::{Wooki, WookiCall};
 use ral_crdts::state::lww_element_set::{LwwElementSet, LwwSetCall};
@@ -20,16 +23,18 @@ use ral_runtime::state_based::{StateBased, StateCluster};
 use ral_spec::rga::Anchor;
 use ral_spec::wooki::WookiAnchor;
 
+mod common;
+use common::random_schedule;
+
 fn replica(raw: u8) -> ReplicaId {
     ReplicaId((raw % 3) as u32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// RGA converges under arbitrary invocation/delivery interleavings.
-    #[test]
-    fn rga_converges(schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..25)) {
+/// RGA converges under arbitrary invocation/delivery interleavings.
+#[test]
+fn rga_converges() {
+    run_seeded_cases("rga_converges", 48, |_, rng| {
+        let schedule = random_schedule(rng, 25);
         let mut cluster = Cluster::new(Rga::<u16>::new(), 3);
         let mut next = 0u16;
         for &(raw, action) in &schedule {
@@ -62,23 +67,42 @@ proptest! {
             }
         }
         cluster.deliver_all();
-        prop_assert!(cluster.converged());
-        prop_assert!(cluster.history().is_transitive());
-    }
+        assert!(cluster.converged());
+        assert!(cluster.history().is_transitive());
+    });
+}
 
-    /// Wooki converges likewise; every element stays between its anchors.
-    #[test]
-    fn wooki_converges(schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..20)) {
+/// Wooki converges likewise; every element stays between its anchors.
+#[test]
+fn wooki_converges() {
+    run_seeded_cases("wooki_converges", 48, |_, rng| {
+        let schedule = random_schedule(rng, 20);
         let mut cluster = Cluster::new(Wooki::<u16>::new(), 3);
         let mut next = 0u16;
         for &(raw, action) in &schedule {
             let r = replica(raw);
             if action < 12 {
                 let all = cluster.state(r).all_values();
-                let i = if all.is_empty() { 0 } else { action as usize % (all.len() + 1) };
-                let j = if all.is_empty() { 0 } else { i + (raw as usize % (all.len() + 1 - i)) };
-                let left = if i == 0 { WookiAnchor::Begin } else { WookiAnchor::Elem(all[i - 1]) };
-                let right = if j >= all.len() { WookiAnchor::End } else { WookiAnchor::Elem(all[j]) };
+                let i = if all.is_empty() {
+                    0
+                } else {
+                    action as usize % (all.len() + 1)
+                };
+                let j = if all.is_empty() {
+                    0
+                } else {
+                    i + (raw as usize % (all.len() + 1 - i))
+                };
+                let left = if i == 0 {
+                    WookiAnchor::Begin
+                } else {
+                    WookiAnchor::Elem(all[i - 1])
+                };
+                let right = if j >= all.len() {
+                    WookiAnchor::End
+                } else {
+                    WookiAnchor::Elem(all[j])
+                };
                 next += 1;
                 cluster.invoke(r, WookiCall::AddBetween(left, next, right));
             } else {
@@ -89,64 +113,70 @@ proptest! {
             }
         }
         cluster.deliver_all();
-        prop_assert!(cluster.converged());
-    }
+        assert!(cluster.converged());
+    });
+}
 
-    /// State-based CRDTs converge after one synchronization round, whatever
-    /// messages were lost, duplicated, or reordered before it — and the
-    /// lattice laws hold throughout.
-    #[test]
-    fn state_based_converge_despite_chaos(
-        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..25)
-    ) {
-        fn chaos<C: StateBased + Clone>(
-            crdt: C,
-            schedule: &[(u8, u8)],
-            mut call: impl FnMut(u8) -> C::Call,
-        ) -> StateCluster<C> {
-            let mut cluster = StateCluster::new(crdt, 3);
-            for &(raw, action) in schedule {
-                let r = replica(raw);
-                match action % 4 {
-                    0 | 1 => {
-                        let c = call(action);
-                        cluster.invoke(r, c);
-                    }
-                    2 => {
-                        cluster.send(r);
-                    }
-                    _ => {
-                        if cluster.n_messages() > 0 {
-                            let m = action as usize % cluster.n_messages();
-                            cluster.apply(r, m); // duplication & reordering
-                        }
+/// State-based CRDTs converge after one synchronization round, whatever
+/// messages were lost, duplicated, or reordered before it — and the
+/// lattice laws hold throughout.
+#[test]
+fn state_based_converge_despite_chaos() {
+    fn chaos<C: StateBased + Clone>(
+        crdt: C,
+        schedule: &[(u8, u8)],
+        mut call: impl FnMut(u8) -> C::Call,
+    ) -> StateCluster<C> {
+        let mut cluster = StateCluster::new(crdt, 3);
+        for &(raw, action) in schedule {
+            let r = replica(raw);
+            match action % 4 {
+                0 | 1 => {
+                    let c = call(action);
+                    cluster.invoke(r, c);
+                }
+                2 => {
+                    cluster.send(r);
+                }
+                _ => {
+                    if cluster.n_messages() > 0 {
+                        let m = action as usize % cluster.n_messages();
+                        cluster.apply(r, m); // duplication & reordering
                     }
                 }
             }
-            cluster.sync_all();
-            cluster
         }
+        cluster.sync_all();
+        cluster
+    }
+
+    run_seeded_cases("state_based_converge_despite_chaos", 48, |_, rng| {
+        let schedule = random_schedule(rng, 25);
 
         let pn = chaos(PnCounter, &schedule, |a| match a % 3 {
             0 => PnCall::Inc,
             1 => PnCall::Dec,
             _ => PnCall::Read,
         });
-        prop_assert!(pn.converged());
-        prop_assert!(pn.check_lattice_laws());
+        assert!(pn.converged());
+        assert!(pn.check_lattice_laws());
 
         let mv = chaos(MvRegister::<u8>::new(), &schedule, |a| {
-            if a % 2 == 0 { MvCall::Write(a % 5) } else { MvCall::Read }
+            if a % 2 == 0 {
+                MvCall::Write(a % 5)
+            } else {
+                MvCall::Read
+            }
         });
-        prop_assert!(mv.converged());
-        prop_assert!(mv.check_lattice_laws());
+        assert!(mv.converged());
+        assert!(mv.check_lattice_laws());
 
         let lww = chaos(LwwElementSet::<u8>::new(), &schedule, |a| match a % 3 {
             0 => LwwSetCall::Add(a % 4),
             1 => LwwSetCall::Remove(a % 4),
             _ => LwwSetCall::Read,
         });
-        prop_assert!(lww.converged());
-        prop_assert!(lww.check_lattice_laws());
-    }
+        assert!(lww.converged());
+        assert!(lww.check_lattice_laws());
+    });
 }

@@ -15,7 +15,6 @@ use ral_crdts::state::lww_element_set::{LwwElementSet, LwwSetCall};
 use ral_runtime::op_based::Cluster;
 use ral_runtime::schedule::{drive_op_based, drive_state_based, ScheduleConfig};
 use ral_runtime::state_based::StateCluster;
-use rand::Rng;
 
 #[test]
 fn op_based_histories_satisfy_session_guarantees() {
@@ -62,9 +61,15 @@ fn visibility_is_generally_not_an_interval_order() {
     // An interval order would require a ≺ d or c ≺ b.
     let mut h: History<SetOp<char>> = History::new();
     let a = h.push(OpRecord::new(SetOp::Add('a'), ReplicaId(0)), []);
-    h.push(OpRecord::new(SetOp::Read(BTreeSet::from(['a'])), ReplicaId(0)), [a]);
+    h.push(
+        OpRecord::new(SetOp::Read(BTreeSet::from(['a'])), ReplicaId(0)),
+        [a],
+    );
     let c = h.push(OpRecord::new(SetOp::Add('c'), ReplicaId(1)), []);
-    h.push(OpRecord::new(SetOp::Read(BTreeSet::from(['c'])), ReplicaId(1)), [c]);
+    h.push(
+        OpRecord::new(SetOp::Read(BTreeSet::from(['c'])), ReplicaId(1)),
+        [c],
+    );
     assert!(!h.is_interval_order());
     assert!(h.is_transitive());
 

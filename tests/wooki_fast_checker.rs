@@ -15,7 +15,6 @@ use ral_runtime::op_based::Cluster;
 use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
 use ral_spec::wooki::{WookiAnchor, WookiOp, WookiSpec};
 use ral_spec::wooki_fast::check_wooki_guided;
-use rand::Rng;
 
 fn random_wooki_history(
     seed: u64,
@@ -89,8 +88,9 @@ fn fast_checker_agrees_on_corrupted_histories() {
     // reject identically.
     for seed in 0..15 {
         let h = random_wooki_history(seed, 20, 6);
-        let Some(read_idx) =
-            (0..h.len()).rev().find(|&i| matches!(h.label(i), WookiOp::Read(_)))
+        let Some(read_idx) = (0..h.len())
+            .rev()
+            .find(|&i| matches!(h.label(i), WookiOp::Read(_)))
         else {
             continue;
         };
