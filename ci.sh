@@ -27,6 +27,10 @@ if [[ "${1:-}" != "quick" ]]; then
 fi
 step cargo build --offline --examples
 step cargo test -q --offline
+# Explicit sim-suite step: names the two scenario suites in CI output so a
+# regression there is immediately attributable (the plain run above already
+# executes them; this re-run costs ~2s).
+step cargo test -q --offline --test sim_determinism --test sim_faults
 step cargo bench --offline --no-run
 
 echo

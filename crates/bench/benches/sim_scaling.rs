@@ -1,0 +1,89 @@
+//! Simulator scaling: events/sec of the discrete-event engine as the
+//! gossip mesh grows from 5 to 15 to 50 replicas.
+//!
+//! Each benchmark measures one complete seeded run of the `gossip`
+//! scenario (the 50-replica point is the corpus entry `gossip_50`)
+//! driving a state-based PN-Counter cluster, plus an op-based OR-Set run
+//! for the causal-broadcast transport. Runs are deterministic, so the
+//! event count per run is a constant; it is baked into the benchmark name
+//! (`...{n}rep_{events}ev`) so the JSON report (median_ns per run and
+//! events per run) yields events/sec directly. The harness also prints the
+//! derived events/sec per size before sampling.
+//!
+//! Run with `cargo bench -p ral-bench --bench sim_scaling`.
+
+use ral_bench::{bench_group, bench_main, BenchmarkId, Criterion};
+use ral_crdts::op::or_set::OrSet;
+use ral_crdts::state::pn_counter::PnCounter;
+use ral_sim::driver::{Driver, OpDriver, StateDriver};
+use ral_sim::{scenario, sim};
+use ral_verify::workloads;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [5, 15, 50];
+const SEED: u64 = 7;
+
+fn state_run(n: usize) -> usize {
+    let sc = scenario::gossip(n);
+    let mut driver = StateDriver::new(PnCounter, n, |rng, _, _| Some(workloads::pn_counter(rng)));
+    let run = sim::run(&mut driver, &sc.cfg, SEED);
+    assert!(driver.converged());
+    run.stats.events
+}
+
+fn op_run(n: usize) -> usize {
+    let sc = scenario::gossip(n);
+    let mut driver = OpDriver::new(OrSet::<u8>::new(), n, |rng, _, _| {
+        Some(workloads::or_set(rng))
+    });
+    let run = sim::run(&mut driver, &sc.cfg, SEED);
+    assert!(driver.converged());
+    run.stats.events
+}
+
+fn gossip_state_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling/state_gossip");
+    group.sample_size(11);
+    for n in SIZES {
+        // One pre-run pins the deterministic event count (baked into the
+        // benchmark name) and yields a first events/sec estimate; the
+        // harness then measures the same run properly.
+        let start = Instant::now();
+        let events = state_run(n);
+        eprintln!(
+            "sim_scaling: state gossip at {n:>2} replicas — {events} events/run, \
+             ~{:.0} events/sec",
+            events as f64 / start.elapsed().as_secs_f64()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}rep_{events}ev")),
+            &n,
+            |b, &n| b.iter(|| black_box(state_run(n))),
+        );
+    }
+    group.finish();
+}
+
+fn gossip_op_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling/op_gossip");
+    group.sample_size(11);
+    for n in SIZES {
+        let start = Instant::now();
+        let events = op_run(n);
+        eprintln!(
+            "sim_scaling: op gossip at {n:>2} replicas — {events} events/run, \
+             ~{:.0} events/sec",
+            events as f64 / start.elapsed().as_secs_f64()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}rep_{events}ev")),
+            &n,
+            |b, &n| b.iter(|| black_box(op_run(n))),
+        );
+    }
+    group.finish();
+}
+
+bench_group!(sim_scaling, gossip_state_scaling, gossip_op_scaling);
+bench_main!(sim_scaling);

@@ -18,6 +18,11 @@
 //!   [`state_based::StateCluster`];
 //! * [`schedule`] — seeded random schedulers driving clusters through
 //!   interleavings, plus convergence helpers.
+//!
+//! All three cluster kinds expose targeted per-message delivery
+//! (`can_deliver`/`deliver`, `apply`) and crash/restart entry points; the
+//! `ral-sim` crate builds a deterministic discrete-event network simulator
+//! (latency, partitions, crashes, topologies) on top of them.
 
 pub mod gen;
 pub mod multi;

@@ -33,6 +33,9 @@ struct MultiNode<S> {
     states: Vec<S>,
     seen: BitSet,
     clocks: Vec<u64>,
+    // Running flag; composed replica state is durable, as in
+    // [`crate::op_based::Cluster`].
+    up: bool,
 }
 
 struct Delivery<E> {
@@ -74,6 +77,7 @@ impl<C: OpBased> MultiCluster<C> {
                 states: (0..n_objects).map(|_| crdt.initial()).collect(),
                 seen: BitSet::new(),
                 clocks: vec![0; clock_slots],
+                up: true,
             })
             .collect();
         MultiCluster {
@@ -133,6 +137,7 @@ impl<C: OpBased> MultiCluster<C> {
         assert!(o < self.n_objects, "object {obj} out of range");
         let slot = self.clock_slot(o);
         let node = &self.replicas[idx];
+        assert!(node.up, "cannot invoke at crashed replica {r}");
         let mut ctx = GenCtx::new(r, node.clocks[slot], self.next_uid);
         match self.crdt.generator(&node.states[o], &call, &mut ctx) {
             GenOutcome::Refused => None,
@@ -170,10 +175,60 @@ impl<C: OpBased> MultiCluster<C> {
         self.deliveries[d].op
     }
 
+    /// Total number of deliveries created so far (ids are `0..n`).
+    pub fn n_deliveries(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// Whether delivery `d` has already been applied at replica `r`.
+    pub fn is_delivered(&self, d: usize, r: ReplicaId) -> bool {
+        self.deliveries[d].delivered[r.0 as usize]
+    }
+
+    /// Non-panicking probe for [`MultiCluster::deliver`]: up, not yet
+    /// applied, and per-object causal delivery admits it now.
+    pub fn can_deliver(&self, r: ReplicaId, d: usize) -> bool {
+        let node = &self.replicas[r.0 as usize];
+        let del = &self.deliveries[d];
+        node.up
+            && !del.delivered[r.0 as usize]
+            && self
+                .history
+                .preds(del.op)
+                .iter()
+                .all(|p| self.history.label(p).obj.0 as usize != del.obj || node.seen.contains(p))
+    }
+
+    /// Whether replica `r` is running (not crashed).
+    pub fn is_up(&self, r: ReplicaId) -> bool {
+        self.replicas[r.0 as usize].up
+    }
+
+    /// Crashes replica `r` (durable composed state; processing halts).
+    pub fn crash(&mut self, r: ReplicaId) {
+        self.replicas[r.0 as usize].up = false;
+    }
+
+    /// Restarts a crashed replica.
+    pub fn restart(&mut self, r: ReplicaId) {
+        self.replicas[r.0 as usize].up = true;
+    }
+
+    /// Restarts every crashed replica.
+    pub fn restart_all(&mut self) {
+        for node in &mut self.replicas {
+            node.up = true;
+        }
+    }
+
     /// Pending deliveries applicable at replica `r`: causal delivery is
-    /// required only among operations of the *same* object.
+    /// required only among operations of the *same* object. Empty while the
+    /// replica is crashed.
     pub fn deliverable(&self, r: ReplicaId) -> Vec<usize> {
         let node = &self.replicas[r.0 as usize];
+        if !node.up {
+            return Vec::new();
+        }
         self.deliveries
             .iter()
             .enumerate()
@@ -195,6 +250,10 @@ impl<C: OpBased> MultiCluster<C> {
     /// Panics on double delivery or a per-object causal violation.
     pub fn deliver(&mut self, r: ReplicaId, delivery: usize) {
         let idx = r.0 as usize;
+        assert!(
+            self.replicas[idx].up,
+            "cannot deliver at crashed replica {r}"
+        );
         let (op, obj) = {
             let d = &self.deliveries[delivery];
             assert!(
@@ -363,6 +422,22 @@ mod tests {
         for i in 0..3 {
             c.invoke(r(i), o(i % 3), Call::Write(i + 10)).unwrap();
         }
+        c.deliver_all();
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn crash_buffers_deliveries_until_restart() {
+        let mut c = MultiCluster::new(Reg, 2, 2, TsMode::Shared);
+        c.crash(r(1));
+        c.invoke(r(0), o(0), Call::Write(1)).unwrap();
+        assert_eq!(c.n_deliveries(), 1);
+        assert!(!c.can_deliver(r(1), 0));
+        assert!(c.deliverable(r(1)).is_empty());
+        c.deliver_all();
+        assert!(!c.is_delivered(0, r(1)));
+        c.restart_all();
+        assert!(c.can_deliver(r(1), 0));
         c.deliver_all();
         assert!(c.converged());
     }

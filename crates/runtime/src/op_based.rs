@@ -64,6 +64,12 @@ struct ReplicaNode<S> {
     state: S,
     seen: BitSet,
     clock: u64,
+    // Whether the replica process is running. Op-based replica state is
+    // durable (state, seen, clock survive a crash): losing an applied
+    // effector would be unrecoverable under exactly-once delivery, so a
+    // crash only *halts* the replica. Undelivered effectors stay pending
+    // and are re-delivered after restart.
+    up: bool,
 }
 
 struct Delivery<E> {
@@ -141,6 +147,7 @@ impl<C: OpBased> Cluster<C> {
                 state: crdt.initial(),
                 seen: BitSet::new(),
                 clock: 0,
+                up: true,
             })
             .collect();
         Cluster {
@@ -185,9 +192,14 @@ impl<C: OpBased> Cluster<C> {
     /// Invokes `call` at replica `r` (the OPERATION rule).
     ///
     /// Returns `None` if the generator's precondition refuses the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is crashed (see [`Cluster::crash`]).
     pub fn invoke(&mut self, r: ReplicaId, call: C::Call) -> Option<Invoked<C::Ret>> {
         let idx = r.0 as usize;
         let node = &self.replicas[idx];
+        assert!(node.up, "cannot invoke at crashed replica {r}");
         let mut ctx = GenCtx::new(r, node.clock, self.next_uid);
         match self.crdt.generator(&node.state, &call, &mut ctx) {
             GenOutcome::Refused => None,
@@ -221,9 +233,12 @@ impl<C: OpBased> Cluster<C> {
 
     /// Operations whose effector is deliverable at replica `r` under causal
     /// delivery: not yet applied there, with every visible predecessor
-    /// already applied.
+    /// already applied. Empty while the replica is crashed.
     pub fn deliverable(&self, r: ReplicaId) -> Vec<usize> {
         let node = &self.replicas[r.0 as usize];
+        if !node.up {
+            return Vec::new();
+        }
         self.deliveries
             .iter()
             .enumerate()
@@ -242,6 +257,10 @@ impl<C: OpBased> Cluster<C> {
     /// delivery would be violated.
     pub fn deliver(&mut self, r: ReplicaId, delivery: usize) {
         let idx = r.0 as usize;
+        assert!(
+            self.replicas[idx].up,
+            "cannot deliver at crashed replica {r}"
+        );
         let d = &mut self.deliveries[delivery];
         assert!(
             !d.delivered[idx],
@@ -301,6 +320,55 @@ impl<C: OpBased> Cluster<C> {
             .iter()
             .map(|d| d.delivered.iter().filter(|&&x| !x).count())
             .sum()
+    }
+
+    /// Total number of deliveries created so far (one per successful
+    /// invocation). Delivery ids are dense: `0..n_deliveries()`.
+    pub fn n_deliveries(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// Whether delivery `d` has already been applied at replica `r`.
+    pub fn is_delivered(&self, d: usize, r: ReplicaId) -> bool {
+        self.deliveries[d].delivered[r.0 as usize]
+    }
+
+    /// Non-panicking probe for [`Cluster::deliver`]: `true` iff the replica
+    /// is up, the effector has not been applied there, and causal delivery
+    /// admits it now.
+    pub fn can_deliver(&self, r: ReplicaId, d: usize) -> bool {
+        let node = &self.replicas[r.0 as usize];
+        node.up
+            && !self.deliveries[d].delivered[r.0 as usize]
+            && self
+                .history
+                .preds(self.deliveries[d].op)
+                .is_subset(&node.seen)
+    }
+
+    /// Whether replica `r` is running (not crashed).
+    pub fn is_up(&self, r: ReplicaId) -> bool {
+        self.replicas[r.0 as usize].up
+    }
+
+    /// Crashes replica `r`: the process halts, refusing invocations and
+    /// deliveries. Its state, applied set, and clock are durable; pending
+    /// effectors addressed to it stay buffered in the network and become
+    /// deliverable again after [`Cluster::restart`].
+    pub fn crash(&mut self, r: ReplicaId) {
+        self.replicas[r.0 as usize].up = false;
+    }
+
+    /// Restarts a crashed replica; it resumes exactly where it halted.
+    pub fn restart(&mut self, r: ReplicaId) {
+        self.replicas[r.0 as usize].up = true;
+    }
+
+    /// Restarts every crashed replica.
+    pub fn restart_all(&mut self) {
+        for node in &mut self.replicas {
+            node.up = true;
+        }
     }
 }
 
@@ -454,5 +522,45 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn empty_cluster_panics() {
         let _ = Cluster::new(GSet, 0);
+    }
+
+    #[test]
+    fn can_deliver_mirrors_deliver_preconditions() {
+        let mut c = Cluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        c.invoke(r(0), Call::Add(2)).unwrap();
+        assert_eq!(c.n_deliveries(), 2);
+        assert!(c.is_delivered(0, r(0)), "origin applied immediately");
+        assert!(c.can_deliver(r(1), 0));
+        assert!(!c.can_deliver(r(1), 1), "predecessor not applied yet");
+        c.deliver(r(1), 0);
+        assert!(!c.can_deliver(r(1), 0), "already applied");
+        assert!(c.can_deliver(r(1), 1));
+    }
+
+    #[test]
+    fn crashed_replica_buffers_and_redelivers() {
+        let mut c = Cluster::new(GSet, 2);
+        c.crash(r(1));
+        assert!(!c.is_up(r(1)));
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        // The crashed replica refuses delivery; the effector stays pending.
+        assert!(c.deliverable(r(1)).is_empty());
+        assert!(!c.can_deliver(r(1), 0));
+        c.deliver_all();
+        assert_eq!(c.pending(), 1, "effector buffered for the crashed node");
+        // Durable state: after restart the effector is re-delivered.
+        c.restart_all();
+        c.deliver_all();
+        assert_eq!(c.pending(), 0);
+        assert!(c.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invoke at crashed replica")]
+    fn invoking_at_crashed_replica_panics() {
+        let mut c = Cluster::new(GSet, 2);
+        c.crash(r(0));
+        c.invoke(r(0), Call::Add(1));
     }
 }

@@ -5,6 +5,15 @@
 //! explores it by interleaving invocations with deliveries under a seeded
 //! RNG, so every run — including every counterexample — is reproducible from
 //! its seed.
+//!
+//! These helpers are untimed: they flip a weighted coin between "invoke" and
+//! "deliver" with no notion of latency, links, or failures. Scenarios that
+//! need virtual time, per-link latency distributions, message loss and
+//! duplication, scheduled partitions, or replica crash/restart are driven by
+//! the `ral-sim` discrete-event simulator, which builds on the same targeted
+//! per-message entry points ([`Cluster::can_deliver`],
+//! [`Cluster::deliver`], [`StateCluster::apply`], crash/restart) that these
+//! wrappers consume.
 
 use crate::multi::MultiCluster;
 use crate::op_based::{Cluster, OpBased};
@@ -45,15 +54,31 @@ fn pick_replica(rng: &mut Rng, n: usize) -> ReplicaId {
 ///
 /// `call_gen` produces the next invocation for a replica given its current
 /// state (returning `None` to skip); the scheduler interleaves those
-/// invocations with causal deliveries.
-pub fn drive_op_based<C, F>(
+/// invocations with causal deliveries. Thin wrapper over
+/// [`drive_op_based_filtered`] with every link admitted.
+pub fn drive_op_based<C, F>(cluster: &mut Cluster<C>, cfg: &ScheduleConfig, seed: u64, call_gen: F)
+where
+    C: OpBased,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    drive_op_based_filtered(cluster, cfg, seed, call_gen, |_, _| true);
+}
+
+/// Drives an operation-based cluster, delivering only along links the
+/// `admit(origin, destination)` predicate allows — the common core of
+/// [`drive_op_based`] (always `true`) and [`drive_op_based_partitioned`]
+/// (same partition side). `admit` is consulted per delivery attempt, so a
+/// caller can vary it over the run.
+pub fn drive_op_based_filtered<C, F, P>(
     cluster: &mut Cluster<C>,
     cfg: &ScheduleConfig,
     seed: u64,
     mut call_gen: F,
+    mut admit: P,
 ) where
     C: OpBased,
     F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+    P: FnMut(ReplicaId, ReplicaId) -> bool,
 {
     let mut rng = Rng::seed_from_u64(seed);
     let total = cfg.invoke_weight + cfg.deliver_weight;
@@ -65,7 +90,14 @@ pub fn drive_op_based<C, F>(
                 cluster.invoke(r, call);
             }
         } else {
-            let ds = cluster.deliverable(r);
+            let ds: Vec<usize> = cluster
+                .deliverable(r)
+                .into_iter()
+                .filter(|&d| {
+                    let origin = cluster.history().op(cluster.delivery_op(d)).replica;
+                    admit(origin, r)
+                })
+                .collect();
             if !ds.is_empty() {
                 let d = ds[rng.random_range(0..ds.len())];
                 cluster.deliver(r, d);
@@ -170,6 +202,11 @@ impl Partition {
     pub fn connected(&self, a: ReplicaId, b: ReplicaId) -> bool {
         self.groups[a.0 as usize] == self.groups[b.0 as usize]
     }
+
+    /// Number of replicas the grouping covers.
+    pub fn n_replicas(&self) -> usize {
+        self.groups.len()
+    }
 }
 
 /// Drives an operation-based cluster with a partition in force for the
@@ -181,38 +218,15 @@ pub fn drive_op_based_partitioned<C, F>(
     cfg: &ScheduleConfig,
     partition: &Partition,
     seed: u64,
-    mut call_gen: F,
+    call_gen: F,
 ) where
     C: OpBased,
     F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
 {
-    let mut rng = Rng::seed_from_u64(seed);
-    let total = cfg.invoke_weight + cfg.deliver_weight;
-    assert!(total > 0, "at least one action must have non-zero weight");
-    for _ in 0..cfg.steps {
-        let r = pick_replica(&mut rng, cluster.n_replicas());
-        if rng.random_range(0..total) < cfg.invoke_weight {
-            if let Some(call) = call_gen(&mut rng, r, cluster.state(r)) {
-                cluster.invoke(r, call);
-            }
-        } else {
-            let ds: Vec<usize> = cluster
-                .deliverable(r)
-                .into_iter()
-                .filter(|&d| {
-                    let origin = cluster.history().op(cluster.delivery_op(d)).replica;
-                    partition.connected(origin, r)
-                })
-                .collect();
-            if !ds.is_empty() {
-                let d = ds[rng.random_range(0..ds.len())];
-                cluster.deliver(r, d);
-            }
-        }
-    }
-    if cfg.final_sync {
-        cluster.deliver_all(); // the partition heals
-    }
+    // Thin wrapper: the final deliver_all is the partition healing.
+    drive_op_based_filtered(cluster, cfg, seed, call_gen, |origin, dest| {
+        partition.connected(origin, dest)
+    });
 }
 
 #[cfg(test)]

@@ -73,6 +73,14 @@ struct StateNode<S> {
     state: S,
     seen: BitSet,
     clock: u64,
+    // Whether the replica process is running.
+    up: bool,
+    // Last durable checkpoint `(state, seen, clock)`. Local invocations are
+    // written ahead (invoke re-checkpoints automatically), so a crash can
+    // only lose *merged-in* remote knowledge — which the unreliable network
+    // may re-merge at any time, making the loss indistinguishable from a
+    // dropped message (Appendix D.2).
+    durable: (S, BitSet, u64),
 }
 
 /// A snapshot message: the sending replica's state plus the set of
@@ -83,6 +91,7 @@ pub struct Message<S> {
     seen: BitSet,
     state: S,
     clock: u64,
+    origin: ReplicaId,
 }
 
 /// A successful invocation on a [`StateCluster`].
@@ -116,6 +125,8 @@ impl<C: StateBased> StateCluster<C> {
                 state: crdt.initial(n_replicas),
                 seen: BitSet::new(),
                 clock: 0,
+                up: true,
+                durable: (crdt.initial(n_replicas), BitSet::new(), 0),
             })
             .collect();
         StateCluster {
@@ -153,9 +164,18 @@ impl<C: StateBased> StateCluster<C> {
     }
 
     /// Invokes `call` at replica `r`; returns `None` if refused.
+    ///
+    /// The invocation is written ahead: a successful call immediately
+    /// re-checkpoints the replica's durable state, so a later
+    /// [`StateCluster::crash`] never loses locally performed operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is crashed.
     pub fn invoke(&mut self, r: ReplicaId, call: C::Call) -> Option<Invoked<C::Ret>> {
         let idx = r.0 as usize;
         let node = &self.replicas[idx];
+        assert!(node.up, "cannot invoke at crashed replica {r}");
         let mut ctx = GenCtx::new(r, node.clock, self.next_uid);
         match self.crdt.invoke(&node.state, &call, &mut ctx) {
             StateOutcome::Refused => None,
@@ -171,20 +191,32 @@ impl<C: StateBased> StateCluster<C> {
                 self.next_uid = ctx.uid_counter();
                 node.state = next;
                 node.seen.insert(op);
+                node.durable = (node.state.clone(), node.seen.clone(), node.clock);
                 Some(Invoked { ret, op })
             }
         }
     }
 
     /// Snapshots replica `r`'s state into a message; returns the message id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is crashed.
     pub fn send(&mut self, r: ReplicaId) -> usize {
         let node = &self.replicas[r.0 as usize];
+        assert!(node.up, "cannot send from crashed replica {r}");
         self.messages.push(Message {
             seen: node.seen.clone(),
             state: node.state.clone(),
             clock: node.clock,
+            origin: r,
         });
         self.messages.len() - 1
+    }
+
+    /// The replica whose snapshot message `msg` carries.
+    pub fn message_origin(&self, msg: usize) -> ReplicaId {
+        self.messages[msg].origin
     }
 
     /// Number of messages in flight (messages are never consumed — the
@@ -195,7 +227,15 @@ impl<C: StateBased> StateCluster<C> {
 
     /// Applies message `msg` at replica `r` (merging states). May be called
     /// any number of times, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is crashed.
     pub fn apply(&mut self, r: ReplicaId, msg: usize) {
+        assert!(
+            self.replicas[r.0 as usize].up,
+            "cannot apply at crashed replica {r}"
+        );
         let message_state = self.messages[msg].state.clone();
         let message_seen = self.messages[msg].seen.clone();
         let message_clock = self.messages[msg].clock;
@@ -247,6 +287,43 @@ impl<C: StateBased> StateCluster<C> {
             }
         }
         true
+    }
+
+    /// Whether replica `r` is running (not crashed).
+    pub fn is_up(&self, r: ReplicaId) -> bool {
+        self.replicas[r.0 as usize].up
+    }
+
+    /// Checkpoints replica `r`: its current state (including merged-in
+    /// remote knowledge) becomes the durable state a crash recovers to.
+    pub fn persist(&mut self, r: ReplicaId) {
+        let node = &mut self.replicas[r.0 as usize];
+        node.durable = (node.state.clone(), node.seen.clone(), node.clock);
+    }
+
+    /// Crashes replica `r`: the process halts and its volatile state is
+    /// lost. On [`StateCluster::restart`] it recovers the last durable
+    /// checkpoint and rejoins; anything lost was merge-derived and can be
+    /// re-merged (the lattice makes recovery and message redelivery the
+    /// same operation).
+    pub fn crash(&mut self, r: ReplicaId) {
+        let node = &mut self.replicas[r.0 as usize];
+        node.up = false;
+        node.state = node.durable.0.clone();
+        node.seen = node.durable.1.clone();
+        node.clock = node.durable.2;
+    }
+
+    /// Restarts a crashed replica from its durable checkpoint.
+    pub fn restart(&mut self, r: ReplicaId) {
+        self.replicas[r.0 as usize].up = true;
+    }
+
+    /// Restarts every crashed replica.
+    pub fn restart_all(&mut self) {
+        for node in &mut self.replicas {
+            node.up = true;
+        }
     }
 }
 
@@ -384,5 +461,47 @@ mod tests {
         c.invoke(r(0), Call::Add(1)).unwrap();
         c.invoke(r(1), Call::Add(2)).unwrap();
         assert!(c.check_lattice_laws());
+    }
+
+    #[test]
+    fn crash_loses_only_unpersisted_merges() {
+        let mut c = StateCluster::new(GSet, 2);
+        // Own invocations are written ahead…
+        c.invoke(r(1), Call::Add(9)).unwrap();
+        // …but a merged-in snapshot is volatile until the next checkpoint.
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        let m = c.send(r(0));
+        c.apply(r(1), m);
+        assert_eq!(c.state(r(1)), &vec![1, 9]);
+        c.crash(r(1));
+        assert!(!c.is_up(r(1)));
+        c.restart(r(1));
+        assert_eq!(c.state(r(1)), &vec![9], "merge was lost with the crash");
+        // Redelivery of the (never-consumed) message recovers it.
+        c.apply(r(1), m);
+        assert_eq!(c.state(r(1)), &vec![1, 9]);
+        assert_eq!(c.message_origin(m), r(0));
+    }
+
+    #[test]
+    fn persist_checkpoints_merged_knowledge() {
+        let mut c = StateCluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        let m = c.send(r(0));
+        c.apply(r(1), m);
+        c.persist(r(1));
+        c.crash(r(1));
+        c.restart(r(1));
+        assert_eq!(c.state(r(1)), &vec![1], "checkpoint survived the crash");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot apply at crashed replica")]
+    fn applying_at_crashed_replica_panics() {
+        let mut c = StateCluster::new(GSet, 2);
+        c.invoke(r(0), Call::Add(1)).unwrap();
+        let m = c.send(r(0));
+        c.crash(r(1));
+        c.apply(r(1), m);
     }
 }

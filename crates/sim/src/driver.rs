@@ -1,0 +1,453 @@
+//! Drivers: the adapter between the transport-level simulator and the
+//! paper's three cluster kinds.
+//!
+//! The engine thinks in *messages* — opaque ids created by invocations or
+//! gossip ticks and routed per destination. A [`Driver`] translates those
+//! ids back into the cluster's own delivery machinery:
+//!
+//! * [`OpDriver`] — [`Cluster`] (Section 3.1): one message per operation,
+//!   the effector. Causal delivery is preserved by *holding back* effectors
+//!   that arrive (over a reordering link) before their causal predecessors
+//!   and draining the holdback once the gap closes, so the network may
+//!   reorder freely while the replica still applies causally.
+//! * [`StateDriver`] — [`StateCluster`] (Appendix D.2): one message per
+//!   gossip tick, a whole-state snapshot. Merges tolerate loss, duplication,
+//!   and reordering, so no holdback is needed — and the driver checkpoints
+//!   each replica after every invocation (write-ahead), matching the
+//!   durability story of [`StateCluster::crash`].
+//! * [`MultiDriver`] — [`MultiCluster`] (Section 5.3): like [`OpDriver`],
+//!   but causal holdback applies per object.
+//!
+//! Each driver exposes the same `History<L>` the RA-linearizability
+//! checkers and the `ral_verify` harnesses consume — simulation changes how
+//! executions are *scheduled*, never what they *record*.
+
+use ral_core::ids::{ObjId, ReplicaId};
+use ral_core::rng::Rng;
+use ral_runtime::multi::MultiCluster;
+use ral_runtime::op_based::{Cluster, OpBased};
+use ral_runtime::state_based::{StateBased, StateCluster};
+
+/// The outcome of handing a message to a replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Received {
+    /// Applied; `usize` counts the effectors/merges performed (more than
+    /// one when held-back effectors drained behind it).
+    Applied(usize),
+    /// Buffered awaiting causal predecessors (op-based transports only).
+    Held,
+    /// Ignored: already applied at this replica.
+    Ignored,
+}
+
+/// Adapts one cluster kind to the discrete-event engine.
+pub trait Driver {
+    /// Whether the transport must be loss-free and duplicate-free (op-based
+    /// causal broadcast). Reliable transports never see drop/duplication
+    /// faults; cut links and crashed receivers trigger retries instead.
+    const RELIABLE: bool;
+
+    /// Whether propagation is pull-by-gossip (state-based snapshots) rather
+    /// than push-per-operation. Gossip drivers get periodic gossip events.
+    const GOSSIPS: bool;
+
+    /// Number of replicas.
+    fn n_replicas(&self) -> usize;
+
+    /// Invokes the next client operation at `r`; `false` if the workload
+    /// skipped its turn or the generator refused.
+    fn invoke(&mut self, rng: &mut Rng, r: ReplicaId) -> bool;
+
+    /// One gossip tick at `r`: snapshot the state into a message. `false`
+    /// for push-based drivers (nothing to do).
+    fn gossip(&mut self, r: ReplicaId) -> bool;
+
+    /// Messages created so far; ids are dense `0..n_messages()`, and new
+    /// ones appear only during [`Driver::invoke`] / [`Driver::gossip`].
+    fn n_messages(&self) -> usize;
+
+    /// Origin replica of message `m`.
+    fn origin(&self, m: usize) -> ReplicaId;
+
+    /// Hands message `m` to replica `r`.
+    fn receive(&mut self, r: ReplicaId, m: usize) -> Received;
+
+    /// Whether replica `r` is currently up.
+    fn is_up(&self, r: ReplicaId) -> bool;
+
+    /// Crashes replica `r`.
+    fn crash(&mut self, r: ReplicaId);
+
+    /// Restarts replica `r`.
+    fn restart(&mut self, r: ReplicaId);
+
+    /// Ends the run: restart every replica and synchronize fully, so
+    /// convergence can be asserted (the paper's "all updates eventually
+    /// visible everywhere" hypothesis).
+    fn final_sync(&mut self);
+
+    /// Whether all replicas agree (after [`Driver::final_sync`]).
+    fn converged(&self) -> bool;
+}
+
+// The causal-holdback machinery, shared by both op-based cluster kinds:
+// they expose the same targeted delivery probes, so the reliable-transport
+// receive/drain logic lives once.
+trait CausalDelivery {
+    fn can_deliver_now(&self, r: ReplicaId, d: usize) -> bool;
+    fn deliver_now(&mut self, r: ReplicaId, d: usize);
+    fn already_delivered(&self, d: usize, r: ReplicaId) -> bool;
+}
+
+impl<C: OpBased> CausalDelivery for Cluster<C> {
+    fn can_deliver_now(&self, r: ReplicaId, d: usize) -> bool {
+        self.can_deliver(r, d)
+    }
+    fn deliver_now(&mut self, r: ReplicaId, d: usize) {
+        self.deliver(r, d);
+    }
+    fn already_delivered(&self, d: usize, r: ReplicaId) -> bool {
+        self.is_delivered(d, r)
+    }
+}
+
+impl<C: OpBased> CausalDelivery for MultiCluster<C> {
+    fn can_deliver_now(&self, r: ReplicaId, d: usize) -> bool {
+        self.can_deliver(r, d)
+    }
+    fn deliver_now(&mut self, r: ReplicaId, d: usize) {
+        self.deliver(r, d);
+    }
+    fn already_delivered(&self, d: usize, r: ReplicaId) -> bool {
+        self.is_delivered(d, r)
+    }
+}
+
+// Applies every held effector that has become deliverable at `r`; returns
+// how many were applied.
+fn drain_held<T: CausalDelivery>(cluster: &mut T, held: &mut Vec<usize>, r: ReplicaId) -> usize {
+    let mut applied = 0;
+    loop {
+        let Some(pos) = held.iter().position(|&d| cluster.can_deliver_now(r, d)) else {
+            return applied;
+        };
+        let d = held.swap_remove(pos);
+        cluster.deliver_now(r, d);
+        applied += 1;
+    }
+}
+
+// One reliable-transport arrival: dedup, causal holdback, or apply plus a
+// drain of whatever the application unblocked.
+fn receive_causal<T: CausalDelivery>(
+    cluster: &mut T,
+    held: &mut Vec<usize>,
+    r: ReplicaId,
+    m: usize,
+) -> Received {
+    if cluster.already_delivered(m, r) {
+        return Received::Ignored;
+    }
+    if !cluster.can_deliver_now(r, m) {
+        // Out-of-order arrival: park it until the causal gap closes.
+        held.push(m);
+        return Received::Held;
+    }
+    cluster.deliver_now(r, m);
+    Received::Applied(1 + drain_held(cluster, held, r))
+}
+
+/// Drives an operation-based [`Cluster`].
+pub struct OpDriver<C: OpBased, F> {
+    cluster: Cluster<C>,
+    call_gen: F,
+    // Effectors that arrived before their causal predecessors, per replica.
+    held: Vec<Vec<usize>>,
+}
+
+impl<C, F> OpDriver<C, F>
+where
+    C: OpBased,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    /// Wraps a fresh cluster of `n_replicas`; `call_gen` has the same
+    /// signature as in [`ral_runtime::schedule::drive_op_based`], so the
+    /// `ral_verify::workloads` generators plug in unchanged.
+    pub fn new(crdt: C, n_replicas: usize, call_gen: F) -> Self {
+        OpDriver {
+            cluster: Cluster::new(crdt, n_replicas),
+            call_gen,
+            held: vec![Vec::new(); n_replicas],
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster<C> {
+        &self.cluster
+    }
+
+    /// Consumes the driver, returning the cluster (and with it the
+    /// recorded history).
+    pub fn into_cluster(self) -> Cluster<C> {
+        self.cluster
+    }
+}
+
+impl<C, F> Driver for OpDriver<C, F>
+where
+    C: OpBased,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    const RELIABLE: bool = true;
+    const GOSSIPS: bool = false;
+
+    fn n_replicas(&self) -> usize {
+        self.cluster.n_replicas()
+    }
+
+    fn invoke(&mut self, rng: &mut Rng, r: ReplicaId) -> bool {
+        match (self.call_gen)(rng, r, self.cluster.state(r)) {
+            Some(call) => self.cluster.invoke(r, call).is_some(),
+            None => false,
+        }
+    }
+
+    fn gossip(&mut self, _r: ReplicaId) -> bool {
+        false
+    }
+
+    fn n_messages(&self) -> usize {
+        self.cluster.n_deliveries()
+    }
+
+    fn origin(&self, m: usize) -> ReplicaId {
+        self.cluster
+            .history()
+            .op(self.cluster.delivery_op(m))
+            .replica
+    }
+
+    fn receive(&mut self, r: ReplicaId, m: usize) -> Received {
+        receive_causal(&mut self.cluster, &mut self.held[r.0 as usize], r, m)
+    }
+
+    fn is_up(&self, r: ReplicaId) -> bool {
+        self.cluster.is_up(r)
+    }
+
+    fn crash(&mut self, r: ReplicaId) {
+        self.cluster.crash(r);
+    }
+
+    fn restart(&mut self, r: ReplicaId) {
+        // Nothing to drain: the engine never hands messages to a down
+        // replica (reliable transmissions retry instead), so the held
+        // backlog cannot have become deliverable while crashed.
+        self.cluster.restart(r);
+    }
+
+    fn final_sync(&mut self) {
+        self.cluster.restart_all();
+        self.cluster.deliver_all();
+        for held in &mut self.held {
+            held.clear(); // deliver_all already applied them
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.cluster.converged()
+    }
+}
+
+/// Drives a state-based [`StateCluster`].
+pub struct StateDriver<C: StateBased, F> {
+    cluster: StateCluster<C>,
+    call_gen: F,
+}
+
+impl<C, F> StateDriver<C, F>
+where
+    C: StateBased,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    /// Wraps a fresh cluster of `n_replicas`.
+    pub fn new(crdt: C, n_replicas: usize, call_gen: F) -> Self {
+        StateDriver {
+            cluster: StateCluster::new(crdt, n_replicas),
+            call_gen,
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &StateCluster<C> {
+        &self.cluster
+    }
+
+    /// Consumes the driver, returning the cluster.
+    pub fn into_cluster(self) -> StateCluster<C> {
+        self.cluster
+    }
+}
+
+impl<C, F> Driver for StateDriver<C, F>
+where
+    C: StateBased,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    const RELIABLE: bool = false;
+    const GOSSIPS: bool = true;
+
+    fn n_replicas(&self) -> usize {
+        self.cluster.n_replicas()
+    }
+
+    fn invoke(&mut self, rng: &mut Rng, r: ReplicaId) -> bool {
+        match (self.call_gen)(rng, r, self.cluster.state(r)) {
+            Some(call) => self.cluster.invoke(r, call).is_some(),
+            None => false,
+        }
+    }
+
+    fn gossip(&mut self, r: ReplicaId) -> bool {
+        self.cluster.send(r);
+        true
+    }
+
+    fn n_messages(&self) -> usize {
+        self.cluster.n_messages()
+    }
+
+    fn origin(&self, m: usize) -> ReplicaId {
+        self.cluster.message_origin(m)
+    }
+
+    fn receive(&mut self, r: ReplicaId, m: usize) -> Received {
+        // Merges absorb duplicates and reordering by construction; every
+        // arrival is simply applied.
+        self.cluster.apply(r, m);
+        Received::Applied(1)
+    }
+
+    fn is_up(&self, r: ReplicaId) -> bool {
+        self.cluster.is_up(r)
+    }
+
+    fn crash(&mut self, r: ReplicaId) {
+        self.cluster.crash(r);
+    }
+
+    fn restart(&mut self, r: ReplicaId) {
+        self.cluster.restart(r);
+    }
+
+    fn final_sync(&mut self) {
+        self.cluster.restart_all();
+        self.cluster.sync_all();
+    }
+
+    fn converged(&self) -> bool {
+        self.cluster.converged()
+    }
+}
+
+/// Drives a composed [`MultiCluster`]; the workload also picks the target
+/// object.
+pub struct MultiDriver<C: OpBased, F> {
+    cluster: MultiCluster<C>,
+    call_gen: F,
+    held: Vec<Vec<usize>>,
+}
+
+impl<C, F> MultiDriver<C, F>
+where
+    C: OpBased,
+    F: FnMut(&mut Rng, ReplicaId, ObjId, &C::State) -> Option<C::Call>,
+{
+    /// Wraps a fresh composed cluster; `call_gen` has the same signature as
+    /// in [`ral_runtime::schedule::drive_multi`].
+    pub fn new(cluster: MultiCluster<C>, call_gen: F) -> Self {
+        let n = cluster.n_replicas();
+        MultiDriver {
+            cluster,
+            call_gen,
+            held: vec![Vec::new(); n],
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &MultiCluster<C> {
+        &self.cluster
+    }
+
+    /// Consumes the driver, returning the cluster.
+    pub fn into_cluster(self) -> MultiCluster<C> {
+        self.cluster
+    }
+}
+
+impl<C, F> Driver for MultiDriver<C, F>
+where
+    C: OpBased,
+    F: FnMut(&mut Rng, ReplicaId, ObjId, &C::State) -> Option<C::Call>,
+{
+    const RELIABLE: bool = true;
+    const GOSSIPS: bool = false;
+
+    fn n_replicas(&self) -> usize {
+        self.cluster.n_replicas()
+    }
+
+    fn invoke(&mut self, rng: &mut Rng, r: ReplicaId) -> bool {
+        let obj = ObjId(rng.random_range(0..self.cluster.n_objects()) as u32);
+        match (self.call_gen)(rng, r, obj, self.cluster.state(r, obj)) {
+            Some(call) => self.cluster.invoke(r, obj, call).is_some(),
+            None => false,
+        }
+    }
+
+    fn gossip(&mut self, _r: ReplicaId) -> bool {
+        false
+    }
+
+    fn n_messages(&self) -> usize {
+        self.cluster.n_deliveries()
+    }
+
+    fn origin(&self, m: usize) -> ReplicaId {
+        self.cluster
+            .history()
+            .op(self.cluster.delivery_op(m))
+            .replica
+    }
+
+    fn receive(&mut self, r: ReplicaId, m: usize) -> Received {
+        receive_causal(&mut self.cluster, &mut self.held[r.0 as usize], r, m)
+    }
+
+    fn is_up(&self, r: ReplicaId) -> bool {
+        self.cluster.is_up(r)
+    }
+
+    fn crash(&mut self, r: ReplicaId) {
+        self.cluster.crash(r);
+    }
+
+    fn restart(&mut self, r: ReplicaId) {
+        // Nothing to drain: the engine never hands messages to a down
+        // replica (reliable transmissions retry instead), so the held
+        // backlog cannot have become deliverable while crashed.
+        self.cluster.restart(r);
+    }
+
+    fn final_sync(&mut self) {
+        self.cluster.restart_all();
+        self.cluster.deliver_all();
+        for held in &mut self.held {
+            held.clear();
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.cluster.converged()
+    }
+}

@@ -1,0 +1,133 @@
+//! Scheduled faults: partitions that form and heal, and replica
+//! crash/restart windows.
+//!
+//! Faults are declared ahead of time in the scenario configuration, not
+//! drawn during the run, so the fault schedule is identical across seeds —
+//! seeds only vary *workloads* and *latencies* within a fixed failure story.
+//! (This mirrors how LARK-style harnesses script their nemesis.)
+
+use crate::time::SimTime;
+use ral_core::ids::ReplicaId;
+pub use ral_runtime::schedule::Partition;
+
+/// A partition in force during `[start, end)`: links crossing the grouping
+/// are cut, links within a side work normally.
+#[derive(Clone, Debug)]
+pub struct PartitionWindow {
+    /// When the partition forms.
+    pub start: SimTime,
+    /// When it heals.
+    pub end: SimTime,
+    /// The grouping of replicas into sides.
+    pub partition: Partition,
+}
+
+impl PartitionWindow {
+    /// Builds a window from a group id per replica.
+    pub fn new(start: SimTime, end: SimTime, groups: Vec<u32>) -> Self {
+        assert!(start < end, "a partition window must have positive length");
+        PartitionWindow {
+            start,
+            end,
+            partition: Partition::new(groups),
+        }
+    }
+
+    /// Whether the `a ↔ b` link is cut by this window at `now`.
+    pub fn cuts(&self, now: SimTime, a: ReplicaId, b: ReplicaId) -> bool {
+        now >= self.start && now < self.end && !self.partition.connected(a, b)
+    }
+}
+
+/// A scheduled crash: the replica halts at `crash_at` and (optionally)
+/// restarts at `restart_at`. A replica left down is restarted by the final
+/// synchronization phase.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPlan {
+    /// The replica that fails.
+    pub replica: ReplicaId,
+    /// When it halts.
+    pub crash_at: SimTime,
+    /// When it comes back (`None` = down until final sync).
+    pub restart_at: Option<SimTime>,
+}
+
+impl CrashPlan {
+    /// A crash followed by a restart.
+    pub fn bounce(replica: ReplicaId, crash_at: SimTime, restart_at: SimTime) -> Self {
+        assert!(crash_at < restart_at, "restart must follow the crash");
+        CrashPlan {
+            replica,
+            crash_at,
+            restart_at: Some(restart_at),
+        }
+    }
+
+    /// A crash with no scheduled recovery.
+    pub fn permanent(replica: ReplicaId, crash_at: SimTime) -> Self {
+        CrashPlan {
+            replica,
+            crash_at,
+            restart_at: None,
+        }
+    }
+}
+
+/// The full fault plan of a scenario.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionWindow>,
+    /// Scheduled crashes.
+    pub crashes: Vec<CrashPlan>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether any partition window cuts the `a ↔ b` link at `now`.
+    pub fn cut(&self, now: SimTime, a: ReplicaId, b: ReplicaId) -> bool {
+        self.partitions.iter().any(|w| w.cuts(now, a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn windows_cut_only_inside_their_span() {
+        let plan = FaultPlan {
+            partitions: vec![PartitionWindow::new(
+                SimTime(100),
+                SimTime(200),
+                vec![0, 0, 1],
+            )],
+            crashes: vec![],
+        };
+        assert!(!plan.cut(SimTime(99), r(0), r(2)), "not yet formed");
+        assert!(plan.cut(SimTime(100), r(0), r(2)));
+        assert!(plan.cut(SimTime(199), r(2), r(0)));
+        assert!(!plan.cut(SimTime(200), r(0), r(2)), "healed");
+        assert!(!plan.cut(SimTime(150), r(0), r(1)), "same side");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_window_panics() {
+        PartitionWindow::new(SimTime(5), SimTime(5), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must follow")]
+    fn inverted_bounce_panics() {
+        CrashPlan::bounce(r(0), SimTime(10), SimTime(10));
+    }
+}

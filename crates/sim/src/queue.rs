@@ -1,0 +1,119 @@
+//! The tie-break-stable event queue.
+//!
+//! A binary heap keyed on `(time, sequence)`: events fire in virtual-time
+//! order, and events scheduled for the *same* instant fire in the order they
+//! were pushed. The sequence number makes the ordering total, so the pop
+//! order — and with it every RNG draw the engine makes — is a pure function
+//! of the push sequence. This is the property the determinism suite pins:
+//! same seed, same scenario ⇒ byte-identical traces.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering ignores the payload entirely: (time, seq) is already total.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A min-heap of timed events with stable tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`. Events pushed for the same instant pop
+    /// in push order.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Pops the earliest event (push order among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_in_push_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(SimTime(5), i);
+        }
+        // Interleave an earlier event to exercise heap reshuffling.
+        q.push(SimTime(1), 999);
+        assert_eq!(q.pop(), Some((SimTime(1), 999)));
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)), "tie order must be FIFO");
+        }
+    }
+}

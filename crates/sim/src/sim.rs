@@ -1,0 +1,490 @@
+//! The discrete-event engine.
+//!
+//! One run owns a virtual clock, a [`EventQueue`](crate::queue::EventQueue)
+//! of pending events, a seeded RNG, and a [`Driver`]. Processing an event
+//! may invoke operations, route freshly created messages (sampling per-link
+//! latency and faults), apply arrivals, or fire scheduled partitions and
+//! crashes; everything appends to the [`Trace`]. Because events pop in a
+//! total `(time, sequence)` order and all randomness flows through the one
+//! seeded stream, the entire run — trace, history, final states — is a pure
+//! function of `(scenario, driver, seed)`.
+//!
+//! Transport discipline follows the paper's split:
+//!
+//! * **reliable** drivers (op-based, Section 3.1) never lose or duplicate
+//!   messages; a transmission that meets a cut link or a crashed receiver
+//!   retries until it lands, and arrivals that outran their causal
+//!   predecessors are held back by the driver;
+//! * **lossy** drivers (state-based, Appendix D.2) see drops, duplicates,
+//!   and reordering exactly as configured — crashed receivers simply lose
+//!   the message, which the merge discipline tolerates.
+
+use crate::driver::{Driver, Received};
+use crate::fault::FaultPlan;
+use crate::network::{Latency, Network};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+use ral_core::ids::ReplicaId;
+use ral_core::rng::Rng;
+
+/// Configuration of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of replicas (drivers must be built with the same count).
+    pub n_replicas: usize,
+    /// End of the active phase: no new invocations, gossip, or faults fire
+    /// at or after this instant.
+    pub duration: SimTime,
+    /// Inter-invocation gap per replica.
+    pub invoke_every: Latency,
+    /// Gossip tick gap per replica (used only by gossiping drivers).
+    pub gossip_every: Latency,
+    /// Link layout, latencies, faults, and the reliable-retry delay.
+    pub network: Network,
+    /// Scheduled partitions and crashes.
+    pub faults: FaultPlan,
+    /// Whether to heal everything and synchronize fully after the active
+    /// phase (required for convergence assertions).
+    pub final_sync: bool,
+}
+
+impl SimConfig {
+    /// Validates internal consistency (topology arity, fault bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology or a fault plan names replicas the config
+    /// does not have, or a probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        if let Some(n) = self.network.topology.n_replicas() {
+            assert_eq!(
+                n, self.n_replicas,
+                "topology covers {n} replicas, config declares {}",
+                self.n_replicas
+            );
+        }
+        for w in &self.faults.partitions {
+            assert_eq!(
+                w.partition.n_replicas(),
+                self.n_replicas,
+                "partition window groups {} replicas, config declares {}",
+                w.partition.n_replicas(),
+                self.n_replicas
+            );
+        }
+        for c in &self.faults.crashes {
+            assert!(
+                (c.replica.0 as usize) < self.n_replicas,
+                "crash plan names replica {} of {}",
+                c.replica,
+                self.n_replicas
+            );
+        }
+        let f = self.network.faults;
+        assert!((0.0..=1.0).contains(&f.drop), "drop probability {}", f.drop);
+        assert!(
+            (0.0..=1.0).contains(&f.duplicate),
+            "duplicate probability {}",
+            f.duplicate
+        );
+    }
+}
+
+/// Aggregate statistics of one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events processed (invokes + gossips + arrivals + faults).
+    pub events: usize,
+    /// Successful invocations.
+    pub invokes: usize,
+    /// Point-to-point transmissions put on links.
+    pub sends: usize,
+    /// Messages applied on arrival (effectors/merges, holdback included).
+    pub applied: usize,
+    /// Messages lost to link faults.
+    pub dropped: usize,
+    /// Extra transmissions created by duplication faults.
+    pub duplicated: usize,
+    /// Arrivals held back for causal delivery.
+    pub held: usize,
+    /// Reliable transmissions rescheduled past a cut link or down replica.
+    pub retried: usize,
+}
+
+/// The result of a run: its trace, statistics, and final virtual time.
+#[derive(Clone, Debug)]
+pub struct SimRun {
+    /// The byte-comparable event record.
+    pub trace: Trace,
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// Virtual instant of the last processed event.
+    pub end: SimTime,
+}
+
+// Engine-internal events; trace events are derived from these.
+#[derive(Debug)]
+enum Event {
+    Invoke(ReplicaId),
+    Gossip(ReplicaId),
+    Arrive { to: ReplicaId, msg: usize },
+    PartitionStart(usize),
+    PartitionEnd(usize),
+    Crash(ReplicaId),
+    Restart(ReplicaId),
+}
+
+/// Runs `driver` through `cfg` under `seed`; the driver keeps the cluster
+/// (and its history) afterwards.
+pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
+    cfg.validate();
+    assert_eq!(
+        driver.n_replicas(),
+        cfg.n_replicas,
+        "driver and config disagree on the cluster size"
+    );
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut queue = EventQueue::new();
+    let mut trace = Trace::new();
+    let mut stats = SimStats::default();
+    let mut routed = 0usize; // messages already put on links
+    let mut now = SimTime::ZERO;
+
+    // Seed the periodic activity…
+    for r in 0..cfg.n_replicas {
+        let r = ReplicaId(r as u32);
+        queue.push(SimTime(cfg.invoke_every.sample(&mut rng)), Event::Invoke(r));
+        if D::GOSSIPS {
+            queue.push(SimTime(cfg.gossip_every.sample(&mut rng)), Event::Gossip(r));
+        }
+    }
+    // …and the scheduled faults. Partition windows need no events to take
+    // effect (cuts are evaluated per arrival), but marking them keeps the
+    // trace a complete story of the run.
+    for (i, w) in cfg.faults.partitions.iter().enumerate() {
+        queue.push(w.start, Event::PartitionStart(i));
+        queue.push(w.end, Event::PartitionEnd(i));
+    }
+    for c in &cfg.faults.crashes {
+        queue.push(c.crash_at, Event::Crash(c.replica));
+        if let Some(at) = c.restart_at {
+            queue.push(at, Event::Restart(c.replica));
+        }
+    }
+
+    while let Some((t, event)) = queue.pop() {
+        if t >= cfg.duration {
+            break; // active phase over; the queue drains into final sync
+        }
+        now = t;
+        stats.events += 1;
+        match event {
+            Event::Invoke(r) => {
+                let ok = driver.is_up(r) && driver.invoke(&mut rng, r);
+                if ok {
+                    stats.invokes += 1;
+                }
+                trace.push(now, TraceEvent::Invoke { replica: r, ok });
+                route_new::<D>(
+                    driver,
+                    cfg,
+                    &mut rng,
+                    &mut queue,
+                    &mut trace,
+                    &mut stats,
+                    now,
+                    &mut routed,
+                );
+                queue.push(
+                    now + cfg.invoke_every.sample(&mut rng).max(1),
+                    Event::Invoke(r),
+                );
+            }
+            Event::Gossip(r) => {
+                let ok = driver.is_up(r) && driver.gossip(r);
+                trace.push(now, TraceEvent::Gossip { replica: r, ok });
+                route_new::<D>(
+                    driver,
+                    cfg,
+                    &mut rng,
+                    &mut queue,
+                    &mut trace,
+                    &mut stats,
+                    now,
+                    &mut routed,
+                );
+                queue.push(
+                    now + cfg.gossip_every.sample(&mut rng).max(1),
+                    Event::Gossip(r),
+                );
+            }
+            Event::Arrive { to, msg } => {
+                let from = driver.origin(msg);
+                let blocked = cfg.faults.cut(now, from, to) || !driver.is_up(to);
+                if blocked {
+                    if D::RELIABLE {
+                        // The transport retransmits until the link heals and
+                        // the receiver is back.
+                        let at = now + cfg.network.retry.max(1);
+                        stats.retried += 1;
+                        trace.push(now, TraceEvent::Retry { msg, to, at });
+                        queue.push(at, Event::Arrive { to, msg });
+                    } else {
+                        stats.dropped += 1;
+                        trace.push(now, TraceEvent::Drop { msg, to });
+                    }
+                    continue;
+                }
+                match driver.receive(to, msg) {
+                    Received::Applied(n) => {
+                        stats.applied += n;
+                        trace.push(
+                            now,
+                            TraceEvent::Deliver {
+                                msg,
+                                to,
+                                applied: n,
+                            },
+                        );
+                    }
+                    Received::Held => {
+                        stats.held += 1;
+                        trace.push(now, TraceEvent::Hold { msg, to });
+                    }
+                    Received::Ignored => {
+                        trace.push(now, TraceEvent::Ignore { msg, to });
+                    }
+                }
+            }
+            Event::PartitionStart(w) => {
+                trace.push(now, TraceEvent::PartitionStart { window: w });
+            }
+            Event::PartitionEnd(w) => {
+                trace.push(now, TraceEvent::PartitionEnd { window: w });
+            }
+            Event::Crash(r) => {
+                driver.crash(r);
+                trace.push(now, TraceEvent::Crash { replica: r });
+            }
+            Event::Restart(r) => {
+                driver.restart(r);
+                trace.push(now, TraceEvent::Restart { replica: r });
+            }
+        }
+    }
+
+    if cfg.final_sync {
+        now = cfg.duration;
+        trace.push(now, TraceEvent::FinalSync);
+        driver.final_sync();
+    }
+    SimRun {
+        trace,
+        stats,
+        end: now,
+    }
+}
+
+// Routes every message the driver created since the last call: one
+// transmission per destination, with latency sampled per link and faults
+// applied on loss-tolerant transports. Destination order is replica order,
+// so RNG consumption is deterministic.
+#[allow(clippy::too_many_arguments)]
+fn route_new<D: Driver>(
+    driver: &mut D,
+    cfg: &SimConfig,
+    rng: &mut Rng,
+    queue: &mut EventQueue<Event>,
+    trace: &mut Trace,
+    stats: &mut SimStats,
+    now: SimTime,
+    routed: &mut usize,
+) {
+    while *routed < driver.n_messages() {
+        let msg = *routed;
+        *routed += 1;
+        let from = driver.origin(msg);
+        for to in 0..cfg.n_replicas {
+            let to = ReplicaId(to as u32);
+            if to == from {
+                continue;
+            }
+            if !D::RELIABLE && rng.random_bool(cfg.network.faults.drop) {
+                stats.dropped += 1;
+                trace.push(now, TraceEvent::Drop { msg, to });
+                continue;
+            }
+            let delay = cfg.network.delay(rng, from, to).max(1);
+            stats.sends += 1;
+            trace.push(
+                now,
+                TraceEvent::Send {
+                    msg,
+                    from,
+                    to,
+                    delay,
+                    duplicate: false,
+                },
+            );
+            queue.push(now + delay, Event::Arrive { to, msg });
+            if !D::RELIABLE && rng.random_bool(cfg.network.faults.duplicate) {
+                let delay = cfg.network.delay(rng, from, to).max(1);
+                stats.duplicated += 1;
+                stats.sends += 1;
+                trace.push(
+                    now,
+                    TraceEvent::Send {
+                        msg,
+                        from,
+                        to,
+                        delay,
+                        duplicate: true,
+                    },
+                );
+                queue.push(now + delay, Event::Arrive { to, msg });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{OpDriver, StateDriver};
+    use crate::fault::{CrashPlan, FaultPlan, PartitionWindow};
+    use crate::network::{LinkFaults, Topology};
+    use ral_runtime::gen::{GenCtx, GenOutcome};
+    use ral_runtime::op_based::OpBased;
+    use ral_runtime::state_based::{StateBased, StateOutcome};
+
+    /// A grow-only counter in both styles, for engine-level tests.
+    #[derive(Clone)]
+    struct GCtr;
+
+    impl OpBased for GCtr {
+        type State = i64;
+        type Call = ();
+        type Ret = ();
+        type Eff = ();
+        type Label = ();
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn generator(&self, _st: &i64, _call: &(), _ctx: &mut GenCtx) -> GenOutcome<(), ()> {
+            GenOutcome::update((), ())
+        }
+        fn apply(&self, st: &mut i64, _eff: &()) {
+            *st += 1;
+        }
+        fn label(&self, _call: &(), _ret: &()) {}
+    }
+
+    impl StateBased for GCtr {
+        type State = Vec<i64>;
+        type Call = ();
+        type Ret = ();
+        type Label = ();
+        fn initial(&self, n: usize) -> Vec<i64> {
+            vec![0; n]
+        }
+        fn invoke(
+            &self,
+            st: &Vec<i64>,
+            _call: &(),
+            ctx: &mut GenCtx,
+        ) -> StateOutcome<(), Vec<i64>> {
+            let mut next = st.clone();
+            next[ctx.replica().0 as usize] += 1;
+            StateOutcome::Done { ret: (), next }
+        }
+        fn merge(&self, a: &Vec<i64>, b: &Vec<i64>) -> Vec<i64> {
+            a.iter().zip(b).map(|(x, y)| *x.max(y)).collect()
+        }
+        fn leq(&self, a: &Vec<i64>, b: &Vec<i64>) -> bool {
+            a.iter().zip(b).all(|(x, y)| x <= y)
+        }
+        fn label(&self, _call: &(), _ret: &()) {}
+    }
+
+    fn small_cfg(n: usize) -> SimConfig {
+        SimConfig {
+            n_replicas: n,
+            duration: SimTime(300),
+            invoke_every: Latency::jittered(20, 20),
+            gossip_every: Latency::jittered(15, 15),
+            network: Network {
+                topology: Topology::Uniform(Latency::jittered(3, 10)),
+                faults: LinkFaults::NONE,
+                retry: 5,
+            },
+            faults: FaultPlan::none(),
+            final_sync: true,
+        }
+    }
+
+    #[test]
+    fn op_based_run_converges_and_counts() {
+        let mut driver = OpDriver::new(GCtr, 3, |_, _, _| Some(()));
+        let run = run(&mut driver, &small_cfg(3), 7);
+        assert!(driver.converged());
+        assert!(run.stats.invokes > 0);
+        assert_eq!(run.stats.dropped, 0, "reliable transport never drops");
+        assert_eq!(
+            driver.cluster().history().len(),
+            run.stats.invokes,
+            "one history record per successful invocation"
+        );
+    }
+
+    #[test]
+    fn lossy_run_still_converges_after_final_sync() {
+        let mut cfg = small_cfg(3);
+        cfg.network.faults = LinkFaults {
+            drop: 0.4,
+            duplicate: 0.3,
+        };
+        let mut driver = StateDriver::new(GCtr, 3, |_, _, _| Some(()));
+        let run = run(&mut driver, &cfg, 11);
+        assert!(driver.converged(), "merge semantics absorb loss and dup");
+        assert!(run.stats.dropped > 0, "faults actually fired");
+        assert!(run.stats.duplicated > 0);
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut cfg = small_cfg(4);
+        cfg.faults.partitions = vec![PartitionWindow::new(
+            SimTime(0),
+            SimTime(299),
+            vec![0, 0, 1, 1],
+        )];
+        let mut driver = OpDriver::new(GCtr, 4, |_, _, _| Some(()));
+        let run = run(&mut driver, &cfg, 3);
+        assert!(run.stats.retried > 0, "cut links force retries");
+        assert!(driver.converged(), "healing + final sync reconciles");
+    }
+
+    #[test]
+    fn crashes_halt_and_recover() {
+        let mut cfg = small_cfg(3);
+        cfg.faults.crashes = vec![CrashPlan::bounce(ReplicaId(0), SimTime(50), SimTime(200))];
+        let mut driver = StateDriver::new(GCtr, 3, |_, _, _| Some(()));
+        let run = run(&mut driver, &cfg, 5);
+        let crashes = run
+            .trace
+            .entries()
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Crash { .. }))
+            .count();
+        assert_eq!(crashes, 1);
+        assert!(driver.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the cluster size")]
+    fn size_mismatch_panics() {
+        let mut driver = OpDriver::new(GCtr, 2, |_, _, _| Some(()));
+        run(&mut driver, &small_cfg(3), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Virtual time.
+//!
+//! The simulator owns a discrete virtual clock: nothing ever sleeps, the
+//! clock jumps from event to event. Ticks are abstract; the scenario corpus
+//! reads them as milliseconds (an inter-DC link is ~60 ticks, an intra-DC
+//! link ~2), but only their *relative* magnitudes matter.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A point in virtual time, measured in ticks since the start of the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero: the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, ticks: u64) -> SimTime {
+        SimTime(self.0 + ticks)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        assert!(SimTime::ZERO < SimTime(1));
+        assert_eq!(SimTime(40) + 2, SimTime(42));
+        assert_eq!(SimTime(7).ticks(), 7);
+        assert_eq!(format!("{}", SimTime(99)), "t99");
+    }
+}

@@ -1,0 +1,178 @@
+//! Event traces: the byte-comparable record of everything a run did.
+//!
+//! Every decision the engine makes — invocations, transmissions, arrivals
+//! and their outcomes, faults firing — appends one entry. The determinism
+//! suite asserts that two runs of the same seeded scenario render to
+//! byte-identical traces, which pins the event order, the RNG consumption
+//! order, *and* the fault schedule at once.
+
+use crate::time::SimTime;
+use ral_core::ids::ReplicaId;
+use std::fmt::Write as _;
+
+/// What happened at one instant of the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A client operation was invoked at the replica (`refused` invocations
+    /// — generator precondition failures and skipped turns — are recorded
+    /// with `ok: false`).
+    Invoke {
+        /// The origin replica.
+        replica: ReplicaId,
+        /// Whether an operation was actually recorded.
+        ok: bool,
+    },
+    /// A snapshot broadcast tick at a state-based replica.
+    Gossip {
+        /// The broadcasting replica.
+        replica: ReplicaId,
+        /// Whether a snapshot was produced (false while crashed).
+        ok: bool,
+    },
+    /// A message was put on a link.
+    Send {
+        /// Message id.
+        msg: usize,
+        /// Origin replica.
+        from: ReplicaId,
+        /// Destination replica.
+        to: ReplicaId,
+        /// Sampled link delay in ticks.
+        delay: u64,
+        /// Whether this transmission is a network duplicate.
+        duplicate: bool,
+    },
+    /// A message was silently lost on a loss-tolerant link.
+    Drop {
+        /// Message id.
+        msg: usize,
+        /// Destination it never reached.
+        to: ReplicaId,
+    },
+    /// A message arrived and was applied (op-based: its effector plus any
+    /// causally unblocked held effectors; state-based: one merge).
+    Deliver {
+        /// Message id.
+        msg: usize,
+        /// Receiving replica.
+        to: ReplicaId,
+        /// Number of effectors/merges applied (>1 when a held backlog
+        /// drains).
+        applied: usize,
+    },
+    /// A message arrived before its causal predecessors and was held back.
+    Hold {
+        /// Message id.
+        msg: usize,
+        /// Receiving replica.
+        to: ReplicaId,
+    },
+    /// A message arrived but was ignored (already applied — duplicate on a
+    /// reliable transport after a retry race).
+    Ignore {
+        /// Message id.
+        msg: usize,
+        /// Receiving replica.
+        to: ReplicaId,
+    },
+    /// A reliable transmission met a cut link or a down receiver and was
+    /// rescheduled.
+    Retry {
+        /// Message id.
+        msg: usize,
+        /// Receiving replica.
+        to: ReplicaId,
+        /// When it will try again.
+        at: SimTime,
+    },
+    /// A partition formed.
+    PartitionStart {
+        /// Index into the scenario's partition windows.
+        window: usize,
+    },
+    /// A partition healed.
+    PartitionEnd {
+        /// Index into the scenario's partition windows.
+        window: usize,
+    },
+    /// A replica crashed.
+    Crash {
+        /// The failed replica.
+        replica: ReplicaId,
+    },
+    /// A replica restarted.
+    Restart {
+        /// The recovered replica.
+        replica: ReplicaId,
+    },
+    /// The active phase ended; every replica restarts, every partition is
+    /// healed, and outstanding messages are delivered.
+    FinalSync,
+}
+
+/// The ordered record of a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one entry.
+    pub fn push(&mut self, time: SimTime, event: TraceEvent) {
+        self.entries.push((time, event));
+    }
+
+    /// The recorded entries, in firing order.
+    pub fn entries(&self) -> &[(SimTime, TraceEvent)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the trace one line per entry — the canonical byte
+    /// representation the determinism tests compare.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (t, e) in &self.entries {
+            let _ = writeln!(out, "{t} {e:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_one_line_per_entry() {
+        let mut trace = Trace::new();
+        trace.push(
+            SimTime(3),
+            TraceEvent::Invoke {
+                replica: ReplicaId(1),
+                ok: true,
+            },
+        );
+        trace.push(SimTime(9), TraceEvent::FinalSync);
+        let text = trace.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("t3 Invoke"));
+        assert!(!trace.is_empty());
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.entries().len(), 2);
+    }
+}

@@ -26,10 +26,15 @@
 //! Figure 12 table of nine CRDTs, each with its implementation style and
 //! linearization class.
 
+//! [`scenarios`] runs the same obligations through the `ral-sim`
+//! discrete-event simulator's named scenario corpus, replacing the coin-flip
+//! scheduler with latency, partitions, and crashes.
+
 pub mod commutativity;
 pub mod convergence;
 pub mod refinement;
 pub mod report;
+pub mod scenarios;
 pub mod state_props;
 pub mod table;
 pub mod workloads;

@@ -1,0 +1,132 @@
+//! Scenario-driven workloads: the `ral-sim` corpus wired into the harness.
+//!
+//! [`crate::workloads`] supplies per-CRDT call generators;
+//! `ral_sim::scenario` supplies named delivery environments (geo
+//! topologies, flaky WANs, rolling restarts, split brains, large gossip
+//! meshes). This module runs one through the other and reports the
+//! paper-level obligations that must survive the trip:
+//!
+//! * [`state_converges_in`] — Appendix D.2: a state-based CRDT converges
+//!   (and keeps its lattice laws) whatever the network lost, duplicated,
+//!   or reordered, and whatever replicas crashed back to their durable
+//!   checkpoints;
+//! * [`op_linearizable_in`] — Sections 3–4: an op-based CRDT's history,
+//!   recorded under partitions/crashes/latency, still RA-linearizes with
+//!   the strategy Figure 12 claims for it.
+
+use crate::report::Report;
+use ral_core::ids::ReplicaId;
+use ral_core::label::Rewrite;
+use ral_core::ralin::{ra_check, Strategy};
+use ral_core::rng::Rng;
+use ral_core::spec::Spec;
+use ral_runtime::op_based::OpBased;
+use ral_runtime::state_based::StateBased;
+use ral_sim::driver::{Driver, OpDriver, StateDriver};
+use ral_sim::scenario::Scenario;
+use ral_sim::sim;
+use std::ops::Range;
+
+/// Checks strong eventual consistency of a state-based CRDT under a named
+/// scenario: for every seed, the replicas converge after the final
+/// synchronization and the lattice laws hold on the surviving states.
+///
+/// `mk_call_gen` builds a fresh workload per seed (workloads that thread
+/// fresh-value counters are rebuilt rather than shared across runs).
+pub fn state_converges_in<C, F, M>(
+    crdt: C,
+    scenario: &Scenario,
+    seeds: Range<u64>,
+    mut mk_call_gen: M,
+) -> Report
+where
+    C: StateBased + Clone,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+    M: FnMut() -> F,
+{
+    let mut report = Report::new(format!("Convergence@{}", scenario.name));
+    for seed in seeds {
+        let mut driver = StateDriver::new(crdt.clone(), scenario.cfg.n_replicas, mk_call_gen());
+        sim::run(&mut driver, &scenario.cfg, seed);
+        if !driver.converged() {
+            report.fail(format!("seed {seed}: replicas diverged after final sync"));
+        } else if !driver.cluster().check_lattice_laws() {
+            report.fail(format!("seed {seed}: lattice laws violated"));
+        } else {
+            report.pass();
+        }
+    }
+    report
+}
+
+/// Checks RA-linearizability of an op-based CRDT under a named scenario:
+/// for every seed, the cluster converges and the recorded history passes
+/// `ra_check` with the given rewriting, specification, and strategy.
+pub fn op_linearizable_in<C, F, M, R, S>(
+    crdt: C,
+    scenario: &Scenario,
+    rw: &R,
+    spec: &S,
+    strategy: Strategy,
+    seeds: Range<u64>,
+    mut mk_call_gen: M,
+) -> Report
+where
+    C: OpBased + Clone,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+    M: FnMut() -> F,
+    R: Rewrite<C::Label, Out = S::Label>,
+    S: Spec,
+{
+    let mut report = Report::new(format!("RA-Linearizability@{}", scenario.name));
+    for seed in seeds {
+        let mut driver = OpDriver::new(crdt.clone(), scenario.cfg.n_replicas, mk_call_gen());
+        sim::run(&mut driver, &scenario.cfg, seed);
+        if !driver.converged() {
+            report.fail(format!("seed {seed}: replicas diverged after final sync"));
+            continue;
+        }
+        let history = driver.into_cluster().into_history();
+        match ra_check(&history, rw, spec, strategy) {
+            Ok(_) => report.pass(),
+            Err(v) => report.fail(format!(
+                "seed {seed}: history of {} ops not RA-linearizable: {v:?}",
+                history.len()
+            )),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use ral_core::label::Identity;
+    use ral_crdts::op::counter::OpCounter;
+    use ral_crdts::state::pn_counter::PnCounter;
+    use ral_sim::scenario;
+    use ral_spec::counter::CounterSpec;
+
+    #[test]
+    fn pn_counter_survives_the_flaky_wan() {
+        let report = state_converges_in(PnCounter, &scenario::flaky_wan(), 0..2, || {
+            |rng: &mut Rng, _, _| Some(workloads::pn_counter(rng))
+        });
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn op_counter_linearizes_through_the_split_brain() {
+        let report = op_linearizable_in(
+            OpCounter,
+            &scenario::split_brain_heal(),
+            &Identity,
+            &CounterSpec,
+            OpCounter::STRATEGY,
+            0..2,
+            || |rng: &mut Rng, _, _| Some(workloads::counter(rng)),
+        );
+        assert!(report.ok(), "{report}");
+    }
+}

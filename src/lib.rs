@@ -9,6 +9,8 @@
 //!   state-based clusters, schedulers);
 //! * [`spec`] — sequential specifications of all data types in the paper;
 //! * [`crdts`] — the CRDT implementations (Figure 12);
+//! * [`sim`] — the deterministic discrete-event network simulator
+//!   (latency, partitions, crashes, topologies) and its scenario corpus;
 //! * [`verify`] — the property-based verification harness (Commutativity,
 //!   Refinement, Prop1–Prop6) and the Figure 12 report.
 //!
@@ -17,5 +19,6 @@
 pub use ral_core as core;
 pub use ral_crdts as crdts;
 pub use ral_runtime as runtime;
+pub use ral_sim as sim;
 pub use ral_spec as spec;
 pub use ral_verify as verify;

@@ -17,6 +17,7 @@ const EXAMPLES: &[&str] = &[
     "fig12_report",
     "kv_store",
     "network_partition",
+    "partition_demo",
     "quickstart",
     "shopping_cart",
 ];
