@@ -22,6 +22,9 @@ step() {
 
 step cargo fmt --all -- --check
 step cargo clippy --offline --workspace --all-targets -- -D warnings
+# Docs are a checked contract: missing docs (under the crates'
+# `#![warn(missing_docs)]`) and broken intra-doc links fail the gate.
+step env RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps
 if [[ "${1:-}" != "quick" ]]; then
     step cargo build --offline --release
 fi
@@ -34,4 +37,4 @@ step cargo test -q --offline --test sim_determinism --test sim_faults
 step cargo bench --offline --no-run
 
 echo
-echo "CI green: fmt, clippy, build, examples, tests, benches all pass offline."
+echo "CI green: fmt, clippy, docs, build, examples, tests, benches all pass offline."

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Minimal internal benchmarking harness — the workspace's `criterion`
 //! replacement, so `cargo bench` works offline with zero external crates.
 //!

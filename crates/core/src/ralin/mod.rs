@@ -71,6 +71,49 @@ pub struct Linearization {
 ///
 /// Returns the [`Violation`] that the constructed linearization exhibits, if
 /// any.
+///
+/// # Examples
+///
+/// A two-replica counter history where each replica increments without
+/// seeing the other, then reads its own update only — RA-linearizable in
+/// execution order:
+///
+/// ```
+/// use ral_core::history::{History, OpRecord};
+/// use ral_core::ids::ReplicaId;
+/// use ral_core::label::Identity;
+/// use ral_core::ralin::{ra_check, Strategy};
+/// # use ral_core::label::{Kind, SpecLabel};
+/// # use ral_core::spec::Spec;
+/// # #[derive(Clone, Debug, PartialEq)]
+/// # enum Ctr { Inc, Read(i64) }
+/// # impl SpecLabel for Ctr {
+/// #     fn kind(&self) -> Kind {
+/// #         match self { Ctr::Inc => Kind::Update, Ctr::Read(_) => Kind::Query }
+/// #     }
+/// # }
+/// # struct CtrSpec;
+/// # impl Spec for CtrSpec {
+/// #     type Label = Ctr;
+/// #     type State = i64;
+/// #     fn initial(&self) -> i64 { 0 }
+/// #     fn step(&self, s: &i64, l: &Ctr) -> Vec<i64> {
+/// #         match l {
+/// #             Ctr::Inc => vec![s + 1],
+/// #             Ctr::Read(k) if k == s => vec![*s],
+/// #             Ctr::Read(_) => vec![],
+/// #         }
+/// #     }
+/// # }
+///
+/// let mut h = History::new();
+/// let a = h.push(OpRecord::new(Ctr::Inc, ReplicaId(0)), []);
+/// let b = h.push(OpRecord::new(Ctr::Inc, ReplicaId(1)), []);
+/// h.push(OpRecord::new(Ctr::Read(1), ReplicaId(0)), [a]);
+/// h.push(OpRecord::new(Ctr::Read(1), ReplicaId(1)), [b]);
+/// let lin = ra_check(&h, &Identity, &CtrSpec, Strategy::ExecutionOrder).unwrap();
+/// assert_eq!(lin.order.len(), 4);
+/// ```
 pub fn ra_check<In, R, S>(
     h: &History<In>,
     rw: &R,
@@ -87,6 +130,45 @@ where
 
 /// Applies a query-update rewriting and then searches all linearizations —
 /// the complete (but exponential) decision procedure for Definition 3.7.
+///
+/// # Examples
+///
+/// The brute-force checker *refutes* where the guided one merely fails: a
+/// query that observes an impossible value admits no linearization at all.
+///
+/// ```
+/// use ral_core::history::{History, OpRecord};
+/// use ral_core::ids::ReplicaId;
+/// use ral_core::label::Identity;
+/// use ral_core::ralin::{ra_search, SearchOutcome};
+/// # use ral_core::label::{Kind, SpecLabel};
+/// # use ral_core::spec::Spec;
+/// # #[derive(Clone, Debug, PartialEq)]
+/// # enum Ctr { Inc, Read(i64) }
+/// # impl SpecLabel for Ctr {
+/// #     fn kind(&self) -> Kind {
+/// #         match self { Ctr::Inc => Kind::Update, Ctr::Read(_) => Kind::Query }
+/// #     }
+/// # }
+/// # struct CtrSpec;
+/// # impl Spec for CtrSpec {
+/// #     type Label = Ctr;
+/// #     type State = i64;
+/// #     fn initial(&self) -> i64 { 0 }
+/// #     fn step(&self, s: &i64, l: &Ctr) -> Vec<i64> {
+/// #         match l {
+/// #             Ctr::Inc => vec![s + 1],
+/// #             Ctr::Read(k) if k == s => vec![*s],
+/// #             Ctr::Read(_) => vec![],
+/// #         }
+/// #     }
+/// # }
+///
+/// let mut h = History::new();
+/// let a = h.push(OpRecord::new(Ctr::Inc, ReplicaId(0)), []);
+/// h.push(OpRecord::new(Ctr::Read(5), ReplicaId(0)), [a]); // saw one inc, read 5
+/// assert!(matches!(ra_search(&h, &Identity, &CtrSpec), SearchOutcome::NotLinearizable));
+/// ```
 pub fn ra_search<In, R, S>(h: &History<In>, rw: &R, spec: &S) -> SearchOutcome
 where
     R: Rewrite<In, Out = S::Label>,

@@ -175,6 +175,35 @@ impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// * `RAL_PROP_CASES` — run this many cases instead of `cases`;
 /// * `RAL_PROP_SEED` — run exactly one case with this seed (decimal or
 ///   `0x`-prefixed hex), e.g. the seed a previous failure printed.
+///
+/// # Examples
+///
+/// A normal run executes every case with a seed derived from the suite
+/// label; setting `RAL_PROP_SEED` replays exactly one case with exactly
+/// that seed — the replay workflow after a failure report:
+///
+/// ```
+/// use ral_core::rng::run_seeded_cases;
+///
+/// // Doc tests run in their own process, so clearing the ambient
+/// // overrides here cannot affect a surrounding replay run.
+/// std::env::remove_var("RAL_PROP_SEED");
+/// std::env::remove_var("RAL_PROP_CASES");
+///
+/// let mut ran = 0;
+/// run_seeded_cases("doc-example", 8, |_seed, rng| {
+///     ran += 1;
+///     assert!(rng.random_range(0..10u8) < 10);
+/// });
+/// assert_eq!(ran, 8);
+///
+/// // Replay one specific seed, as `RAL_PROP_SEED=0xDEAD cargo test` would.
+/// std::env::set_var("RAL_PROP_SEED", "0xDEAD");
+/// let mut seeds = Vec::new();
+/// run_seeded_cases("doc-example", 8, |seed, _rng| seeds.push(seed));
+/// assert_eq!(seeds, vec![0xDEAD]);
+/// std::env::remove_var("RAL_PROP_SEED");
+/// ```
 pub fn run_seeded_cases<F>(label: &str, cases: u64, case: F)
 where
     F: FnMut(u64, &mut Rng),

@@ -13,6 +13,11 @@
 //!   (Section 4);
 //! * the linearization class (`EO` / `TO`) claimed by Figure 12.
 //!
+//! The four state-based types additionally implement
+//! [`ral_runtime::DeltaCrdt`]: delta-returning mutators whose join
+//! decompositions feed the bandwidth-proportional delta transport
+//! ([`ral_runtime::DeltaCluster`]) instead of whole-state snapshots.
+//!
 //! | Type | Module | Paper | Style | Lin |
 //! |---|---|---|---|---|
 //! | Counter | [`op::counter`] | Listing 3 | op-based | EO |

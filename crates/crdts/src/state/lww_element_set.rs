@@ -12,11 +12,13 @@ use ral_core::elem::Elem;
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
 use ral_core::timestamp::Ts;
+use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
 use ral_runtime::state_based::{StateBased, StateOutcome};
 use ral_spec::set::SetOp;
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
+use std::mem::size_of;
 
 /// Method invocations of the LWW-Element-Set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -213,6 +215,42 @@ impl<E: Elem> StateBased for LwwElementSet<E> {
     }
 }
 
+/// Deltas are state fragments (`merge` is plain union of the timestamped
+/// pair sets): a mutation's delta holds exactly the one freshly stamped
+/// pair — the big win, since full snapshots carry every pair ever written.
+impl<E: Elem> DeltaCrdt for LwwElementSet<E> {
+    type Delta = LwwSetState<E>;
+
+    fn diff(&self, pre: &LwwSetState<E>, post: &LwwSetState<E>) -> LwwSetState<E> {
+        LwwSetState {
+            added: post.added.difference(&pre.added).cloned().collect(),
+            removed: post.removed.difference(&pre.removed).cloned().collect(),
+        }
+    }
+
+    fn join(&self, state: &LwwSetState<E>, delta: &LwwSetState<E>) -> LwwSetState<E> {
+        self.merge(state, delta)
+    }
+
+    fn join_deltas(&self, a: &LwwSetState<E>, b: &LwwSetState<E>) -> LwwSetState<E> {
+        self.merge(a, b)
+    }
+
+    fn full_delta(&self, state: &LwwSetState<E>) -> LwwSetState<E> {
+        state.clone()
+    }
+
+    fn delta_bytes(&self, delta: &LwwSetState<E>) -> usize {
+        self.state_bytes(delta)
+    }
+
+    fn state_bytes(&self, state: &LwwSetState<E>) -> usize {
+        // Two length headers plus (element + 12-byte Lamport timestamp)
+        // per pair in either set.
+        16 + (size_of::<E>() + 12) * (state.added.len() + state.removed.len())
+    }
+}
+
 impl<E: Elem> LocalEffector for LwwElementSet<E> {
     type Arg = LwwSetArg<E>;
 
@@ -333,6 +371,38 @@ mod tests {
             )
             .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         }
+    }
+
+    #[test]
+    fn delta_laws_hold() {
+        use ral_runtime::delta::DeltaOutcome;
+        let c = LwwElementSet::<char>::new();
+        let mut pre = LwwSetState::<char>::default();
+        pre.added.insert(('a', Ts::new(1, r(0))));
+        pre.removed.insert(('b', Ts::new(2, r(1))));
+        let mut ctx = GenCtx::new(r(0), 2, 0);
+        let DeltaOutcome::Done { next, delta, .. } =
+            c.invoke_delta(&pre, &LwwSetCall::Add('c'), &mut ctx)
+        else {
+            panic!("add never refuses")
+        };
+        let delta = delta.expect("add is a mutation");
+        // The delta is exactly the one freshly stamped pair.
+        assert_eq!(delta.added, BTreeSet::from([('c', Ts::new(3, r(0)))]));
+        assert!(delta.removed.is_empty());
+        assert_eq!(c.join(&pre, &delta), next);
+        // Batching and resync.
+        let mut post2 = next.clone();
+        post2.removed.insert(('a', Ts::new(4, r(0))));
+        let d2 = c.diff(&next, &post2);
+        let other = c.initial(2);
+        assert_eq!(
+            c.join(&c.join(&other, &delta), &d2),
+            c.join(&other, &c.join_deltas(&delta, &d2))
+        );
+        assert_eq!(c.join(&other, &c.full_delta(&pre)), c.merge(&other, &pre));
+        // One pair beats the whole history on the wire.
+        assert!(c.delta_bytes(&delta) < c.state_bytes(&pre));
     }
 
     #[test]

@@ -12,11 +12,13 @@ use crate::state::local::{EffectorClass, LocalEffector};
 use ral_core::elem::Elem;
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
+use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
 use ral_runtime::state_based::{StateBased, StateOutcome};
 use ral_spec::register::{vv_leq, vv_lt, MvRegOp, VersionVec};
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
+use std::mem::size_of;
 
 /// Method invocations of the MV-Register.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -189,6 +191,43 @@ impl<E: Elem> StateBased for MvRegister<E> {
     }
 }
 
+/// Deltas are state fragments: a write's delta is the singleton pair set
+/// `{(a, V)}`. Its fresh vector `V` strictly dominates everything the
+/// origin had seen, so `join` (which is `merge`'s dominance pruning)
+/// removes the overwritten pairs at every receiver — the delta carries the
+/// overwrite without carrying the overwritten pairs.
+impl<E: Elem> DeltaCrdt for MvRegister<E> {
+    type Delta = MvState<E>;
+
+    fn diff(&self, pre: &MvState<E>, post: &MvState<E>) -> MvState<E> {
+        MvState {
+            width: post.width,
+            pairs: post.pairs.difference(&pre.pairs).cloned().collect(),
+        }
+    }
+
+    fn join(&self, state: &MvState<E>, delta: &MvState<E>) -> MvState<E> {
+        self.merge(state, delta)
+    }
+
+    fn join_deltas(&self, a: &MvState<E>, b: &MvState<E>) -> MvState<E> {
+        self.merge(a, b)
+    }
+
+    fn full_delta(&self, state: &MvState<E>) -> MvState<E> {
+        state.clone()
+    }
+
+    fn delta_bytes(&self, delta: &MvState<E>) -> usize {
+        self.state_bytes(delta)
+    }
+
+    fn state_bytes(&self, state: &MvState<E>) -> usize {
+        // Length header plus (element + dense version vector) per pair.
+        8 + (size_of::<E>() + 8 * state.width) * state.pairs.len()
+    }
+}
+
 impl<E: Elem> LocalEffector for MvRegister<E> {
     type Arg = (E, VersionVec);
 
@@ -298,6 +337,38 @@ mod tests {
             ra_check(&h, &Identity, &MvRegSpec::new(), MvRegister::<u8>::STRATEGY)
                 .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         }
+    }
+
+    #[test]
+    fn delta_laws_hold() {
+        use ral_runtime::delta::DeltaOutcome;
+        let c = MvRegister::<char>::new();
+        let pre = MvState {
+            width: 2,
+            pairs: BTreeSet::from([('a', vec![1, 0]), ('b', vec![0, 1])]),
+        };
+        let mut ctx = GenCtx::new(r(0), 0, 0);
+        let DeltaOutcome::Done { next, delta, .. } =
+            c.invoke_delta(&pre, &MvCall::Write('c'), &mut ctx)
+        else {
+            panic!("write never refuses")
+        };
+        let delta = delta.expect("write is a mutation");
+        // The write's delta is the singleton dominating pair…
+        assert_eq!(delta.pairs, BTreeSet::from([('c', vec![2, 1])]));
+        // …and joining it anywhere prunes what it overwrote.
+        assert_eq!(c.join(&pre, &delta), next);
+        assert_eq!(next.pairs, BTreeSet::from([('c', vec![2, 1])]));
+        let other = MvState {
+            width: 2,
+            pairs: BTreeSet::from([('d', vec![0, 3])]),
+        };
+        let joined = c.join(&other, &delta);
+        assert_eq!(joined.values(), BTreeSet::from(['c', 'd']));
+        // Resync law and idempotence.
+        assert_eq!(c.join(&other, &c.full_delta(&pre)), c.merge(&other, &pre));
+        assert_eq!(c.join(&joined, &delta), joined);
+        assert!(c.delta_bytes(&delta) < c.state_bytes(&pre));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::state::local::{EffectorClass, LocalEffector};
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
+use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
 use ral_runtime::state_based::{StateBased, StateOutcome};
 use ral_spec::counter::CounterOp;
@@ -136,6 +137,88 @@ impl StateBased for PnCounter {
     }
 }
 
+/// The PN-Counter's join decomposition: only the vector slots a mutation
+/// (or batch of mutations) touched, as `(slot, value)` pairs. Joining
+/// takes the pointwise maximum into the dense payload — each slot is
+/// written only by its owning replica, so the shipped value is
+/// authoritative and duplicates are absorbed by `max`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PnDelta {
+    /// Touched increment slots: `(replica index, new slot value)`.
+    pub p: Vec<(u32, u64)>,
+    /// Touched decrement slots: `(replica index, new slot value)`.
+    pub n: Vec<(u32, u64)>,
+}
+
+// Merges `(slot, value)` maps by pointwise maximum, keeping slots sorted.
+fn join_slots(a: &[(u32, u64)], b: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut out = a.to_vec();
+    for &(slot, v) in b {
+        match out.binary_search_by_key(&slot, |e| e.0) {
+            Ok(i) => out[i].1 = out[i].1.max(v),
+            Err(i) => out.insert(i, (slot, v)),
+        }
+    }
+    out
+}
+
+// The sparse entries of `post` that exceed `pre` (pointwise).
+fn diff_slots(pre: &[u64], post: &[u64]) -> Vec<(u32, u64)> {
+    post.iter()
+        .enumerate()
+        .filter(|&(i, &v)| v > pre.get(i).copied().unwrap_or(0))
+        .map(|(i, &v)| (i as u32, v))
+        .collect()
+}
+
+impl DeltaCrdt for PnCounter {
+    type Delta = PnDelta;
+
+    fn diff(&self, pre: &PnState, post: &PnState) -> PnDelta {
+        PnDelta {
+            p: diff_slots(&pre.p, &post.p),
+            n: diff_slots(&pre.n, &post.n),
+        }
+    }
+
+    fn join(&self, state: &PnState, delta: &PnDelta) -> PnState {
+        let mut next = state.clone();
+        for &(slot, v) in &delta.p {
+            let s = &mut next.p[slot as usize];
+            *s = (*s).max(v);
+        }
+        for &(slot, v) in &delta.n {
+            let s = &mut next.n[slot as usize];
+            *s = (*s).max(v);
+        }
+        next
+    }
+
+    fn join_deltas(&self, a: &PnDelta, b: &PnDelta) -> PnDelta {
+        PnDelta {
+            p: join_slots(&a.p, &b.p),
+            n: join_slots(&a.n, &b.n),
+        }
+    }
+
+    fn full_delta(&self, state: &PnState) -> PnDelta {
+        PnDelta {
+            p: diff_slots(&vec![0; state.p.len()], &state.p),
+            n: diff_slots(&vec![0; state.n.len()], &state.n),
+        }
+    }
+
+    fn delta_bytes(&self, delta: &PnDelta) -> usize {
+        // Sparse wire encoding: 4-byte slot + 8-byte value per entry.
+        12 * (delta.p.len() + delta.n.len())
+    }
+
+    fn state_bytes(&self, state: &PnState) -> usize {
+        // Dense wire encoding: 8 bytes per slot, both vectors.
+        8 * (state.p.len() + state.n.len())
+    }
+}
+
 impl LocalEffector for PnCounter {
     type Arg = PnArg;
 
@@ -239,6 +322,58 @@ mod tests {
             ra_check(&h, &Identity, &CounterSpec, PnCounter::STRATEGY)
                 .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         }
+    }
+
+    #[test]
+    fn delta_laws_hold() {
+        use ral_runtime::delta::DeltaOutcome;
+        let c = PnCounter;
+        let pre = PnState {
+            p: vec![3, 0],
+            n: vec![1, 2],
+        };
+        // Decomposition: one mutation's delta joined back gives the post
+        // state.
+        let mut ctx = GenCtx::new(r(0), 0, 0);
+        let DeltaOutcome::Done { next, delta, .. } = c.invoke_delta(&pre, &PnCall::Inc, &mut ctx)
+        else {
+            panic!("inc never refuses")
+        };
+        let delta = delta.expect("inc is a mutation");
+        assert_eq!(
+            delta,
+            PnDelta {
+                p: vec![(0, 4)],
+                n: vec![]
+            }
+        );
+        assert_eq!(c.join(&pre, &delta), next);
+        // Batching: joining a batch equals joining sequentially.
+        let d2 = c.diff(&next, &{
+            let mut s = next.clone();
+            s.n[0] += 1;
+            s
+        });
+        let other = PnState {
+            p: vec![1, 7],
+            n: vec![0, 0],
+        };
+        assert_eq!(
+            c.join(&c.join(&other, &delta), &d2),
+            c.join(&other, &c.join_deltas(&delta, &d2))
+        );
+        // Resync: joining the full delta is merging.
+        assert_eq!(c.join(&other, &c.full_delta(&pre)), c.merge(&other, &pre));
+        // Joins are idempotent.
+        let joined = c.join(&other, &delta);
+        assert_eq!(c.join(&joined, &delta), joined);
+        // A single-mutation delta is cheaper on the wire than the state.
+        assert!(c.delta_bytes(&delta) < c.state_bytes(&pre));
+        // Queries produce no delta.
+        let DeltaOutcome::Done { delta, .. } = c.invoke_delta(&pre, &PnCall::Read, &mut ctx) else {
+            panic!("read never refuses")
+        };
+        assert_eq!(delta, None);
     }
 
     #[test]

@@ -11,11 +11,13 @@ use crate::state::local::{EffectorClass, LocalEffector};
 use ral_core::elem::Elem;
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
+use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
 use ral_runtime::state_based::{StateBased, StateOutcome};
 use ral_spec::set::SetOp;
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
+use std::mem::size_of;
 
 /// Method invocations of the 2P-Set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -178,6 +180,41 @@ impl<E: Elem> StateBased for TwoPhaseSet<E> {
     }
 }
 
+/// Deltas are state fragments (`merge` is plain union, so any sub-state is
+/// a join decomposition): a mutation's delta holds just the added element
+/// or the new tombstone.
+impl<E: Elem> DeltaCrdt for TwoPhaseSet<E> {
+    type Delta = TwoPState<E>;
+
+    fn diff(&self, pre: &TwoPState<E>, post: &TwoPState<E>) -> TwoPState<E> {
+        TwoPState {
+            added: post.added.difference(&pre.added).cloned().collect(),
+            removed: post.removed.difference(&pre.removed).cloned().collect(),
+        }
+    }
+
+    fn join(&self, state: &TwoPState<E>, delta: &TwoPState<E>) -> TwoPState<E> {
+        self.merge(state, delta)
+    }
+
+    fn join_deltas(&self, a: &TwoPState<E>, b: &TwoPState<E>) -> TwoPState<E> {
+        self.merge(a, b)
+    }
+
+    fn full_delta(&self, state: &TwoPState<E>) -> TwoPState<E> {
+        state.clone()
+    }
+
+    fn delta_bytes(&self, delta: &TwoPState<E>) -> usize {
+        self.state_bytes(delta)
+    }
+
+    fn state_bytes(&self, state: &TwoPState<E>) -> usize {
+        // Two length headers plus the raw elements of both sets.
+        16 + size_of::<E>() * (state.added.len() + state.removed.len())
+    }
+}
+
 impl<E: Elem> LocalEffector for TwoPhaseSet<E> {
     type Arg = TwoPArg<E>;
 
@@ -287,6 +324,42 @@ mod tests {
             ra_check(&h, &Identity, &SetSpec::new(), TwoPhaseSet::<u16>::STRATEGY)
                 .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         }
+    }
+
+    #[test]
+    fn delta_laws_hold() {
+        use ral_runtime::delta::DeltaOutcome;
+        let c = TwoPhaseSet::<char>::new();
+        let pre = TwoPState {
+            added: BTreeSet::from(['a', 'b']),
+            removed: BTreeSet::from(['b']),
+        };
+        let mut ctx = GenCtx::new(r(0), 0, 0);
+        let DeltaOutcome::Done { next, delta, .. } =
+            c.invoke_delta(&pre, &TwoPCall::Add('c'), &mut ctx)
+        else {
+            panic!("fresh add never refuses")
+        };
+        let delta = delta.expect("add is a mutation");
+        assert_eq!(delta.added, BTreeSet::from(['c']));
+        assert!(delta.removed.is_empty());
+        // Decomposition, batching, resync.
+        assert_eq!(c.join(&pre, &delta), next);
+        let d2 = c.diff(&next, &{
+            let mut s = next.clone();
+            s.removed.insert('a');
+            s
+        });
+        let other = TwoPState {
+            added: BTreeSet::from(['z']),
+            removed: BTreeSet::new(),
+        };
+        assert_eq!(
+            c.join(&c.join(&other, &delta), &d2),
+            c.join(&other, &c.join_deltas(&delta, &d2))
+        );
+        assert_eq!(c.join(&other, &c.full_delta(&pre)), c.merge(&other, &pre));
+        assert!(c.delta_bytes(&delta) < c.state_bytes(&pre));
     }
 
     #[test]

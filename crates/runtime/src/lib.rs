@@ -16,6 +16,10 @@
 //!   composition `⊗ts` (Section 5.3);
 //! * [`state_based`] — the [`state_based::StateBased`] trait and
 //!   [`state_based::StateCluster`];
+//! * [`delta`] — delta-state replication: the [`delta::DeltaCrdt`]
+//!   delta-mutator API and [`delta::DeltaCluster`], a bandwidth-proportional
+//!   transport with per-replica delta buffers, interval batching,
+//!   ack-driven garbage collection, and full-state resync fallback;
 //! * [`schedule`] — seeded random schedulers driving clusters through
 //!   interleavings, plus convergence helpers.
 //!
@@ -24,12 +28,14 @@
 //! `ral-sim` crate builds a deterministic discrete-event network simulator
 //! (latency, partitions, crashes, topologies) on top of them.
 
+pub mod delta;
 pub mod gen;
 pub mod multi;
 pub mod op_based;
 pub mod schedule;
 pub mod state_based;
 
+pub use delta::{DeltaCluster, DeltaConfig, DeltaCrdt, DeltaOutcome, DeltaStats};
 pub use gen::{GenCtx, GenOutcome};
 pub use multi::{MultiCluster, TsMode};
 pub use op_based::{Cluster, OpBased};

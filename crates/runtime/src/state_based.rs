@@ -104,6 +104,48 @@ pub struct Invoked<R> {
 }
 
 /// A cluster of replicas of one state-based object.
+///
+/// # Examples
+///
+/// Local updates stay local until a snapshot message is applied, and
+/// duplicate deliveries are absorbed by the merge:
+///
+/// ```
+/// use ral_core::ids::ReplicaId;
+/// use ral_runtime::state_based::StateCluster;
+/// # use ral_runtime::gen::GenCtx;
+/// # use ral_runtime::state_based::{StateBased, StateOutcome};
+/// # #[derive(Clone)]
+/// # struct GSet;
+/// # impl StateBased for GSet {
+/// #     type State = Vec<u32>;
+/// #     type Call = u32;
+/// #     type Ret = ();
+/// #     type Label = u32;
+/// #     fn initial(&self, _n: usize) -> Vec<u32> { Vec::new() }
+/// #     fn invoke(&self, st: &Vec<u32>, c: &u32, _ctx: &mut GenCtx) -> StateOutcome<(), Vec<u32>> {
+/// #         let mut next = st.clone();
+/// #         if !next.contains(c) { next.push(*c); next.sort_unstable(); }
+/// #         StateOutcome::Done { ret: (), next }
+/// #     }
+/// #     fn merge(&self, a: &Vec<u32>, b: &Vec<u32>) -> Vec<u32> {
+/// #         let mut out = a.clone();
+/// #         out.extend(b.iter().copied().filter(|x| !a.contains(x)));
+/// #         out.sort_unstable();
+/// #         out
+/// #     }
+/// #     fn leq(&self, a: &Vec<u32>, b: &Vec<u32>) -> bool { a.iter().all(|x| b.contains(x)) }
+/// #     fn label(&self, c: &u32, _r: &()) -> u32 { *c }
+/// # }
+///
+/// let mut cluster = StateCluster::new(GSet, 2);
+/// cluster.invoke(ReplicaId(0), 7).unwrap();
+/// assert_eq!(cluster.state(ReplicaId(1)), &Vec::<u32>::new());
+/// let msg = cluster.send(ReplicaId(0));
+/// cluster.apply(ReplicaId(1), msg);
+/// cluster.apply(ReplicaId(1), msg); // duplicate delivery is harmless
+/// assert_eq!(cluster.state(ReplicaId(1)), &vec![7]);
+/// ```
 pub struct StateCluster<C: StateBased> {
     crdt: C,
     replicas: Vec<StateNode<C::State>>,
@@ -217,6 +259,11 @@ impl<C: StateBased> StateCluster<C> {
     /// The replica whose snapshot message `msg` carries.
     pub fn message_origin(&self, msg: usize) -> ReplicaId {
         self.messages[msg].origin
+    }
+
+    /// The state snapshot message `msg` carries (payload-size accounting).
+    pub fn message_state(&self, msg: usize) -> &C::State {
+        &self.messages[msg].state
     }
 
     /// Number of messages in flight (messages are never consumed — the

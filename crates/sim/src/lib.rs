@@ -28,12 +28,12 @@
 //! * [`queue`] — the `(time, sequence)`-ordered event queue;
 //! * [`network`] — topologies, latency distributions, link faults;
 //! * [`fault`] — scheduled partitions and crash/restart plans;
-//! * [`driver`] — the [`Driver`] trait adapting the three cluster kinds
-//!   ([`OpDriver`], [`StateDriver`], [`MultiDriver`]);
+//! * [`driver`] — the [`Driver`] trait adapting the cluster kinds
+//!   ([`OpDriver`], [`StateDriver`], [`DeltaDriver`], [`MultiDriver`]);
 //! * [`sim`] — the engine ([`run`]);
 //! * [`trace`] — the byte-comparable event record;
 //! * [`scenario`] — the named corpus (`geo_3dc`, `flaky_wan`,
-//!   `rolling_restart`, `split_brain_heal`, `gossip_50`).
+//!   `rolling_restart`, `split_brain_heal`, `delta_wan`, `gossip_50`).
 //!
 //! # Example
 //!
@@ -80,7 +80,7 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
-pub use driver::{Driver, MultiDriver, OpDriver, Received, StateDriver};
+pub use driver::{DeltaDriver, Driver, MultiDriver, OpDriver, Received, StateDriver};
 pub use fault::{CrashPlan, FaultPlan, Partition, PartitionWindow};
 pub use network::{Latency, LinkFaults, Network, Topology};
 pub use scenario::Scenario;

@@ -10,6 +10,7 @@
 //! | `flaky_wan`        | 5 replicas, heavy jitter, 25% drop, 20% dup       | App. D.2 loss/dup/reorder tolerance |
 //! | `rolling_restart`  | 6 replicas crash-restarted one after another      | crash-recovery durability |
 //! | `split_brain_heal` | 6 replicas, 3/3 partition, heal, re-split 2/2/2   | §1 availability under partition |
+//! | `delta_wan`        | 8 replicas, loss + dup + long 4/4 split + crash   | delta-transport stress: retransmission, GC starvation, resync |
 //! | `gossip_50`        | 50 replicas, light faults — the scaling scenario  | "large enough to matter" benchmarking |
 //!
 //! All parameters are fixed constants: a scenario never samples its own
@@ -22,6 +23,19 @@ use crate::time::SimTime;
 use ral_core::ids::ReplicaId;
 
 /// A named, reusable simulation configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ral_sim::scenario;
+///
+/// let sc = scenario::by_name("flaky_wan").unwrap();
+/// assert_eq!(sc.cfg.n_replicas, 5);
+/// sc.cfg.validate();
+/// // The whole corpus, in its stable order:
+/// let names: Vec<&str> = scenario::all().iter().map(|s| s.name).collect();
+/// assert!(names.contains(&"delta_wan"));
+/// ```
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Stable name (used by tests, benches, and reports).
@@ -152,6 +166,47 @@ pub fn split_brain_heal() -> Scenario {
     }
 }
 
+/// The delta-transport stress scenario: a lossy WAN *plus* a prolonged
+/// 4|4 partition and a crash bounce. Dropped batches must be recovered by
+/// ack-driven retransmission; the long partition starves acks until
+/// buffers hit the resync horizon; the crash regresses a replica's applied
+/// prefix past the garbage-collected horizon, forcing a full-state resync.
+/// Full-state transports see the same network and simply pay for it in
+/// snapshot bytes.
+pub fn delta_wan() -> Scenario {
+    Scenario {
+        name: "delta_wan",
+        about: "8 replicas; 10-120 tick jitter, 20% drop, 15% dup, 4|4 split t400-t1000, crash t1100-t1250",
+        cfg: SimConfig {
+            n_replicas: 8,
+            duration: SimTime(1_600),
+            invoke_every: Latency::jittered(25, 30),
+            gossip_every: Latency::jittered(20, 25),
+            network: Network {
+                topology: Topology::Uniform(Latency::jittered(10, 110)),
+                faults: LinkFaults {
+                    drop: 0.20,
+                    duplicate: 0.15,
+                },
+                retry: 15,
+            },
+            faults: FaultPlan {
+                partitions: vec![PartitionWindow::new(
+                    SimTime(400),
+                    SimTime(1_000),
+                    vec![0, 0, 0, 0, 1, 1, 1, 1],
+                )],
+                crashes: vec![CrashPlan::bounce(
+                    ReplicaId(2),
+                    SimTime(1_100),
+                    SimTime(1_250),
+                )],
+            },
+            final_sync: true,
+        },
+    }
+}
+
 /// The scaling scenario at its headline size — the named corpus entry.
 pub fn gossip_50() -> Scenario {
     let mut sc = gossip(50);
@@ -194,6 +249,7 @@ pub fn all() -> Vec<Scenario> {
         flaky_wan(),
         rolling_restart(),
         split_brain_heal(),
+        delta_wan(),
         gossip_50(),
     ]
 }
@@ -210,7 +266,7 @@ mod tests {
     #[test]
     fn corpus_is_complete_and_valid() {
         let corpus = all();
-        assert_eq!(corpus.len(), 5);
+        assert_eq!(corpus.len(), 6);
         let names: Vec<&str> = corpus.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
@@ -219,6 +275,7 @@ mod tests {
                 "flaky_wan",
                 "rolling_restart",
                 "split_brain_heal",
+                "delta_wan",
                 "gossip_50"
             ]
         );

@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 //!
-//! One run owns a virtual clock, a [`EventQueue`](crate::queue::EventQueue)
-//! of pending events, a seeded RNG, and a [`Driver`]. Processing an event
+//! One run owns a virtual clock, an [`EventQueue`] of pending events, a
+//! seeded RNG, and a [`Driver`]. Processing an event
 //! may invoke operations, route freshly created messages (sampling per-link
 //! latency and faults), apply arrivals, or fire scheduled partitions and
 //! crashes; everything appends to the [`Trace`]. Because events pop in a
@@ -110,6 +110,10 @@ pub struct SimStats {
     pub held: usize,
     /// Reliable transmissions rescheduled past a cut link or down replica.
     pub retried: usize,
+    /// Total wire bytes put on links ([`Driver::message_bytes`] summed
+    /// over every transmission, duplicates included; zero for drivers
+    /// without a payload-size model).
+    pub payload_bytes: u64,
 }
 
 /// The result of a run: its trace, statistics, and final virtual time.
@@ -137,6 +141,18 @@ enum Event {
 
 /// Runs `driver` through `cfg` under `seed`; the driver keeps the cluster
 /// (and its history) afterwards.
+///
+/// The whole run is a pure function of `(cfg, driver, seed)`: re-running
+/// with the same inputs reproduces the trace, the history, and the final
+/// states byte for byte (`tests/sim_determinism.rs` pins this for every
+/// scenario in the corpus). See the crate-level example for a complete
+/// seeded run; `ral_verify::scenarios` and `ral_verify::delta` wrap this
+/// entry point with the paper's per-CRDT obligations.
+///
+/// # Panics
+///
+/// Panics if `cfg` is internally inconsistent ([`SimConfig::validate`]) or
+/// disagrees with the driver on the cluster size.
 pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
     cfg.validate();
     assert_eq!(
@@ -317,6 +333,7 @@ fn route_new<D: Driver>(
             }
             let delay = cfg.network.delay(rng, from, to).max(1);
             stats.sends += 1;
+            stats.payload_bytes += driver.message_bytes(msg, to) as u64;
             trace.push(
                 now,
                 TraceEvent::Send {
@@ -332,6 +349,7 @@ fn route_new<D: Driver>(
                 let delay = cfg.network.delay(rng, from, to).max(1);
                 stats.duplicated += 1;
                 stats.sends += 1;
+                stats.payload_bytes += driver.message_bytes(msg, to) as u64;
                 trace.push(
                     now,
                     TraceEvent::Send {

@@ -28,10 +28,13 @@
 
 //! [`scenarios`] runs the same obligations through the `ral-sim`
 //! discrete-event simulator's named scenario corpus, replacing the coin-flip
-//! scheduler with latency, partitions, and crashes.
+//! scheduler with latency, partitions, and crashes. [`delta`] adds the
+//! delta-replication obligations: delta-transport convergence and lockstep
+//! differential equivalence against full-state replication.
 
 pub mod commutativity;
 pub mod convergence;
+pub mod delta;
 pub mod refinement;
 pub mod report;
 pub mod scenarios;

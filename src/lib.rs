@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Facade crate for the RA-linearizability reproduction.
 //!
 //! Re-exports the workspace crates so examples and downstream users can

@@ -14,6 +14,7 @@ use std::process::Command;
 const EXAMPLES: &[&str] = &[
     "collaborative_editing",
     "composition",
+    "delta_replication",
     "fig12_report",
     "kv_store",
     "network_partition",

@@ -1,5 +1,5 @@
 //! Simulator determinism: same seed + same scenario ⇒ byte-identical event
-//! traces and histories, for all five named scenarios.
+//! traces and histories, for all six named scenarios.
 //!
 //! This is the contract everything else leans on: a failure seed printed by
 //! a scenario-driven property run must replay the exact run that failed —
@@ -13,8 +13,9 @@ use ral_crdts::op::counter::OpCounter;
 use ral_crdts::op::or_set::OrSet;
 use ral_crdts::state::lww_element_set::LwwElementSet;
 use ral_crdts::state::pn_counter::PnCounter;
+use ral_runtime::delta::DeltaConfig;
 use ral_runtime::multi::{MultiCluster, TsMode};
-use ral_sim::driver::{Driver, MultiDriver, OpDriver, StateDriver};
+use ral_sim::driver::{DeltaDriver, Driver, MultiDriver, OpDriver, StateDriver};
 use ral_sim::scenario::{self, Scenario};
 use ral_sim::sim;
 use ral_verify::workloads;
@@ -48,16 +49,35 @@ fn state_run(sc: &Scenario, seed: u64) -> RunBytes {
     )
 }
 
+fn delta_run(sc: &Scenario, seed: u64) -> RunBytes {
+    // A tight resync horizon so the delta-transport fallback machinery is
+    // itself under the determinism contract.
+    let mut driver = DeltaDriver::new(
+        LwwElementSet::<u8>::new(),
+        DeltaConfig { resync_after: 8 },
+        sc.cfg.n_replicas,
+        |rng: &mut Rng, _, _| Some(workloads::lww_element_set(rng)),
+    );
+    let run = sim::run(&mut driver, &sc.cfg, seed);
+    assert!(driver.converged(), "{}: no convergence", sc.name);
+    (
+        run.trace.render().into_bytes(),
+        format!("{:?}", driver.into_cluster().into_history()).into_bytes(),
+    )
+}
+
 /// Every named scenario, each through the cluster kind it most stresses;
 /// byte-identical reruns for several seeds, and distinct seeds distinct.
 #[test]
-fn all_five_scenarios_are_byte_deterministic() {
+fn all_six_scenarios_are_byte_deterministic() {
     for sc in scenario::all() {
         let runner: fn(&Scenario, u64) -> RunBytes = match sc.name {
             // Reliable causal broadcast through geo latency and partitions…
             "geo_3dc" | "split_brain_heal" => op_run,
-            // …lossy gossip through faults, restarts, and the big mesh.
+            // …lossy gossip through faults, restarts, and the big mesh…
             "flaky_wan" | "rolling_restart" | "gossip_50" => state_run,
+            // …and the delta transport through its own stress scenario.
+            "delta_wan" => delta_run,
             other => panic!("unknown scenario {other}"),
         };
         for seed in [0u64, 42] {
