@@ -35,6 +35,13 @@ step cargo test -q --offline
 # executes them; this re-run costs ~2s).
 step cargo test -q --offline --test sim_determinism --test sim_faults
 step cargo bench --offline --no-run
+# Checker-throughput smoke: run the brute-vs-memo-vs-parallel scaling bench
+# in quick mode and persist its JSON so the bench trajectory
+# (BENCH_checker_scaling.json) tracks checker throughput per commit. The
+# bench asserts every outcome (witness/refutation/budget), so a checker
+# regression fails this step outright.
+# (the bench binary runs from the package dir, so pass an absolute path)
+step cargo bench --offline --bench checker_scaling -- --quick --save "$PWD/BENCH_checker_scaling.json"
 
 echo
 echo "CI green: fmt, clippy, docs, build, examples, tests, benches all pass offline."

@@ -1,18 +1,22 @@
-//! Ablation A1 — checker scaling: the complete (brute-force) search over
-//! linear extensions vs the constructive execution-order witness of
-//! Theorem 4.4.
+//! Ablation A1 — checker scaling: three complete engines (naive brute
+//! force, memoized, memoized-parallel) against each other and against the
+//! constructive execution-order witness of Theorem 4.4.
 //!
-//! The brute-force decision procedure blows up with the number of
-//! concurrent operations; the guided check is near-linear. This gap is the
-//! practical payoff of the paper's proof methodology: once a CRDT is known
-//! to admit execution-order (or timestamp-order) linearizations, a single
-//! witness suffices.
+//! The naive decision procedure blows up factorially with the number of
+//! concurrent operations; the memoized engine collapses permutations into
+//! placed-set configurations (exponential, but in a far smaller base) and
+//! decides histories the naive search cannot touch within any practical
+//! node budget; the guided check is near-linear. The `*_refute` groups are
+//! where the gap matters: refutations must exhaust the whole search space.
 //!
 //! Run with `cargo bench -p ral-bench --bench checker_scaling`.
 
 use ral_bench::{bench_group, bench_main, BenchmarkId, Criterion};
 use ral_core::history::{rewrite_history, History};
-use ral_core::ralin::{check_guided, search, Strategy};
+use ral_core::ralin::{
+    check_guided, search_brute, search_brute_with_budget, search_with_threads, SearchOutcome,
+    Strategy,
+};
 use ral_crdts::op::or_set::{OrSet, OrSetLabel, OrSetRewrite};
 use ral_runtime::op_based::Cluster;
 use ral_runtime::schedule::{drive_op_based, ScheduleConfig};
@@ -59,7 +63,7 @@ fn guided_scaling(c: &mut Criterion) {
 fn brute_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("brute_force");
     group.sample_size(10);
-    // The brute-force search explodes: keep histories tiny.
+    // The naive search explodes: keep histories tiny.
     for steps in [4, 6, 8, 10, 12] {
         let h = or_set_history(steps, 7);
         let rewritten = rewrite_history(&h, &OrSetRewrite::new());
@@ -68,7 +72,30 @@ fn brute_scaling(c: &mut Criterion) {
             &rewritten.history,
             |b, h| {
                 b.iter(|| {
-                    let outcome = search(h, &OrSetSpec::new());
+                    let outcome = search_brute(h, &OrSetSpec::new());
+                    assert!(outcome.is_linearizable());
+                    black_box(outcome)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The memoized engine on the same workload, at sizes 2–10× beyond the
+/// naive cap (12 steps) — same outcomes, tractable work.
+fn memo_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo_search");
+    group.sample_size(10);
+    for steps in [12, 24, 48, 96] {
+        let h = or_set_history(steps, 7);
+        let rewritten = rewrite_history(&h, &OrSetRewrite::new());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rewritten.history.len()),
+            &rewritten.history,
+            |b, h| {
+                b.iter(|| {
+                    let outcome = search_with_threads(h, &OrSetSpec::new(), u64::MAX, 1);
                     assert!(outcome.is_linearizable());
                     black_box(outcome)
                 })
@@ -105,12 +132,68 @@ fn brute_refutation_scaling(c: &mut Criterion) {
         let h = impossible_history(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
             b.iter(|| {
-                let outcome = search(h, &CounterSpec);
+                let outcome = search_brute(h, &CounterSpec);
                 assert!(outcome.is_refuted());
                 black_box(outcome)
             })
         });
     }
+    group.finish();
+
+    // The memoized engine refutes far wider concurrency: n concurrent
+    // increments cost 2^n configurations instead of n! permutations.
+    let mut group = c.benchmark_group("memo_refute");
+    group.sample_size(10);
+    for n in [8usize, 12, 14] {
+        let h = impossible_history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let outcome = search_with_threads(h, &CounterSpec, u64::MAX, 1);
+                assert!(outcome.is_refuted());
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+
+    // The same refutations with the branch-parallel walk (all cores).
+    let mut group = c.benchmark_group("memo_refute_parallel");
+    group.sample_size(10);
+    for n in [12usize, 16] {
+        let h = impossible_history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let outcome = search_with_threads(h, &CounterSpec, u64::MAX, 0);
+                assert!(outcome.is_refuted());
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+
+    // Budget parity at 16 concurrent ops: within the same 1M-node budget
+    // the naive engine cannot decide (16! ≈ 2·10¹³ permutations — its
+    // measured time below is spent burning the budget and giving up)
+    // while the memoized engine refutes outright. At the largest size both
+    // engines can decide (n = 8, above), the memoized engine is ~25×
+    // faster; from n = 9 on, only it finishes at all.
+    let mut group = c.benchmark_group("refute_budget_1m");
+    group.sample_size(10);
+    let h16 = impossible_history(16);
+    group.bench_with_input(BenchmarkId::new("brute", 16), &h16, |b, h| {
+        b.iter(|| {
+            let outcome = search_brute_with_budget(h, &CounterSpec, 1_000_000);
+            assert_eq!(outcome, SearchOutcome::BudgetExhausted);
+            black_box(outcome)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("memo", 16), &h16, |b, h| {
+        b.iter(|| {
+            let outcome = search_with_threads(h, &CounterSpec, 1_000_000, 1);
+            assert!(outcome.is_refuted());
+            black_box(outcome)
+        })
+    });
     group.finish();
 
     let mut group = c.benchmark_group("guided_refute");
@@ -208,6 +291,7 @@ bench_group!(
     scaling,
     guided_scaling,
     brute_scaling,
+    memo_scaling,
     brute_refutation_scaling,
     wooki_checker_scaling
 );

@@ -96,6 +96,14 @@ impl<S: Spec> Spec for MultiObjSpec<S> {
             })
             .collect()
     }
+
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // Positional fold over the per-object fingerprints, so composed
+        // searches inherit the components' fast paths.
+        state.iter().fold(0xcbf2_9ce4_8422_2325, |acc, s| {
+            acc.rotate_left(7) ^ self.spec.state_fingerprint(s).wrapping_mul(0x100_0000_01B3)
+        })
+    }
 }
 
 /// Lifts a per-object query-update rewriting to composed labels.
@@ -180,6 +188,14 @@ impl<S1: Spec, S2: Spec> Spec for PairSpec<S1, S2> {
                 .map(|s| (state.0.clone(), s))
                 .collect(),
         }
+    }
+
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        self.first
+            .state_fingerprint(&state.0)
+            .rotate_left(31)
+            .wrapping_mul(0x100_0000_01B3)
+            ^ self.second.state_fingerprint(&state.1)
     }
 }
 

@@ -37,14 +37,16 @@ pub fn linearizable_with_budget<S: Spec>(
     }
     impl<S: Spec> St<'_, S> {
         fn dfs(&mut self, depth: usize, frontier: &Frontier<'_, S>) -> Option<Vec<usize>> {
+            // Completion is checked before the budget (and costs nothing):
+            // a search holding a complete order must report it.
+            if depth == self.h.len() {
+                return Some(self.order.clone());
+            }
             if self.budget == 0 {
                 self.exhausted = true;
                 return None;
             }
             self.budget -= 1;
-            if depth == self.h.len() {
-                return Some(self.order.clone());
-            }
             for x in 0..self.h.len() {
                 if self.placed[x] || self.missing[x] != 0 {
                     continue;

@@ -1,4 +1,4 @@
-//! Complete (brute-force) RA-linearizability search.
+//! Naive complete RA-linearizability search (the seed's ground truth).
 //!
 //! Enumerates linear extensions of the visibility relation by depth-first
 //! search, pruning with two sound cuts:
@@ -9,38 +9,23 @@
 //!   it is placed — all its visible updates are already placed and their
 //!   relative order is fixed — so an unjustified query prunes immediately.
 //!
-//! The search is exponential in the number of concurrent operations; it is
-//! the ground truth against which the guided strategies are cross-checked,
-//! and the tool that establishes the paper's *negative* results (Figures 5a,
-//! 9, 10, 14 need "no linearization exists").
+//! The search is exponential in the number of concurrent operations and
+//! re-derives every query justification from scratch. The **memoized
+//! engine** ([`super::memo`], the default behind [`super::search`]) decides
+//! the same question orders of magnitude faster; this module remains the
+//! independent ground truth the property suites cross-check against, and
+//! the only complete engine usable with non-`Sync` specifications.
+//!
+//! Budget semantics: every call of the recursive step charges one node,
+//! except a *completed* linearization (depth = history length), which is
+//! free — a search holding a complete valid order in hand is never
+//! misreported as [`SearchOutcome::BudgetExhausted`].
 
-use super::Linearization;
+use super::check::query_justified;
+use super::{Linearization, SearchOutcome};
 use crate::history::History;
 use crate::label::SpecLabel;
 use crate::spec::{Frontier, Spec};
-
-/// Result of a brute-force search.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SearchOutcome {
-    /// A valid RA-linearization was found.
-    Linearizable(Linearization),
-    /// The search space was exhausted: no RA-linearization exists.
-    NotLinearizable,
-    /// The node budget ran out before the search completed.
-    BudgetExhausted,
-}
-
-impl SearchOutcome {
-    /// Returns `true` if a linearization was found.
-    pub fn is_linearizable(&self) -> bool {
-        matches!(self, SearchOutcome::Linearizable(_))
-    }
-
-    /// Returns `true` if the search proved that no linearization exists.
-    pub fn is_refuted(&self) -> bool {
-        matches!(self, SearchOutcome::NotLinearizable)
-    }
-}
 
 struct Search<'a, S: Spec> {
     h: &'a History<S::Label>,
@@ -55,32 +40,15 @@ struct Search<'a, S: Spec> {
 }
 
 impl<S: Spec> Search<'_, S> {
-    fn justify_query(&self, q: usize) -> bool {
-        let mut visible: Vec<usize> = self
-            .h
-            .preds(q)
-            .iter()
-            .filter(|&u| self.h.label(u).is_update())
-            .collect();
-        visible.sort_by_key(|&u| self.pos[u]);
-        let mut f = Frontier::new(self.spec);
-        for u in visible {
-            if !f.advance(self.h.label(u)) {
-                return false;
-            }
-        }
-        f.admits(self.h.label(q))
-    }
-
     fn dfs(&mut self, depth: usize, frontier: &Frontier<'_, S>) -> Option<Vec<usize>> {
+        if depth == self.h.len() {
+            return Some(self.order.clone());
+        }
         if self.budget == 0 {
             self.exhausted = true;
             return None;
         }
         self.budget -= 1;
-        if depth == self.h.len() {
-            return Some(self.order.clone());
-        }
         for x in 0..self.h.len() {
             if self.placed[x] || self.missing[x] != 0 {
                 continue;
@@ -97,7 +65,7 @@ impl<S: Spec> Search<'_, S> {
                 feasible = f.advance(self.h.label(x));
                 next_frontier = Some(f);
             } else {
-                feasible = self.justify_query(x);
+                feasible = query_justified(self.h, self.spec, x, &self.pos);
             }
 
             if feasible {
@@ -135,14 +103,20 @@ fn init_missing<L>(h: &History<L>) -> Vec<usize> {
     (0..h.len()).map(|i| h.preds(i).len()).collect()
 }
 
-/// Searches for an RA-linearization of `h` w.r.t. `spec` without a budget.
-/// The history must be query-update free.
-pub fn search<S: Spec>(h: &History<S::Label>, spec: &S) -> SearchOutcome {
-    search_with_budget(h, spec, u64::MAX)
+/// Searches for an RA-linearization of `h` w.r.t. `spec` without a budget,
+/// with the naive (non-memoized, single-threaded) engine. The history must
+/// be query-update free.
+pub fn search_brute<S: Spec>(h: &History<S::Label>, spec: &S) -> SearchOutcome {
+    search_brute_with_budget(h, spec, u64::MAX)
 }
 
-/// Searches for an RA-linearization, visiting at most `budget` search nodes.
-pub fn search_with_budget<S: Spec>(h: &History<S::Label>, spec: &S, budget: u64) -> SearchOutcome {
+/// Naive search visiting at most `budget` search nodes (completed
+/// linearizations are free — see the module docs).
+pub fn search_brute_with_budget<S: Spec>(
+    h: &History<S::Label>,
+    spec: &S,
+    budget: u64,
+) -> SearchOutcome {
     let mut s = Search {
         h,
         spec,
@@ -168,7 +142,9 @@ pub fn search_with_budget<S: Spec>(h: &History<S::Label>, spec: &S, budget: u64)
     }
 }
 
-/// Counts all valid RA-linearizations of `h` (up to `budget` search nodes).
+/// Counts all valid RA-linearizations of `h` (up to `budget` search nodes;
+/// completed linearizations are free, so an exactly-sufficient budget
+/// reports `completed = true`).
 ///
 /// Returns `(count, completed)`; `completed` is `false` if the budget ran
 /// out. Useful for ablation benchmarks on the size of the witness space.
@@ -179,15 +155,15 @@ pub fn count_linearizations<S: Spec>(h: &History<S::Label>, spec: &S, budget: u6
     }
     impl<S: Spec> Counter<'_, S> {
         fn dfs(&mut self, depth: usize, frontier: &Frontier<'_, S>) {
+            if depth == self.inner.h.len() {
+                self.count += 1;
+                return;
+            }
             if self.inner.budget == 0 {
                 self.inner.exhausted = true;
                 return;
             }
             self.inner.budget -= 1;
-            if depth == self.inner.h.len() {
-                self.count += 1;
-                return;
-            }
             for x in 0..self.inner.h.len() {
                 if self.inner.placed[x] || self.inner.missing[x] != 0 {
                     continue;
@@ -202,7 +178,7 @@ pub fn count_linearizations<S: Spec>(h: &History<S::Label>, spec: &S, budget: u6
                     feasible = f.advance(self.inner.h.label(x));
                     next_frontier = Some(f);
                 } else {
-                    feasible = self.inner.justify_query(x);
+                    feasible = query_justified(self.inner.h, self.inner.spec, x, &self.inner.pos);
                 }
 
                 if feasible {
@@ -320,7 +296,7 @@ mod tests {
         let a = h.push(OpRecord::new(L::Add(1), r(0)), []);
         let b = h.push(OpRecord::new(L::Add(2), r(1)), []);
         let q = h.push(OpRecord::new(L::Read(vec![2]), r(1)), [b]);
-        let out = search(&h, &SetSpec);
+        let out = search_brute(&h, &SetSpec);
         let lin = match out {
             SearchOutcome::Linearizable(l) => l,
             other => panic!("expected witness, got {other:?}"),
@@ -336,7 +312,7 @@ mod tests {
         let mut h = History::new();
         let a = h.push(OpRecord::new(L::Add(1), r(0)), []);
         h.push(OpRecord::new(L::Read(vec![]), r(0)), [a]);
-        assert_eq!(search(&h, &SetSpec), SearchOutcome::NotLinearizable);
+        assert_eq!(search_brute(&h, &SetSpec), SearchOutcome::NotLinearizable);
     }
 
     #[test]
@@ -347,7 +323,26 @@ mod tests {
         }
         h.push(OpRecord::new(L::Read(vec![]), r(0)), []);
         assert_eq!(
-            search_with_budget(&h, &SetSpec, 1),
+            search_brute_with_budget(&h, &SetSpec, 1),
+            SearchOutcome::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn exact_budget_still_reports_the_witness() {
+        // Regression for the budget off-by-one: a single-update history
+        // needs exactly one search node; reaching the completed order on
+        // the final node must report the witness, not BudgetExhausted.
+        let mut h = History::new();
+        h.push(OpRecord::new(L::Add(1), r(0)), []);
+        assert!(search_brute_with_budget(&h, &SetSpec, 1).is_linearizable());
+        // A two-op chain costs two nodes; the completion itself is free.
+        let mut h2 = History::new();
+        let a = h2.push(OpRecord::new(L::Add(1), r(0)), []);
+        h2.push(OpRecord::new(L::Add(2), r(0)), [a]);
+        assert!(search_brute_with_budget(&h2, &SetSpec, 2).is_linearizable());
+        assert_eq!(
+            search_brute_with_budget(&h2, &SetSpec, 1),
             SearchOutcome::BudgetExhausted
         );
     }
@@ -374,9 +369,23 @@ mod tests {
     }
 
     #[test]
+    fn count_with_exact_budget_is_complete() {
+        // Regression for the budget off-by-one in the counter: two
+        // concurrent adds explore 3 charged nodes (root + one per first
+        // placement); the two completed leaves are free. An exact budget
+        // must report the exact count as complete.
+        let mut h = History::new();
+        h.push(OpRecord::new(L::Add(1), r(0)), []);
+        h.push(OpRecord::new(L::Add(2), r(1)), []);
+        assert_eq!(count_linearizations(&h, &SetSpec, 3), (2, true));
+        // One node short: the second branch is cut mid-way.
+        assert_eq!(count_linearizations(&h, &SetSpec, 2), (1, false));
+    }
+
+    #[test]
     fn empty_history_is_linearizable() {
         let h: History<L> = History::new();
-        assert!(search(&h, &SetSpec).is_linearizable());
+        assert!(search_brute(&h, &SetSpec).is_linearizable());
         assert_eq!(count_linearizations(&h, &SetSpec, 100), (1, true));
     }
 }

@@ -54,6 +54,38 @@ impl fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
+/// Condition (iii) of Definition 3.5 for a single query `q`: runs the
+/// updates visible to `q` in the order given by `pos` (the linearization
+/// position of every *placed* operation) and checks that the frontier then
+/// admits `q`'s label.
+///
+/// This is the one shared justification routine: the validator
+/// ([`check_linearization`]), the naive searcher
+/// ([`super::brute::search_brute`]), and the memoized engine's
+/// cross-checks all call it, so condition (iii) cannot silently diverge
+/// between them. Callers guarantee every update visible to `q` has a
+/// valid entry in `pos`.
+pub(crate) fn query_justified<S: Spec>(
+    h: &History<S::Label>,
+    spec: &S,
+    q: usize,
+    pos: &[usize],
+) -> bool {
+    let mut visible: Vec<usize> = h
+        .preds(q)
+        .iter()
+        .filter(|&u| h.label(u).is_update())
+        .collect();
+    visible.sort_by_key(|&u| pos[u]);
+    let mut f = Frontier::new(spec);
+    for u in visible {
+        if !f.advance(h.label(u)) {
+            return false;
+        }
+    }
+    f.admits(h.label(q))
+}
+
 /// Checks that `order` is an RA-linearization of `h` w.r.t. `spec`
 /// (Definition 3.5). The history must already be query-update free (apply
 /// [`crate::history::rewrite_history`] first).
@@ -98,24 +130,7 @@ pub fn check_linearization<S: Spec>(
 
     // (iii) every query justified by its visible updates, in seq order.
     for &q in order {
-        if !h.label(q).is_query() {
-            continue;
-        }
-        let mut f = Frontier::new(spec);
-        let mut visible: Vec<usize> = h
-            .preds(q)
-            .iter()
-            .filter(|&u| h.label(u).is_update())
-            .collect();
-        visible.sort_by_key(|&u| pos[u]);
-        let mut ok = true;
-        for u in visible {
-            if !f.advance(h.label(u)) {
-                ok = false;
-                break;
-            }
-        }
-        if !ok || !f.admits(h.label(q)) {
+        if h.label(q).is_query() && !query_justified(h, spec, q, &pos) {
             return Err(Violation::QueryNotJustified { query: q });
         }
     }

@@ -1,0 +1,829 @@
+//! Memoized, parallel RA-linearizability search — the default complete
+//! decision procedure behind [`super::search`] / [`super::ra_search`].
+//!
+//! The naive search ([`super::search_brute`]) enumerates *permutations*: two
+//! interleavings that place the same operations in different orders are
+//! explored as unrelated branches, which is what makes it factorial. This
+//! engine walks the **configuration DAG** instead. A configuration is
+//!
+//! 1. the *placed set* (as a bitmask) — which operations the prefix
+//!    contains;
+//! 2. the *specification frontier* after the prefix's update projection
+//!    (condition (ii) of Definition 3.5);
+//! 3. one *incremental justification frontier per pending query*: the
+//!    frontier reached by running the updates visible to that query in
+//!    placement order (condition (iii)). A query can only be placed once
+//!    all its predecessors are, so when its turn comes this frontier has
+//!    consumed exactly its visible updates — justification is a single
+//!    `admits` call instead of the naive engine's per-placement re-sort
+//!    and re-run.
+//!
+//! That triple determines everything a continuation can observe, so any
+//! two prefixes reaching the same configuration have the same set of
+//! completions: configurations that were fully explored and failed are
+//! memoized (hash-keyed on [`Frontier::canonical_hash`], verified with
+//! full state equality, so hash collisions cannot unsoundly prune) and
+//! never explored twice. On commuting workloads this collapses `k!`
+//! permutations of `k` concurrent operations into `2^k` placed-set nodes
+//! — e.g. refuting a counter history with 16 concurrent increments takes
+//! tens of thousands of nodes instead of `16! ≈ 2·10¹³`.
+//!
+//! The incremental query frontiers also yield a cut the naive engine
+//! lacks: the moment a *pending* query's frontier dies, no completion can
+//! ever justify it, and the whole branch is abandoned without waiting for
+//! the query to be placed.
+//!
+//! # Parallelism and determinism
+//!
+//! The top of the DAG — one branch per operation that can be placed first
+//! — is distributed over a dependency-free `std::thread` pool, controlled
+//! by the `RAL_CHECK_THREADS` environment variable (unset or `0`: one
+//! thread for small histories, all available cores otherwise; `1` forces
+//! sequential). Each branch runs an independent sequential walk with its
+//! own memo table and its own deterministic share of the node budget, and
+//! the branch results are combined in branch order, so the outcome — and,
+//! for witnesses, the returned order — is **bit-identical for every
+//! thread count**, including 1. Whenever no branch exhausts its budget
+//! share (in particular for unbudgeted searches), the returned witness is
+//! the lexicographically minimal valid linearization; under a binding
+//! budget an earlier branch may run out before reaching its smaller
+//! witness, in which case the (still deterministic) witness of a later
+//! branch is reported. Once some branch finds a witness, branches with
+//! *higher* first operations (whose witnesses could not be smaller) are
+//! cancelled; lower branches always run to completion, preserving
+//! determinism.
+//!
+//! # Budget semantics
+//!
+//! `budget` bounds the total number of *expanded* configurations — memo
+//! hits, infeasible placements, and completed orders are free: 1 for the
+//! root, the rest split evenly across the top-level branches (earlier
+//! branches receive the remainder), so exhaustion is as deterministic as
+//! everything else. A found witness is reported even if other branches
+//! exhausted their share. This differs from the naive engine's single
+//! global DFS counter — compare node budgets across engines only
+//! qualitatively.
+
+use super::check::check_linearization;
+use super::{Linearization, SearchOutcome};
+use crate::history::History;
+use crate::label::SpecLabel;
+use crate::spec::{mix64, Frontier, Spec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Histories smaller than this stay sequential under automatic thread
+/// selection: the search finishes faster than threads spawn.
+const PARALLEL_MIN_OPS: usize = 16;
+
+/// Hard cap on memo entries per branch. Beyond it the walk keeps running
+/// (still sound, still complete) but stops recording new failed
+/// configurations, bounding memory on adversarial inputs.
+const MEMO_CAP: usize = 1 << 20;
+
+/// How often (in explored nodes) a branch polls the cancellation cutoff.
+const CANCEL_POLL_MASK: u64 = 0xFF;
+
+/// Parses a `RAL_CHECK_THREADS` value. `None` (unset) means automatic.
+///
+/// # Panics
+///
+/// Panics on an unparseable value — silently ignoring a typo'd override
+/// would let "parallel" runs pass sequentially.
+fn threads_from(raw: Option<String>) -> usize {
+    match raw {
+        None => 0,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => {
+                panic!("invalid RAL_CHECK_THREADS={raw:?}: expected a non-negative thread count")
+            }
+        },
+    }
+}
+
+/// Reads `RAL_CHECK_THREADS`. `0` or unset means automatic.
+fn env_threads() -> usize {
+    threads_from(std::env::var("RAL_CHECK_THREADS").ok())
+}
+
+/// Resolves a requested thread count against history size and branch
+/// count. `0` = automatic: sequential below [`PARALLEL_MIN_OPS`], all
+/// available cores above.
+fn effective_threads(requested: usize, n_ops: usize, branches: usize) -> usize {
+    let t = if requested == 0 {
+        if n_ops < PARALLEL_MIN_OPS {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |v| v.get())
+        }
+    } else {
+        requested
+    };
+    t.clamp(1, branches.max(1))
+}
+
+/// Immutable per-history search structure, shared by every branch.
+struct Shape {
+    n: usize,
+    /// Mask width in 64-bit words.
+    words: usize,
+    /// `succs[x]`: operations whose predecessor set contains `x`.
+    succs: Vec<Vec<usize>>,
+    /// `watchers[x]`: *queries* that see update `x`.
+    watchers: Vec<Vec<usize>>,
+    /// For each query `q`, the bitmask of updates visible to it (empty for
+    /// updates). Intersected with the placed mask to decide which pending
+    /// justification frontiers participate in the configuration key.
+    vis_upd: Vec<Box<[u64]>>,
+    /// Indices of query operations, ascending.
+    queries: Vec<usize>,
+}
+
+impl Shape {
+    fn of<L: SpecLabel>(h: &History<L>) -> Shape {
+        let n = h.len();
+        let words = n.div_ceil(64).max(1);
+        let mut succs = vec![Vec::new(); n];
+        let mut watchers = vec![Vec::new(); n];
+        let mut vis_upd: Vec<Box<[u64]>> = Vec::with_capacity(n);
+        let mut queries = Vec::new();
+        for i in 0..n {
+            for p in h.preds(i) {
+                succs[p].push(i);
+            }
+            if h.label(i).is_query() {
+                queries.push(i);
+                let mut mask = vec![0u64; words];
+                for p in h.preds(i) {
+                    if h.label(p).is_update() {
+                        mask[p / 64] |= 1 << (p % 64);
+                        watchers[p].push(i);
+                    }
+                }
+                vis_upd.push(mask.into_boxed_slice());
+            } else {
+                vis_upd.push(Box::new([]));
+            }
+        }
+        Shape {
+            n,
+            words,
+            succs,
+            watchers,
+            vis_upd,
+            queries,
+        }
+    }
+}
+
+/// The stored justification frontiers of started pending queries:
+/// `(query index, frontier states)`, ascending by query index.
+type StoredQueryFronts<St> = Box<[(usize, Box<[St]>)]>;
+
+/// A fully-explored, completion-free configuration, stored for exact
+/// verification behind its hash key.
+struct MemoEntry<St> {
+    mask: Box<[u64]>,
+    frontier: Box<[St]>,
+    /// Justification frontiers of the *started* pending queries (some
+    /// visible update placed), ascending by query index. Which queries
+    /// those are is determined by `mask`, so both sides of a comparison
+    /// enumerate the same list.
+    qfronts: StoredQueryFronts<St>,
+}
+
+/// Book-keeping to undo one tentative placement.
+struct PlacementUndo {
+    undo_mark: usize,
+    pushed_frontier: bool,
+}
+
+/// One branch's sequential memoized walk.
+struct Walk<'a, S: Spec> {
+    h: &'a History<S::Label>,
+    shape: &'a Shape,
+    placed: Vec<bool>,
+    mask: Vec<u64>,
+    missing: Vec<usize>,
+    order: Vec<usize>,
+    /// Frontier after each placed update; `last()` is the current one.
+    fstack: Vec<Frontier<'a, S>>,
+    /// Incremental justification frontier per query (None for updates).
+    qfront: Vec<Option<Frontier<'a, S>>>,
+    /// Saved query frontiers for backtracking.
+    undo: Vec<(usize, Frontier<'a, S>)>,
+    memo: HashMap<u64, Vec<MemoEntry<S::State>>>,
+    memo_entries: usize,
+    budget: u64,
+    exhausted: bool,
+    nodes: u64,
+    /// `(cutoff, own_branch)`: abort when `cutoff < own_branch` — a lower
+    /// branch already found a witness that supersedes anything here.
+    cancel: Option<(&'a AtomicUsize, usize)>,
+    cancelled: bool,
+}
+
+impl<'a, S: Spec> Walk<'a, S> {
+    fn new(h: &'a History<S::Label>, spec: &'a S, shape: &'a Shape, budget: u64) -> Self {
+        let qfront = (0..shape.n)
+            .map(|i| h.label(i).is_query().then(|| Frontier::new(spec)))
+            .collect();
+        Walk {
+            h,
+            shape,
+            placed: vec![false; shape.n],
+            mask: vec![0u64; shape.words],
+            missing: (0..shape.n).map(|i| h.preds(i).len()).collect(),
+            order: Vec::with_capacity(shape.n),
+            fstack: vec![Frontier::new(spec)],
+            qfront,
+            undo: Vec::new(),
+            memo: HashMap::new(),
+            memo_entries: 0,
+            budget,
+            exhausted: false,
+            nodes: 0,
+            cancel: None,
+            cancelled: false,
+        }
+    }
+
+    fn started(&self, q: usize) -> bool {
+        self.shape.vis_upd[q]
+            .iter()
+            .zip(&self.mask)
+            .any(|(v, m)| v & m != 0)
+    }
+
+    /// Hashes the current configuration: placed mask, main frontier, and
+    /// the justification frontiers of started pending queries.
+    fn config_hash(&self) -> u64 {
+        let mut key = 0xcbf2_9ce4_8422_2325u64;
+        for &w in &self.mask {
+            key = mix64(key ^ w);
+        }
+        key = mix64(key ^ self.fstack.last().expect("frontier stack").canonical_hash());
+        for &q in &self.shape.queries {
+            if !self.placed[q] && self.started(q) {
+                let f = self.qfront[q].as_ref().expect("query frontier");
+                key = mix64(key ^ (q as u64) ^ f.canonical_hash().rotate_left(17));
+            }
+        }
+        key
+    }
+
+    /// Returns `true` if the current configuration is a memoized failure.
+    fn memo_hit(&self, key: u64) -> bool {
+        let Some(bucket) = self.memo.get(&key) else {
+            return false;
+        };
+        bucket.iter().any(|e| {
+            e.mask[..] == self.mask[..]
+                && self
+                    .fstack
+                    .last()
+                    .expect("frontier stack")
+                    .states_set_eq(&e.frontier)
+                && e.qfronts.iter().all(|(q, states)| {
+                    self.qfront[*q]
+                        .as_ref()
+                        .expect("query frontier")
+                        .states_set_eq(states)
+                })
+        })
+    }
+
+    /// Records the current configuration as fully explored and
+    /// completion-free.
+    fn memo_insert(&mut self, key: u64) {
+        if self.memo_entries >= MEMO_CAP {
+            return;
+        }
+        let frontier: Box<[S::State]> = self
+            .fstack
+            .last()
+            .expect("frontier stack")
+            .states()
+            .to_vec()
+            .into_boxed_slice();
+        let qfronts: StoredQueryFronts<S::State> = self
+            .shape
+            .queries
+            .iter()
+            .filter(|&&q| !self.placed[q] && self.started(q))
+            .map(|&q| {
+                let states = self.qfront[q]
+                    .as_ref()
+                    .expect("query frontier")
+                    .states()
+                    .to_vec()
+                    .into_boxed_slice();
+                (q, states)
+            })
+            .collect();
+        self.memo.entry(key).or_default().push(MemoEntry {
+            mask: self.mask.clone().into_boxed_slice(),
+            frontier,
+            qfronts,
+        });
+        self.memo_entries += 1;
+    }
+
+    /// Tentatively places `x`; returns the undo token and whether the
+    /// placement (and every pending query it touches) stays feasible.
+    fn place(&mut self, x: usize) -> (PlacementUndo, bool) {
+        let shape = self.shape;
+        let undo_mark = self.undo.len();
+        self.placed[x] = true;
+        self.mask[x / 64] |= 1 << (x % 64);
+        self.order.push(x);
+        let mut pushed_frontier = false;
+        let feasible = if self.h.label(x).is_update() {
+            let mut f = self.fstack.last().expect("frontier stack").clone();
+            if f.advance(self.h.label(x)) {
+                self.fstack.push(f);
+                pushed_frontier = true;
+                // Incrementally extend the justification frontier of every
+                // pending query that sees x; a dead pending query can never
+                // be justified, so it kills the whole branch right here.
+                let mut alive = true;
+                for &q in &shape.watchers[x] {
+                    if self.placed[q] {
+                        continue;
+                    }
+                    let saved = self.qfront[q].as_ref().expect("query frontier").clone();
+                    self.undo.push((q, saved));
+                    let fq = self.qfront[q].as_mut().expect("query frontier");
+                    if !fq.advance(self.h.label(x)) {
+                        alive = false;
+                        break;
+                    }
+                }
+                alive
+            } else {
+                false
+            }
+        } else {
+            // Queries: all visible updates are placed (missing == 0), so
+            // the incremental frontier has consumed exactly them, in
+            // placement order — condition (iii) is one `admits` call.
+            self.qfront[x]
+                .as_ref()
+                .expect("query frontier")
+                .admits(self.h.label(x))
+        };
+        if feasible {
+            for &s in &shape.succs[x] {
+                self.missing[s] -= 1;
+            }
+        }
+        (
+            PlacementUndo {
+                undo_mark,
+                pushed_frontier,
+            },
+            feasible,
+        )
+    }
+
+    fn unplace(&mut self, x: usize, undo: PlacementUndo, was_feasible: bool) {
+        let shape = self.shape;
+        if was_feasible {
+            for &s in &shape.succs[x] {
+                self.missing[s] += 1;
+            }
+        }
+        while self.undo.len() > undo.undo_mark {
+            let (q, f) = self.undo.pop().expect("undo entry");
+            self.qfront[q] = Some(f);
+        }
+        if undo.pushed_frontier {
+            self.fstack.pop();
+        }
+        self.order.pop();
+        self.mask[x / 64] &= !(1 << (x % 64));
+        self.placed[x] = false;
+    }
+
+    fn dfs(&mut self, depth: usize) -> Option<Vec<usize>> {
+        if depth == self.shape.n {
+            return Some(self.order.clone());
+        }
+        let key = self.config_hash();
+        if self.memo_hit(key) {
+            return None;
+        }
+        // Only *expansions* are charged: a memo hit is a constant-time
+        // lookup, and a completed order is a result, not work.
+        if self.budget == 0 {
+            self.exhausted = true;
+            return None;
+        }
+        self.budget -= 1;
+        self.nodes += 1;
+        if self.nodes & CANCEL_POLL_MASK == 0 {
+            if let Some((cutoff, own)) = self.cancel {
+                if cutoff.load(Ordering::Relaxed) < own {
+                    self.cancelled = true;
+                    return None;
+                }
+            }
+        }
+        let mut fully_explored = true;
+        for x in 0..self.shape.n {
+            if self.placed[x] || self.missing[x] != 0 {
+                continue;
+            }
+            let (undo, feasible) = self.place(x);
+            let res = if feasible { self.dfs(depth + 1) } else { None };
+            self.unplace(x, undo, feasible);
+            if res.is_some() {
+                return res;
+            }
+            if self.exhausted || self.cancelled {
+                fully_explored = false;
+                break;
+            }
+        }
+        if fully_explored {
+            self.memo_insert(key);
+        }
+        None
+    }
+}
+
+/// Outcome of one top-level branch.
+enum BranchOutcome {
+    Witness(Vec<usize>),
+    Refuted,
+    Exhausted,
+    /// Cancelled by a lower branch's witness; never consulted by the
+    /// combiner (the lower witness wins first).
+    Cancelled,
+}
+
+/// Searches the branch whose first placed operation is `root`.
+fn run_branch<S: Spec>(
+    h: &History<S::Label>,
+    spec: &S,
+    shape: &Shape,
+    root: usize,
+    budget: u64,
+    cancel: Option<(&AtomicUsize, usize)>,
+) -> BranchOutcome {
+    let mut w = Walk::new(h, spec, shape, budget);
+    w.cancel = cancel;
+    let (_, feasible) = w.place(root);
+    if !feasible {
+        // No completion can start with `root`; charging nothing mirrors
+        // the naive engine, which rejects infeasible placements in the
+        // parent node.
+        return BranchOutcome::Refuted;
+    }
+    match w.dfs(1) {
+        Some(order) => BranchOutcome::Witness(order),
+        None if w.cancelled => BranchOutcome::Cancelled,
+        None if w.exhausted => BranchOutcome::Exhausted,
+        None => BranchOutcome::Refuted,
+    }
+}
+
+/// Runs `jobs` closures on `threads` workers pulling branch indices from a
+/// shared counter (idle workers steal whatever branch is next).
+fn run_pool<T: Send, F: Fn(usize) -> T + Sync>(threads: usize, jobs: usize, f: F) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot").expect("branch result"))
+        .collect()
+}
+
+/// Memoized search with an explicit thread count (`0` = automatic, as for
+/// `RAL_CHECK_THREADS`). The outcome is bit-identical for every thread
+/// count; see the module docs for the budget semantics.
+pub fn search_with_threads<S>(
+    h: &History<S::Label>,
+    spec: &S,
+    budget: u64,
+    threads: usize,
+) -> SearchOutcome
+where
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let n = h.len();
+    if n == 0 {
+        return SearchOutcome::Linearizable(Linearization { order: Vec::new() });
+    }
+    if budget == 0 {
+        return SearchOutcome::BudgetExhausted;
+    }
+    let shape = Shape::of(h);
+    let roots: Vec<usize> = (0..n).filter(|&i| h.preds(i).is_empty()).collect();
+    debug_assert!(!roots.is_empty(), "non-empty acyclic history has a minimum");
+    let k = roots.len() as u64;
+    let remaining = budget - 1; // the root configuration itself
+    let share = |i: usize| remaining / k + u64::from((i as u64) < remaining % k);
+
+    let threads = effective_threads(threads, n, roots.len());
+    let mut saw_exhausted = false;
+    let witness = if threads <= 1 {
+        // Sequential: branches in order, stopping at the first witness
+        // (later branches cannot hold a smaller one).
+        let mut found = None;
+        for (i, &root) in roots.iter().enumerate() {
+            match run_branch(h, spec, &shape, root, share(i), None) {
+                BranchOutcome::Witness(order) => {
+                    found = Some(order);
+                    break;
+                }
+                BranchOutcome::Exhausted => saw_exhausted = true,
+                BranchOutcome::Refuted | BranchOutcome::Cancelled => {}
+            }
+        }
+        found
+    } else {
+        let cutoff = AtomicUsize::new(usize::MAX);
+        let results = run_pool(threads, roots.len(), |i| {
+            if cutoff.load(Ordering::Relaxed) < i {
+                return BranchOutcome::Cancelled;
+            }
+            let out = run_branch(h, spec, &shape, roots[i], share(i), Some((&cutoff, i)));
+            if matches!(out, BranchOutcome::Witness(_)) {
+                cutoff.fetch_min(i, Ordering::Relaxed);
+            }
+            out
+        });
+        let mut found = None;
+        for res in results {
+            match res {
+                BranchOutcome::Witness(order) => {
+                    found = Some(order);
+                    break;
+                }
+                BranchOutcome::Exhausted => saw_exhausted = true,
+                BranchOutcome::Refuted | BranchOutcome::Cancelled => {}
+            }
+        }
+        found
+    };
+
+    match witness {
+        Some(order) => {
+            debug_assert_eq!(
+                check_linearization(h, spec, &order),
+                Ok(()),
+                "memoized search returned an invalid linearization"
+            );
+            SearchOutcome::Linearizable(Linearization { order })
+        }
+        None if saw_exhausted => SearchOutcome::BudgetExhausted,
+        None => SearchOutcome::NotLinearizable,
+    }
+}
+
+/// Searches for an RA-linearization of `h` w.r.t. `spec` without a budget.
+/// The history must be query-update free.
+///
+/// This is the memoized engine (see the module docs); thread count comes
+/// from `RAL_CHECK_THREADS`. Use [`super::search_brute`] to force the
+/// naive seed-era enumeration.
+pub fn search<S>(h: &History<S::Label>, spec: &S) -> SearchOutcome
+where
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    search_with_budget(h, spec, u64::MAX)
+}
+
+/// Memoized search visiting at most `budget` configurations (split
+/// deterministically across top-level branches; see the module docs).
+/// Thread count comes from `RAL_CHECK_THREADS`.
+pub fn search_with_budget<S>(h: &History<S::Label>, spec: &S, budget: u64) -> SearchOutcome
+where
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    search_with_threads(h, spec, budget, env_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::brute;
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::ids::ReplicaId;
+    use crate::label::Kind;
+
+    struct CtrSpec;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum L {
+        Inc,
+        Read(i64),
+    }
+
+    impl SpecLabel for L {
+        fn kind(&self) -> Kind {
+            match self {
+                L::Inc => Kind::Update,
+                L::Read(_) => Kind::Query,
+            }
+        }
+    }
+
+    impl Spec for CtrSpec {
+        type Label = L;
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn step(&self, s: &i64, l: &L) -> Vec<i64> {
+            match l {
+                L::Inc => vec![s + 1],
+                L::Read(k) if k == s => vec![*s],
+                L::Read(_) => vec![],
+            }
+        }
+    }
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    /// `n` concurrent increments and one read that saw all of them but
+    /// claims one too many: refuted, with a fully concurrent top.
+    fn impossible(n: usize) -> History<L> {
+        let mut h = History::new();
+        let incs: Vec<usize> = (0..n)
+            .map(|i| h.push(OpRecord::new(L::Inc, r(i as u32)), []))
+            .collect();
+        h.push(OpRecord::new(L::Read(n as i64 + 1), r(0)), incs);
+        h
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<L> = History::new();
+        assert!(search(&h, &CtrSpec).is_linearizable());
+        assert!(search_with_budget(&h, &CtrSpec, 0).is_linearizable());
+    }
+
+    #[test]
+    fn finds_witness_and_matches_brute_order() {
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Inc, r(0)), []);
+        let b = h.push(OpRecord::new(L::Inc, r(1)), []);
+        h.push(OpRecord::new(L::Read(1), r(0)), [a]);
+        h.push(OpRecord::new(L::Read(1), r(1)), [b]);
+        let memo = search(&h, &CtrSpec);
+        let naive = brute::search_brute(&h, &CtrSpec);
+        assert!(memo.is_linearizable());
+        assert_eq!(memo, naive, "memo must return the naive engine's witness");
+    }
+
+    #[test]
+    fn refutes_where_brute_refutes() {
+        let h = impossible(6);
+        assert_eq!(search(&h, &CtrSpec), SearchOutcome::NotLinearizable);
+        assert_eq!(brute::search_brute(&h, &CtrSpec), search(&h, &CtrSpec));
+    }
+
+    #[test]
+    fn refutes_wide_histories_brute_cannot_touch() {
+        // 14 concurrent increments: 14! ≈ 8.7·10¹⁰ permutations, but only
+        // 2^14 placed sets. The memoized engine refutes within a budget
+        // the naive engine exhausts instantly.
+        let h = impossible(14);
+        let budget = 2_000_000;
+        assert_eq!(
+            search_with_threads(&h, &CtrSpec, budget, 1),
+            SearchOutcome::NotLinearizable
+        );
+        assert_eq!(
+            brute::search_brute_with_budget(&h, &CtrSpec, budget),
+            SearchOutcome::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn outcome_is_thread_count_independent() {
+        for h in [impossible(8), {
+            let mut h = History::new();
+            let a = h.push(OpRecord::new(L::Inc, r(0)), []);
+            h.push(OpRecord::new(L::Inc, r(1)), []);
+            h.push(OpRecord::new(L::Read(1), r(0)), [a]);
+            h
+        }] {
+            let seq = search_with_threads(&h, &CtrSpec, u64::MAX, 1);
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    seq,
+                    search_with_threads(&h, &CtrSpec, u64::MAX, threads),
+                    "outcome must not depend on thread count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_deterministically() {
+        let h = impossible(10);
+        // Too small to finish: every thread count must agree.
+        let tiny = search_with_threads(&h, &CtrSpec, 50, 1);
+        assert_eq!(tiny, SearchOutcome::BudgetExhausted);
+        for threads in [2, 4] {
+            assert_eq!(tiny, search_with_threads(&h, &CtrSpec, 50, threads));
+        }
+    }
+
+    #[test]
+    fn exact_budget_still_reports_the_witness() {
+        // One update: root node (1) + the single branch walking one
+        // placement (1 node) + free completion = 2 configurations.
+        let mut h = History::new();
+        h.push(OpRecord::new(L::Inc, r(0)), []);
+        assert!(search_with_threads(&h, &CtrSpec, 2, 1).is_linearizable());
+    }
+
+    /// A spec with an update precondition (`set` fires only from state 0),
+    /// so a pending query's justification frontier can die *before* the
+    /// query is placed even while the main frontier survives.
+    struct OnceSpec;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum OnceL {
+        /// Admitted only while the state is 0; moves it to 1.
+        Set,
+        /// Always admitted; moves the state back to 0.
+        Reset,
+        Read(i64),
+    }
+
+    impl SpecLabel for OnceL {
+        fn kind(&self) -> Kind {
+            match self {
+                OnceL::Set | OnceL::Reset => Kind::Update,
+                OnceL::Read(_) => Kind::Query,
+            }
+        }
+    }
+
+    impl Spec for OnceSpec {
+        type Label = OnceL;
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn step(&self, s: &i64, l: &OnceL) -> Vec<i64> {
+            match l {
+                OnceL::Set if *s == 0 => vec![1],
+                OnceL::Set => vec![],
+                OnceL::Reset => vec![0],
+                OnceL::Read(k) if k == s => vec![*s],
+                OnceL::Read(_) => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn dead_pending_query_is_refuted() {
+        // The read sees both `set`s but not the concurrent `reset`. The
+        // update projection survives when the reset is linearized between
+        // the sets, but the read's justification sub-sequence (set · set)
+        // dies the moment the second visible set is placed — the
+        // incremental cut fires while the read is still pending, and the
+        // engine refutes exactly where brute refutes.
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(OnceL::Set, r(0)), []);
+        h.push(OpRecord::new(OnceL::Reset, r(1)), []);
+        let b = h.push(OpRecord::new(OnceL::Set, r(0)), [a]);
+        h.push(OpRecord::new(OnceL::Read(1), r(0)), [a, b]);
+        assert_eq!(search(&h, &OnceSpec), SearchOutcome::NotLinearizable);
+        assert_eq!(brute::search_brute(&h, &OnceSpec), search(&h, &OnceSpec));
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(threads_from(None), 0);
+        assert_eq!(threads_from(Some("0".into())), 0);
+        assert_eq!(threads_from(Some(" 4 ".into())), 4);
+        let caught = std::panic::catch_unwind(|| threads_from(Some("lots".into())));
+        assert!(caught.is_err(), "typo'd override must fail loudly");
+    }
+}

@@ -11,27 +11,60 @@
 //! Histories containing query-updates are first rewritten with a
 //! query-update rewriting `γ` ([`crate::history::rewrite_history`]).
 //!
-//! Three checkers are provided:
+//! Four checkers are provided:
 //!
 //! * [`check_linearization`] validates a *given* candidate sequence;
 //! * [`check_guided`] builds the constructive *execution-order* (Section 4.1)
 //!   or *timestamp-order* (Section 4.2) linearization and validates it —
 //!   linear-size work, the practical path justified by Theorems 4.4/4.6;
-//! * [`brute::search`] enumerates linear extensions of visibility with
-//!   pruning — complete but exponential, used for counterexamples
-//!   (Figures 5a, 9, 10, 14) and to cross-check the guided strategies.
+//! * [`search`] (module [`memo`]) is the complete decision procedure:
+//!   a memoized configuration-DAG walk with incremental query
+//!   justification and an optional `std::thread` pool
+//!   (`RAL_CHECK_THREADS`), deterministic for every thread count — this
+//!   is what establishes the paper's *negative* results (Figures 5a, 9,
+//!   10, 14 need "no linearization exists") at useful history sizes;
+//! * [`search_brute`] is the seed's naive permutation enumeration —
+//!   factorially slower, kept as the independent ground truth the
+//!   property suites cross-check the memoized engine against, and the
+//!   only complete engine for non-`Sync` specifications.
 
 mod brute;
 mod check;
 mod guided;
+pub mod memo;
 
-pub use brute::{count_linearizations, search, search_with_budget, SearchOutcome};
+pub use brute::{count_linearizations, search_brute, search_brute_with_budget};
 pub use check::{check_linearization, Violation};
 pub use guided::{check_guided, check_rewritten, execution_order_of, timestamp_order_of};
+pub use memo::{search, search_with_budget, search_with_threads};
 
 use crate::history::{rewrite_history, History};
 use crate::label::Rewrite;
 use crate::spec::Spec;
+
+/// Result of a complete search ([`search`], [`search_brute`], or
+/// [`crate::linearizability::linearizable`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A valid RA-linearization was found.
+    Linearizable(Linearization),
+    /// The search space was exhausted: no RA-linearization exists.
+    NotLinearizable,
+    /// The node budget ran out before the search completed.
+    BudgetExhausted,
+}
+
+impl SearchOutcome {
+    /// Returns `true` if a linearization was found.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, SearchOutcome::Linearizable(_))
+    }
+
+    /// Returns `true` if the search proved that no linearization exists.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, SearchOutcome::NotLinearizable)
+    }
+}
 
 /// Which constructive linearization an object admits (Figure 12's "Lin"
 /// column).
@@ -128,12 +161,14 @@ where
     check_guided(&rewritten.history, spec, strategy)
 }
 
-/// Applies a query-update rewriting and then searches all linearizations —
-/// the complete (but exponential) decision procedure for Definition 3.7.
+/// Applies a query-update rewriting and then decides RA-linearizability
+/// outright — the complete decision procedure for Definition 3.7, run on
+/// the memoized engine ([`memo`]) with `RAL_CHECK_THREADS`-controlled
+/// parallelism. Use [`ra_search_brute`] to force the naive enumeration.
 ///
 /// # Examples
 ///
-/// The brute-force checker *refutes* where the guided one merely fails: a
+/// The complete search *refutes* where the guided one merely fails: a
 /// query that observes an impossible value admits no linearization at all.
 ///
 /// ```
@@ -172,8 +207,41 @@ where
 pub fn ra_search<In, R, S>(h: &History<In>, rw: &R, spec: &S) -> SearchOutcome
 where
     R: Rewrite<In, Out = S::Label>,
-    S: Spec,
+    S: Spec + Sync,
+    S::Label: Sync,
 {
     let rewritten = rewrite_history(h, rw);
     search(&rewritten.history, spec)
+}
+
+/// [`ra_search`] with a node budget: the memoized engine explores at most
+/// `budget` configurations (split deterministically across its top-level
+/// branches — see [`memo`]) before reporting
+/// [`SearchOutcome::BudgetExhausted`].
+pub fn ra_search_with_budget<In, R, S>(
+    h: &History<In>,
+    rw: &R,
+    spec: &S,
+    budget: u64,
+) -> SearchOutcome
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let rewritten = rewrite_history(h, rw);
+    search_with_budget(&rewritten.history, spec, budget)
+}
+
+/// [`ra_search`] on the naive seed-era engine ([`search_brute`]): rewrite,
+/// then enumerate permutations. Factorially slower than [`ra_search`] —
+/// kept for cross-checks against the memoized engine and for
+/// specifications that are not `Sync`.
+pub fn ra_search_brute<In, R, S>(h: &History<In>, rw: &R, spec: &S) -> SearchOutcome
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: Spec,
+{
+    let rewritten = rewrite_history(h, rw);
+    search_brute(&rewritten.history, spec)
 }

@@ -97,8 +97,13 @@ impl Rng {
         range.sample(self)
     }
 
-    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`; `NaN` is
+    /// treated as `0`, i.e. never `true`).
+    ///
+    /// Exactly one `u64` is drawn from the stream regardless of `p`, so
+    /// out-of-range probabilities cannot desynchronise seeded replays.
     pub fn random_bool(&mut self, p: f64) -> bool {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
         // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
         let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         unit < p
@@ -360,6 +365,35 @@ mod tests {
         assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
         assert!(!(0..100).any(|_| rng.random_bool(0.0)));
         assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn random_bool_clamps_out_of_range_probabilities() {
+        // Regression: the docs promised clamping to [0, 1] but nothing
+        // clamped, and NaN silently behaved as 0.
+        let mut rng = Rng::seed_from_u64(21);
+        assert!(!(0..200).any(|_| rng.random_bool(-3.5)));
+        assert!((0..200).all(|_| rng.random_bool(7.0)));
+        assert!(!(0..200).any(|_| rng.random_bool(f64::NAN)));
+        assert!(!(0..200).any(|_| rng.random_bool(f64::NEG_INFINITY)));
+        assert!((0..200).all(|_| rng.random_bool(f64::INFINITY)));
+        // Boundaries behave as before.
+        assert!(!(0..200).any(|_| rng.random_bool(0.0)));
+        assert!((0..200).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn random_bool_always_consumes_one_draw() {
+        // Out-of-range (even NaN) probabilities must advance the stream by
+        // exactly one u64, or seeded replays would desynchronise.
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = Rng::seed_from_u64(99);
+        let _ = a.random_bool(f64::NAN);
+        let _ = b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64());
+        let _ = a.random_bool(42.0);
+        let _ = b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

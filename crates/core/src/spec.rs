@@ -14,7 +14,8 @@
 //! stays non-empty.
 
 use crate::label::SpecLabel;
-use std::fmt::Debug;
+use std::fmt::{Debug, Write as _};
+use std::hash::{Hash, Hasher};
 
 /// A sequential specification: labels, abstract states, and a transition
 /// relation.
@@ -30,6 +31,81 @@ pub trait Spec {
     /// All successor states of `state` under `label`; empty when the label is
     /// not admitted in `state`.
     fn step(&self, state: &Self::State, label: &Self::Label) -> Vec<Self::State>;
+
+    /// A 64-bit fingerprint of an abstract state, used by the memoized
+    /// checker ([`crate::ralin::search`]) to key search configurations.
+    ///
+    /// Contract: **equal states (`PartialEq`) must produce equal
+    /// fingerprints**. Unequal states *may* collide — the memo table
+    /// verifies candidates with full state equality, so collisions only
+    /// cost lookups, never soundness.
+    ///
+    /// The default hashes the `Debug` rendering, which satisfies the
+    /// contract for derived `Debug` impls (equal values render
+    /// identically). Override with [`fingerprint`] when `State: Hash` —
+    /// it avoids formatting and is what every `ral_spec` type does.
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        let mut h = Fnv64::new();
+        let _ = write!(&mut h, "{state:?}");
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit: the workspace's dependency-free deterministic hasher.
+///
+/// Used for state fingerprints and memo keys. Unlike
+/// `std::collections::hash_map::DefaultHasher`, its output is stable
+/// across processes for byte-identical input.
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher in the standard FNV-1a initial state.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        Hasher::write(self, s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Fingerprints any hashable value with [`Fnv64`] — the fast path for
+/// [`Spec::state_fingerprint`] overrides when `State: Hash`.
+pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv64::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// SplitMix64's finalizer: a cheap bijective bit mixer, used to spread
+/// fingerprints before order-independent combination.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The set of abstract states reachable by some specification run over the
@@ -95,6 +171,32 @@ impl<'a, S: Spec> Frontier<'a, S> {
     /// The current frontier states.
     pub fn states(&self) -> &[S::State] {
         &self.states
+    }
+
+    /// An order-independent 64-bit hash of the frontier's state *set*: two
+    /// frontiers holding the same states in any order hash identically.
+    ///
+    /// This is the canonical-hash half of the memoized checker's
+    /// configuration key; equality of keys is later verified with
+    /// [`Frontier::states_set_eq`], so hash collisions are harmless.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut sum = 0u64;
+        let mut xor = 0u64;
+        for st in &self.states {
+            let m = mix64(self.spec.state_fingerprint(st));
+            sum = sum.wrapping_add(m);
+            xor ^= m.rotate_left(31);
+        }
+        mix64(
+            sum ^ xor.rotate_left(7)
+                ^ (self.states.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Returns `true` if this frontier holds exactly the states in `other`
+    /// (as sets; both sides are duplicate-free by construction).
+    pub fn states_set_eq(&self, other: &[S::State]) -> bool {
+        self.states.len() == other.len() && self.states.iter().all(|st| other.contains(st))
     }
 
     /// Returns `true` if no run admits the labels consumed so far.
@@ -192,5 +294,52 @@ mod tests {
         assert!(!f.advance(&L::Read(9)));
         assert!(f.is_empty());
         assert!(!f.advance(&L::Write(9)));
+    }
+
+    #[test]
+    fn state_fingerprint_default_respects_equality() {
+        let spec = Fuzzy;
+        assert_eq!(spec.state_fingerprint(&42), spec.state_fingerprint(&42));
+        assert_ne!(spec.state_fingerprint(&42), spec.state_fingerprint(&43));
+        // The Hash-based fast path agrees with itself, too.
+        assert_eq!(fingerprint(&42i64), fingerprint(&42i64));
+        assert_ne!(fingerprint(&42i64), fingerprint(&43i64));
+    }
+
+    /// A spec whose write order permutes the frontier's state vector: the
+    /// canonical hash and set equality must not care.
+    struct TwoWay;
+
+    impl Spec for TwoWay {
+        type Label = L;
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn step(&self, s: &i64, l: &L) -> Vec<i64> {
+            match l {
+                // Successors listed argument-first, so `write(5)` yields
+                // the frontier `[5, -5]` and `write(-5)` yields `[-5, 5]`:
+                // same set, different order.
+                L::Write(v) => vec![*v, -*v],
+                L::Read(v) if v == s => vec![*s],
+                L::Read(_) => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_hash_is_order_independent() {
+        let spec = TwoWay;
+        let mut a = Frontier::new(&spec);
+        let mut b = Frontier::new(&spec);
+        a.advance(&L::Write(5)); // states [5, -5]
+        b.advance(&L::Write(-5)); // states [-5, 5]
+        assert!(a.states_set_eq(b.states()));
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        let mut c = Frontier::new(&spec);
+        c.advance(&L::Write(6));
+        assert!(!a.states_set_eq(c.states()));
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
     }
 }

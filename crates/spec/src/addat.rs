@@ -82,6 +82,12 @@ impl<E: Elem> Spec for AddAt1Spec<E> {
         Vec::new()
     }
 
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
+    }
+
     fn step(&self, l: &Vec<E>, label: &AddAtOp<E>) -> Vec<Vec<E>> {
         match label {
             AddAtOp::AddAt(a, k) => {
@@ -155,6 +161,12 @@ impl<E: Elem> Spec for AddAt2Spec<E> {
 
     fn initial(&self) -> Self::State {
         (Vec::new(), BTreeSet::new())
+    }
+
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
     }
 
     fn step(&self, state: &Self::State, label: &AddAtOp<E>) -> Vec<Self::State> {
@@ -274,6 +286,12 @@ impl<E: Elem> Spec for AddAt3Spec<E> {
 
     fn initial(&self) -> Self::State {
         (Vec::new(), BTreeSet::new())
+    }
+
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
     }
 
     fn step(&self, state: &Self::State, label: &AddAtRetOp<E>) -> Vec<Self::State> {

@@ -49,6 +49,12 @@ impl Spec for CounterSpec {
         0
     }
 
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
+    }
+
     fn step(&self, state: &i64, label: &CounterOp) -> Vec<i64> {
         match label {
             CounterOp::Inc => vec![state + 1],

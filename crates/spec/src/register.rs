@@ -77,6 +77,12 @@ impl<E: Elem> Spec for RegSpec<E> {
         None
     }
 
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
+    }
+
     fn step(&self, state: &Option<E>, label: &RegOp<E>) -> Vec<Option<E>> {
         match label {
             RegOp::Write(a) => vec![Some(a.clone())],
@@ -160,6 +166,12 @@ impl<E: Elem> Spec for MvRegSpec<E> {
 
     fn initial(&self) -> Self::State {
         BTreeSet::new()
+    }
+
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
     }
 
     fn step(&self, state: &Self::State, label: &MvRegOp<E>) -> Vec<Self::State> {

@@ -88,6 +88,12 @@ impl<E: Elem> Spec for SetSpec<E> {
         BTreeSet::new()
     }
 
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
+    }
+
     fn step(&self, state: &BTreeSet<E>, label: &SetOp<E>) -> Vec<BTreeSet<E>> {
         match label {
             SetOp::Add(a) => {
@@ -172,6 +178,12 @@ impl<E: Elem> Spec for OrSetSpec<E> {
 
     fn initial(&self) -> Self::State {
         BTreeSet::new()
+    }
+
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
     }
 
     fn step(&self, state: &Self::State, label: &OrSetOp<E>) -> Vec<Self::State> {

@@ -107,6 +107,12 @@ impl<E: Elem> Spec for WookiSpec<E> {
         (Vec::new(), BTreeSet::new())
     }
 
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        // All abstract states in this crate are `Hash`: skip the default
+        // `Debug`-formatting path in the memoized checker's hot loop.
+        ral_core::spec::fingerprint(state)
+    }
+
     fn step(&self, state: &Self::State, label: &WookiOp<E>) -> Vec<Self::State> {
         let (l, t) = state;
         match label {

@@ -17,7 +17,7 @@
 use crate::report::Report;
 use ral_core::ids::ReplicaId;
 use ral_core::label::Rewrite;
-use ral_core::ralin::{ra_check, Strategy};
+use ral_core::ralin::{ra_check, ra_search_with_budget, SearchOutcome, Strategy};
 use ral_core::rng::Rng;
 use ral_core::spec::Spec;
 use ral_runtime::op_based::OpBased;
@@ -98,6 +98,53 @@ where
     report
 }
 
+/// Decides RA-linearizability of an op-based CRDT's scenario histories
+/// *outright* with the complete memoized search ([`ra_search_with_budget`])
+/// — no strategy hint, no guided construction: for every seed the recorded
+/// history must admit *some* linearization within `budget` explored
+/// configurations.
+///
+/// This is strictly stronger evidence than [`op_linearizable_in`] (a
+/// failing guided strategy says nothing; a refutation here is a
+/// counterexample), at sizes the naive seed-era enumeration could not
+/// touch. An exhausted budget is reported as its own failure, so an
+/// undecided history can never pass silently.
+pub fn op_search_in<C, F, M, R, S>(
+    crdt: C,
+    scenario: &Scenario,
+    rw: &R,
+    spec: &S,
+    budget: u64,
+    seeds: Range<u64>,
+    mut mk_call_gen: M,
+) -> Report
+where
+    C: OpBased + Clone,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+    M: FnMut() -> F,
+    R: Rewrite<C::Label, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let mut report = Report::new(format!("RA-Search@{}", scenario.name));
+    for seed in seeds {
+        let mut driver = OpDriver::new(crdt.clone(), scenario.cfg.n_replicas, mk_call_gen());
+        sim::run(&mut driver, &scenario.cfg, seed);
+        let history = driver.into_cluster().into_history();
+        let ops = history.len();
+        match ra_search_with_budget(&history, rw, spec, budget) {
+            SearchOutcome::Linearizable(_) => report.pass(),
+            SearchOutcome::NotLinearizable => report.fail(format!(
+                "seed {seed}: history of {ops} ops admits no RA-linearization"
+            )),
+            SearchOutcome::BudgetExhausted => report.fail(format!(
+                "seed {seed}: search over {ops} ops undecided within {budget} nodes"
+            )),
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +160,20 @@ mod tests {
         let report = state_converges_in(PnCounter, &scenario::flaky_wan(), 0..2, || {
             |rng: &mut Rng, _, _| Some(workloads::pn_counter(rng))
         });
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn op_counter_search_decides_the_split_brain() {
+        let report = op_search_in(
+            OpCounter,
+            &scenario::split_brain_heal(),
+            &Identity,
+            &CounterSpec,
+            2_000_000,
+            0..2,
+            || |rng: &mut Rng, _, _| Some(workloads::counter(rng)),
+        );
         assert!(report.ok(), "{report}");
     }
 

@@ -17,7 +17,7 @@ use crate::state_props;
 use crate::workloads;
 use ral_core::history::History;
 use ral_core::label::{Identity, Rewrite};
-use ral_core::ralin::{ra_check, Strategy};
+use ral_core::ralin::{ra_check, ra_search_with_budget, Strategy};
 use ral_core::spec::Spec;
 use ral_crdts::op::counter::OpCounter;
 use ral_crdts::op::lww_register::LwwRegister;
@@ -51,22 +51,53 @@ pub struct Fig12Row {
     pub lin: &'static str,
     /// Proof-obligation reports (Commutativity, Refinement, Props…).
     pub obligations: Vec<Report>,
-    /// Number of random histories model-checked RA-linearizable.
+    /// Number of random histories model-checked RA-linearizable with the
+    /// guided strategy.
     pub histories: u64,
     /// Failures among those histories (must be zero).
     pub history_failures: u64,
+    /// Number of random histories additionally *decided* by the complete
+    /// memoized search ([`ra_search_with_budget`]) — sizes the naive
+    /// seed-era enumeration could not touch.
+    pub searched: u64,
+    /// Failures among the searched histories: refutations or exhausted
+    /// budgets (must be zero — every Figure 12 type is RA-linearizable).
+    pub search_failures: u64,
 }
 
 impl Fig12Row {
     /// Returns `true` if every obligation and every history check passed.
     pub fn verified(&self) -> bool {
-        self.history_failures == 0 && self.histories > 0 && self.obligations.iter().all(Report::ok)
+        self.history_failures == 0
+            && self.histories > 0
+            && self.search_failures == 0
+            && self.searched > 0
+            && self.obligations.iter().all(Report::ok)
     }
 }
 
 const N_REPLICAS: usize = 3;
 const STEPS: usize = 40;
+/// Scheduler steps for the complete-search histories: ~3× the largest
+/// histories the naive brute search could decide (the `checker_scaling`
+/// bench capped the naive engine at 12 steps ≈ 10 operations; 36 steps
+/// yield ~25).
+const SEARCH_STEPS: usize = 36;
+/// Node budget for one complete-search decision; with the memoized
+/// engine the scheduler-generated histories finish orders of magnitude
+/// below this.
+const SEARCH_BUDGET: u64 = 5_000_000;
 const OBLIGATION_SEEDS: std::ops::Range<u64> = 0..5;
+/// Seed offset separating the search histories from the guided ones.
+const SEARCH_SEED_OFFSET: u64 = 0x5EA7C4;
+
+/// Schedule for the complete-search histories.
+fn search_cfg() -> ScheduleConfig {
+    ScheduleConfig {
+        steps: SEARCH_STEPS,
+        ..ScheduleConfig::default()
+    }
+}
 
 fn check_histories<L, R, S>(
     histories: impl Iterator<Item = History<L>>,
@@ -83,6 +114,29 @@ where
     for h in histories {
         total += 1;
         if ra_check(&h, rw, spec, strategy).is_err() {
+            failures += 1;
+        }
+    }
+    (total, failures)
+}
+
+/// Decides each history outright with the complete memoized search; a
+/// refutation or an exhausted budget counts as a failure.
+fn search_histories<L, R, S>(
+    histories: impl Iterator<Item = History<L>>,
+    rw: &R,
+    spec: &S,
+) -> (u64, u64)
+where
+    R: Rewrite<L, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let mut total = 0;
+    let mut failures = 0;
+    for h in histories {
+        total += 1;
+        if !ra_search_with_budget(&h, rw, spec, SEARCH_BUDGET).is_linearizable() {
             failures += 1;
         }
     }
@@ -129,6 +183,17 @@ pub fn counter_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = Cluster::new(OpCounter, N_REPLICAS);
+        drive_op_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, _| Some(workloads::counter(rng)),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &CounterSpec);
     let (histories, history_failures) =
         check_histories(runs, &Identity, &CounterSpec, OpCounter::STRATEGY);
     Fig12Row {
@@ -139,6 +204,8 @@ pub fn counter_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -170,6 +237,17 @@ pub fn pn_counter_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = StateCluster::new(PnCounter, N_REPLICAS);
+        drive_state_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, _| Some(workloads::pn_counter(rng)),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &CounterSpec);
     let (histories, history_failures) =
         check_histories(runs, &Identity, &CounterSpec, PnCounter::STRATEGY);
     Fig12Row {
@@ -180,6 +258,8 @@ pub fn pn_counter_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -223,6 +303,17 @@ pub fn lww_register_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = Cluster::new(LwwRegister::<u8>::new(), N_REPLICAS);
+        drive_op_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, _| Some(workloads::lww_register(rng)),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &RegSpec::new());
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -237,6 +328,8 @@ pub fn lww_register_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -268,6 +361,17 @@ pub fn mv_register_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = StateCluster::new(MvRegister::<u8>::new(), N_REPLICAS);
+        drive_state_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, _| Some(workloads::mv_register(rng)),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &MvRegSpec::new());
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -282,6 +386,8 @@ pub fn mv_register_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -313,6 +419,17 @@ pub fn lww_element_set_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = StateCluster::new(LwwElementSet::<u8>::new(), N_REPLICAS);
+        drive_state_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, _| Some(workloads::lww_element_set(rng)),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &SetSpec::new());
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -327,6 +444,8 @@ pub fn lww_element_set_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -361,6 +480,18 @@ pub fn two_phase_set_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = StateCluster::new(TwoPhaseSet::<u16>::new(), N_REPLICAS);
+        let mut next = 0;
+        drive_state_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, st| workloads::two_phase_set(rng, st, &mut next),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &SetSpec::new());
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -375,6 +506,8 @@ pub fn two_phase_set_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -418,6 +551,18 @@ pub fn or_set_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = Cluster::new(OrSet::<u8>::new(), N_REPLICAS);
+        drive_op_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, _| Some(workloads::or_set(rng)),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) =
+        search_histories(search_runs, &OrSetRewrite::new(), &OrSetSpec::new());
     let (histories, history_failures) = check_histories(
         runs,
         &OrSetRewrite::new(),
@@ -432,6 +577,8 @@ pub fn or_set_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -473,6 +620,18 @@ pub fn rga_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = Cluster::new(Rga::<u16>::new(), N_REPLICAS);
+        let mut next = 0;
+        drive_op_based(
+            &mut c,
+            &search_cfg(),
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, st| workloads::rga(rng, st, &mut next),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &RgaSpec::new());
     let (histories, history_failures) =
         check_histories(runs, &Identity, &RgaSpec::new(), Rga::<u16>::STRATEGY);
     Fig12Row {
@@ -483,6 +642,8 @@ pub fn rga_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -529,6 +690,26 @@ pub fn wooki_row(histories: u64, seed0: u64) -> Fig12Row {
         });
         c.into_history()
     });
+    let search_runs = (0..histories).map(|i| {
+        let mut c = Cluster::new(Wooki::<u16>::new(), N_REPLICAS);
+        let mut next = 0;
+        // Wooki's nondeterministic specification makes even the memoized
+        // search exponential in concurrent inserts: keep these mid-size.
+        let cfg = ScheduleConfig {
+            steps: 14,
+            invoke_weight: 1,
+            deliver_weight: 2,
+            final_sync: true,
+        };
+        drive_op_based(
+            &mut c,
+            &cfg,
+            seed0 + SEARCH_SEED_OFFSET + i,
+            |rng, _, st| workloads::wooki(rng, st, &mut next, 5),
+        );
+        c.into_history()
+    });
+    let (searched, search_failures) = search_histories(search_runs, &Identity, &WookiSpec::new());
     let (histories, history_failures) =
         check_histories(runs, &Identity, &WookiSpec::new(), Wooki::<u16>::STRATEGY);
     Fig12Row {
@@ -539,6 +720,8 @@ pub fn wooki_row(histories: u64, seed0: u64) -> Fig12Row {
         obligations,
         histories,
         history_failures,
+        searched,
+        search_failures,
     }
 }
 
@@ -562,17 +745,17 @@ pub fn fig12_rows(histories_per_type: u64, seed0: u64) -> Vec<Fig12Row> {
 pub fn render_fig12(rows: &[Fig12Row]) -> String {
     let mut out = String::new();
     out.push_str(
-        "CRDT               | Source                      | Imp | Lin | Obligations | Histories | Verdict\n",
+        "CRDT               | Source                      | Imp | Lin | Obligations | Histories | Searched | Verdict\n",
     );
     out.push_str(
-        "-------------------+-----------------------------+-----+-----+-------------+-----------+--------\n",
+        "-------------------+-----------------------------+-----+-----+-------------+-----------+----------+--------\n",
     );
     for row in rows {
         let checks: u64 = row.obligations.iter().map(|o| o.checks).sum();
         let verdict = if row.verified() { "OK" } else { "FAIL" };
         out.push_str(&format!(
-            "{:<18} | {:<27} | {:<3} | {:<3} | {:>11} | {:>9} | {}\n",
-            row.name, row.source, row.imp, row.lin, checks, row.histories, verdict
+            "{:<18} | {:<27} | {:<3} | {:<3} | {:>11} | {:>9} | {:>8} | {}\n",
+            row.name, row.source, row.imp, row.lin, checks, row.histories, row.searched, verdict
         ));
     }
     out

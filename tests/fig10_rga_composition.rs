@@ -108,6 +108,11 @@ fn unrestricted_composition_is_not_ra_linearizable() {
         ra_search(&h, &Identity, &spec).is_refuted(),
         "Figure 10 must refute RA-linearizability under ⊗"
     );
+    // The memoized engine's refutation agrees with the naive ground truth.
+    assert_eq!(
+        ral_core::ralin::ra_search_brute(&h, &Identity, &spec),
+        ra_search(&h, &Identity, &spec)
+    );
 }
 
 #[test]

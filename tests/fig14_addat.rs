@@ -77,6 +77,11 @@ fn fig14_not_ra_linearizable_wrt_addat1() {
         ra_search(&h, &Identity, &AddAt1Spec::new()).is_refuted(),
         "Lemma C.1: no linearization w.r.t. Spec(addAt1) exists"
     );
+    // Memoized refutation cross-checked against the naive ground truth.
+    assert_eq!(
+        ral_core::ralin::ra_search_brute(&h, &Identity, &AddAt1Spec::new()),
+        ra_search(&h, &Identity, &AddAt1Spec::new())
+    );
 }
 
 #[test]
@@ -85,6 +90,10 @@ fn fig14_not_ra_linearizable_wrt_addat2() {
     assert!(
         ra_search(&h, &Identity, &AddAt2Spec::new()).is_refuted(),
         "Lemma C.1: no linearization w.r.t. Spec(addAt2) exists"
+    );
+    assert_eq!(
+        ral_core::ralin::ra_search_brute(&h, &Identity, &AddAt2Spec::new()),
+        ra_search(&h, &Identity, &AddAt2Spec::new())
     );
 }
 

@@ -13,7 +13,7 @@ use ral_core::history::{rewrite_history, History};
 use ral_core::ids::ReplicaId;
 use ral_core::label::SpecLabel;
 use ral_core::linearizability::linearizable;
-use ral_core::ralin::{check_guided, ra_check, ra_search, search, Strategy};
+use ral_core::ralin::{check_guided, ra_check, ra_search, search, search_brute, Strategy};
 use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetLabel, OrSetRet, OrSetRewrite};
 use ral_runtime::op_based::Cluster;
 use ral_spec::set::{OrSetSpec, SetOp, SetSpec};
@@ -66,6 +66,12 @@ fn fig5a_not_linearizable_against_plain_set() {
     assert!(
         search(&h, &SetSpec::new()).is_refuted(),
         "the sub-sequence relaxation alone cannot explain Figure 5a"
+    );
+    // The memoized engine (the default `search`) and the naive seed-era
+    // enumeration must agree on the paper's flagship negative result.
+    assert_eq!(
+        search_brute(&h, &SetSpec::new()),
+        search(&h, &SetSpec::new())
     );
 }
 

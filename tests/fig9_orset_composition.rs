@@ -71,6 +71,11 @@ fn composed_history_is_still_ra_linearizable() {
     ra_check(&h, &rw, &spec, Strategy::ExecutionOrder)
         .expect("the Figure 9 history is RA-linearizable");
     assert!(ra_search(&h, &rw, &spec).is_linearizable());
+    // Memoized default and naive ground truth agree, witness included.
+    assert_eq!(
+        ral_core::ralin::ra_search_brute(&h, &rw, &spec),
+        ra_search(&h, &rw, &spec)
+    );
 }
 
 #[test]

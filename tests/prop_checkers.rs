@@ -11,20 +11,33 @@
 //! Runs on the workspace's seeded harness
 //! ([`ral_core::rng::run_seeded_cases`]); a failing case prints its seed.
 
-use ral_core::history::rewrite_history;
+use ral_core::history::{rewrite_history, History};
 use ral_core::ids::ReplicaId;
-use ral_core::label::Identity;
+use ral_core::label::{Identity, Rewrite};
 use ral_core::ralin::{
-    check_guided, count_linearizations, search_with_budget, SearchOutcome, Strategy,
+    check_guided, count_linearizations, search_brute_with_budget, search_with_budget,
+    search_with_threads, SearchOutcome, Strategy,
 };
 use ral_core::rng::run_seeded_cases;
+use ral_core::spec::Spec;
 use ral_crdts::op::counter::{CounterCall, OpCounter};
 use ral_crdts::op::lww_register::{LwwRegister, RegCall};
 use ral_crdts::op::or_set::{OrSet, OrSetCall, OrSetRewrite};
+use ral_crdts::op::rga::Rga;
+use ral_crdts::op::wooki::Wooki;
+use ral_crdts::state::lww_element_set::LwwElementSet;
+use ral_crdts::state::mv_register::MvRegister;
+use ral_crdts::state::pn_counter::PnCounter;
+use ral_crdts::state::two_phase_set::TwoPhaseSet;
 use ral_runtime::op_based::{Cluster, OpBased};
+use ral_runtime::schedule::{drive_op_based, drive_state_based, ScheduleConfig};
+use ral_runtime::state_based::{StateBased, StateCluster};
 use ral_spec::counter::CounterSpec;
-use ral_spec::register::RegSpec;
-use ral_spec::set::OrSetSpec;
+use ral_spec::register::{MvRegSpec, RegSpec};
+use ral_spec::rga::RgaSpec;
+use ral_spec::set::{OrSetSpec, SetSpec};
+use ral_spec::wooki::WookiSpec;
+use ral_verify::workloads;
 
 mod common;
 use common::random_schedule;
@@ -131,6 +144,240 @@ fn or_set_never_refuted() {
         assert!(guided.is_ok(), "{guided:?}");
         let outcome = search_with_budget(&rewritten.history, &spec, 2_000_000);
         assert!(!outcome.is_refuted());
+    });
+}
+
+// ---------------------------------------------------------------------
+// Memoized-engine cross-checks: for every Figure 12 data type, the memo
+// engine (sequential AND parallel) must agree bit-for-bit with the naive
+// brute-force ground truth on random histories — same verdict and, for
+// witnesses, the same (lexicographically minimal) order.
+// ---------------------------------------------------------------------
+
+/// Node budget for the cross-checks; the histories are small enough that
+/// neither engine comes close.
+const CROSS_BUDGET: u64 = 2_000_000;
+
+/// Asserts brute ≡ memo(1 thread) ≡ memo(3 threads) on one rewritten
+/// history. When either engine exhausts its (engine-specific) budget only
+/// the absence of contradiction is required.
+fn cross_check<S>(h: &History<S::Label>, spec: &S)
+where
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let brute = search_brute_with_budget(h, spec, CROSS_BUDGET);
+    let memo_seq = search_with_threads(h, spec, CROSS_BUDGET, 1);
+    let memo_par = search_with_threads(h, spec, CROSS_BUDGET, 3);
+    assert_eq!(
+        memo_seq, memo_par,
+        "memo outcome must be thread-count independent"
+    );
+    if matches!(brute, SearchOutcome::BudgetExhausted)
+        || matches!(memo_seq, SearchOutcome::BudgetExhausted)
+    {
+        let contradictory = (brute.is_linearizable() && memo_seq.is_refuted())
+            || (brute.is_refuted() && memo_seq.is_linearizable());
+        assert!(
+            !contradictory,
+            "engines contradict each other: brute={brute:?} memo={memo_seq:?}"
+        );
+    } else {
+        assert_eq!(brute, memo_seq, "memo must be bit-identical to brute");
+    }
+}
+
+fn cross_cfg(steps: usize) -> ScheduleConfig {
+    ScheduleConfig {
+        steps,
+        ..ScheduleConfig::default()
+    }
+}
+
+/// Drives an op-based cluster and cross-checks the rewritten history.
+fn cross_check_op<C, R, S>(
+    crdt: C,
+    seed: u64,
+    steps: usize,
+    rw: &R,
+    spec: &S,
+    mut gen: impl FnMut(&mut ral_core::rng::Rng, ReplicaId, &C::State) -> Option<C::Call>,
+) where
+    C: OpBased + Clone,
+    R: Rewrite<C::Label, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let mut c = Cluster::new(crdt, 3);
+    drive_op_based(&mut c, &cross_cfg(steps), seed, &mut gen);
+    let rewritten = rewrite_history(&c.into_history(), rw);
+    cross_check(&rewritten.history, spec);
+}
+
+/// Drives a state-based cluster and cross-checks the rewritten history.
+fn cross_check_state<C, S>(
+    crdt: C,
+    seed: u64,
+    steps: usize,
+    spec: &S,
+    mut gen: impl FnMut(&mut ral_core::rng::Rng, ReplicaId, &C::State) -> Option<C::Call>,
+) where
+    C: StateBased + Clone,
+    S: Spec + Sync,
+    S::Label: Sync,
+    Identity: Rewrite<C::Label, Out = S::Label>,
+{
+    let mut c = StateCluster::new(crdt, 3);
+    drive_state_based(&mut c, &cross_cfg(steps), seed, &mut gen);
+    let rewritten = rewrite_history(&c.into_history(), &Identity);
+    cross_check(&rewritten.history, spec);
+}
+
+#[test]
+fn memo_matches_brute_counter() {
+    run_seeded_cases("memo_matches_brute_counter", 24, |seed, _| {
+        cross_check_op(OpCounter, seed, 12, &Identity, &CounterSpec, |rng, _, _| {
+            Some(workloads::counter(rng))
+        });
+    });
+}
+
+#[test]
+fn memo_matches_brute_lww_register() {
+    run_seeded_cases("memo_matches_brute_lww_register", 24, |seed, _| {
+        cross_check_op(
+            LwwRegister::<u8>::new(),
+            seed,
+            12,
+            &Identity,
+            &RegSpec::new(),
+            |rng, _, _| Some(workloads::lww_register(rng)),
+        );
+    });
+}
+
+#[test]
+fn memo_matches_brute_or_set() {
+    run_seeded_cases("memo_matches_brute_or_set", 24, |seed, _| {
+        cross_check_op(
+            OrSet::<u8>::new(),
+            seed,
+            12,
+            &OrSetRewrite::new(),
+            &OrSetSpec::new(),
+            |rng, _, _| Some(workloads::or_set(rng)),
+        );
+    });
+}
+
+#[test]
+fn memo_matches_brute_rga() {
+    run_seeded_cases("memo_matches_brute_rga", 24, |seed, _| {
+        let mut next = 0;
+        cross_check_op(
+            Rga::<u16>::new(),
+            seed,
+            12,
+            &Identity,
+            &RgaSpec::new(),
+            |rng, _, st| workloads::rga(rng, st, &mut next),
+        );
+    });
+}
+
+#[test]
+fn memo_matches_brute_wooki() {
+    run_seeded_cases("memo_matches_brute_wooki", 16, |seed, _| {
+        let mut next = 0;
+        cross_check_op(
+            Wooki::<u16>::new(),
+            seed,
+            10,
+            &Identity,
+            &WookiSpec::new(),
+            |rng, _, st| workloads::wooki(rng, st, &mut next, 4),
+        );
+    });
+}
+
+#[test]
+fn memo_matches_brute_pn_counter() {
+    run_seeded_cases("memo_matches_brute_pn_counter", 24, |seed, _| {
+        cross_check_state(PnCounter, seed, 12, &CounterSpec, |rng, _, _| {
+            Some(workloads::pn_counter(rng))
+        });
+    });
+}
+
+#[test]
+fn memo_matches_brute_mv_register() {
+    run_seeded_cases("memo_matches_brute_mv_register", 24, |seed, _| {
+        cross_check_state(
+            MvRegister::<u8>::new(),
+            seed,
+            12,
+            &MvRegSpec::new(),
+            |rng, _, _| Some(workloads::mv_register(rng)),
+        );
+    });
+}
+
+#[test]
+fn memo_matches_brute_lww_element_set() {
+    run_seeded_cases("memo_matches_brute_lww_element_set", 24, |seed, _| {
+        cross_check_state(
+            LwwElementSet::<u8>::new(),
+            seed,
+            12,
+            &SetSpec::new(),
+            |rng, _, _| Some(workloads::lww_element_set(rng)),
+        );
+    });
+}
+
+#[test]
+fn memo_matches_brute_two_phase_set() {
+    run_seeded_cases("memo_matches_brute_two_phase_set", 24, |seed, _| {
+        let mut next = 0;
+        cross_check_state(
+            TwoPhaseSet::<u16>::new(),
+            seed,
+            12,
+            &SetSpec::new(),
+            |rng, _, st| workloads::two_phase_set(rng, st, &mut next),
+        );
+    });
+}
+
+/// Corrupted histories (negative cases) must be *refuted* identically:
+/// tamper with a read and demand both engines agree on the verdict.
+#[test]
+fn memo_matches_brute_on_refutations() {
+    run_seeded_cases("memo_matches_brute_on_refutations", 24, |seed, rng| {
+        let mut c = Cluster::new(OpCounter, 3);
+        drive_op_based(&mut c, &cross_cfg(12), seed, |rng, _, _| {
+            Some(workloads::counter(rng))
+        });
+        let h = c.into_history();
+        let mut corrupted = History::new();
+        let bump = rng.random_range(1i64..4);
+        for (i, op) in h.iter() {
+            let label = match op.label.clone() {
+                ral_spec::counter::CounterOp::Read(v) => {
+                    ral_spec::counter::CounterOp::Read(v + bump)
+                }
+                other => other,
+            };
+            corrupted.push_set(
+                ral_core::history::OpRecord {
+                    label,
+                    replica: op.replica,
+                    ts: op.ts,
+                },
+                h.preds(i).clone(),
+            );
+        }
+        cross_check(&corrupted, &CounterSpec);
     });
 }
 
