@@ -42,6 +42,11 @@ step cargo bench --offline --no-run
 # regression fails this step outright.
 # (the bench binary runs from the package dir, so pass an absolute path)
 step cargo bench --offline --bench checker_scaling -- --quick --save "$PWD/BENCH_checker_scaling.json"
+# Compositional-checker smoke: sharded vs monolithic memo on composed
+# histories (objects × ops). The bench asserts every outcome, and the
+# persisted BENCH_composed_scaling.json tracks the sharded speedup
+# (monolithic/k ÷ sharded/k) per commit.
+step cargo bench --offline --bench composed_scaling -- --quick --save "$PWD/BENCH_composed_scaling.json"
 
 echo
 echo "CI green: fmt, clippy, docs, build, examples, tests, benches all pass offline."

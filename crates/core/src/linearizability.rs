@@ -159,9 +159,8 @@ mod tests {
     fn sequential_history_is_linearizable() {
         let mut h = History::new();
         let a = h.push(OpRecord::new(L::Add(1), r(0)), []);
-        let q = h.push(OpRecord::new(L::Read(vec![1]), r(0)), [a]);
+        let _q = h.push(OpRecord::new(L::Read(vec![1]), r(0)), [a]);
         assert!(linearizable(&h, &SetSpec).is_linearizable());
-        let _ = q;
     }
 
     #[test]
@@ -177,7 +176,6 @@ mod tests {
         h2.push(OpRecord::new(L::Add(1), r(0)), []);
         h2.push(OpRecord::new(L::Read(vec![]), r(1)), []);
         assert!(linearizable(&h2, &SetSpec).is_linearizable());
-        let _ = a;
     }
 
     #[test]

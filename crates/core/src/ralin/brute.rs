@@ -293,16 +293,15 @@ mod tests {
     fn finds_reordering_witness() {
         // add(1) || add(2), then a read that saw only add(2).
         let mut h = History::new();
-        let a = h.push(OpRecord::new(L::Add(1), r(0)), []);
+        let _a = h.push(OpRecord::new(L::Add(1), r(0)), []);
         let b = h.push(OpRecord::new(L::Add(2), r(1)), []);
-        let q = h.push(OpRecord::new(L::Read(vec![2]), r(1)), [b]);
+        let _q = h.push(OpRecord::new(L::Read(vec![2]), r(1)), [b]);
         let out = search_brute(&h, &SetSpec);
         let lin = match out {
             SearchOutcome::Linearizable(l) => l,
             other => panic!("expected witness, got {other:?}"),
         };
         assert!(h.order_consistent(&lin.order));
-        let _ = (a, q);
     }
 
     #[test]

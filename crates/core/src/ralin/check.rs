@@ -240,7 +240,6 @@ mod tests {
         let b = h.push(OpRecord::new(L::Add(2), ReplicaId(1)), []);
         let q = h.push(OpRecord::new(L::Read(vec![1]), r0()), [a]);
         assert_eq!(check_linearization(&h, &GSet, &[b, a, q]), Ok(()));
-        let _ = b;
     }
 
     #[test]

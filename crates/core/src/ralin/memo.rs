@@ -104,14 +104,14 @@ fn threads_from(raw: Option<String>) -> usize {
 }
 
 /// Reads `RAL_CHECK_THREADS`. `0` or unset means automatic.
-fn env_threads() -> usize {
+pub(crate) fn env_threads() -> usize {
     threads_from(std::env::var("RAL_CHECK_THREADS").ok())
 }
 
 /// Resolves a requested thread count against history size and branch
 /// count. `0` = automatic: sequential below [`PARALLEL_MIN_OPS`], all
 /// available cores above.
-fn effective_threads(requested: usize, n_ops: usize, branches: usize) -> usize {
+pub(crate) fn effective_threads(requested: usize, n_ops: usize, branches: usize) -> usize {
     let t = if requested == 0 {
         if n_ops < PARALLEL_MIN_OPS {
             1
@@ -492,7 +492,11 @@ fn run_branch<S: Spec>(
 
 /// Runs `jobs` closures on `threads` workers pulling branch indices from a
 /// shared counter (idle workers steal whatever branch is next).
-fn run_pool<T: Send, F: Fn(usize) -> T + Sync>(threads: usize, jobs: usize, f: F) -> Vec<T> {
+pub(crate) fn run_pool<T: Send, F: Fn(usize) -> T + Sync>(
+    threads: usize,
+    jobs: usize,
+    f: F,
+) -> Vec<T> {
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {

@@ -11,7 +11,7 @@
 //! Histories containing query-updates are first rewritten with a
 //! query-update rewriting `γ` ([`crate::history::rewrite_history`]).
 //!
-//! Four checkers are provided:
+//! Five checkers are provided:
 //!
 //! * [`check_linearization`] validates a *given* candidate sequence;
 //! * [`check_guided`] builds the constructive *execution-order* (Section 4.1)
@@ -23,6 +23,12 @@
 //!   (`RAL_CHECK_THREADS`), deterministic for every thread count — this
 //!   is what establishes the paper's *negative* results (Figures 5a, 9,
 //!   10, 14 need "no linearization exists") at useful history sizes;
+//! * [`search_sharded`] (module [`sharded`]) decides *composed* histories
+//!   per object — the compositional route Theorem 5.5 licenses for `⊗ts`:
+//!   shard, search every shard with the memoized engine, stitch the
+//!   witnesses, and fall back to the whole-history search when the stitch
+//!   fails, so it agrees with [`search`] even on non-compositional `⊗`
+//!   histories (Figure 10);
 //! * [`search_brute`] is the seed's naive permutation enumeration —
 //!   factorially slower, kept as the independent ground truth the
 //!   property suites cross-check the memoized engine against, and the
@@ -32,12 +38,18 @@ mod brute;
 mod check;
 mod guided;
 pub mod memo;
+pub mod sharded;
 
 pub use brute::{count_linearizations, search_brute, search_brute_with_budget};
 pub use check::{check_linearization, Violation};
 pub use guided::{check_guided, check_rewritten, execution_order_of, timestamp_order_of};
 pub use memo::{search, search_with_budget, search_with_threads};
+pub use sharded::{
+    search_sharded, search_sharded_with_budget, search_sharded_with_threads, shard_history,
+    ShardableSpec,
+};
 
+use crate::compose::ComposedLabel;
 use crate::history::{rewrite_history, History};
 use crate::label::Rewrite;
 use crate::spec::Spec;
@@ -231,6 +243,90 @@ where
 {
     let rewritten = rewrite_history(h, rw);
     search_with_budget(&rewritten.history, spec, budget)
+}
+
+/// [`ra_search`] for composed histories, decided per object: rewrite,
+/// project into per-object shards, run the memoized engine on every shard
+/// across the `RAL_CHECK_THREADS` pool, and stitch the per-object
+/// witnesses into one validated global linearization ([`sharded`]).
+///
+/// Sound over the unrestricted composition `⊗`, where per-object
+/// RA-linearizability does *not* imply composed RA-linearizability
+/// (Figure 10): a shard refutation refutes globally, and a Linearizable
+/// verdict is only reported when the stitched witness passes
+/// [`check_linearization`] — otherwise the search falls back to the
+/// whole-history memoized engine, so the verdict agrees with
+/// [`ra_search`] on every history. The win is Theorem 5.5's regime: the
+/// search cost is the *sum* of the per-object exponentials instead of
+/// the product.
+///
+/// # Examples
+///
+/// Two composed counters, each incremented and read on its own replica:
+///
+/// ```
+/// use ral_core::compose::{MultiObjSpec, ObjLabel};
+/// use ral_core::history::{History, OpRecord};
+/// use ral_core::ids::{ObjId, ReplicaId};
+/// use ral_core::label::Identity;
+/// use ral_core::ralin::ra_search_sharded;
+/// # use ral_core::label::{Kind, SpecLabel};
+/// # use ral_core::spec::Spec;
+/// # #[derive(Clone, Debug, PartialEq)]
+/// # enum Ctr { Inc, Read(i64) }
+/// # impl SpecLabel for Ctr {
+/// #     fn kind(&self) -> Kind {
+/// #         match self { Ctr::Inc => Kind::Update, Ctr::Read(_) => Kind::Query }
+/// #     }
+/// # }
+/// # #[derive(Clone, Debug)]
+/// # struct CtrSpec;
+/// # impl Spec for CtrSpec {
+/// #     type Label = Ctr;
+/// #     type State = i64;
+/// #     fn initial(&self) -> i64 { 0 }
+/// #     fn step(&self, s: &i64, l: &Ctr) -> Vec<i64> {
+/// #         match l {
+/// #             Ctr::Inc => vec![s + 1],
+/// #             Ctr::Read(k) if k == s => vec![*s],
+/// #             Ctr::Read(_) => vec![],
+/// #         }
+/// #     }
+/// # }
+///
+/// let mut h = History::new();
+/// let a = h.push(OpRecord::new(ObjLabel::new(ObjId(0), Ctr::Inc), ReplicaId(0)), []);
+/// let b = h.push(OpRecord::new(ObjLabel::new(ObjId(1), Ctr::Inc), ReplicaId(1)), []);
+/// h.push(OpRecord::new(ObjLabel::new(ObjId(0), Ctr::Read(1)), ReplicaId(0)), [a]);
+/// h.push(OpRecord::new(ObjLabel::new(ObjId(1), Ctr::Read(1)), ReplicaId(1)), [b]);
+/// let spec = MultiObjSpec::new(CtrSpec, 2);
+/// assert!(ra_search_sharded(&h, &Identity, &spec).is_linearizable());
+/// ```
+pub fn ra_search_sharded<In, R, S>(h: &History<In>, rw: &R, spec: &S) -> SearchOutcome
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: ShardableSpec + Sync,
+    S::Label: ComposedLabel + Sync,
+{
+    let rewritten = rewrite_history(h, rw);
+    search_sharded(&rewritten.history, spec)
+}
+
+/// [`ra_search_sharded`] with a node budget, applied per shard (and to
+/// the monolithic fallback when the stitch fails).
+pub fn ra_search_sharded_with_budget<In, R, S>(
+    h: &History<In>,
+    rw: &R,
+    spec: &S,
+    budget: u64,
+) -> SearchOutcome
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: ShardableSpec + Sync,
+    S::Label: ComposedLabel + Sync,
+{
+    let rewritten = rewrite_history(h, rw);
+    search_sharded_with_budget(&rewritten.history, spec, budget)
 }
 
 /// [`ra_search`] on the naive seed-era engine ([`search_brute`]): rewrite,

@@ -61,8 +61,7 @@ pub trait LocalEffector: StateBased {
     fn class(&self) -> EffectorClass;
 
     /// The partial order on arguments (uniquely-identified class only).
-    fn arg_lt(&self, a: &Self::Arg, b: &Self::Arg) -> bool {
-        let _ = (a, b);
+    fn arg_lt(&self, _a: &Self::Arg, _b: &Self::Arg) -> bool {
         false
     }
 

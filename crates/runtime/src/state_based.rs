@@ -63,8 +63,7 @@ pub trait StateBased {
     /// The largest timestamp counter stored in `state`, used to keep Lamport
     /// clocks ahead of merged-in timestamps. Types without timestamps keep
     /// the default.
-    fn clock_floor(&self, state: &Self::State) -> u64 {
-        let _ = state;
+    fn clock_floor(&self, _state: &Self::State) -> u64 {
         0
     }
 }

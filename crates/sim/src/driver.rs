@@ -83,8 +83,7 @@ pub trait Driver {
     /// this into [`SimStats::payload_bytes`](crate::sim::SimStats) per
     /// transmission (duplicates included). Drivers without a size model
     /// report zero.
-    fn message_bytes(&self, m: usize, to: ReplicaId) -> usize {
-        let _ = (m, to);
+    fn message_bytes(&self, _m: usize, _to: ReplicaId) -> usize {
         0
     }
 

@@ -11,6 +11,7 @@
 //! | `rolling_restart`  | 6 replicas crash-restarted one after another      | crash-recovery durability |
 //! | `split_brain_heal` | 6 replicas, 3/3 partition, heal, re-split 2/2/2   | §1 availability under partition |
 //! | `delta_wan`        | 8 replicas, loss + dup + long 4/4 split + crash   | delta-transport stress: retransmission, GC starvation, resync |
+//! | `multi_mix`        | 50 replicas on composed objects, split + crashes  | §5 composition at scale; sharded-checker workload |
 //! | `gossip_50`        | 50 replicas, light faults — the scaling scenario  | "large enough to matter" benchmarking |
 //!
 //! All parameters are fixed constants: a scenario never samples its own
@@ -207,6 +208,44 @@ pub fn delta_wan() -> Scenario {
     }
 }
 
+/// The composed-object stress scenario: 50 replicas driving many objects
+/// of one data type through a [`MultiCluster`](ral_runtime::multi), under
+/// a 25|25 split and staggered crash bounces. Tests run it at 32 objects
+/// in **both** timestamp disciplines (`⊗ts` shared and `⊗` per-object) —
+/// the workload the sharded compositional checker exists for, and the
+/// delivery volume (thousands of per-object-causal effectors fanning out
+/// to 49 peers each) that motivated the linear `deliver_all` drain.
+pub fn multi_mix() -> Scenario {
+    Scenario {
+        name: "multi_mix",
+        about: "50 replicas on composed objects; 25|25 split t300-t600, 3 staggered crash bounces",
+        cfg: SimConfig {
+            n_replicas: 50,
+            duration: SimTime(1_200),
+            invoke_every: Latency::jittered(20, 20),
+            gossip_every: Latency::jittered(25, 25),
+            network: Network {
+                topology: Topology::Uniform(Latency::jittered(5, 20)),
+                faults: LinkFaults::NONE,
+                retry: 30,
+            },
+            faults: FaultPlan {
+                partitions: vec![PartitionWindow::new(
+                    SimTime(300),
+                    SimTime(600),
+                    (0..50u32).map(|i| i % 2).collect(),
+                )],
+                crashes: vec![
+                    CrashPlan::bounce(ReplicaId(7), SimTime(650), SimTime(800)),
+                    CrashPlan::bounce(ReplicaId(23), SimTime(700), SimTime(850)),
+                    CrashPlan::bounce(ReplicaId(41), SimTime(750), SimTime(900)),
+                ],
+            },
+            final_sync: true,
+        },
+    }
+}
+
 /// The scaling scenario at its headline size — the named corpus entry.
 pub fn gossip_50() -> Scenario {
     let mut sc = gossip(50);
@@ -250,6 +289,7 @@ pub fn all() -> Vec<Scenario> {
         rolling_restart(),
         split_brain_heal(),
         delta_wan(),
+        multi_mix(),
         gossip_50(),
     ]
 }
@@ -266,7 +306,7 @@ mod tests {
     #[test]
     fn corpus_is_complete_and_valid() {
         let corpus = all();
-        assert_eq!(corpus.len(), 6);
+        assert_eq!(corpus.len(), 7);
         let names: Vec<&str> = corpus.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
@@ -276,6 +316,7 @@ mod tests {
                 "rolling_restart",
                 "split_brain_heal",
                 "delta_wan",
+                "multi_mix",
                 "gossip_50"
             ]
         );

@@ -15,14 +15,19 @@
 //!   the strategy Figure 12 claims for it.
 
 use crate::report::Report;
-use ral_core::ids::ReplicaId;
+use ral_core::compose::{ComposedLabel, ObjLabel};
+use ral_core::ids::{ObjId, ReplicaId};
 use ral_core::label::Rewrite;
-use ral_core::ralin::{ra_check, ra_search_with_budget, SearchOutcome, Strategy};
+use ral_core::ralin::{
+    ra_check, ra_search_sharded_with_budget, ra_search_with_budget, SearchOutcome, ShardableSpec,
+    Strategy,
+};
 use ral_core::rng::Rng;
 use ral_core::spec::Spec;
+use ral_runtime::multi::{MultiCluster, TsMode};
 use ral_runtime::op_based::OpBased;
 use ral_runtime::state_based::StateBased;
-use ral_sim::driver::{Driver, OpDriver, StateDriver};
+use ral_sim::driver::{Driver, MultiDriver, OpDriver, StateDriver};
 use ral_sim::scenario::Scenario;
 use ral_sim::sim;
 use std::ops::Range;
@@ -145,10 +150,63 @@ where
     report
 }
 
+/// Decides RA-linearizability of a *composed* workload outright with the
+/// sharded compositional search ([`ra_search_sharded_with_budget`]): for
+/// every seed, a [`MultiCluster`] of `n_objects` objects under the given
+/// timestamp discipline runs through the scenario, and the recorded
+/// composed history must admit some RA-linearization — decided per
+/// object, witnesses stitched, stitch failures falling back to the
+/// whole-history engine.
+///
+/// This is the scenario harness the sharded checker exists for: `⊗ts`
+/// (Theorem 5.5) workloads at replica/object counts the monolithic
+/// search cannot touch. As in [`op_search_in`], refutations and
+/// exhausted budgets are failures of their own.
+#[allow(clippy::too_many_arguments)]
+pub fn composed_search_in<C, F, M, R, S>(
+    crdt: C,
+    n_objects: usize,
+    mode: TsMode,
+    scenario: &Scenario,
+    rw: &R,
+    spec: &S,
+    budget: u64,
+    seeds: Range<u64>,
+    mut mk_call_gen: M,
+) -> Report
+where
+    C: OpBased + Clone,
+    F: FnMut(&mut Rng, ReplicaId, ObjId, &C::State) -> Option<C::Call>,
+    M: FnMut() -> F,
+    R: Rewrite<ObjLabel<C::Label>, Out = S::Label>,
+    S: ShardableSpec + Sync,
+    S::Label: ComposedLabel + Sync,
+{
+    let mut report = Report::new(format!("Sharded-RA-Search@{}", scenario.name));
+    for seed in seeds {
+        let cluster = MultiCluster::new(crdt.clone(), n_objects, scenario.cfg.n_replicas, mode);
+        let mut driver = MultiDriver::new(cluster, mk_call_gen());
+        sim::run(&mut driver, &scenario.cfg, seed);
+        let history = driver.into_cluster().into_history();
+        let ops = history.len();
+        match ra_search_sharded_with_budget(&history, rw, spec, budget) {
+            SearchOutcome::Linearizable(_) => report.pass(),
+            SearchOutcome::NotLinearizable => report.fail(format!(
+                "seed {seed}: composed history of {ops} ops over {n_objects} objects admits no RA-linearization"
+            )),
+            SearchOutcome::BudgetExhausted => report.fail(format!(
+                "seed {seed}: sharded search over {ops} ops undecided within {budget} nodes/shard"
+            )),
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workloads;
+    use ral_core::compose::{MultiObjRewrite, MultiObjSpec};
     use ral_core::label::Identity;
     use ral_crdts::op::counter::OpCounter;
     use ral_crdts::state::pn_counter::PnCounter;
@@ -175,6 +233,27 @@ mod tests {
             || |rng: &mut Rng, _, _| Some(workloads::counter(rng)),
         );
         assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn composed_counters_search_through_multi_mix() {
+        // The tentpole wiring: 50 replicas × 32 objects through the
+        // multi_mix scenario, decided by the sharded search, in both
+        // timestamp disciplines.
+        for mode in [TsMode::Shared, TsMode::PerObject] {
+            let report = composed_search_in(
+                OpCounter,
+                32,
+                mode,
+                &scenario::by_name("multi_mix").unwrap(),
+                &MultiObjRewrite::new(Identity),
+                &MultiObjSpec::new(CounterSpec, 32),
+                5_000_000,
+                0..1,
+                || |rng: &mut Rng, _, _o: ObjId, _| Some(workloads::counter(rng)),
+            );
+            assert!(report.ok(), "{mode:?}: {report}");
+        }
     }
 
     #[test]

@@ -15,9 +15,10 @@ use crate::refinement::{self, Mode};
 use crate::report::Report;
 use crate::state_props;
 use crate::workloads;
+use ral_core::compose::{compose_disjoint, MultiObjRewrite, MultiObjSpec};
 use ral_core::history::History;
 use ral_core::label::{Identity, Rewrite};
-use ral_core::ralin::{ra_check, ra_search_with_budget, Strategy};
+use ral_core::ralin::{ra_check, ra_search_sharded_with_budget, ra_search_with_budget, Strategy};
 use ral_core::spec::Spec;
 use ral_crdts::op::counter::OpCounter;
 use ral_crdts::op::lww_register::LwwRegister;
@@ -63,6 +64,13 @@ pub struct Fig12Row {
     /// Failures among the searched histories: refutations or exhausted
     /// budgets (must be zero — every Figure 12 type is RA-linearizable).
     pub search_failures: u64,
+    /// Number of *composed* histories ([`SHARD_OBJECTS`] disjoint
+    /// instances of the row's data type, interleaved) decided by the
+    /// sharded compositional search ([`ra_search_sharded_with_budget`]).
+    pub sharded: u64,
+    /// Failures among the sharded histories (must be zero: Theorem 5.3 /
+    /// 5.5 — compositions of Figure 12 types stay RA-linearizable).
+    pub sharded_failures: u64,
 }
 
 impl Fig12Row {
@@ -72,6 +80,8 @@ impl Fig12Row {
             && self.histories > 0
             && self.search_failures == 0
             && self.searched > 0
+            && self.sharded_failures == 0
+            && self.sharded > 0
             && self.obligations.iter().all(Report::ok)
     }
 }
@@ -90,6 +100,10 @@ const SEARCH_BUDGET: u64 = 5_000_000;
 const OBLIGATION_SEEDS: std::ops::Range<u64> = 0..5;
 /// Seed offset separating the search histories from the guided ones.
 const SEARCH_SEED_OFFSET: u64 = 0x5EA7C4;
+/// Objects per composed history in the sharded-search column.
+pub const SHARD_OBJECTS: usize = 3;
+/// Seed offset separating the sharded-search histories from the others.
+const SHARD_SEED_OFFSET: u64 = 0x5A4DED;
 
 /// Schedule for the complete-search histories.
 fn search_cfg() -> ScheduleConfig {
@@ -114,6 +128,42 @@ where
     for h in histories {
         total += 1;
         if ra_check(&h, rw, spec, strategy).is_err() {
+            failures += 1;
+        }
+    }
+    (total, failures)
+}
+
+/// Builds `histories` composed histories — [`SHARD_OBJECTS`] independent
+/// single-object runs of the row's generator, interleaved with
+/// [`compose_disjoint`] — and decides each outright with the sharded
+/// compositional search. A refutation or an exhausted budget counts as a
+/// failure: free compositions of RA-linearizable types must stay
+/// RA-linearizable (Theorems 5.3/5.5).
+fn sharded_search_histories<L, R, S>(
+    histories: u64,
+    mk: impl Fn(u64) -> History<L>,
+    rw: R,
+    spec: S,
+) -> (u64, u64)
+where
+    L: Clone + std::fmt::Debug,
+    R: Rewrite<L, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let mrw = MultiObjRewrite::new(rw);
+    let mspec = MultiObjSpec::new(spec, SHARD_OBJECTS);
+    let mut total = 0;
+    let mut failures = 0;
+    for i in 0..histories {
+        let parts: Vec<History<L>> = (0..SHARD_OBJECTS as u64)
+            .map(|o| mk(SHARD_SEED_OFFSET + i * SHARD_OBJECTS as u64 + o))
+            .collect();
+        let composed = compose_disjoint(&parts);
+        total += 1;
+        if !ra_search_sharded_with_budget(&composed, &mrw, &mspec, SEARCH_BUDGET).is_linearizable()
+        {
             failures += 1;
         }
     }
@@ -183,17 +233,28 @@ pub fn counter_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    // One generator serves both complete-search columns: Searched draws
+    // seeds at SEARCH_SEED_OFFSET, Sharded at SHARD_SEED_OFFSET (applied
+    // inside sharded_search_histories), so the two columns measure the
+    // same workload by construction.
+    let search_history = |seed: u64| {
         let mut c = Cluster::new(OpCounter, N_REPLICAS);
-        drive_op_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, _| Some(workloads::counter(rng)),
-        );
+        drive_op_based(&mut c, &search_cfg(), seed, |rng, _, _| {
+            Some(workloads::counter(rng))
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &CounterSpec);
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &CounterSpec,
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        CounterSpec,
+    );
     let (histories, history_failures) =
         check_histories(runs, &Identity, &CounterSpec, OpCounter::STRATEGY);
     Fig12Row {
@@ -206,6 +267,8 @@ pub fn counter_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -237,17 +300,24 @@ pub fn pn_counter_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = StateCluster::new(PnCounter, N_REPLICAS);
-        drive_state_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, _| Some(workloads::pn_counter(rng)),
-        );
+        drive_state_based(&mut c, &search_cfg(), seed, |rng, _, _| {
+            Some(workloads::pn_counter(rng))
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &CounterSpec);
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &CounterSpec,
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        CounterSpec,
+    );
     let (histories, history_failures) =
         check_histories(runs, &Identity, &CounterSpec, PnCounter::STRATEGY);
     Fig12Row {
@@ -260,6 +330,8 @@ pub fn pn_counter_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -303,17 +375,24 @@ pub fn lww_register_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = Cluster::new(LwwRegister::<u8>::new(), N_REPLICAS);
-        drive_op_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, _| Some(workloads::lww_register(rng)),
-        );
+        drive_op_based(&mut c, &search_cfg(), seed, |rng, _, _| {
+            Some(workloads::lww_register(rng))
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &RegSpec::new());
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &RegSpec::new(),
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        RegSpec::new(),
+    );
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -330,6 +409,8 @@ pub fn lww_register_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -361,17 +442,24 @@ pub fn mv_register_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = StateCluster::new(MvRegister::<u8>::new(), N_REPLICAS);
-        drive_state_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, _| Some(workloads::mv_register(rng)),
-        );
+        drive_state_based(&mut c, &search_cfg(), seed, |rng, _, _| {
+            Some(workloads::mv_register(rng))
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &MvRegSpec::new());
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &MvRegSpec::new(),
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        MvRegSpec::new(),
+    );
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -388,6 +476,8 @@ pub fn mv_register_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -419,17 +509,24 @@ pub fn lww_element_set_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = StateCluster::new(LwwElementSet::<u8>::new(), N_REPLICAS);
-        drive_state_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, _| Some(workloads::lww_element_set(rng)),
-        );
+        drive_state_based(&mut c, &search_cfg(), seed, |rng, _, _| {
+            Some(workloads::lww_element_set(rng))
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &SetSpec::new());
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &SetSpec::new(),
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        SetSpec::new(),
+    );
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -446,6 +543,8 @@ pub fn lww_element_set_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -480,18 +579,25 @@ pub fn two_phase_set_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = StateCluster::new(TwoPhaseSet::<u16>::new(), N_REPLICAS);
         let mut next = 0;
-        drive_state_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, st| workloads::two_phase_set(rng, st, &mut next),
-        );
+        drive_state_based(&mut c, &search_cfg(), seed, |rng, _, st| {
+            workloads::two_phase_set(rng, st, &mut next)
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &SetSpec::new());
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &SetSpec::new(),
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        SetSpec::new(),
+    );
     let (histories, history_failures) = check_histories(
         runs,
         &Identity,
@@ -508,6 +614,8 @@ pub fn two_phase_set_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -551,18 +659,24 @@ pub fn or_set_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = Cluster::new(OrSet::<u8>::new(), N_REPLICAS);
-        drive_op_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, _| Some(workloads::or_set(rng)),
-        );
+        drive_op_based(&mut c, &search_cfg(), seed, |rng, _, _| {
+            Some(workloads::or_set(rng))
+        });
         c.into_history()
-    });
-    let (searched, search_failures) =
-        search_histories(search_runs, &OrSetRewrite::new(), &OrSetSpec::new());
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &OrSetRewrite::new(),
+        &OrSetSpec::new(),
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        OrSetRewrite::new(),
+        OrSetSpec::new(),
+    );
     let (histories, history_failures) = check_histories(
         runs,
         &OrSetRewrite::new(),
@@ -579,6 +693,8 @@ pub fn or_set_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -620,18 +736,25 @@ pub fn rga_row(histories: u64, seed0: u64) -> Fig12Row {
         );
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = Cluster::new(Rga::<u16>::new(), N_REPLICAS);
         let mut next = 0;
-        drive_op_based(
-            &mut c,
-            &search_cfg(),
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, st| workloads::rga(rng, st, &mut next),
-        );
+        drive_op_based(&mut c, &search_cfg(), seed, |rng, _, st| {
+            workloads::rga(rng, st, &mut next)
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &RgaSpec::new());
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &RgaSpec::new(),
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        RgaSpec::new(),
+    );
     let (histories, history_failures) =
         check_histories(runs, &Identity, &RgaSpec::new(), Rga::<u16>::STRATEGY);
     Fig12Row {
@@ -644,6 +767,8 @@ pub fn rga_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -690,26 +815,34 @@ pub fn wooki_row(histories: u64, seed0: u64) -> Fig12Row {
         });
         c.into_history()
     });
-    let search_runs = (0..histories).map(|i| {
+    let search_history = |seed: u64| {
         let mut c = Cluster::new(Wooki::<u16>::new(), N_REPLICAS);
         let mut next = 0;
         // Wooki's nondeterministic specification makes even the memoized
-        // search exponential in concurrent inserts: keep these mid-size.
+        // search (and per-shard searches) exponential in concurrent
+        // inserts: keep these mid-size.
         let cfg = ScheduleConfig {
             steps: 14,
             invoke_weight: 1,
             deliver_weight: 2,
             final_sync: true,
         };
-        drive_op_based(
-            &mut c,
-            &cfg,
-            seed0 + SEARCH_SEED_OFFSET + i,
-            |rng, _, st| workloads::wooki(rng, st, &mut next, 5),
-        );
+        drive_op_based(&mut c, &cfg, seed, |rng, _, st| {
+            workloads::wooki(rng, st, &mut next, 5)
+        });
         c.into_history()
-    });
-    let (searched, search_failures) = search_histories(search_runs, &Identity, &WookiSpec::new());
+    };
+    let (searched, search_failures) = search_histories(
+        (0..histories).map(|i| search_history(seed0 + SEARCH_SEED_OFFSET + i)),
+        &Identity,
+        &WookiSpec::new(),
+    );
+    let (sharded, sharded_failures) = sharded_search_histories(
+        histories,
+        |seed| search_history(seed0 + seed),
+        Identity,
+        WookiSpec::new(),
+    );
     let (histories, history_failures) =
         check_histories(runs, &Identity, &WookiSpec::new(), Wooki::<u16>::STRATEGY);
     Fig12Row {
@@ -722,6 +855,8 @@ pub fn wooki_row(histories: u64, seed0: u64) -> Fig12Row {
         history_failures,
         searched,
         search_failures,
+        sharded,
+        sharded_failures,
     }
 }
 
@@ -745,17 +880,25 @@ pub fn fig12_rows(histories_per_type: u64, seed0: u64) -> Vec<Fig12Row> {
 pub fn render_fig12(rows: &[Fig12Row]) -> String {
     let mut out = String::new();
     out.push_str(
-        "CRDT               | Source                      | Imp | Lin | Obligations | Histories | Searched | Verdict\n",
+        "CRDT               | Source                      | Imp | Lin | Obligations | Histories | Searched | Sharded | Verdict\n",
     );
     out.push_str(
-        "-------------------+-----------------------------+-----+-----+-------------+-----------+----------+--------\n",
+        "-------------------+-----------------------------+-----+-----+-------------+-----------+----------+---------+--------\n",
     );
     for row in rows {
         let checks: u64 = row.obligations.iter().map(|o| o.checks).sum();
         let verdict = if row.verified() { "OK" } else { "FAIL" };
         out.push_str(&format!(
-            "{:<18} | {:<27} | {:<3} | {:<3} | {:>11} | {:>9} | {:>8} | {}\n",
-            row.name, row.source, row.imp, row.lin, checks, row.histories, row.searched, verdict
+            "{:<18} | {:<27} | {:<3} | {:<3} | {:>11} | {:>9} | {:>8} | {:>7} | {}\n",
+            row.name,
+            row.source,
+            row.imp,
+            row.lin,
+            checks,
+            row.histories,
+            row.searched,
+            row.sharded,
+            verdict
         ));
     }
     out

@@ -92,7 +92,6 @@ fn fig10(
             assert_eq!(o1_read.ret, Some(vec!['a', 'b']));
         }
     }
-    let _ = a;
     cl.into_history()
 }
 
@@ -108,6 +107,20 @@ fn unrestricted_composition_is_not_ra_linearizable() {
         ra_search(&h, &Identity, &spec).is_refuted(),
         "Figure 10 must refute RA-linearizability under ⊗"
     );
+    // The sharded search agrees, through its fallback: every *shard* of
+    // Figure 10 linearizes on its own (that is the point of the figure),
+    // so the stitched witness cannot validate and the whole-history
+    // engine must deliver the refutation.
+    assert!(
+        ral_core::ralin::ra_search_sharded(&h, &Identity, &spec).is_refuted(),
+        "Figure 10 must stay refuted through the sharded path"
+    );
+    for shard in ral_core::ralin::shard_history(&h) {
+        assert!(
+            ral_core::ralin::search(&shard.history, &spec).is_linearizable(),
+            "each Figure 10 shard is RA-linearizable in isolation"
+        );
+    }
     // The memoized engine's refutation agrees with the naive ground truth.
     assert_eq!(
         ral_core::ralin::ra_search_brute(&h, &Identity, &spec),

@@ -71,6 +71,12 @@ fn composed_history_is_still_ra_linearizable() {
     ra_check(&h, &rw, &spec, Strategy::ExecutionOrder)
         .expect("the Figure 9 history is RA-linearizable");
     assert!(ra_search(&h, &rw, &spec).is_linearizable());
+    // The sharded compositional search agrees: per-object witnesses
+    // stitch into a valid global one.
+    assert!(
+        ral_core::ralin::ra_search_sharded(&h, &rw, &spec).is_linearizable(),
+        "Figure 9 must stay Linearizable through the sharded path"
+    );
     // Memoized default and naive ground truth agree, witness included.
     assert_eq!(
         ral_core::ralin::ra_search_brute(&h, &rw, &spec),

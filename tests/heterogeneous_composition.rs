@@ -35,7 +35,7 @@ fn interleaved_history_validates() {
     let mut h: History<Label> = History::new();
     let inc = h.push(OpRecord::new(ctr(CounterOp::Inc), r(0)), []);
     let add_a = h.push(OpRecord::new(set(OrSetOp::Add('a', Uid(0))), r(0)), [inc]);
-    let read_c = h.push(OpRecord::new(ctr(CounterOp::Read(1)), r(0)), [inc, add_a]);
+    let _read_c = h.push(OpRecord::new(ctr(CounterOp::Read(1)), r(0)), [inc, add_a]);
     let add_b = h.push(OpRecord::new(set(OrSetOp::Add('b', Uid(1))), r(1)), []);
     h.push(
         OpRecord::new(set(OrSetOp::Read(BTreeSet::from(['b']))), r(1)),
@@ -46,7 +46,6 @@ fn interleaved_history_validates() {
         .expect("interleaved EO history validates");
     assert_eq!(lin.order.len(), 5);
     assert!(search(&h, &spec).is_linearizable());
-    let _ = read_c;
 }
 
 #[test]

@@ -53,7 +53,7 @@ fn both_sides_stay_available_and_reconcile() {
         "all replicas stayed available: {ops_per_replica:?}"
     );
     // Sides have typically diverged.
-    let diverged = c.state(r(0)) != c.state(r(2));
+    let _diverged = c.state(r(0)) != c.state(r(2));
     // Heal and reconcile.
     c.deliver_all();
     assert!(c.converged(), "healing must reconcile the sides");
@@ -67,7 +67,6 @@ fn both_sides_stay_available_and_reconcile() {
     .expect("partitioned OR-Set history is RA-linearizable");
     let plain = h.map(|l| OrSet::plain_label(&l));
     assert!(check_sessions(&plain).all_hold());
-    let _ = diverged;
 }
 
 #[test]

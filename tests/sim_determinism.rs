@@ -1,5 +1,5 @@
 //! Simulator determinism: same seed + same scenario ⇒ byte-identical event
-//! traces and histories, for all six named scenarios.
+//! traces and histories, for all seven named scenarios.
 //!
 //! This is the contract everything else leans on: a failure seed printed by
 //! a scenario-driven property run must replay the exact run that failed —
@@ -10,6 +10,7 @@
 use ral_core::ids::ObjId;
 use ral_core::rng::Rng;
 use ral_crdts::op::counter::OpCounter;
+use ral_crdts::op::lww_register::LwwRegister;
 use ral_crdts::op::or_set::OrSet;
 use ral_crdts::state::lww_element_set::LwwElementSet;
 use ral_crdts::state::pn_counter::PnCounter;
@@ -66,18 +67,39 @@ fn delta_run(sc: &Scenario, seed: u64) -> RunBytes {
     )
 }
 
+fn multi_run_mode(sc: &Scenario, seed: u64, mode: TsMode) -> RunBytes {
+    // A TO data type, so the timestamp discipline (the whole point of
+    // ⊗ vs ⊗ts) is visible in the recorded history bytes.
+    let cluster = MultiCluster::new(LwwRegister::<u8>::new(), 32, sc.cfg.n_replicas, mode);
+    let mut driver = MultiDriver::new(cluster, |rng: &mut Rng, _, _obj: ObjId, _| {
+        Some(workloads::lww_register(rng))
+    });
+    let run = sim::run(&mut driver, &sc.cfg, seed);
+    assert!(driver.converged(), "{}: no convergence", sc.name);
+    (
+        run.trace.render().into_bytes(),
+        format!("{:?}", driver.into_cluster().into_history()).into_bytes(),
+    )
+}
+
+fn multi_run(sc: &Scenario, seed: u64) -> RunBytes {
+    multi_run_mode(sc, seed, TsMode::Shared)
+}
+
 /// Every named scenario, each through the cluster kind it most stresses;
 /// byte-identical reruns for several seeds, and distinct seeds distinct.
 #[test]
-fn all_six_scenarios_are_byte_deterministic() {
+fn all_seven_scenarios_are_byte_deterministic() {
     for sc in scenario::all() {
         let runner: fn(&Scenario, u64) -> RunBytes = match sc.name {
             // Reliable causal broadcast through geo latency and partitions…
             "geo_3dc" | "split_brain_heal" => op_run,
             // …lossy gossip through faults, restarts, and the big mesh…
             "flaky_wan" | "rolling_restart" | "gossip_50" => state_run,
-            // …and the delta transport through its own stress scenario.
+            // …the delta transport through its own stress scenario…
             "delta_wan" => delta_run,
+            // …and the composed cluster through the 50×32 object mix.
+            "multi_mix" => multi_run,
             other => panic!("unknown scenario {other}"),
         };
         for seed in [0u64, 42] {
@@ -107,6 +129,22 @@ fn op_and_state_runs_are_independently_deterministic() {
     // The two transports see the same scenario differently: reliable links
     // ignore drop/duplication, so the traces must *not* coincide.
     assert_ne!(op_run(&sc, 9).0, state_run(&sc, 9).0);
+}
+
+/// `multi_mix` under the *per-object* timestamp discipline (`⊗`): the
+/// other half of the composed-object contract — the corpus loop covers
+/// the shared generator (`⊗ts`), this covers independent clocks.
+#[test]
+fn multi_mix_per_object_mode_is_byte_deterministic() {
+    let sc = scenario::by_name("multi_mix").unwrap();
+    let (trace_a, hist_a) = multi_run_mode(&sc, 3, TsMode::PerObject);
+    let (trace_b, hist_b) = multi_run_mode(&sc, 3, TsMode::PerObject);
+    assert_eq!(trace_a, trace_b, "multi_mix ⊗: trace differs");
+    assert_eq!(hist_a, hist_b, "multi_mix ⊗: history differs");
+    // The timestamp discipline feeds generated timestamps back into the
+    // recorded history, so the two modes must not coincide.
+    let (_, hist_shared) = multi_run_mode(&sc, 3, TsMode::Shared);
+    assert_ne!(hist_a, hist_shared, "⊗ and ⊗ts must differ in histories");
 }
 
 /// The composed cluster kind (`⊗ts`) is deterministic under simulation too.

@@ -7,7 +7,6 @@
 //! conditions in polynomial time. On small histories the two must agree
 //! verdict for verdict; on large ones only the fast one is feasible.
 
-use ral_core::ids::ReplicaId;
 use ral_core::label::Identity;
 use ral_core::ralin::{ra_check, Strategy};
 use ral_crdts::op::wooki::{Wooki, WookiCall};
@@ -180,5 +179,4 @@ fn wooki_figure12_row_via_fast_checker() {
         checked += h.len();
     }
     assert!(checked > 500, "exercised {checked} operations");
-    let _ = ReplicaId(0);
 }
