@@ -47,6 +47,11 @@ step cargo bench --offline --bench checker_scaling -- --quick --save "$PWD/BENCH
 # persisted BENCH_composed_scaling.json tracks the sharded speedup
 # (monolithic/k ÷ sharded/k) per commit.
 step cargo bench --offline --bench composed_scaling -- --quick --save "$PWD/BENCH_composed_scaling.json"
+# Static-analysis gate: bounded-exhaustive simulation-obligation checking
+# over every shipped CRDT plus the workspace determinism lint. Exits
+# non-zero on any undischarged obligation, unrefuted negative fixture, or
+# lint hit, and persists the machine-readable verdicts per commit.
+step cargo run --offline --release -p ral-analyze -- --report "$PWD/ANALYZE_report.json"
 
 echo
-echo "CI green: fmt, clippy, docs, build, examples, tests, benches all pass offline."
+echo "CI green: fmt, clippy, docs, build, examples, tests, benches, analyze gate all pass offline."

@@ -1,0 +1,432 @@
+//! Bounded-exhaustive obligation checking for operation-based CRDTs.
+//!
+//! The search enumerates **every** configuration a [`Cluster`] can reach
+//! within `k` update invocations: at each configuration it branches on every
+//! [`SmallScope`] call at every replica (pruned when the generator refuses)
+//! and on every causally deliverable effector at every replica. Distinct
+//! interleavings that produce the same configuration are deduplicated by a
+//! rendered configuration key, so the exploration is over the *reachable
+//! state graph*, not the execution tree.
+//!
+//! On every configuration the engine discharges:
+//!
+//! * **`effector-commutativity`** — Prop1: whenever the effectors of two
+//!   concurrent operations are both deliverable at a replica (under causal
+//!   delivery, simultaneous deliverability *implies* concurrency), applying
+//!   them in either order must yield the same state. This is the premise of
+//!   the paper's Theorem 4.2 for operation-based types.
+//! * **`ts-discipline`** — the OPERATION rule's side condition (Figure 7):
+//!   every generated timestamp strictly exceeds every timestamp visible at
+//!   the origin, and timestamps are globally unique.
+//! * **`quiescent-convergence`** — strong eventual consistency: once no
+//!   delivery is pending, all replicas hold equal states.
+//!
+//! A violated obligation halts the search; the witness trace is shrunk with
+//! [`shrink_trace`] to a 1-minimal replayable event sequence.
+
+use crate::outcome::{Sink, TypeReport, Violation};
+use crate::shrink::shrink_trace;
+use ral_core::ids::ReplicaId;
+use ral_core::scope::SmallScope;
+use ral_runtime::op_based::{Cluster, OpBased};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::{self, Debug, Write as _};
+
+/// Obligation key: Prop1 effector commutativity of concurrent operations.
+pub const OB_COMMUTE: &str = "effector-commutativity";
+/// Obligation key: timestamp freshness + uniqueness (Figure 7 side condition).
+pub const OB_TS: &str = "ts-discipline";
+/// Obligation key: equal states once no delivery is pending.
+pub const OB_CONVERGE: &str = "quiescent-convergence";
+
+/// One event of an operation-based execution trace.
+///
+/// `id` names the invocation stably across shrinking: a [`OpEvent::Deliver`]
+/// refers to the invocation by `id`, not by position, so removing unrelated
+/// events never re-targets a delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpEvent<Call> {
+    /// Run the generator of `call` at `replica`.
+    Invoke {
+        /// Stable invocation id (dense in the original trace).
+        id: usize,
+        /// Origin replica.
+        replica: u32,
+        /// The generator call.
+        call: Call,
+    },
+    /// Apply the effector of invocation `of` at `replica`.
+    Deliver {
+        /// Receiving replica.
+        replica: u32,
+        /// The `id` of the [`OpEvent::Invoke`] whose effector is applied.
+        of: usize,
+    },
+}
+
+impl<Call: Debug> fmt::Display for OpEvent<Call> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpEvent::Invoke { id, replica, call } => {
+                write!(f, "invoke#{id} at r{replica}: {call:?}")
+            }
+            OpEvent::Deliver { replica, of } => write!(f, "deliver invoke#{of} at r{replica}"),
+        }
+    }
+}
+
+/// Renders a trace as the replayable fixture format used in reports and
+/// golden files.
+pub fn render_op_trace<Call: Debug>(n_replicas: usize, events: &[OpEvent<Call>]) -> String {
+    let mut out = format!("cluster with {n_replicas} replicas\n");
+    for ev in events {
+        let _ = writeln!(out, "{ev}");
+    }
+    out
+}
+
+/// The result of analyzing one operation-based CRDT.
+pub struct OpAnalysis {
+    /// Per-obligation verdicts.
+    pub report: TypeReport,
+    /// `Debug` renderings of every individual replica state the search
+    /// visited — the coverage set the cross-check suite compares the random
+    /// walks against.
+    pub state_keys: BTreeSet<String>,
+}
+
+struct Node<C: OpBased> {
+    cluster: Cluster<C>,
+    trace: Vec<OpEvent<C::Call>>,
+    updates: usize,
+}
+
+/// Exhaustively explores `crdt` within scope `k` and discharges (or refutes,
+/// with a shrunk counterexample) the operation-based obligations.
+pub fn analyze_op<C>(crdt: &C, name: &str, k: usize) -> OpAnalysis
+where
+    C: OpBased + SmallScope<Call = <C as OpBased>::Call> + Clone,
+{
+    let n = crdt.scope_replicas(k);
+    let mut sink = Sink::new();
+    sink.touch(OB_COMMUTE);
+    sink.touch(OB_TS);
+    sink.touch(OB_CONVERGE);
+    let mut state_keys = BTreeSet::new();
+    let mut seen_configs = BTreeSet::new();
+    let root = Node {
+        cluster: Cluster::new(crdt.clone(), n),
+        trace: Vec::new(),
+        updates: 0,
+    };
+    seen_configs.insert(crate::fnv1a(config_key(&root.cluster, 0).as_bytes()));
+    let mut stack = vec![root];
+    let mut configs = 0usize;
+    let mut witness: Option<Vec<OpEvent<<C as OpBased>::Call>>> = None;
+
+    while let Some(node) = stack.pop() {
+        configs += 1;
+        for r in 0..n {
+            state_keys.insert(format!("{:?}", node.cluster.state(ReplicaId(r as u32))));
+        }
+        check_config(&node.cluster, &mut sink);
+        if sink.violation().is_some() {
+            witness = Some(node.trace);
+            break;
+        }
+        for r in 0..n {
+            for d in node.cluster.deliverable(ReplicaId(r as u32)) {
+                let mut next = node.cluster.clone();
+                next.deliver(ReplicaId(r as u32), d);
+                let key = crate::fnv1a(config_key(&next, node.updates).as_bytes());
+                if seen_configs.insert(key) {
+                    let mut trace = node.trace.clone();
+                    // Delivery ids are dense, one per successful invocation,
+                    // so in the unshrunk trace delivery `d` is invocation `d`.
+                    trace.push(OpEvent::Deliver {
+                        replica: r as u32,
+                        of: d,
+                    });
+                    stack.push(Node {
+                        cluster: next,
+                        trace,
+                        updates: node.updates,
+                    });
+                }
+            }
+        }
+        // Invokes pushed last, so the LIFO stack explores invoke-rich
+        // (shallow, concurrency-heavy) configurations first: a broken type
+        // is then caught by the root-cause obligation (e.g. a
+        // non-commutative pair of concurrent effectors) before one of its
+        // downstream symptoms (divergence at quiescence) deep in a
+        // fully-delivered path.
+        if node.updates < k {
+            for r in 0..n {
+                for call in crdt.scope_calls(node.updates, k) {
+                    let mut next = node.cluster.clone();
+                    if next.invoke(ReplicaId(r as u32), call.clone()).is_none() {
+                        continue; // generator refused: outside the client obligation
+                    }
+                    let key = crate::fnv1a(config_key(&next, node.updates + 1).as_bytes());
+                    if seen_configs.insert(key) {
+                        let mut trace = node.trace.clone();
+                        trace.push(OpEvent::Invoke {
+                            id: node.updates,
+                            replica: r as u32,
+                            call,
+                        });
+                        stack.push(Node {
+                            cluster: next,
+                            trace,
+                            updates: node.updates + 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let violation = witness.map(|trace| {
+        let kind = sink.violation().expect("witness implies violation").0;
+        let shrunk = shrink_trace(&trace, |candidate| {
+            replay_op(crdt, n, candidate).1.violated(kind)
+        });
+        let detail = replay_op(crdt, n, &shrunk)
+            .1
+            .violation()
+            .map(|(_, d)| d.to_string())
+            .unwrap_or_default();
+        let ops = shrunk
+            .iter()
+            .filter(|e| matches!(e, OpEvent::Invoke { .. }))
+            .count();
+        Violation {
+            detail,
+            trace: render_op_trace(n, &shrunk),
+            ops,
+        }
+    });
+    OpAnalysis {
+        report: TypeReport {
+            name: name.to_string(),
+            style: "op",
+            scope: k,
+            configs,
+            obligations: sink.into_obligations(violation),
+        },
+        state_keys,
+    }
+}
+
+/// Replays a (possibly shrunk) trace with skip-inapplicable semantics,
+/// running the per-configuration checks after every event.
+///
+/// Inapplicable events — a refused invoke, a delivery whose invocation was
+/// removed, already applied, or not yet causally admissible — are skipped,
+/// which is what makes arbitrary subsets of a witness trace replayable.
+pub(crate) fn replay_op<C>(
+    crdt: &C,
+    n_replicas: usize,
+    events: &[OpEvent<<C as OpBased>::Call>],
+) -> (Cluster<C>, Sink)
+where
+    C: OpBased + Clone,
+{
+    let mut cluster = Cluster::new(crdt.clone(), n_replicas);
+    let mut sink = Sink::new();
+    // Invocation id -> delivery id, for the invokes that survived.
+    let mut delivery_of: BTreeMap<usize, usize> = BTreeMap::new();
+    check_config(&cluster, &mut sink);
+    for ev in events {
+        match ev {
+            OpEvent::Invoke { id, replica, call } => {
+                let d = cluster.n_deliveries();
+                if cluster.invoke(ReplicaId(*replica), call.clone()).is_some() {
+                    delivery_of.insert(*id, d);
+                }
+            }
+            OpEvent::Deliver { replica, of } => {
+                if let Some(&d) = delivery_of.get(of) {
+                    if cluster.can_deliver(ReplicaId(*replica), d) {
+                        cluster.deliver(ReplicaId(*replica), d);
+                    }
+                }
+            }
+        }
+        check_config(&cluster, &mut sink);
+    }
+    (cluster, sink)
+}
+
+/// Discharges the operation-based obligations on one configuration.
+fn check_config<C: OpBased>(cluster: &Cluster<C>, sink: &mut Sink) {
+    let n = cluster.n_replicas();
+
+    // Prop1: effectors of concurrent operations commute. Two deliveries that
+    // are simultaneously deliverable at `r` are necessarily of concurrent
+    // operations: if one saw the other, causal delivery would force the seen
+    // one to be applied (hence not deliverable) first.
+    for r in 0..n {
+        let r = ReplicaId(r as u32);
+        let ds = cluster.deliverable(r);
+        for (i, &d1) in ds.iter().enumerate() {
+            for &d2 in &ds[i + 1..] {
+                let (Some(e1), Some(e2)) = (cluster.delivery_eff(d1), cluster.delivery_eff(d2))
+                else {
+                    continue; // identity effectors commute trivially
+                };
+                let mut ab = cluster.state(r).clone();
+                cluster.crdt().apply(&mut ab, e1);
+                cluster.crdt().apply(&mut ab, e2);
+                let mut ba = cluster.state(r).clone();
+                cluster.crdt().apply(&mut ba, e2);
+                cluster.crdt().apply(&mut ba, e1);
+                sink.check(OB_COMMUTE, ab == ba, || {
+                    format!(
+                        "concurrent effectors {e1:?} and {e2:?} do not commute on \
+                         state {:?} at {r}: {ab:?} vs {ba:?}",
+                        cluster.state(r)
+                    )
+                });
+            }
+        }
+    }
+
+    // Timestamp discipline: strictly above everything visible, globally
+    // unique. `preds` is the origin's full applied set at invocation time,
+    // so it is exactly the visible operations.
+    let h = cluster.history();
+    for i in 0..h.len() {
+        let Some(ts) = h.op(i).ts else { continue };
+        for p in h.preds(i).iter() {
+            sink.check(OB_TS, Some(ts) > h.op(p).ts, || {
+                format!(
+                    "op {i} generated ts {ts} not above visible op {p} \
+                     (ts {:?})",
+                    h.op(p).ts
+                )
+            });
+        }
+        for j in 0..i {
+            if h.op(j).ts == Some(ts) {
+                sink.check(OB_TS, false, || {
+                    format!("ops {j} and {i} share timestamp {ts}")
+                });
+            }
+        }
+    }
+
+    // Strong eventual consistency at quiescence.
+    if cluster.pending() == 0 && !h.is_empty() {
+        sink.check(OB_CONVERGE, cluster.converged(), || {
+            let states: Vec<String> = (0..n)
+                .map(|r| format!("{:?}", cluster.state(ReplicaId(r as u32))))
+                .collect();
+            format!("all effectors delivered but replicas diverge: {states:?}")
+        });
+    }
+}
+
+/// A canonical rendering of a configuration: replica states and applied
+/// sets, the delivery pool with per-replica delivery bits, and the history
+/// (labels, origins, timestamps, visibility). Two configurations with equal
+/// keys have identical futures, so the search visits each key once.
+fn config_key<C: OpBased>(cluster: &Cluster<C>, updates: usize) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "u{updates};");
+    let n = cluster.n_replicas();
+    for r in 0..n {
+        let r = ReplicaId(r as u32);
+        let _ = write!(
+            s,
+            "R{:?}|{:?};",
+            cluster.state(r),
+            cluster.seen(r).iter().collect::<Vec<_>>()
+        );
+    }
+    for d in 0..cluster.n_deliveries() {
+        let _ = write!(
+            s,
+            "D{}|{:?}|",
+            cluster.delivery_op(d),
+            cluster.delivery_eff(d)
+        );
+        for r in 0..n {
+            let _ = write!(
+                s,
+                "{}",
+                u8::from(cluster.is_delivered(d, ReplicaId(r as u32)))
+            );
+        }
+        s.push(';');
+    }
+    let h = cluster.history();
+    for i in 0..h.len() {
+        let _ = write!(
+            s,
+            "H{:?}|{:?}|{:?}|{:?};",
+            h.label(i),
+            h.op(i).replica,
+            h.op(i).ts,
+            h.preds(i).iter().collect::<Vec<_>>()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ral_crdts::OpCounter;
+
+    #[test]
+    fn counter_discharges_at_small_scope() {
+        let analysis = analyze_op(&OpCounter, "Counter", 2);
+        assert!(analysis.report.discharged(), "{}", analysis.report);
+        assert!(analysis.report.configs > 10);
+        // Reachable counter values within 2 ops: -2..=2.
+        assert!(analysis.state_keys.contains("0"));
+        assert!(analysis.state_keys.contains("2"));
+        assert!(analysis.state_keys.contains("-2"));
+    }
+
+    /// Deliveries target invocations by id, so shrinking one invoke out of a
+    /// trace must not re-target the remaining deliveries.
+    #[test]
+    fn replay_skips_inapplicable_events() {
+        let events = vec![
+            // invoke#0 was shrunk away; its delivery must be skipped, and
+            // invoke#1's delivery must still land.
+            OpEvent::Invoke {
+                id: 1,
+                replica: 0,
+                call: ral_crdts::op::counter::CounterCall::Inc,
+            },
+            OpEvent::Deliver { replica: 1, of: 0 },
+            OpEvent::Deliver { replica: 1, of: 1 },
+            OpEvent::Deliver { replica: 2, of: 1 },
+        ];
+        let (cluster, sink) = replay_op(&OpCounter, 3, &events);
+        assert!(sink.violation().is_none());
+        assert!(cluster.converged());
+        assert_eq!(cluster.state(ReplicaId(1)), &1);
+    }
+
+    #[test]
+    fn trace_rendering_is_replayable_syntax() {
+        let events = vec![
+            OpEvent::Invoke {
+                id: 0,
+                replica: 0,
+                call: ral_crdts::op::counter::CounterCall::Inc,
+            },
+            OpEvent::Deliver { replica: 1, of: 0 },
+        ];
+        let text = render_op_trace(3, &events);
+        assert_eq!(
+            text,
+            "cluster with 3 replicas\ninvoke#0 at r0: Inc\ndeliver invoke#0 at r1\n"
+        );
+    }
+}

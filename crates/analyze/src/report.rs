@@ -1,0 +1,186 @@
+//! `ANALYZE_report.json` — the machine-readable artifact the CI gate
+//! uploads.
+//!
+//! Hand-rolled serialization (the workspace carries no serde); the shape
+//! is stable so downstream tooling can diff runs:
+//!
+//! ```json
+//! {
+//!   "scope": 3,
+//!   "obligations": [
+//!     {"type": "OpCounter", "style": "op", "scope": 3, "configs": 1234,
+//!      "rows": [{"obligation": "effector-commutativity", "checks": 99,
+//!                "verdict": "discharged"}]}
+//!   ],
+//!   "expected_refutations": [...],
+//!   "lint": {"files_scanned": 71, "allowed": 3, "hits": [], "stale_allow": []}
+//! }
+//! ```
+
+use crate::lint::LintOutcome;
+use crate::outcome::TypeReport;
+use std::fmt::Write as _;
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn type_report_json(r: &TypeReport, expected_refuted: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"type\": {}, \"style\": {}, \"scope\": {}, \"configs\": {}, ",
+        json_string(&r.name),
+        json_string(r.style),
+        r.scope,
+        r.configs
+    );
+    if expected_refuted {
+        let _ = write!(
+            out,
+            "\"refuted\": {}, ",
+            if r.discharged() { "false" } else { "true" }
+        );
+    }
+    out.push_str("\"rows\": [");
+    for (i, ob) in r.obligations.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"obligation\": {}, \"checks\": {}, ",
+            json_string(&ob.name),
+            ob.checks
+        );
+        match &ob.violation {
+            None => out.push_str("\"verdict\": \"discharged\"}"),
+            Some(v) => {
+                let _ = write!(
+                    out,
+                    "\"verdict\": \"refuted\", \"detail\": {}, \"ops\": {}, \"trace\": {}}}",
+                    json_string(&v.detail),
+                    v.ops,
+                    json_string(&v.trace)
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn lint_json(lint: &LintOutcome) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"files_scanned\": {}, \"allowed\": {}, \"hits\": [",
+        lint.files_scanned, lint.allowed
+    );
+    for (i, h) in lint.hits.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\": {}, \"path\": {}, \"line\": {}, \"snippet\": {}}}",
+            json_string(h.rule),
+            json_string(&h.path),
+            h.line,
+            json_string(&h.snippet)
+        );
+    }
+    out.push_str("], \"stale_allow\": [");
+    for (i, s) in lint.stale_allow.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(s));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the full report: obligation results for every shipped type, the
+/// expected refutations of the negative fixtures, and the lint outcome.
+pub fn render_report(
+    scope: usize,
+    shipped: &[TypeReport],
+    fixtures: &[TypeReport],
+    lint: &LintOutcome,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"scope\": {scope},");
+    let _ = writeln!(out, "  \"obligations\": [");
+    for (i, r) in shipped.iter().enumerate() {
+        let sep = if i + 1 < shipped.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{}", type_report_json(r, false), sep);
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"expected_refutations\": [");
+    for (i, r) in fixtures.iter().enumerate() {
+        let sep = if i + 1 < fixtures.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{}", type_report_json(r, true), sep);
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"lint\": {}", lint_json(lint));
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{Obligation, Violation};
+
+    fn sample_report(discharged: bool) -> TypeReport {
+        TypeReport {
+            name: "X".to_string(),
+            style: "op",
+            scope: 2,
+            configs: 10,
+            obligations: vec![Obligation {
+                name: "effector-commutativity".to_string(),
+                checks: 5,
+                violation: (!discharged).then(|| Violation {
+                    detail: "a \"quoted\" detail".to_string(),
+                    trace: "line1\nline2\n".to_string(),
+                    ops: 2,
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let lint = LintOutcome::default();
+        let json = render_report(3, &[sample_report(true)], &[sample_report(false)], &lint);
+        assert!(json.contains("\"verdict\": \"discharged\""));
+        assert!(json.contains("\"verdict\": \"refuted\""));
+        assert!(json.contains("\"refuted\": true"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("line1\\nline2"));
+        // Balanced braces/brackets as a cheap well-formedness proxy
+        // (strings contain no structural characters in this sample).
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

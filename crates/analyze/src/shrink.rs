@@ -1,0 +1,71 @@
+//! Delta-debugging-style trace minimization.
+//!
+//! Counterexample traces come out of the exhaustive search with incidental
+//! events (unrelated invokes, deliveries that played no part in the
+//! violation). [`shrink_trace`] removes events greedily until the trace is
+//! **1-minimal**: removing any single remaining event makes the violation
+//! disappear. Engines replay candidate traces with a *skip-inapplicable*
+//! semantics (a delivery whose invoke was removed is simply dropped), which
+//! is what makes every subset of a trace a valid candidate — the same trick
+//! ddmin uses on inputs.
+
+/// Greedily removes events while `still_fails` holds on the remainder.
+///
+/// `still_fails` must replay the candidate trace and report whether the
+/// *same obligation* is still violated. The result is 1-minimal w.r.t.
+/// single-event removal; repeated sweeps handle events that only become
+/// removable after others are gone.
+pub fn shrink_trace<E: Clone, F: FnMut(&[E]) -> bool>(events: &[E], mut still_fails: F) -> Vec<E> {
+    let mut current = events.to_vec();
+    loop {
+        let mut removed_any = false;
+        // Sweep back-to-front so indices of not-yet-tried events stay valid.
+        let mut i = current.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+            }
+        }
+        if !removed_any {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // "Fails" whenever both 3 and 7 are present.
+        let events = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let shrunk = shrink_trace(&events, |t| t.contains(&3) && t.contains(&7));
+        assert_eq!(shrunk, vec![3, 7]);
+    }
+
+    #[test]
+    fn multi_pass_removals() {
+        // "Fails" when the sum is >= 10 — greedy single removals need
+        // several sweeps to reach a minimal set.
+        let events = vec![9, 1, 1, 1];
+        let shrunk = shrink_trace(&events, |t| t.iter().sum::<i32>() >= 10);
+        assert!(shrunk.iter().sum::<i32>() >= 10);
+        for i in 0..shrunk.len() {
+            let mut c = shrunk.clone();
+            c.remove(i);
+            assert!(c.iter().sum::<i32>() < 10, "not 1-minimal: {shrunk:?}");
+        }
+    }
+
+    #[test]
+    fn keeps_everything_when_all_needed() {
+        let events = vec![1, 2];
+        let shrunk = shrink_trace(&events, |t| t.len() == 2);
+        assert_eq!(shrunk, vec![1, 2]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Bounded-exhaustive timestamp-discipline checking for object
+//! compositions (Section 5, Figures 10/11).
+//!
+//! The composition of several objects keeps either one Lamport generator
+//! per object (`⊗`, [`TsMode::PerObject`]) or a single generator spanning
+//! all of them (`⊗ts`, [`TsMode::Shared`]). The engine explores every
+//! configuration of a two-object, two-replica [`MultiCluster`] of LWW
+//! registers within `k` writes and discharges the discipline each mode
+//! actually promises:
+//!
+//! * **`ts-shared-discipline`** — under `⊗ts`, every generated timestamp
+//!   strictly exceeds the timestamp of *every* visible operation, whatever
+//!   its object, and timestamps are globally unique (the premise of
+//!   Theorem 5.2);
+//! * **`ts-per-object-discipline`** — under `⊗`, the same holds restricted
+//!   to same-object visibility, with per-object uniqueness (all Figure 7
+//!   guarantees);
+//! * **`cross-object-inversion`** — a *reachability* obligation: under `⊗`
+//!   the search must find a configuration where an operation's timestamp
+//!   does **not** exceed a visible other-object timestamp — the Figure 10
+//!   anomaly that makes `⊗` weaker than `⊗ts` and breaks compositionality
+//!   for timestamp-ordered types. Failing to reach it would mean the
+//!   per-object mode silently degenerated into the shared one.
+
+use crate::outcome::{Obligation, Sink, TypeReport, Violation};
+use crate::shrink::shrink_trace;
+use ral_core::ids::{ObjId, ReplicaId};
+use ral_crdts::op::lww_register::{LwwRegister, RegCall};
+use ral_runtime::multi::{MultiCluster, TsMode};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::{self, Write as _};
+
+/// Obligation key: global freshness + uniqueness under `⊗ts`.
+pub const OB_SHARED: &str = "ts-shared-discipline";
+/// Obligation key: per-object freshness + uniqueness under `⊗`.
+pub const OB_PER_OBJECT: &str = "ts-per-object-discipline";
+/// Obligation key: the Figure 10 anomaly is reachable under `⊗`.
+pub const OB_INVERSION: &str = "cross-object-inversion";
+
+/// Number of composed objects in the explored cluster.
+const N_OBJECTS: usize = 2;
+/// Number of replicas in the explored cluster.
+const N_REPLICAS: usize = 2;
+
+/// One event of a composed execution trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TsEvent {
+    /// Write `value` to object `obj` at `replica`.
+    Invoke {
+        /// Stable invocation id.
+        id: usize,
+        /// Origin replica.
+        replica: u32,
+        /// Target object.
+        obj: u32,
+        /// Written value.
+        value: u8,
+    },
+    /// Apply the effector of invocation `of` at `replica`.
+    Deliver {
+        /// Receiving replica.
+        replica: u32,
+        /// The `id` of the [`TsEvent::Invoke`] whose effector is applied.
+        of: usize,
+    },
+}
+
+impl fmt::Display for TsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsEvent::Invoke {
+                id,
+                replica,
+                obj,
+                value,
+            } => write!(f, "invoke#{id} at r{replica}: o{obj}.Write({value})"),
+            TsEvent::Deliver { replica, of } => write!(f, "deliver invoke#{of} at r{replica}"),
+        }
+    }
+}
+
+/// Renders a trace as the replayable fixture format.
+pub fn render_ts_trace(mode: TsMode, events: &[TsEvent]) -> String {
+    let mut out =
+        format!("composed cluster: {N_OBJECTS} objects, {N_REPLICAS} replicas, {mode:?}\n");
+    for ev in events {
+        let _ = writeln!(out, "{ev}");
+    }
+    out
+}
+
+/// Explores both composition modes at scope `k`; returns one report per
+/// mode (`LwwRegister ⊗` and `LwwRegister ⊗ts`).
+pub fn analyze_ts(k: usize) -> Vec<TypeReport> {
+    vec![
+        analyze_mode(TsMode::PerObject, k),
+        analyze_mode(TsMode::Shared, k),
+    ]
+}
+
+struct Node {
+    cluster: MultiCluster<LwwRegister<u8>>,
+    trace: Vec<TsEvent>,
+    updates: usize,
+}
+
+fn analyze_mode(mode: TsMode, k: usize) -> TypeReport {
+    let kind = match mode {
+        TsMode::PerObject => OB_PER_OBJECT,
+        TsMode::Shared => OB_SHARED,
+    };
+    let mut sink = Sink::new();
+    sink.touch(kind);
+    let mut seen_configs = BTreeSet::new();
+    let root = Node {
+        cluster: MultiCluster::new(LwwRegister::new(), N_OBJECTS, N_REPLICAS, mode),
+        trace: Vec::new(),
+        updates: 0,
+    };
+    seen_configs.insert(crate::fnv1a(config_key(&root.cluster, 0).as_bytes()));
+    let mut stack = vec![root];
+    let mut configs = 0usize;
+    let mut witness: Option<Vec<TsEvent>> = None;
+    let mut inversion: Option<Vec<TsEvent>> = None;
+
+    while let Some(node) = stack.pop() {
+        configs += 1;
+        check_config(&node.cluster, mode, &mut sink);
+        if sink.violation().is_some() {
+            witness = Some(node.trace);
+            break;
+        }
+        if inversion.is_none() && has_inversion(&node.cluster) {
+            inversion = Some(node.trace.clone());
+        }
+        if node.updates < k {
+            for r in 0..N_REPLICAS {
+                for obj in 0..N_OBJECTS {
+                    let value = 10 + node.updates as u8;
+                    let mut next = node.cluster.clone();
+                    if next
+                        .invoke(
+                            ReplicaId(r as u32),
+                            ObjId(obj as u32),
+                            RegCall::Write(value),
+                        )
+                        .is_none()
+                    {
+                        continue;
+                    }
+                    let key = crate::fnv1a(config_key(&next, node.updates + 1).as_bytes());
+                    if seen_configs.insert(key) {
+                        let mut trace = node.trace.clone();
+                        trace.push(TsEvent::Invoke {
+                            id: node.updates,
+                            replica: r as u32,
+                            obj: obj as u32,
+                            value,
+                        });
+                        stack.push(Node {
+                            cluster: next,
+                            trace,
+                            updates: node.updates + 1,
+                        });
+                    }
+                }
+            }
+        }
+        for r in 0..N_REPLICAS {
+            for d in node.cluster.deliverable(ReplicaId(r as u32)) {
+                let mut next = node.cluster.clone();
+                next.deliver(ReplicaId(r as u32), d);
+                let key = crate::fnv1a(config_key(&next, node.updates).as_bytes());
+                if seen_configs.insert(key) {
+                    let mut trace = node.trace.clone();
+                    trace.push(TsEvent::Deliver {
+                        replica: r as u32,
+                        of: d,
+                    });
+                    stack.push(Node {
+                        cluster: next,
+                        trace,
+                        updates: node.updates,
+                    });
+                }
+            }
+        }
+    }
+
+    let violation = witness.map(|trace| {
+        let shrunk = shrink_trace(&trace, |candidate| {
+            replay_ts(mode, candidate).1.violated(kind)
+        });
+        let detail = replay_ts(mode, &shrunk)
+            .1
+            .violation()
+            .map(|(_, d)| d.to_string())
+            .unwrap_or_default();
+        let ops = shrunk
+            .iter()
+            .filter(|e| matches!(e, TsEvent::Invoke { .. }))
+            .count();
+        Violation {
+            detail,
+            trace: render_ts_trace(mode, &shrunk),
+            ops,
+        }
+    });
+    let mut obligations = sink.into_obligations(violation);
+    if mode == TsMode::PerObject {
+        // Reachability obligation: discharged iff the anomaly was found.
+        // The reachability *refutation* carries no trace — there is nothing
+        // to replay when the whole bounded space lacks the configuration.
+        let violation = if inversion.is_some() {
+            None
+        } else {
+            Some(Violation {
+                detail: "no cross-object timestamp inversion reachable under ⊗ — \
+                         the per-object mode degenerated into the shared one"
+                    .to_string(),
+                trace: String::new(),
+                ops: 0,
+            })
+        };
+        obligations.push(Obligation {
+            name: OB_INVERSION.to_string(),
+            checks: configs as u64,
+            violation,
+        });
+    }
+    TypeReport {
+        name: match mode {
+            TsMode::PerObject => "LwwRegister ⊗ (per-object ts)".to_string(),
+            TsMode::Shared => "LwwRegister ⊗ts (shared ts)".to_string(),
+        },
+        style: "composed",
+        scope: k,
+        configs,
+        obligations,
+    }
+}
+
+/// Replays a trace with skip-inapplicable semantics, running the discipline
+/// checks after every event.
+pub(crate) fn replay_ts(mode: TsMode, events: &[TsEvent]) -> (MultiCluster<LwwRegister<u8>>, Sink) {
+    let mut cluster = MultiCluster::new(LwwRegister::new(), N_OBJECTS, N_REPLICAS, mode);
+    let mut sink = Sink::new();
+    let mut delivery_of: BTreeMap<usize, usize> = BTreeMap::new();
+    check_config(&cluster, mode, &mut sink);
+    for ev in events {
+        match ev {
+            TsEvent::Invoke {
+                id,
+                replica,
+                obj,
+                value,
+            } => {
+                let d = cluster.n_deliveries();
+                if cluster
+                    .invoke(ReplicaId(*replica), ObjId(*obj), RegCall::Write(*value))
+                    .is_some()
+                {
+                    delivery_of.insert(*id, d);
+                }
+            }
+            TsEvent::Deliver { replica, of } => {
+                if let Some(&d) = delivery_of.get(of) {
+                    if cluster.can_deliver(ReplicaId(*replica), d) {
+                        cluster.deliver(ReplicaId(*replica), d);
+                    }
+                }
+            }
+        }
+        check_config(&cluster, mode, &mut sink);
+    }
+    (cluster, sink)
+}
+
+/// The discipline each mode promises, checked over the composed history.
+fn check_config(cluster: &MultiCluster<LwwRegister<u8>>, mode: TsMode, sink: &mut Sink) {
+    let h = cluster.history();
+    let kind = match mode {
+        TsMode::PerObject => OB_PER_OBJECT,
+        TsMode::Shared => OB_SHARED,
+    };
+    for i in 0..h.len() {
+        let Some(ts) = h.op(i).ts else { continue };
+        let obj = h.label(i).obj;
+        for p in h.preds(i).iter() {
+            let same_obj = h.label(p).obj == obj;
+            if mode == TsMode::Shared || same_obj {
+                sink.check(kind, Some(ts) > h.op(p).ts, || {
+                    format!(
+                        "op {i} (object {obj}) generated ts {ts} not above visible \
+                         op {p} (object {}, ts {:?})",
+                        h.label(p).obj,
+                        h.op(p).ts
+                    )
+                });
+            }
+        }
+        for j in 0..i {
+            let unique_scope = mode == TsMode::Shared || h.label(j).obj == obj;
+            if unique_scope && h.op(j).ts == Some(ts) {
+                sink.check(kind, false, || {
+                    format!("ops {j} and {i} share timestamp {ts}")
+                });
+            }
+        }
+    }
+}
+
+/// A canonical rendering of a composed configuration: per-replica object
+/// states, delivery status bits, and the history (labels, origins,
+/// timestamps, visibility).
+fn config_key(cluster: &MultiCluster<LwwRegister<u8>>, updates: usize) -> String {
+    let mut s = format!("u{updates};");
+    for r in 0..N_REPLICAS {
+        for obj in 0..N_OBJECTS {
+            let _ = write!(
+                s,
+                "R{r}o{obj}{:?};",
+                cluster.state(ReplicaId(r as u32), ObjId(obj as u32))
+            );
+        }
+    }
+    for d in 0..cluster.n_deliveries() {
+        let bits: Vec<bool> = (0..N_REPLICAS)
+            .map(|r| cluster.is_delivered(d, ReplicaId(r as u32)))
+            .collect();
+        let _ = write!(s, "D{}|{bits:?};", cluster.delivery_op(d));
+    }
+    let h = cluster.history();
+    for i in 0..h.len() {
+        let _ = write!(
+            s,
+            "H{:?}|{:?}|{:?}|{:?};",
+            h.label(i),
+            h.op(i).replica,
+            h.op(i).ts,
+            h.preds(i).iter().collect::<Vec<_>>()
+        );
+    }
+    s
+}
+
+/// Whether the composed history exhibits the Figure 10 anomaly: an
+/// operation whose timestamp does not exceed a *visible* other-object
+/// timestamp.
+fn has_inversion(cluster: &MultiCluster<LwwRegister<u8>>) -> bool {
+    let h = cluster.history();
+    (0..h.len()).any(|i| {
+        let Some(ts) = h.op(i).ts else { return false };
+        h.preds(i)
+            .iter()
+            .any(|p| h.label(p).obj != h.label(i).obj && h.op(p).ts >= Some(ts))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_discharge_their_discipline() {
+        for report in analyze_ts(3) {
+            assert!(report.discharged(), "{report}");
+        }
+    }
+
+    #[test]
+    fn per_object_mode_reaches_the_inversion() {
+        let reports = analyze_ts(2);
+        let per_obj = &reports[0];
+        let row = per_obj
+            .obligations
+            .iter()
+            .find(|o| o.name == OB_INVERSION)
+            .expect("inversion obligation present");
+        assert!(row.violation.is_none(), "inversion must be reachable");
+    }
+
+    #[test]
+    fn shared_mode_has_no_inversion_row() {
+        let reports = analyze_ts(2);
+        assert!(reports[1]
+            .obligations
+            .iter()
+            .all(|o| o.name != OB_INVERSION));
+    }
+}

@@ -1,0 +1,12 @@
+//! Lint self-test fixture: clean — deterministic substitutes only.
+//! Mentions of HashMap or Instant in comments and "env::var in strings"
+//! must not trip the token-level scanner.
+
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u32, u32> {
+    let banned = "HashMap SystemTime thread::current()";
+    let mut m = BTreeMap::new();
+    m.insert(0, banned.len() as u32);
+    m
+}

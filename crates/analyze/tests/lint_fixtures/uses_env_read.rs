@@ -1,0 +1,5 @@
+//! Lint self-test fixture: must trip the `env-read` rule.
+
+pub fn threads() -> Option<String> {
+    std::env::var("RAL_THREADS").ok()
+}

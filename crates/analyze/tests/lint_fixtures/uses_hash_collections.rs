@@ -1,0 +1,7 @@
+//! Lint self-test fixture: must trip the `hash-collections` rule.
+
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

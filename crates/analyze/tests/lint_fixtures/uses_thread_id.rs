@@ -1,0 +1,5 @@
+//! Lint self-test fixture: must trip the `thread-id` rule.
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,5 @@
+//! Lint self-test fixture: must trip the `wall-clock` rule.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

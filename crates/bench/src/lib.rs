@@ -212,8 +212,8 @@ impl Harness {
     /// passes to bench binaries (`--bench`, `--test`) are ignored.
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut filter = None;
-        let mut quick = std::env::var_os("RAL_BENCH_QUICK").is_some();
-        let mut save_path = std::env::var_os("RAL_BENCH_JSON").map(PathBuf::from);
+        let mut quick = ral_core::env::bench_quick();
+        let mut save_path = ral_core::env::bench_json();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {

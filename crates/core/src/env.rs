@@ -1,0 +1,146 @@
+//! The workspace's **only** window onto process environment variables.
+//!
+//! Determinism is the repo's oracle: the same seed must produce byte-identical
+//! traces on every machine, so ambient configuration can only enter through a
+//! single audited surface. Every `RAL_*` variable is read here, through a
+//! typed accessor with a documented default — and `ral-analyze`'s determinism
+//! lint fails the CI gate on any `std::env::var` call *outside* this module,
+//! which keeps the table below complete by construction.
+//!
+//! | Variable | Accessor | Default | Meaning |
+//! |---|---|---|---|
+//! | `RAL_PROP_SEED` | [`prop_seed`] | unset | replay exactly one property case with this seed |
+//! | `RAL_PROP_CASES` | [`prop_cases`] | per-suite | run this many property cases |
+//! | `RAL_CHECK_THREADS` | [`check_threads`] | `0` (auto) | thread count for the parallel RA-lin search |
+//! | `RAL_BENCH_QUICK` | [`bench_quick`] | unset | bench harness quick mode (shorter samples) |
+//! | `RAL_BENCH_JSON` | [`bench_json`] | unset | bench harness JSON output path |
+//! | `CARGO` | [`cargo`] | `"cargo"` | cargo binary for subprocess smoke tests |
+//!
+//! All accessors are **read-once-per-call** (no caching): overrides behave
+//! the same whether set before launch or mid-test via `std::env::set_var`.
+//! A set-but-unparseable value panics instead of silently falling back — a
+//! typo'd reproduction seed or thread count must fail loudly.
+
+use std::ffi::OsString;
+use std::path::PathBuf;
+
+/// Parses a `u64` that may be decimal or `0x`-prefixed hex.
+fn parse_u64(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+}
+
+/// Reads a `u64` variable; `None` when unset.
+///
+/// # Panics
+///
+/// Panics on a set-but-unparseable value: silently ignoring a typo'd
+/// override (e.g. a reproduction seed) would let a broken replay "pass".
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match parse_u64(&raw) {
+        Some(v) => Some(v),
+        None => panic!("invalid {name}={raw:?}: expected a decimal or 0x-prefixed hex u64"),
+    }
+}
+
+/// `RAL_PROP_SEED` — replay exactly one property-test case with this seed
+/// (decimal or `0x`-prefixed hex), as printed by a previous failure report.
+///
+/// # Panics
+///
+/// Panics on an unparseable value.
+pub fn prop_seed() -> Option<u64> {
+    env_u64("RAL_PROP_SEED")
+}
+
+/// `RAL_PROP_CASES` — run this many property-test cases instead of the
+/// suite's default.
+///
+/// # Panics
+///
+/// Panics on an unparseable value.
+pub fn prop_cases() -> Option<u64> {
+    env_u64("RAL_PROP_CASES")
+}
+
+/// Parses a `RAL_CHECK_THREADS`-style value. `None` (unset) and `"0"` both
+/// mean automatic.
+///
+/// # Panics
+///
+/// Panics on an unparseable value — silently ignoring a typo'd override
+/// would let "parallel" runs pass sequentially.
+pub(crate) fn threads_from(raw: Option<String>) -> usize {
+    match raw {
+        None => 0,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => {
+                panic!("invalid RAL_CHECK_THREADS={raw:?}: expected a non-negative thread count")
+            }
+        },
+    }
+}
+
+/// `RAL_CHECK_THREADS` — thread count for the parallel RA-linearization
+/// search. `0` or unset means automatic (sequential for small histories,
+/// all available cores above the parallel threshold).
+///
+/// # Panics
+///
+/// Panics on an unparseable value.
+pub fn check_threads() -> usize {
+    threads_from(std::env::var("RAL_CHECK_THREADS").ok())
+}
+
+/// `RAL_BENCH_QUICK` — when set (to anything), the bench harness runs with
+/// shorter warmup and fewer samples, as `--quick` does.
+pub fn bench_quick() -> bool {
+    std::env::var_os("RAL_BENCH_QUICK").is_some()
+}
+
+/// `RAL_BENCH_JSON` — default destination for the bench harness's JSON
+/// report, overridable per run with `--save <path>`.
+pub fn bench_json() -> Option<PathBuf> {
+    std::env::var_os("RAL_BENCH_JSON").map(PathBuf::from)
+}
+
+/// `CARGO` — the cargo binary to use when a test shells out to cargo (set
+/// by cargo itself for subprocesses); falls back to `"cargo"` on `PATH`.
+pub fn cargo() -> OsString {
+    std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_decimal_and_hex() {
+        assert_eq!(parse_u64("42"), Some(42));
+        assert_eq!(parse_u64(" 0xAB "), Some(0xAB));
+        assert_eq!(parse_u64("0Xff"), Some(0xFF));
+        assert_eq!(parse_u64("nope"), None);
+        assert_eq!(parse_u64(""), None);
+    }
+
+    #[test]
+    fn threads_parse_and_default() {
+        assert_eq!(threads_from(None), 0);
+        assert_eq!(threads_from(Some("0".into())), 0);
+        assert_eq!(threads_from(Some(" 4 ".into())), 4);
+        let caught = std::panic::catch_unwind(|| threads_from(Some("lots".into())));
+        assert!(caught.is_err(), "unparseable thread count must panic");
+    }
+
+    #[test]
+    fn cargo_falls_back_to_path_lookup() {
+        // Under `cargo test` the CARGO variable is set; either way the
+        // accessor returns something non-empty.
+        assert!(!cargo().is_empty());
+    }
+}

@@ -24,7 +24,11 @@
 //! * [`compose`] — object composition `⊗` at the specification level
 //!   (Section 5);
 //! * [`sessions`] — the session guarantees of Terry et al., which
-//!   RA-linearizable systems subsume (Section 7).
+//!   RA-linearizable systems subsume (Section 7);
+//! * [`mod@env`] — the workspace's single audited surface for environment
+//!   variables (everything else is determinism-lint-enforced env-free);
+//! * [`scope`] — the [`SmallScope`] enumeration interface behind
+//!   `ral-analyze`'s bounded-exhaustive obligation checking.
 //!
 //! # Example
 //!
@@ -70,12 +74,14 @@ pub mod bitset;
 pub mod compose;
 pub mod dot;
 pub mod elem;
+pub mod env;
 pub mod history;
 pub mod ids;
 pub mod label;
 pub mod linearizability;
 pub mod ralin;
 pub mod rng;
+pub mod scope;
 pub mod sessions;
 pub mod spec;
 pub mod timestamp;
@@ -86,5 +92,6 @@ pub use history::{History, OpRecord};
 pub use ids::{ObjId, OpId, ReplicaId, Uid};
 pub use label::{Kind, Rewrite, Rewritten, SpecLabel};
 pub use ralin::{Strategy, Violation};
+pub use scope::SmallScope;
 pub use spec::Spec;
 pub use timestamp::Ts;

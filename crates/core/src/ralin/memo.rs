@@ -85,28 +85,11 @@ const MEMO_CAP: usize = 1 << 20;
 /// How often (in explored nodes) a branch polls the cancellation cutoff.
 const CANCEL_POLL_MASK: u64 = 0xFF;
 
-/// Parses a `RAL_CHECK_THREADS` value. `None` (unset) means automatic.
-///
-/// # Panics
-///
-/// Panics on an unparseable value — silently ignoring a typo'd override
-/// would let "parallel" runs pass sequentially.
-fn threads_from(raw: Option<String>) -> usize {
-    match raw {
-        None => 0,
-        Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(v) => v,
-            Err(_) => {
-                panic!("invalid RAL_CHECK_THREADS={raw:?}: expected a non-negative thread count")
-            }
-        },
-    }
-}
-
-/// Reads `RAL_CHECK_THREADS`. `0` or unset means automatic.
-pub(crate) fn env_threads() -> usize {
-    threads_from(std::env::var("RAL_CHECK_THREADS").ok())
-}
+// Parsing lives in the central env module so the determinism lint can
+// enforce that no other code reads the process environment.
+pub(crate) use crate::env::check_threads as env_threads;
+#[cfg(test)]
+pub(crate) use crate::env::threads_from;
 
 /// Resolves a requested thread count against history size and branch
 /// count. `0` = automatic: sequential below [`PARALLEL_MIN_OPS`], all

@@ -181,6 +181,9 @@ impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// * `RAL_PROP_SEED` — run exactly one case with this seed (decimal or
 ///   `0x`-prefixed hex), e.g. the seed a previous failure printed.
 ///
+/// Both are read through [`crate::env`], the workspace's single audited
+/// surface for environment variables.
+///
 /// # Examples
 ///
 /// A normal run executes every case with a seed derived from the suite
@@ -213,27 +216,13 @@ pub fn run_seeded_cases<F>(label: &str, cases: u64, case: F)
 where
     F: FnMut(u64, &mut Rng),
 {
-    fn parse_u64(raw: &str) -> Option<u64> {
-        let raw = raw.trim();
-        match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
-            Some(hex) => u64::from_str_radix(hex, 16).ok(),
-            None => raw.parse().ok(),
-        }
-    }
-
-    // A set-but-unparseable override must fail loudly: silently falling
-    // back to a normal run would let a typo'd reproduction seed "pass".
-    fn env_u64(name: &str) -> Option<u64> {
-        let raw = std::env::var(name).ok()?;
-        match parse_u64(&raw) {
-            Some(v) => Some(v),
-            None => panic!("invalid {name}={raw:?}: expected a decimal or 0x-prefixed hex u64"),
-        }
-    }
-
-    let seed_override = env_u64("RAL_PROP_SEED");
-    let cases_override = env_u64("RAL_PROP_CASES");
-    run_cases_with(label, cases, seed_override, cases_override, case);
+    run_cases_with(
+        label,
+        cases,
+        crate::env::prop_seed(),
+        crate::env::prop_cases(),
+        case,
+    );
 }
 
 /// [`run_seeded_cases`] with the environment overrides passed explicitly.

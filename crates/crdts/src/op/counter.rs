@@ -5,6 +5,7 @@
 //! admits **execution-order** linearizations (Figure 12).
 
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_runtime::gen::{GenCtx, GenOutcome};
 use ral_runtime::op_based::OpBased;
 use ral_spec::counter::CounterOp;
@@ -95,6 +96,20 @@ impl OpBased for OpCounter {
             CounterCall::Dec => CounterOp::Dec,
             CounterCall::Read => CounterOp::Read(ret.expect("read always returns a value")),
         }
+    }
+}
+
+impl SmallScope for OpCounter {
+    type Call = CounterCall;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // `read` is a query (identity effector), so only the two updates are
+    // enumerated; two suffice because `inc`/`dec` effectors are distinct.
+    fn scope_calls(&self, _op_index: usize, _k: usize) -> Vec<CounterCall> {
+        vec![CounterCall::Inc, CounterCall::Dec]
     }
 }
 

@@ -8,6 +8,7 @@
 
 use ral_core::elem::Elem;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_core::timestamp::Ts;
 use ral_runtime::gen::{GenCtx, GenOutcome};
 use ral_runtime::op_based::OpBased;
@@ -131,6 +132,24 @@ impl<E: Elem> OpBased for LwwRegister<E> {
             RegCall::Write(a) => RegOp::Write(a.clone()),
             RegCall::Read => RegOp::Read(ret.clone()),
         }
+    }
+}
+
+impl<E: Elem + From<u8>> SmallScope for LwwRegister<E> {
+    type Call = RegCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // One distinct value per op index plus one value shared by every index:
+    // the shared value makes concurrent *equal* writes reachable, where only
+    // the timestamp distinguishes the effectors.
+    fn scope_calls(&self, op_index: usize, _k: usize) -> Vec<RegCall<E>> {
+        vec![
+            RegCall::Write(E::from(10 + op_index as u8)),
+            RegCall::Write(E::from(7)),
+        ]
     }
 }
 

@@ -12,6 +12,7 @@ use ral_core::elem::Elem;
 use ral_core::ids::Uid;
 use ral_core::label::{Rewrite, Rewritten};
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_runtime::gen::{GenCtx, GenOutcome};
 use ral_runtime::op_based::OpBased;
 use ral_spec::set::{OrSetOp, SetOp};
@@ -228,6 +229,26 @@ impl<E: Elem> OpBased for OrSet<E> {
             (OrSetCall::Read, OrSetRet::Values(values)) => OrSetLabel::Read(values.clone()),
             _ => unreachable!("mismatched call/return pair"),
         }
+    }
+}
+
+impl<E: Elem + From<u8>> SmallScope for OrSet<E> {
+    type Call = OrSetCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // Two values suffice: add/remove of the same value concurrently (the
+    // Figure 5a add/remove race) and of different values. Unique tags come
+    // from the generator, not the pool.
+    fn scope_calls(&self, _op_index: usize, _k: usize) -> Vec<OrSetCall<E>> {
+        vec![
+            OrSetCall::Add(E::from(1)),
+            OrSetCall::Add(E::from(2)),
+            OrSetCall::Remove(E::from(1)),
+            OrSetCall::Remove(E::from(2)),
+        ]
     }
 }
 

@@ -11,6 +11,7 @@
 
 use ral_core::elem::Elem;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_core::timestamp::Ts;
 use ral_runtime::gen::{GenCtx, GenOutcome};
 use ral_runtime::op_based::OpBased;
@@ -243,6 +244,29 @@ impl<E: Elem> OpBased for Rga<E> {
             RgaCall::Remove(a) => RgaOp::Remove(a.clone()),
             RgaCall::Read => RgaOp::Read(ret.clone().expect("read returns the list")),
         }
+    }
+}
+
+impl<E: Elem + From<u8>> SmallScope for Rga<E> {
+    type Call = RgaCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // Client obligation (Section 3.2): inserted values are globally fresh,
+    // so op `i` introduces value `i + 1` and may only anchor on or remove
+    // values introduced by earlier indices. Anchors not yet visible at a
+    // replica are refused by the generator and pruned by the search.
+    fn scope_calls(&self, op_index: usize, _k: usize) -> Vec<RgaCall<E>> {
+        let fresh = E::from(op_index as u8 + 1);
+        let mut calls = vec![RgaCall::AddAfter(Anchor::Head, fresh.clone())];
+        for j in 1..=op_index {
+            let elem = E::from(j as u8);
+            calls.push(RgaCall::AddAfter(Anchor::Elem(elem.clone()), fresh.clone()));
+            calls.push(RgaCall::Remove(elem));
+        }
+        calls
     }
 }
 

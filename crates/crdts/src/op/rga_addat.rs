@@ -14,6 +14,7 @@
 use crate::op::rga::{Rga, RgaCall, RgaEff, RgaState};
 use ral_core::elem::Elem;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_runtime::gen::{GenCtx, GenOutcome};
 use ral_runtime::op_based::OpBased;
 use ral_spec::addat::{AddAtOp, AddAtRetOp};
@@ -236,6 +237,28 @@ impl<E: Elem> OpBased for RgaAddAtSilent<E> {
 /// Re-export of the underlying `addAfter` call type, handy when mixing both
 /// interfaces in tests.
 pub type UnderlyingRgaCall<E> = RgaCall<E>;
+
+impl<E: Elem + From<u8>> SmallScope for RgaAddAt<E> {
+    type Call = AddAtCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // Same freshness discipline as [`Rga`]; indices `0..=op_index` cover
+    // every position of the longest possible local view (out-of-range
+    // indices clamp to the tail, so larger ones add nothing).
+    fn scope_calls(&self, op_index: usize, _k: usize) -> Vec<AddAtCall<E>> {
+        let fresh = E::from(op_index as u8 + 1);
+        let mut calls: Vec<AddAtCall<E>> = (0..=op_index)
+            .map(|at| AddAtCall::AddAt(fresh.clone(), at))
+            .collect();
+        for j in 1..=op_index {
+            calls.push(AddAtCall::Remove(E::from(j as u8)));
+        }
+        calls
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -11,6 +11,7 @@
 
 use ral_core::elem::Elem;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_core::timestamp::Ts;
 use ral_runtime::gen::{GenCtx, GenOutcome};
 use ral_runtime::op_based::OpBased;
@@ -303,6 +304,42 @@ impl<E: Elem> OpBased for Wooki<E> {
             WookiCall::Remove(a) => WookiOp::Remove(a.clone()),
             WookiCall::Read => WookiOp::Read(ret.clone().expect("read returns the list")),
         }
+    }
+}
+
+impl<E: Elem + From<u8>> SmallScope for Wooki<E> {
+    type Call = WookiCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // Fresh value per index; anchor pairs range over `Begin`/`End` and the
+    // values of earlier indices (one side at a time — `Elem`/`Elem` pairs
+    // are reachable only in orders the generator accepts anyway, and the
+    // one-sided pools already reach every insertion position).
+    fn scope_calls(&self, op_index: usize, _k: usize) -> Vec<WookiCall<E>> {
+        let fresh = E::from(op_index as u8 + 1);
+        let mut calls = vec![WookiCall::AddBetween(
+            WookiAnchor::Begin,
+            fresh.clone(),
+            WookiAnchor::End,
+        )];
+        for j in 1..=op_index {
+            let elem = E::from(j as u8);
+            calls.push(WookiCall::AddBetween(
+                WookiAnchor::Begin,
+                fresh.clone(),
+                WookiAnchor::Elem(elem.clone()),
+            ));
+            calls.push(WookiCall::AddBetween(
+                WookiAnchor::Elem(elem.clone()),
+                fresh.clone(),
+                WookiAnchor::End,
+            ));
+            calls.push(WookiCall::Remove(elem));
+        }
+        calls
     }
 }
 

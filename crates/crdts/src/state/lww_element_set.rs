@@ -11,6 +11,7 @@ use crate::state::local::{EffectorClass, LocalEffector};
 use ral_core::elem::Elem;
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_core::timestamp::Ts;
 use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
@@ -296,6 +297,25 @@ impl<E: Elem> LocalEffector for LwwElementSet<E> {
         // P1: the argument's timestamp is not below any stored timestamp.
         let ts = arg.ts();
         !Self::state_timestamps(state).iter().any(|t| ts < *t)
+    }
+}
+
+impl<E: Elem + From<u8>> SmallScope for LwwElementSet<E> {
+    type Call = LwwSetCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // Two values cover both the same-element add/remove timestamp race and
+    // independent elements.
+    fn scope_calls(&self, _op_index: usize, _k: usize) -> Vec<LwwSetCall<E>> {
+        vec![
+            LwwSetCall::Add(E::from(1)),
+            LwwSetCall::Add(E::from(2)),
+            LwwSetCall::Remove(E::from(1)),
+            LwwSetCall::Remove(E::from(2)),
+        ]
     }
 }
 

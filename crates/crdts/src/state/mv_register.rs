@@ -12,6 +12,7 @@ use crate::state::local::{EffectorClass, LocalEffector};
 use ral_core::elem::Elem;
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
 use ral_runtime::state_based::{StateBased, StateOutcome};
@@ -263,6 +264,24 @@ impl<E: Elem> LocalEffector for MvRegister<E> {
     fn p_pred(&self, state: &MvState<E>, arg: &(E, VersionVec)) -> bool {
         // P1: the argument's vector is not below any vector in the state.
         !state.pairs.iter().any(|(_, w)| vv_lt(&arg.1, w))
+    }
+}
+
+impl<E: Elem + From<u8>> SmallScope for MvRegister<E> {
+    type Call = MvCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // One distinct value per op index plus one shared value, so concurrent
+    // writes of *equal* values (distinguished only by version vectors) are
+    // reachable.
+    fn scope_calls(&self, op_index: usize, _k: usize) -> Vec<MvCall<E>> {
+        vec![
+            MvCall::Write(E::from(10 + op_index as u8)),
+            MvCall::Write(E::from(7)),
+        ]
     }
 }
 

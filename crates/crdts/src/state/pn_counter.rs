@@ -9,6 +9,7 @@
 use crate::state::local::{EffectorClass, LocalEffector};
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
 use ral_runtime::state_based::{StateBased, StateOutcome};
@@ -252,6 +253,18 @@ impl LocalEffector for PnCounter {
             PnArg::Inc(r) => state.p[r.0 as usize] == 0,
             PnArg::Dec(r) => state.n[r.0 as usize] == 0,
         }
+    }
+}
+
+impl SmallScope for PnCounter {
+    type Call = PnCall;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    fn scope_calls(&self, _op_index: usize, _k: usize) -> Vec<PnCall> {
+        vec![PnCall::Inc, PnCall::Dec]
     }
 }
 

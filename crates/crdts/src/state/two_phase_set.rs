@@ -11,6 +11,7 @@ use crate::state::local::{EffectorClass, LocalEffector};
 use ral_core::elem::Elem;
 use ral_core::ids::ReplicaId;
 use ral_core::ralin::Strategy;
+use ral_core::scope::SmallScope;
 use ral_runtime::delta::DeltaCrdt;
 use ral_runtime::gen::GenCtx;
 use ral_runtime::state_based::{StateBased, StateOutcome};
@@ -251,6 +252,25 @@ impl<E: Elem> LocalEffector for TwoPhaseSet<E> {
             TwoPArg::Add(a) => !state.added.contains(a),
             TwoPArg::Remove(a) => !state.removed.contains(a),
         }
+    }
+}
+
+impl<E: Elem + From<u8>> SmallScope for TwoPhaseSet<E> {
+    type Call = TwoPCall<E>;
+
+    fn scope_replicas(&self, _k: usize) -> usize {
+        3
+    }
+
+    // Client obligation (Listing 10): a value is added at most once, so op
+    // `i` adds the fresh value `i + 1`; removals target earlier values and
+    // are refused wherever the add is not yet visible.
+    fn scope_calls(&self, op_index: usize, _k: usize) -> Vec<TwoPCall<E>> {
+        let mut calls = vec![TwoPCall::Add(E::from(op_index as u8 + 1))];
+        for j in 1..=op_index {
+            calls.push(TwoPCall::Remove(E::from(j as u8)));
+        }
+        calls
     }
 }
 

@@ -29,6 +29,7 @@ pub enum TsMode {
     Shared,
 }
 
+#[derive(Clone)]
 struct MultiNode<S> {
     states: Vec<S>,
     seen: BitSet,
@@ -38,6 +39,7 @@ struct MultiNode<S> {
     up: bool,
 }
 
+#[derive(Clone)]
 struct Delivery<E> {
     op: usize,
     obj: usize,
@@ -53,6 +55,9 @@ struct Delivery<E> {
 }
 
 /// A cluster replicating `n` objects of the same data type.
+// Cloning forks the whole composed configuration — the branch point of
+// `ral-analyze`'s timestamp-discipline search.
+#[derive(Clone)]
 pub struct MultiCluster<C: OpBased> {
     crdt: C,
     mode: TsMode,

@@ -60,6 +60,7 @@ pub struct Invoked<R> {
     pub op: usize,
 }
 
+#[derive(Clone)]
 struct ReplicaNode<S> {
     state: S,
     seen: BitSet,
@@ -72,6 +73,7 @@ struct ReplicaNode<S> {
     up: bool,
 }
 
+#[derive(Clone)]
 struct Delivery<E> {
     op: usize,
     eff: Option<E>,
@@ -126,6 +128,10 @@ struct Delivery<E> {
 /// let fresh = cluster.invoke(ReplicaId(1), "read").unwrap();
 /// assert_eq!(fresh.ret, 1);
 /// ```
+// Cloning a cluster (possible whenever the descriptor is `Clone`) forks the
+// whole configuration — replica states, pending deliveries, history — which
+// is what `ral-analyze`'s bounded-exhaustive search branches on.
+#[derive(Clone)]
 pub struct Cluster<C: OpBased> {
     crdt: C,
     replicas: Vec<ReplicaNode<C::State>>,

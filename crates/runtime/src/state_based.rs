@@ -68,6 +68,7 @@ pub trait StateBased {
     }
 }
 
+#[derive(Clone)]
 struct StateNode<S> {
     state: S,
     seen: BitSet,
@@ -145,6 +146,9 @@ pub struct Invoked<R> {
 /// cluster.apply(ReplicaId(1), msg); // duplicate delivery is harmless
 /// assert_eq!(cluster.state(ReplicaId(1)), &vec![7]);
 /// ```
+// Cloning forks the whole configuration (replica states, in-flight
+// messages, history) — the branch point of `ral-analyze`'s search.
+#[derive(Clone)]
 pub struct StateCluster<C: StateBased> {
     crdt: C,
     replicas: Vec<StateNode<C::State>>,
@@ -202,6 +206,16 @@ impl<C: StateBased> StateCluster<C> {
     /// Consumes the cluster, returning its history.
     pub fn into_history(self) -> History<C::Label> {
         self.history
+    }
+
+    /// The set of operations replica `r` has performed or merged in.
+    pub fn seen(&self, r: ReplicaId) -> &BitSet {
+        &self.replicas[r.0 as usize].seen
+    }
+
+    /// The set of operations reflected in snapshot message `msg`.
+    pub fn message_seen(&self, msg: usize) -> &BitSet {
+        &self.messages[msg].seen
     }
 
     /// Invokes `call` at replica `r`; returns `None` if refused.

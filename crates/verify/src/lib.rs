@@ -35,6 +35,7 @@
 pub mod commutativity;
 pub mod convergence;
 pub mod delta;
+pub mod obligations;
 pub mod refinement;
 pub mod report;
 pub mod scenarios;

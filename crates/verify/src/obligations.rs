@@ -1,0 +1,157 @@
+//! The Figure-12-style **obligation table**: one row per (data type ×
+//! proof obligation × scope bound), with the verdict of the
+//! bounded-exhaustive analyzer.
+//!
+//! Figure 12 of the paper summarizes, per CRDT, which obligations its
+//! RA-linearizability proof discharges. `ral-analyze` re-discharges those
+//! obligations exhaustively over every configuration reachable within a
+//! small scope; this module renders its results in the same tabular shape
+//! so the two artifacts can be read side by side. The renderer lives here
+//! (not in `ral-analyze`) so `ral-verify` remains the one crate that owns
+//! the paper's presentation artifacts — the analyzer depends on it, never
+//! the other way around.
+
+use std::fmt::Write as _;
+
+/// The verdict of one obligation row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every configuration within the scope bound satisfies the obligation.
+    Discharged,
+    /// A counterexample was found (and shrunk) — the gate fails.
+    Refuted,
+    /// A counterexample was found on a *negative fixture*, where finding
+    /// one is the expected outcome — the gate passes.
+    RefutedExpected,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Discharged => "discharged",
+            Verdict::Refuted => "REFUTED",
+            Verdict::RefutedExpected => "refuted (expected)",
+        }
+    }
+}
+
+/// One row of the obligation table.
+#[derive(Clone, Debug)]
+pub struct ObligationRow {
+    /// Data type (or composition) the row is about.
+    pub type_name: String,
+    /// Replication style: `"op"`, `"state"`, or `"composed"`.
+    pub style: String,
+    /// Obligation identifier (e.g. `effector-commutativity`,
+    /// `prop4-lattice`, `ts-shared-discipline`).
+    pub obligation: String,
+    /// The scope bound `k` (max update operations) of the search.
+    pub scope: usize,
+    /// Number of individual checks performed for this obligation.
+    pub checks: u64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Renders rows as an aligned text table, Figure-12 style.
+pub fn render_obligation_table(rows: &[ObligationRow]) -> String {
+    let headers = ["Type", "Style", "Obligation", "Scope", "Checks", "Verdict"];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    let cells: Vec<[String; 6]> = rows
+        .iter()
+        .map(|r| {
+            [
+                r.type_name.clone(),
+                r.style.clone(),
+                r.obligation.clone(),
+                r.scope.to_string(),
+                r.checks.to_string(),
+                r.verdict.as_str().to_string(),
+            ]
+        })
+        .collect();
+    for row in &cells {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cols: &[&str]| {
+        for (i, (col, w)) in cols.iter().zip(&widths).enumerate() {
+            let pad = w - col.chars().count();
+            let _ = write!(
+                out,
+                "{}{}{}",
+                if i > 0 { "  " } else { "" },
+                col,
+                " ".repeat(pad)
+            );
+        }
+        // Trailing spaces trimmed per line.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    write_row(
+        &mut out,
+        &rule.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut prev_type = "";
+    for (row, r) in cells.iter().zip(rows) {
+        // Repeat the type name only on its first row, Figure-12 style.
+        let type_col = if r.type_name == prev_type {
+            ""
+        } else {
+            &row[0]
+        };
+        prev_type = &r.type_name;
+        write_row(
+            &mut out,
+            &[type_col, &row[1], &row[2], &row[3], &row[4], &row[5]],
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(ty: &str, ob: &str, verdict: Verdict) -> ObligationRow {
+        ObligationRow {
+            type_name: ty.to_string(),
+            style: "op".to_string(),
+            obligation: ob.to_string(),
+            scope: 3,
+            checks: 42,
+            verdict,
+        }
+    }
+
+    #[test]
+    fn table_aligns_and_groups_by_type() {
+        let rows = vec![
+            row("OpCounter", "effector-commutativity", Verdict::Discharged),
+            row("OpCounter", "ts-discipline", Verdict::Discharged),
+            row(
+                "BrokenCounter",
+                "effector-commutativity",
+                Verdict::RefutedExpected,
+            ),
+        ];
+        let table = render_obligation_table(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("Type"));
+        assert!(lines[1].starts_with("----"));
+        // Second OpCounter row elides the repeated type name.
+        assert!(lines[3].starts_with(' '));
+        assert!(table.contains("refuted (expected)"));
+        // All rows align: each line has the Verdict column at one offset.
+        let off = lines[0].find("Verdict").unwrap();
+        assert!(lines[2].len() > off && lines[4].len() > off);
+    }
+}

@@ -28,7 +28,7 @@ fn manifest_dir() -> PathBuf {
 }
 
 fn cargo() -> Command {
-    let mut cmd = Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()));
+    let mut cmd = Command::new(ral_core::env::cargo());
     cmd.current_dir(manifest_dir());
     cmd
 }
