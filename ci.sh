@@ -47,6 +47,12 @@ step cargo bench --offline --bench checker_scaling -- --quick --save "$PWD/BENCH
 # persisted BENCH_composed_scaling.json tracks the sharded speedup
 # (monolithic/k ÷ sharded/k) per commit.
 step cargo bench --offline --bench composed_scaling -- --quick --save "$PWD/BENCH_composed_scaling.json"
+# Observability smoke: the traced multi_mix + sharded-search example with
+# recording on. The example itself validates both JSON artifacts with the
+# strict ral-obs parser before writing them, so a malformed trace fails
+# this step; OBS_report.json persists the span/counter aggregates per
+# commit (the full Perfetto trace stays local — it is tens of MB).
+step env RAL_OBS=1 RAL_OBS_OUT="$PWD/OBS_trace.json" cargo run --offline --example observability
 # Static-analysis gate: bounded-exhaustive simulation-obligation checking
 # over every shipped CRDT plus the workspace determinism lint. Exits
 # non-zero on any undischarged obligation, unrefuted negative fixture, or

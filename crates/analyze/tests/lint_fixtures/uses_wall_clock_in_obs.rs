@@ -1,0 +1,10 @@
+// Fixture: a bare wall-clock read as it would look if it leaked into
+// `crates/obs` *outside* the allowlisted `wallclock.rs` module. The
+// self-test scans this content under `crates/obs/src/recorder.rs` and
+// asserts the `wall-clock` rule still fires — the obs crate has no
+// path-level exemption; only the single audited allowlist entry for
+// `crates/obs/src/wallclock.rs` is suppressed.
+
+pub fn sneaky_timestamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

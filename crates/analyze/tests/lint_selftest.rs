@@ -39,6 +39,26 @@ fn each_rule_fires_on_its_fixture() {
 }
 
 #[test]
+fn wall_clock_in_obs_outside_wallclock_module_still_fires() {
+    // `crates/obs` carries the one allowlisted wall-clock read in
+    // `src/wallclock.rs`. That entry is file-scoped: the same construct
+    // anywhere else in the crate must still fail the gate.
+    let src = fixture("uses_wall_clock_in_obs.rs");
+    for path in ["crates/obs/src/recorder.rs", "crates/obs/src/perfetto.rs"] {
+        let hits = scan_source(path, &src);
+        assert!(
+            hits.iter().any(|h| h.rule == RULE_CLOCK),
+            "{path}: expected a {RULE_CLOCK} hit, got {hits:?}"
+        );
+    }
+    // The allowlisted file itself also *scans* dirty — suppression is the
+    // allowlist's job, not the scanner's, which is what keeps the entry
+    // from going stale silently.
+    let hits = scan_source("crates/obs/src/wallclock.rs", &src);
+    assert!(hits.iter().any(|h| h.rule == RULE_CLOCK));
+}
+
+#[test]
 fn clean_fixture_stays_clean() {
     let hits = scan_source("crates/example/src/clean.rs", &fixture("clean.rs"));
     assert!(hits.is_empty(), "clean fixture tripped the lint: {hits:?}");

@@ -210,6 +210,53 @@ fn brute_refutation_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead on the `memo_refute` workload: recording off
+/// (the production default — one relaxed atomic load per instrumentation
+/// point) vs recording on (full per-branch stats emission). "off" should
+/// be indistinguishable from the pre-instrumentation engine; "on" prices
+/// what `RAL_OBS=1` costs.
+fn obs_overhead(c: &mut Criterion) {
+    use ral_core::history::OpRecord;
+    use ral_core::ids::ReplicaId;
+    use ral_spec::counter::{CounterOp, CounterSpec};
+
+    fn impossible_history(concurrent_incs: usize) -> History<CounterOp> {
+        let mut h = History::new();
+        let incs: Vec<usize> = (0..concurrent_incs)
+            .map(|i| h.push(OpRecord::new(CounterOp::Inc, ReplicaId(i as u32)), []))
+            .collect();
+        h.push(
+            OpRecord::new(CounterOp::Read(concurrent_incs as i64 + 1), ReplicaId(0)),
+            incs,
+        );
+        h
+    }
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    let h = impossible_history(12);
+    ral_obs::reset();
+    ral_obs::disable();
+    group.bench_with_input(BenchmarkId::new("off", 12), &h, |b, h| {
+        b.iter(|| {
+            let outcome = search_with_threads(h, &CounterSpec, u64::MAX, 1);
+            assert!(outcome.is_refuted());
+            black_box(outcome)
+        })
+    });
+    ral_obs::enable(None);
+    group.bench_with_input(BenchmarkId::new("on", 12), &h, |b, h| {
+        b.iter(|| {
+            let outcome = search_with_threads(h, &CounterSpec, u64::MAX, 1);
+            assert!(outcome.is_refuted());
+            black_box(outcome)
+        })
+    });
+    ral_obs::disable();
+    ral_obs::reset();
+    group.finish();
+}
+
 /// Ablation A4 — nondeterministic specifications: the generic frontier
 /// checker vs the polynomial constraint-graph validator on Wooki.
 fn wooki_checker_scaling(c: &mut Criterion) {
@@ -293,6 +340,7 @@ bench_group!(
     brute_scaling,
     memo_scaling,
     brute_refutation_scaling,
+    obs_overhead,
     wooki_checker_scaling
 );
 bench_main!(scaling);

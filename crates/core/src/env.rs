@@ -14,6 +14,9 @@
 //! | `RAL_CHECK_THREADS` | [`check_threads`] | `0` (auto) | thread count for the parallel RA-lin search |
 //! | `RAL_BENCH_QUICK` | [`bench_quick`] | unset | bench harness quick mode (shorter samples) |
 //! | `RAL_BENCH_JSON` | [`bench_json`] | unset | bench harness JSON output path |
+//! | `RAL_OBS` | [`obs`] | unset | enable `ral-obs` recording in obs-aware entry points |
+//! | `RAL_OBS_OUT` | [`obs_out`] | unset | destination for the Perfetto trace the observability example writes |
+//! | `RAL_OBS_CAPACITY` | [`obs_capacity`] | per-lane default | `ral-obs` per-lane event capacity |
 //! | `CARGO` | [`cargo`] | `"cargo"` | cargo binary for subprocess smoke tests |
 //!
 //! All accessors are **read-once-per-call** (no caching): overrides behave
@@ -107,6 +110,37 @@ pub fn bench_quick() -> bool {
 /// report, overridable per run with `--save <path>`.
 pub fn bench_json() -> Option<PathBuf> {
     std::env::var_os("RAL_BENCH_JSON").map(PathBuf::from)
+}
+
+/// `RAL_OBS` — when set to anything but `"0"` (or the empty string),
+/// obs-aware entry points (the observability example, `ci.sh`) turn on
+/// `ral-obs` recording. Recording is *inert* — it never changes a trace
+/// or verdict — so this is an output switch, not a behavior switch.
+pub fn obs() -> bool {
+    match std::env::var("RAL_OBS") {
+        Ok(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        }
+        Err(_) => false,
+    }
+}
+
+/// `RAL_OBS_OUT` — where the observability example writes its Chrome
+/// trace-event / Perfetto JSON (its accompanying `OBS_report.json` lands
+/// next to it).
+pub fn obs_out() -> Option<PathBuf> {
+    std::env::var_os("RAL_OBS_OUT").map(PathBuf::from)
+}
+
+/// `RAL_OBS_CAPACITY` — override for the `ral-obs` per-lane event
+/// capacity (`ral_obs::DEFAULT_CAPACITY` when unset).
+///
+/// # Panics
+///
+/// Panics on an unparseable value.
+pub fn obs_capacity() -> Option<usize> {
+    env_u64("RAL_OBS_CAPACITY").map(|v| v as usize)
 }
 
 /// `CARGO` — the cargo binary to use when a test shells out to cargo (set

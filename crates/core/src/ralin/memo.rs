@@ -69,6 +69,7 @@ use super::{Linearization, SearchOutcome};
 use crate::history::History;
 use crate::label::SpecLabel;
 use crate::spec::{mix64, Frontier, Spec};
+use ral_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -84,6 +85,127 @@ const MEMO_CAP: usize = 1 << 20;
 
 /// How often (in explored nodes) a branch polls the cancellation cutoff.
 const CANCEL_POLL_MASK: u64 = 0xFF;
+
+/// Diagnostic counters of one complete search, returned by the `_stats`
+/// entry points ([`search_with_threads_stats`],
+/// [`super::ra_search_with_stats`], [`super::ra_search_sharded_with_stats`]).
+///
+/// The counts describe *work done*, not the verdict: for **refuting** runs
+/// every top-level branch is explored to completion, so the exploration
+/// counters (`nodes_expanded`, `memo_hits`, the prune breakdown) are
+/// deterministic for every thread count; for runs that find a witness,
+/// branch cancellation makes them depend on scheduling. The `*_nanos`
+/// fields are wall-clock measurements and never deterministic. None of
+/// this feeds back into the search — verdicts and witnesses are
+/// bit-identical whether or not anyone looks at the stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Configurations expanded (budget charged); memo hits and infeasible
+    /// placements are free, as in the module's budget semantics.
+    pub nodes_expanded: u64,
+    /// Configurations skipped because an equal, fully-explored failure was
+    /// memoized.
+    pub memo_hits: u64,
+    /// Failed configurations recorded across all memo tables.
+    pub memo_entries: u64,
+    /// Placements rejected because the update projection's frontier died
+    /// (condition (ii) of Definition 3.5).
+    pub prune_frontier_death: u64,
+    /// Placements rejected because a placed query was not justified by its
+    /// visible updates (condition (iii)).
+    pub prune_query_unjustified: u64,
+    /// Branch abandonments because a *pending* query's incremental
+    /// justification frontier died before the query was placed — the cut
+    /// the naive engine lacks.
+    pub prune_dead_pending_query: u64,
+    /// Top-level branches actually run (one per feasible first placement).
+    pub branches: u64,
+    /// Branches that ran out of their budget share.
+    pub branches_exhausted: u64,
+    /// Branches cancelled by a lower branch's witness.
+    pub branches_cancelled: u64,
+    /// Shards searched (sharded engine only; `0` for the monolithic one).
+    pub shards: u64,
+    /// Whether the sharded engine fell back to the whole-history search
+    /// (the Figure 10 regime).
+    pub fallback: bool,
+    /// Wall-clock nanoseconds summed over branch/shard walks — the "area"
+    /// of the search; `busy_nanos / elapsed_nanos` approximates pool
+    /// utilization.
+    pub busy_nanos: u64,
+    /// Wall-clock nanoseconds from entry to verdict.
+    pub elapsed_nanos: u64,
+    /// Worker threads the search ran on.
+    pub threads: u64,
+}
+
+impl SearchStats {
+    /// Fraction of configuration lookups answered by the memo table:
+    /// `memo_hits / (nodes_expanded + memo_hits)`; `0.0` for an empty run.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.nodes_expanded + self.memo_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// The prune breakdown as labelled counts, stable order.
+    pub fn prune_causes(&self) -> [(&'static str, u64); 3] {
+        [
+            ("frontier-death", self.prune_frontier_death),
+            ("query-unjustified", self.prune_query_unjustified),
+            ("dead-pending-query", self.prune_dead_pending_query),
+        ]
+    }
+
+    /// Accumulates `other` into `self`: counts and `busy_nanos` add,
+    /// `fallback` ORs, `threads` and `elapsed_nanos` take the maximum
+    /// (callers overwrite both with the whole-search values afterwards).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.memo_hits += other.memo_hits;
+        self.memo_entries += other.memo_entries;
+        self.prune_frontier_death += other.prune_frontier_death;
+        self.prune_query_unjustified += other.prune_query_unjustified;
+        self.prune_dead_pending_query += other.prune_dead_pending_query;
+        self.branches += other.branches;
+        self.branches_exhausted += other.branches_exhausted;
+        self.branches_cancelled += other.branches_cancelled;
+        self.shards += other.shards;
+        self.fallback |= other.fallback;
+        self.busy_nanos += other.busy_nanos;
+        self.elapsed_nanos = self.elapsed_nanos.max(other.elapsed_nanos);
+        self.threads = self.threads.max(other.threads);
+    }
+}
+
+/// Reports a finished search to the observability sink (one relaxed load
+/// when disabled). Counter names are mapped in `docs/PAPER_MAP.md`.
+pub(crate) fn emit_obs(stats: &SearchStats) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter("ralin.nodes_expanded", stats.nodes_expanded);
+    obs::counter("ralin.memo_hits", stats.memo_hits);
+    obs::counter("ralin.memo_entries", stats.memo_entries);
+    obs::counter("ralin.prune.frontier_death", stats.prune_frontier_death);
+    obs::counter(
+        "ralin.prune.query_unjustified",
+        stats.prune_query_unjustified,
+    );
+    obs::counter(
+        "ralin.prune.dead_pending_query",
+        stats.prune_dead_pending_query,
+    );
+    obs::counter("ralin.branches", stats.branches);
+    obs::counter("ralin.branches_exhausted", stats.branches_exhausted);
+    obs::counter("ralin.branches_cancelled", stats.branches_cancelled);
+    obs::observe("ralin.busy_nanos", stats.busy_nanos);
+    obs::observe("ralin.elapsed_nanos", stats.elapsed_nanos);
+    obs::observe("ralin.threads", stats.threads);
+}
 
 // Parsing lives in the central env module so the determinism lint can
 // enforce that no other code reads the process environment.
@@ -202,6 +324,12 @@ struct Walk<'a, S: Spec> {
     budget: u64,
     exhausted: bool,
     nodes: u64,
+    // Diagnostic tallies (plain integers: no observability calls inside
+    // the walk, so the hot loop costs the same with obs on or off).
+    memo_hits: u64,
+    prune_frontier_death: u64,
+    prune_query_unjustified: u64,
+    prune_dead_pending_query: u64,
     /// `(cutoff, own_branch)`: abort when `cutoff < own_branch` — a lower
     /// branch already found a witness that supersedes anything here.
     cancel: Option<(&'a AtomicUsize, usize)>,
@@ -228,6 +356,10 @@ impl<'a, S: Spec> Walk<'a, S> {
             budget,
             exhausted: false,
             nodes: 0,
+            memo_hits: 0,
+            prune_frontier_death: 0,
+            prune_query_unjustified: 0,
+            prune_dead_pending_query: 0,
             cancel: None,
             cancelled: false,
         }
@@ -344,18 +476,26 @@ impl<'a, S: Spec> Walk<'a, S> {
                         break;
                     }
                 }
+                if !alive {
+                    self.prune_dead_pending_query += 1;
+                }
                 alive
             } else {
+                self.prune_frontier_death += 1;
                 false
             }
         } else {
             // Queries: all visible updates are placed (missing == 0), so
             // the incremental frontier has consumed exactly them, in
             // placement order — condition (iii) is one `admits` call.
-            self.qfront[x]
+            let justified = self.qfront[x]
                 .as_ref()
                 .expect("query frontier")
-                .admits(self.h.label(x))
+                .admits(self.h.label(x));
+            if !justified {
+                self.prune_query_unjustified += 1;
+            }
+            justified
         };
         if feasible {
             for &s in &shape.succs[x] {
@@ -396,6 +536,7 @@ impl<'a, S: Spec> Walk<'a, S> {
         }
         let key = self.config_hash();
         if self.memo_hit(key) {
+            self.memo_hits += 1;
             return None;
         }
         // Only *expansions* are charged: a memo hit is a constant-time
@@ -455,22 +596,38 @@ fn run_branch<S: Spec>(
     root: usize,
     budget: u64,
     cancel: Option<(&AtomicUsize, usize)>,
-) -> BranchOutcome {
+) -> (BranchOutcome, SearchStats) {
+    let t0 = obs::wallclock::now_nanos();
     let mut w = Walk::new(h, spec, shape, budget);
     w.cancel = cancel;
     let (_, feasible) = w.place(root);
-    if !feasible {
+    let out = if !feasible {
         // No completion can start with `root`; charging nothing mirrors
         // the naive engine, which rejects infeasible placements in the
         // parent node.
-        return BranchOutcome::Refuted;
-    }
-    match w.dfs(1) {
-        Some(order) => BranchOutcome::Witness(order),
-        None if w.cancelled => BranchOutcome::Cancelled,
-        None if w.exhausted => BranchOutcome::Exhausted,
-        None => BranchOutcome::Refuted,
-    }
+        BranchOutcome::Refuted
+    } else {
+        match w.dfs(1) {
+            Some(order) => BranchOutcome::Witness(order),
+            None if w.cancelled => BranchOutcome::Cancelled,
+            None if w.exhausted => BranchOutcome::Exhausted,
+            None => BranchOutcome::Refuted,
+        }
+    };
+    let stats = SearchStats {
+        nodes_expanded: w.nodes,
+        memo_hits: w.memo_hits,
+        memo_entries: w.memo_entries as u64,
+        prune_frontier_death: w.prune_frontier_death,
+        prune_query_unjustified: w.prune_query_unjustified,
+        prune_dead_pending_query: w.prune_dead_pending_query,
+        branches: 1,
+        branches_exhausted: u64::from(w.exhausted),
+        branches_cancelled: u64::from(w.cancelled),
+        busy_nanos: obs::wallclock::now_nanos().saturating_sub(t0),
+        ..SearchStats::default()
+    };
+    (out, stats)
 }
 
 /// Runs `jobs` closures on `threads` workers pulling branch indices from a
@@ -513,12 +670,32 @@ where
     S: Spec + Sync,
     S::Label: Sync,
 {
+    search_with_threads_stats(h, spec, budget, threads).0
+}
+
+/// [`search_with_threads`], also returning the [`SearchStats`] of the run.
+/// The outcome component is identical to the plain entry point's; the
+/// stats are diagnostic only (see [`SearchStats`] for what is and is not
+/// deterministic about them).
+pub fn search_with_threads_stats<S>(
+    h: &History<S::Label>,
+    spec: &S,
+    budget: u64,
+    threads: usize,
+) -> (SearchOutcome, SearchStats)
+where
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let t0 = obs::wallclock::now_nanos();
+    let _span = obs::span("ralin.search");
     let n = h.len();
     if n == 0 {
-        return SearchOutcome::Linearizable(Linearization { order: Vec::new() });
+        let lin = SearchOutcome::Linearizable(Linearization { order: Vec::new() });
+        return (lin, SearchStats::default());
     }
     if budget == 0 {
-        return SearchOutcome::BudgetExhausted;
+        return (SearchOutcome::BudgetExhausted, SearchStats::default());
     }
     let shape = Shape::of(h);
     let roots: Vec<usize> = (0..n).filter(|&i| h.preds(i).is_empty()).collect();
@@ -528,13 +705,16 @@ where
     let share = |i: usize| remaining / k + u64::from((i as u64) < remaining % k);
 
     let threads = effective_threads(threads, n, roots.len());
+    let mut stats = SearchStats::default();
     let mut saw_exhausted = false;
     let witness = if threads <= 1 {
         // Sequential: branches in order, stopping at the first witness
         // (later branches cannot hold a smaller one).
         let mut found = None;
         for (i, &root) in roots.iter().enumerate() {
-            match run_branch(h, spec, &shape, root, share(i), None) {
+            let (out, branch_stats) = run_branch(h, spec, &shape, root, share(i), None);
+            stats.merge(&branch_stats);
+            match out {
                 BranchOutcome::Witness(order) => {
                     found = Some(order);
                     break;
@@ -548,29 +728,40 @@ where
         let cutoff = AtomicUsize::new(usize::MAX);
         let results = run_pool(threads, roots.len(), |i| {
             if cutoff.load(Ordering::Relaxed) < i {
-                return BranchOutcome::Cancelled;
+                return (
+                    BranchOutcome::Cancelled,
+                    SearchStats {
+                        branches: 1,
+                        branches_cancelled: 1,
+                        ..SearchStats::default()
+                    },
+                );
             }
-            let out = run_branch(h, spec, &shape, roots[i], share(i), Some((&cutoff, i)));
-            if matches!(out, BranchOutcome::Witness(_)) {
+            let res = run_branch(h, spec, &shape, roots[i], share(i), Some((&cutoff, i)));
+            if matches!(res.0, BranchOutcome::Witness(_)) {
                 cutoff.fetch_min(i, Ordering::Relaxed);
             }
-            out
+            res
         });
         let mut found = None;
-        for res in results {
-            match res {
-                BranchOutcome::Witness(order) => {
-                    found = Some(order);
-                    break;
-                }
+        for (out, branch_stats) in results {
+            stats.merge(&branch_stats);
+            if found.is_some() {
+                continue; // keep folding stats; the witness is settled
+            }
+            match out {
+                BranchOutcome::Witness(order) => found = Some(order),
                 BranchOutcome::Exhausted => saw_exhausted = true,
                 BranchOutcome::Refuted | BranchOutcome::Cancelled => {}
             }
         }
         found
     };
+    stats.threads = threads as u64;
+    stats.elapsed_nanos = obs::wallclock::now_nanos().saturating_sub(t0);
+    emit_obs(&stats);
 
-    match witness {
+    let outcome = match witness {
         Some(order) => {
             debug_assert_eq!(
                 check_linearization(h, spec, &order),
@@ -581,7 +772,8 @@ where
         }
         None if saw_exhausted => SearchOutcome::BudgetExhausted,
         None => SearchOutcome::NotLinearizable,
-    }
+    };
+    (outcome, stats)
 }
 
 /// Searches for an RA-linearization of `h` w.r.t. `spec` without a budget.

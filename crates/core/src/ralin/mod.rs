@@ -43,10 +43,12 @@ pub mod sharded;
 pub use brute::{count_linearizations, search_brute, search_brute_with_budget};
 pub use check::{check_linearization, Violation};
 pub use guided::{check_guided, check_rewritten, execution_order_of, timestamp_order_of};
-pub use memo::{search, search_with_budget, search_with_threads};
+pub use memo::{
+    search, search_with_budget, search_with_threads, search_with_threads_stats, SearchStats,
+};
 pub use sharded::{
-    search_sharded, search_sharded_with_budget, search_sharded_with_threads, shard_history,
-    ShardableSpec,
+    search_sharded, search_sharded_with_budget, search_sharded_with_threads,
+    search_sharded_with_threads_stats, shard_history, ShardableSpec,
 };
 
 use crate::compose::ComposedLabel;
@@ -226,6 +228,25 @@ where
     search(&rewritten.history, spec)
 }
 
+/// [`ra_search`], also returning the engine's [`SearchStats`]
+/// (nodes expanded, memo hits, prune-cause breakdown, timing). The stats
+/// are observational only — they never influence the verdict — and their
+/// exploration counters are deterministic exactly when the run refutes
+/// (see [`SearchStats`] for the contract).
+pub fn ra_search_with_stats<In, R, S>(
+    h: &History<In>,
+    rw: &R,
+    spec: &S,
+) -> (SearchOutcome, SearchStats)
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let rewritten = rewrite_history(h, rw);
+    search_with_threads_stats(&rewritten.history, spec, u64::MAX, memo::env_threads())
+}
+
 /// [`ra_search`] with a node budget: the memoized engine explores at most
 /// `budget` configurations (split deterministically across its top-level
 /// branches — see [`memo`]) before reporting
@@ -310,6 +331,23 @@ where
 {
     let rewritten = rewrite_history(h, rw);
     search_sharded(&rewritten.history, spec)
+}
+
+/// [`ra_search_sharded`], also returning the merged [`SearchStats`] of
+/// every shard walk; `stats.shards` and `stats.fallback` report the
+/// sharding shape and the Figure 10 fallback regime.
+pub fn ra_search_sharded_with_stats<In, R, S>(
+    h: &History<In>,
+    rw: &R,
+    spec: &S,
+) -> (SearchOutcome, SearchStats)
+where
+    R: Rewrite<In, Out = S::Label>,
+    S: ShardableSpec + Sync,
+    S::Label: ComposedLabel + Sync,
+{
+    let rewritten = rewrite_history(h, rw);
+    search_sharded_with_threads_stats(&rewritten.history, spec, u64::MAX, memo::env_threads())
 }
 
 /// [`ra_search_sharded`] with a node budget, applied per shard (and to

@@ -45,13 +45,16 @@
 //!   weakening.
 
 use super::check::check_linearization;
-use super::memo::{effective_threads, env_threads, run_pool, search_with_threads};
+use super::memo::{
+    effective_threads, env_threads, run_pool, search_with_threads_stats, SearchStats,
+};
 use super::{Linearization, SearchOutcome};
 use crate::compose::{ComposedLabel, EitherLabel, MultiObjSpec, PairSpec};
 use crate::history::History;
 use crate::ids::ObjId;
 use crate::label::SpecLabel;
 use crate::spec::{Frontier, Spec};
+use ral_obs as obs;
 use std::collections::BTreeMap;
 
 /// One object's projection of a composed history.
@@ -114,7 +117,7 @@ where
     /// Runs the complete memoized search on one shard (a sub-history whose
     /// operations all belong to `obj`) against the per-object component
     /// specification. `budget` and `threads` as in
-    /// [`search_with_threads`]; the
+    /// [`super::memo::search_with_threads`]; the
     /// returned witness is in shard-local indices.
     fn search_shard(
         &self,
@@ -123,6 +126,24 @@ where
         budget: u64,
         threads: usize,
     ) -> SearchOutcome;
+
+    /// [`ShardableSpec::search_shard`], also returning the
+    /// [`SearchStats`] of the shard walk. The default implementation
+    /// delegates to `search_shard` and reports empty stats; the built-in
+    /// composed specifications override it so the sharded engine's merged
+    /// stats reflect real per-shard work.
+    fn search_shard_with_stats(
+        &self,
+        obj: ObjId,
+        shard: &History<Self::Label>,
+        budget: u64,
+        threads: usize,
+    ) -> (SearchOutcome, SearchStats) {
+        (
+            self.search_shard(obj, shard, budget, threads),
+            SearchStats::default(),
+        )
+    }
 
     /// Component-level admission: runs `updates` (labels of `obj`, in
     /// candidate order) through the per-object specification and, when
@@ -146,13 +167,23 @@ where
 {
     fn search_shard(
         &self,
-        _obj: ObjId,
+        obj: ObjId,
         shard: &History<Self::Label>,
         budget: u64,
         threads: usize,
     ) -> SearchOutcome {
+        self.search_shard_with_stats(obj, shard, budget, threads).0
+    }
+
+    fn search_shard_with_stats(
+        &self,
+        _obj: ObjId,
+        shard: &History<Self::Label>,
+        budget: u64,
+        threads: usize,
+    ) -> (SearchOutcome, SearchStats) {
         let inner = shard.clone().map(|l| l.label);
-        search_with_threads(&inner, self.inner(), budget, threads)
+        search_with_threads_stats(&inner, self.inner(), budget, threads)
     }
 
     fn admits_shard(
@@ -185,18 +216,28 @@ where
         budget: u64,
         threads: usize,
     ) -> SearchOutcome {
+        self.search_shard_with_stats(obj, shard, budget, threads).0
+    }
+
+    fn search_shard_with_stats(
+        &self,
+        obj: ObjId,
+        shard: &History<Self::Label>,
+        budget: u64,
+        threads: usize,
+    ) -> (SearchOutcome, SearchStats) {
         if obj == ObjId(0) {
             let inner = shard.clone().map(|l| match l {
                 EitherLabel::First(a) => a,
                 EitherLabel::Second(_) => unreachable!("shard of object 0 holds First labels only"),
             });
-            search_with_threads(&inner, self.first(), budget, threads)
+            search_with_threads_stats(&inner, self.first(), budget, threads)
         } else {
             let inner = shard.clone().map(|l| match l {
                 EitherLabel::Second(b) => b,
                 EitherLabel::First(_) => unreachable!("shard of object 1 holds Second labels only"),
             });
-            search_with_threads(&inner, self.second(), budget, threads)
+            search_with_threads_stats(&inner, self.second(), budget, threads)
         }
     }
 
@@ -352,7 +393,7 @@ pub fn stitch_witness<L>(
 /// Sharded complete search with an explicit thread count (`0` =
 /// automatic, as for `RAL_CHECK_THREADS`). See the module docs for the
 /// decision structure; the outcome agrees with
-/// [`search_with_threads`] on every
+/// [`super::memo::search_with_threads`] on every
 /// history (budgets excepted — shard budgets are per shard, so compare
 /// exhaustion only qualitatively across engines).
 pub fn search_sharded_with_threads<S>(
@@ -365,35 +406,76 @@ where
     S: ShardableSpec + Sync,
     S::Label: ComposedLabel + Sync,
 {
+    search_sharded_with_threads_stats(h, spec, budget, threads).0
+}
+
+/// [`search_sharded_with_threads`], also returning the merged
+/// [`SearchStats`] of every shard walk (plus the monolithic fallback's,
+/// when taken). `stats.shards` counts the shards searched and
+/// `stats.fallback` reports the Figure 10 regime; determinism caveats as
+/// in [`SearchStats`].
+pub fn search_sharded_with_threads_stats<S>(
+    h: &History<S::Label>,
+    spec: &S,
+    budget: u64,
+    threads: usize,
+) -> (SearchOutcome, SearchStats)
+where
+    S: ShardableSpec + Sync,
+    S::Label: ComposedLabel + Sync,
+{
+    let t0 = obs::wallclock::now_nanos();
+    let _span = obs::span("ralin.search_sharded");
     if h.is_empty() {
-        return SearchOutcome::Linearizable(Linearization { order: Vec::new() });
+        let lin = SearchOutcome::Linearizable(Linearization { order: Vec::new() });
+        return (lin, SearchStats::default());
     }
     if budget == 0 {
-        return SearchOutcome::BudgetExhausted;
+        return (SearchOutcome::BudgetExhausted, SearchStats::default());
     }
     let shards = shard_history(h);
     if shards.len() <= 1 {
         // One object: sharding adds nothing over the monolithic engine.
-        return search_with_threads(h, spec, budget, threads);
+        let (out, mut stats) = search_with_threads_stats(h, spec, budget, threads);
+        stats.shards = shards.len() as u64;
+        return (out, stats);
     }
     // Shards are independent problems: spread them over the pool, each
     // shard walking sequentially (each gets the full budget — exhaustion
     // is per shard). Results are combined in ascending-object order, so
     // the outcome is thread-count independent.
     let pool = effective_threads(threads, h.len(), shards.len());
-    let outcomes = run_pool(pool, shards.len(), |i| {
-        spec.search_shard(shards[i].obj, &shards[i].history, budget, 1)
+    obs::counter("ralin.shards", shards.len() as u64);
+    let results = run_pool(pool, shards.len(), |i| {
+        let s0 = obs::wallclock::now_nanos();
+        let res = spec.search_shard_with_stats(shards[i].obj, &shards[i].history, budget, 1);
+        obs::observe(
+            "ralin.shard_nanos",
+            obs::wallclock::now_nanos().saturating_sub(s0),
+        );
+        res
     });
+    let mut stats = SearchStats::default();
+    for (_, shard_stats) in &results {
+        stats.merge(shard_stats);
+    }
+    stats.shards = shards.len() as u64;
+    let finish = |outcome: SearchOutcome, mut stats: SearchStats| {
+        stats.threads = pool as u64;
+        stats.elapsed_nanos = obs::wallclock::now_nanos().saturating_sub(t0);
+        (outcome, stats)
+    };
+    let outcomes: Vec<SearchOutcome> = results.into_iter().map(|(o, _)| o).collect();
     if outcomes.iter().any(SearchOutcome::is_refuted) {
         // A global witness would project to a witness of every shard
         // (ShardableSpec's factorization contract), so this is final.
-        return SearchOutcome::NotLinearizable;
+        return finish(SearchOutcome::NotLinearizable, stats);
     }
     if outcomes
         .iter()
         .any(|o| matches!(o, SearchOutcome::BudgetExhausted))
     {
-        return SearchOutcome::BudgetExhausted;
+        return finish(SearchOutcome::BudgetExhausted, stats);
     }
     let shard_orders: Vec<(Vec<usize>, &[usize])> = outcomes
         .into_iter()
@@ -406,13 +488,17 @@ where
     if let Some(order) = stitch_witness(h, &shard_orders) {
         if validate_stitched(h, spec, &order) {
             debug_assert!(check_linearization(h, spec, &order).is_ok());
-            return SearchOutcome::Linearizable(Linearization { order });
+            return finish(SearchOutcome::Linearizable(Linearization { order }), stats);
         }
     }
     // Every shard linearizes but no global witness could be stitched —
     // the Figure 10 regime. Only the whole-history engine can tell a
     // genuinely non-compositional history from an unlucky stitch.
-    search_with_threads(h, spec, budget, threads)
+    stats.fallback = true;
+    obs::counter("ralin.fallback", 1);
+    let (out, fallback_stats) = search_with_threads_stats(h, spec, budget, threads);
+    stats.merge(&fallback_stats);
+    finish(out, stats)
 }
 
 /// Sharded complete search of a composed history; thread count from

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! Dependency-free structured observability for the RA-linearizability
+//! workspace: spans, counters, and fixed-bucket histograms recorded into
+//! per-thread lanes behind a global sink, with Chrome-trace/Perfetto
+//! export, a human-readable summary table, and a JSON report artifact.
+//!
+//! # Design constraints
+//!
+//! * **Inert.** Recording observes state and never feeds back: with
+//!   observability on or off, sim traces and checker verdicts are
+//!   byte-identical (`tests/determinism.rs` and `tests/sim_determinism.rs`
+//!   pin this across the whole scenario corpus).
+//! * **~Free when off.** Every entry point is one relaxed atomic load on
+//!   the disabled path; hot loops keep their instrumentation permanently.
+//! * **Deterministic where it can be.** Events recorded under a
+//!   simulation's virtual clock carry sim-tick timestamps and reproduce
+//!   exactly for a fixed seed; only events outside a sim read wall time,
+//!   and all wall reads go through the single lint-allowlisted
+//!   [`wallclock`] module.
+//!
+//! # Enablement
+//!
+//! This crate is pure mechanism: [`enable`] / [`disable`] / [`drain`] are
+//! programmatic. Policy — the `RAL_OBS`, `RAL_OBS_OUT`, and
+//! `RAL_OBS_CAPACITY` environment variables — lives in `ral_core::env`
+//! like every other `RAL_*` read, so the determinism lint keeps the env
+//! surface single-filed.
+//!
+//! ```
+//! ral_obs::reset();
+//! ral_obs::enable(None);
+//! {
+//!     let _clock = ral_obs::enter_virtual_clock(10);
+//!     let _span = ral_obs::span("sim.event.invoke");
+//!     ral_obs::counter_keyed("sim.link.bytes", ral_obs::link_key(0, 1), 24);
+//! }
+//! ral_obs::disable();
+//! let snapshot = ral_obs::drain();
+//! assert_eq!(snapshot.counter_total("sim.link.bytes"), 24);
+//! let trace = ral_obs::perfetto::render_trace(&snapshot, &Default::default());
+//! assert!(ral_obs::json::validate(&trace).is_ok());
+//! ```
+
+pub mod json;
+pub mod perfetto;
+mod recorder;
+pub mod report;
+pub mod summary;
+pub mod wallclock;
+
+pub use recorder::{
+    capacity, counter, counter_keyed, disable, drain, enable, enabled, enter_virtual_clock,
+    instant, instant_keyed, link_from_to, link_key, observe, reset, set_virtual_now, span, Clock,
+    EventKind, ObsEvent, Snapshot, SpanGuard, VirtualClockScope, DEFAULT_CAPACITY, NO_KEY,
+};

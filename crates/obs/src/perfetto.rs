@@ -1,0 +1,277 @@
+//! Chrome trace-event ("Trace Event Format") exporter — the JSON array
+//! flavor that both `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! open directly.
+//!
+//! The two clock domains become two *processes* in the viewer: pid 1 is
+//! the virtual domain (sim ticks rendered as microseconds, so one tick
+//! reads as 1µs on the timeline), pid 2 the wall domain (anchor-relative
+//! nanoseconds). Each recording lane is a thread row. Spans map to
+//! `B`/`E` duration events, instants to `i`, counters to `C` with running
+//! totals so the viewer plots cumulative series.
+//!
+//! One drained [`Snapshot`] is meant to cover one run: timestamps restart
+//! when a new simulation starts, so drain between runs.
+
+use crate::json::json_string;
+use crate::recorder::{link_from_to, Clock, EventKind, ObsEvent, Snapshot, NO_KEY};
+use std::collections::BTreeMap;
+
+/// Exporter options.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOptions {
+    /// Include wall-domain events. The golden-pinned export in the test
+    /// suite turns this off: virtual-domain events are deterministic for
+    /// a fixed seed, wall-domain ones are not.
+    pub include_wall: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { include_wall: true }
+    }
+}
+
+/// Human-readable label for a dimension key: directed links recorded
+/// under `*.link.*` names render as `from->to`, everything else as the
+/// plain number. `None` for [`NO_KEY`].
+pub fn key_label(name: &str, key: u64) -> Option<String> {
+    if key == NO_KEY {
+        return None;
+    }
+    if name.contains(".link.") {
+        let (from, to) = link_from_to(key);
+        Some(format!("{from}->{to}"))
+    } else {
+        Some(key.to_string())
+    }
+}
+
+/// The counter-series name a keyed counter plots under: `name[label]`,
+/// or the plain name when unkeyed.
+pub fn series_name(name: &str, key: u64) -> String {
+    match key_label(name, key) {
+        Some(label) => format!("{name}[{label}]"),
+        None => name.to_string(),
+    }
+}
+
+fn pid(clock: Clock) -> u32 {
+    match clock {
+        Clock::Virtual => 1,
+        Clock::Wall => 2,
+    }
+}
+
+/// Timestamp in the format's microsecond unit: virtual ticks one-to-one,
+/// wall nanoseconds as fractional microseconds.
+fn ts(e: &ObsEvent) -> String {
+    match e.clock {
+        Clock::Virtual => e.ts.to_string(),
+        Clock::Wall => format!("{}.{:03}", e.ts / 1000, e.ts % 1000),
+    }
+}
+
+/// Renders a drained snapshot as a Chrome trace-event JSON document.
+pub fn render_trace(snap: &Snapshot, opts: &TraceOptions) -> String {
+    let events: Vec<&ObsEvent> = snap
+        .events
+        .iter()
+        .filter(|e| opts.include_wall || e.clock == Clock::Virtual)
+        .collect();
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(line);
+    };
+
+    // Name the processes and threads that actually appear.
+    let mut pids: Vec<u32> = events.iter().map(|e| pid(e.clock)).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for p in &pids {
+        let label = if *p == 1 {
+            "virtual (sim ticks)"
+        } else {
+            "wall clock"
+        };
+        push(
+            &mut out,
+            &format!(
+                "{{\"ph\": \"M\", \"pid\": {p}, \"name\": \"process_name\", \
+                 \"args\": {{\"name\": {}}}}}",
+                json_string(label)
+            ),
+        );
+    }
+    let mut threads: Vec<(u32, u32)> = events.iter().map(|e| (pid(e.clock), e.lane)).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for (p, lane) in &threads {
+        push(
+            &mut out,
+            &format!(
+                "{{\"ph\": \"M\", \"pid\": {p}, \"tid\": {lane}, \
+                 \"name\": \"thread_name\", \"args\": {{\"name\": {}}}}}",
+                json_string(&format!("lane {lane}"))
+            ),
+        );
+    }
+
+    // Running totals per (clock domain, counter series).
+    let mut totals: BTreeMap<(u32, String), u64> = BTreeMap::new();
+    for e in &events {
+        let (p, t) = (pid(e.clock), ts(e));
+        let line = match &e.kind {
+            EventKind::Begin(name) => format!(
+                "{{\"ph\": \"B\", \"pid\": {p}, \"tid\": {}, \"ts\": {t}, \"name\": {}}}",
+                e.lane,
+                json_string(name)
+            ),
+            EventKind::End(name) => format!(
+                "{{\"ph\": \"E\", \"pid\": {p}, \"tid\": {}, \"ts\": {t}, \"name\": {}}}",
+                e.lane,
+                json_string(name)
+            ),
+            EventKind::Point { name, key } => {
+                let args = match key_label(name, *key) {
+                    Some(label) => format!(", \"args\": {{\"key\": {}}}", json_string(&label)),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"ph\": \"i\", \"s\": \"t\", \"pid\": {p}, \"tid\": {}, \
+                     \"ts\": {t}, \"name\": {}{args}}}",
+                    e.lane,
+                    json_string(name)
+                )
+            }
+            EventKind::Counter { name, key, delta } => {
+                let series = series_name(name, *key);
+                let slot = totals.entry((p, series.clone())).or_insert(0);
+                *slot += delta;
+                format!(
+                    "{{\"ph\": \"C\", \"pid\": {p}, \"tid\": {}, \"ts\": {t}, \
+                     \"name\": {}, \"args\": {{\"value\": {}}}}}",
+                    e.lane,
+                    json_string(&series),
+                    *slot
+                )
+            }
+            EventKind::Value { name, value } => format!(
+                "{{\"ph\": \"C\", \"pid\": {p}, \"tid\": {}, \"ts\": {t}, \
+                 \"name\": {}, \"args\": {{\"value\": {value}}}}}",
+                e.lane,
+                json_string(name)
+            ),
+        };
+        push(&mut out, &line);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::recorder::link_key;
+
+    fn ev(lane: u32, clock: Clock, ts: u64, kind: EventKind) -> ObsEvent {
+        ObsEvent {
+            lane,
+            clock,
+            ts,
+            kind,
+        }
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            events: vec![
+                ev(0, Clock::Virtual, 5, EventKind::Begin("sim.event.invoke")),
+                ev(
+                    0,
+                    Clock::Virtual,
+                    5,
+                    EventKind::Counter {
+                        name: "sim.link.bytes",
+                        key: link_key(0, 2),
+                        delta: 24,
+                    },
+                ),
+                ev(
+                    0,
+                    Clock::Virtual,
+                    5,
+                    EventKind::Counter {
+                        name: "sim.link.bytes",
+                        key: link_key(0, 2),
+                        delta: 8,
+                    },
+                ),
+                ev(0, Clock::Virtual, 5, EventKind::End("sim.event.invoke")),
+                ev(
+                    0,
+                    Clock::Virtual,
+                    9,
+                    EventKind::Point {
+                        name: "sim.crash",
+                        key: 3,
+                    },
+                ),
+                ev(1, Clock::Wall, 1_234_567, EventKind::Begin("ralin.search")),
+                ev(1, Clock::Wall, 2_000_000, EventKind::End("ralin.search")),
+                ev(
+                    1,
+                    Clock::Wall,
+                    2_000_000,
+                    EventKind::Value {
+                        name: "ralin.shard_nanos",
+                        value: 42,
+                    },
+                ),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_both_domains() {
+        let json = render_trace(&sample(), &TraceOptions::default());
+        assert_eq!(validate(&json), Ok(()), "{json}");
+        assert!(json.contains("\"sim.event.invoke\""));
+        assert!(json.contains("\"ralin.search\""));
+        assert!(json.contains("sim.link.bytes[0->2]"));
+        // Running total: the second counter sample plots 32, not 8.
+        assert!(json.contains("\"value\": 32"));
+        // Wall nanoseconds render as fractional microseconds.
+        assert!(json.contains("\"ts\": 1234.567"));
+    }
+
+    #[test]
+    fn wall_domain_can_be_excluded() {
+        let json = render_trace(
+            &sample(),
+            &TraceOptions {
+                include_wall: false,
+            },
+        );
+        assert_eq!(validate(&json), Ok(()));
+        assert!(json.contains("sim.event.invoke"));
+        assert!(!json.contains("ralin.search"));
+        assert!(!json.contains("wall clock"));
+    }
+
+    #[test]
+    fn key_labels_distinguish_links_from_plain_keys() {
+        assert_eq!(key_label("sim.link.bytes", link_key(1, 2)).unwrap(), "1->2");
+        assert_eq!(key_label("sim.crash", 3).unwrap(), "3");
+        assert_eq!(key_label("sim.invokes", NO_KEY), None);
+        assert_eq!(series_name("sim.invokes", NO_KEY), "sim.invokes");
+    }
+}

@@ -1,0 +1,141 @@
+//! `OBS_report.json` — the machine-readable artifact the CI workflow
+//! uploads. Hand-rolled serialization in the `ANALYZE_report.json` idiom;
+//! the shape is stable so downstream tooling can diff runs:
+//!
+//! ```json
+//! {
+//!   "events": 812345,
+//!   "dropped": 0,
+//!   "counters": [{"name": "sim.invokes", "key": null, "total": 2048}],
+//!   "histograms": [{"name": "sim.link.delay", "count": 98000, "min": 1,
+//!                   "p50": 9, "p90": 30, "p99": 41, "max": 44, "sum": 1187423}],
+//!   "spans": [{"name": "sim.event.invoke", "count": 2048,
+//!              "virtual_ticks": 0, "wall_nanos": 0}]
+//! }
+//! ```
+
+use crate::json::json_string;
+use crate::recorder::Snapshot;
+use crate::summary::aggregate;
+use std::fmt::Write as _;
+
+/// Renders the snapshot as the `OBS_report.json` document.
+pub fn render_report(snap: &Snapshot) -> String {
+    let agg = aggregate(snap);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"events\": {},", agg.events);
+    let _ = writeln!(out, "  \"dropped\": {},", agg.dropped);
+    let _ = writeln!(out, "  \"counters\": [");
+    for (i, c) in agg.counters.iter().enumerate() {
+        let sep = if i + 1 < agg.counters.len() { "," } else { "" };
+        let key = match &c.key {
+            Some(k) => json_string(k),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"key\": {key}, \"total\": {}}}{sep}",
+            json_string(c.name),
+            c.total
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"histograms\": [");
+    for (i, (name, h)) in agg.histograms.iter().enumerate() {
+        let sep = if i + 1 < agg.histograms.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"count\": {}, \"min\": {}, \"p50\": {}, \
+             \"p90\": {}, \"p99\": {}, \"max\": {}, \"sum\": {}}}{sep}",
+            json_string(name),
+            h.count,
+            h.min,
+            h.p50,
+            h.p90,
+            h.p99,
+            h.max,
+            h.sum
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"spans\": [");
+    for (i, s) in agg.spans.iter().enumerate() {
+        let sep = if i + 1 < agg.spans.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"count\": {}, \"virtual_ticks\": {}, \
+             \"wall_nanos\": {}}}{sep}",
+            json_string(s.name),
+            s.count,
+            s.virtual_ticks,
+            s.wall_nanos
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::recorder::{link_key, Clock, EventKind, ObsEvent};
+
+    #[test]
+    fn report_is_valid_json_with_stable_shape() {
+        let snap = Snapshot {
+            events: vec![
+                ObsEvent {
+                    lane: 0,
+                    clock: Clock::Virtual,
+                    ts: 1,
+                    kind: EventKind::Counter {
+                        name: "sim.link.bytes",
+                        key: link_key(0, 1),
+                        delta: 12,
+                    },
+                },
+                ObsEvent {
+                    lane: 0,
+                    clock: Clock::Virtual,
+                    ts: 2,
+                    kind: EventKind::Value {
+                        name: "sim.link.delay",
+                        value: 5,
+                    },
+                },
+                ObsEvent {
+                    lane: 0,
+                    clock: Clock::Virtual,
+                    ts: 2,
+                    kind: EventKind::Begin("sim.run"),
+                },
+                ObsEvent {
+                    lane: 0,
+                    clock: Clock::Virtual,
+                    ts: 9,
+                    kind: EventKind::End("sim.run"),
+                },
+            ],
+            dropped: 1,
+        };
+        let json = render_report(&snap);
+        assert_eq!(validate(&json), Ok(()), "{json}");
+        assert!(json.contains("\"dropped\": 1"));
+        assert!(json.contains("\"key\": \"0->1\""));
+        assert!(json.contains("\"virtual_ticks\": 7"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_sections() {
+        let json = render_report(&Snapshot::default());
+        assert_eq!(validate(&json), Ok(()), "{json}");
+        assert!(json.contains("\"events\": 0"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Aggregation of a drained [`Snapshot`] and the human-readable summary
+//! table — the `ral_verify::obligations` aligned-text style, one section
+//! each for counters, histograms, and spans.
+
+use crate::perfetto::key_label;
+use crate::recorder::{Clock, EventKind, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds value 0,
+/// bucket `i ≥ 1` holds values `v` with `ilog2(v) == i - 1`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram with exact percentiles (computed from the raw
+/// samples at aggregation time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Power-of-two bucket counts; see [`BUCKETS`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    /// Aggregates raw samples.
+    pub fn from_values(mut values: Vec<u64>) -> Histogram {
+        values.sort_unstable();
+        let mut buckets = [0u64; BUCKETS];
+        for &v in &values {
+            let idx = if v == 0 { 0 } else { v.ilog2() as usize + 1 };
+            buckets[idx] += 1;
+        }
+        let pct = |p: usize| -> u64 {
+            if values.is_empty() {
+                0
+            } else {
+                values[(values.len() - 1) * p / 100]
+            }
+        };
+        Histogram {
+            count: values.len() as u64,
+            sum: values.iter().sum(),
+            min: values.first().copied().unwrap_or(0),
+            max: values.last().copied().unwrap_or(0),
+            p50: pct(50),
+            p90: pct(90),
+            p99: pct(99),
+            buckets,
+        }
+    }
+}
+
+/// One counter series: a name, an optional key label, and the total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterRow {
+    /// Counter name.
+    pub name: &'static str,
+    /// Rendered key ([`key_label`]); `None` for unkeyed counters.
+    pub key: Option<String>,
+    /// Sum of deltas.
+    pub total: u64,
+}
+
+/// One span name's totals across the snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of times the span was opened.
+    pub count: u64,
+    /// Total duration of virtual-stamped openings, in sim ticks.
+    pub virtual_ticks: u64,
+    /// Total duration of wall-stamped openings, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Everything the summary table and the JSON report present, computed
+/// once from a snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Counter series, ascending by `(name, key)`.
+    pub counters: Vec<CounterRow>,
+    /// Histograms, ascending by name.
+    pub histograms: Vec<(&'static str, Histogram)>,
+    /// Span totals, ascending by name.
+    pub spans: Vec<SpanRow>,
+    /// Total events in the snapshot.
+    pub events: usize,
+    /// Events lost to the capacity bound.
+    pub dropped: u64,
+}
+
+/// Aggregates a snapshot: counter totals per `(name, key)`, histograms
+/// per value name, and span counts/durations per span name (begin/end
+/// pairs matched per lane, assuming well-nested spans; unclosed spans
+/// count but contribute no duration).
+pub fn aggregate(snap: &Snapshot) -> Aggregate {
+    let mut counters: BTreeMap<(&'static str, u64), u64> = BTreeMap::new();
+    let mut values: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut spans: BTreeMap<&'static str, SpanRow> = BTreeMap::new();
+    // Per-lane stack of open spans for duration matching.
+    let mut open: BTreeMap<u32, Vec<(&'static str, Clock, u64)>> = BTreeMap::new();
+    for e in &snap.events {
+        match &e.kind {
+            EventKind::Counter { name, key, delta } => {
+                *counters.entry((name, *key)).or_insert(0) += *delta;
+            }
+            EventKind::Value { name, value } => {
+                values.entry(name).or_default().push(*value);
+            }
+            EventKind::Begin(name) => {
+                spans
+                    .entry(name)
+                    .or_insert(SpanRow {
+                        name,
+                        count: 0,
+                        virtual_ticks: 0,
+                        wall_nanos: 0,
+                    })
+                    .count += 1;
+                open.entry(e.lane).or_default().push((name, e.clock, e.ts));
+            }
+            EventKind::End(name) => {
+                let stack = open.entry(e.lane).or_default();
+                if let Some(pos) = stack.iter().rposition(|(n, _, _)| n == name) {
+                    let (_, clock, start) = stack.remove(pos);
+                    if clock == e.clock {
+                        let d = e.ts.saturating_sub(start);
+                        let row = spans.get_mut(name).expect("span row exists");
+                        match clock {
+                            Clock::Virtual => row.virtual_ticks += d,
+                            Clock::Wall => row.wall_nanos += d,
+                        }
+                    }
+                }
+            }
+            EventKind::Point { .. } => {}
+        }
+    }
+    Aggregate {
+        counters: counters
+            .into_iter()
+            .map(|((name, key), total)| CounterRow {
+                name,
+                key: key_label(name, key),
+                total,
+            })
+            .collect(),
+        histograms: values
+            .into_iter()
+            .map(|(name, v)| (name, Histogram::from_values(v)))
+            .collect(),
+        spans: spans.into_values().collect(),
+        events: snap.events.len(),
+        dropped: snap.dropped,
+    }
+}
+
+/// Renders rows as an aligned text table (headers, dash rule, trailing
+/// spaces trimmed).
+fn aligned_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cols: &[&str]| {
+        for (i, (col, w)) in cols.iter().zip(&widths).enumerate() {
+            let pad = w - col.chars().count();
+            let _ = write!(
+                out,
+                "{}{}{}",
+                if i > 0 { "  " } else { "" },
+                col,
+                " ".repeat(pad)
+            );
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, headers);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    write_row(
+        &mut out,
+        &rule.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        write_row(
+            &mut out,
+            &row.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+    }
+    out
+}
+
+/// Renders the three-section human-readable summary of a snapshot.
+pub fn render_summary(snap: &Snapshot) -> String {
+    let agg = aggregate(snap);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Observability summary: {} events ({} dropped at capacity)",
+        agg.events, agg.dropped
+    );
+    out.push('\n');
+    out.push_str("Counters\n");
+    let counter_rows: Vec<Vec<String>> = agg
+        .counters
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.key.clone().unwrap_or_else(|| "-".to_string()),
+                c.total.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&aligned_table(&["Name", "Key", "Total"], &counter_rows));
+    out.push('\n');
+    out.push_str("Histograms\n");
+    let hist_rows: Vec<Vec<String>> = agg
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            vec![
+                name.to_string(),
+                h.count.to_string(),
+                h.min.to_string(),
+                h.p50.to_string(),
+                h.p90.to_string(),
+                h.p99.to_string(),
+                h.max.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&aligned_table(
+        &["Name", "Count", "Min", "P50", "P90", "P99", "Max"],
+        &hist_rows,
+    ));
+    out.push('\n');
+    out.push_str("Spans\n");
+    let span_rows: Vec<Vec<String>> = agg
+        .spans
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.count.to_string(),
+                s.virtual_ticks.to_string(),
+                (s.wall_nanos / 1000).to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&aligned_table(
+        &["Name", "Count", "Virtual(ticks)", "Wall(us)"],
+        &span_rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{link_key, ObsEvent, NO_KEY};
+
+    fn ev(lane: u32, clock: Clock, ts: u64, kind: EventKind) -> ObsEvent {
+        ObsEvent {
+            lane,
+            clock,
+            ts,
+            kind,
+        }
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            events: vec![
+                ev(0, Clock::Virtual, 10, EventKind::Begin("sim.event.invoke")),
+                ev(
+                    0,
+                    Clock::Virtual,
+                    10,
+                    EventKind::Counter {
+                        name: "sim.link.bytes",
+                        key: link_key(0, 1),
+                        delta: 16,
+                    },
+                ),
+                ev(
+                    0,
+                    Clock::Virtual,
+                    10,
+                    EventKind::Counter {
+                        name: "sim.invokes",
+                        key: NO_KEY,
+                        delta: 1,
+                    },
+                ),
+                ev(0, Clock::Virtual, 14, EventKind::End("sim.event.invoke")),
+                ev(
+                    0,
+                    Clock::Virtual,
+                    14,
+                    EventKind::Value {
+                        name: "sim.link.delay",
+                        value: 4,
+                    },
+                ),
+                ev(
+                    0,
+                    Clock::Virtual,
+                    15,
+                    EventKind::Value {
+                        name: "sim.link.delay",
+                        value: 9,
+                    },
+                ),
+                ev(1, Clock::Wall, 1000, EventKind::Begin("ralin.search")),
+                ev(1, Clock::Wall, 4500, EventKind::End("ralin.search")),
+            ],
+            dropped: 2,
+        }
+    }
+
+    #[test]
+    fn aggregate_totals_durations_and_percentiles() {
+        let agg = aggregate(&sample());
+        assert_eq!(agg.events, 8);
+        assert_eq!(agg.dropped, 2);
+        let bytes = agg
+            .counters
+            .iter()
+            .find(|c| c.name == "sim.link.bytes")
+            .unwrap();
+        assert_eq!(bytes.key.as_deref(), Some("0->1"));
+        assert_eq!(bytes.total, 16);
+        let (name, h) = &agg.histograms[0];
+        assert_eq!(*name, "sim.link.delay");
+        assert_eq!((h.count, h.min, h.max, h.sum), (2, 4, 9, 13));
+        // Bucket 3 holds [4,8), bucket 4 holds [8,16).
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[4], 1);
+        let sim = agg
+            .spans
+            .iter()
+            .find(|s| s.name == "sim.event.invoke")
+            .unwrap();
+        assert_eq!((sim.count, sim.virtual_ticks, sim.wall_nanos), (1, 4, 0));
+        let search = agg.spans.iter().find(|s| s.name == "ralin.search").unwrap();
+        assert_eq!(
+            (search.count, search.virtual_ticks, search.wall_nanos),
+            (1, 0, 3500)
+        );
+    }
+
+    #[test]
+    fn summary_table_aligns_and_lists_all_sections() {
+        let text = render_summary(&sample());
+        assert!(text.contains("8 events (2 dropped at capacity)"));
+        for section in ["Counters", "Histograms", "Spans"] {
+            assert!(text.contains(section), "missing section {section}");
+        }
+        assert!(text.contains("sim.link.bytes"));
+        assert!(text.contains("0->1"));
+        // Unkeyed counters show a dash.
+        let line = text.lines().find(|l| l.starts_with("sim.invokes")).unwrap();
+        assert!(line.contains('-'));
+    }
+
+    #[test]
+    fn histogram_of_empty_and_zero_values() {
+        let h = Histogram::from_values(vec![]);
+        assert_eq!((h.count, h.min, h.max, h.p50), (0, 0, 0, 0));
+        let h = Histogram::from_values(vec![0, 0, 1]);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! The workspace's **only** wall-clock read.
+//!
+//! The determinism lint (`ral-analyze`) bans `Instant`/`SystemTime`
+//! everywhere outside `crates/bench`, because wall time observed by
+//! trace-affecting code breaks seed-replayability. Observability needs
+//! wall time for exactly one thing — stamping events recorded *outside* a
+//! simulation's virtual clock (checker spans, pool utilization) — and by
+//! construction those stamps flow only into obs output, never into a
+//! trace, history, or verdict. That single justified read lives here,
+//! suppressed by the one `wall-clock` entry for this file in
+//! `crates/analyze/lint_allowlist.txt`; an `Instant` anywhere else in
+//! this crate still fails the gate (`lint_selftest.rs` pins that).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since a process-local anchor (the first call). Monotone,
+/// comparable within one process, meaningless across processes — which is
+/// all a trace viewer needs.
+pub fn now_nanos() -> u64 {
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    Instant::now().duration_since(anchor).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+    }
+}

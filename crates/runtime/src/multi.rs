@@ -15,6 +15,7 @@ use ral_core::bitset::BitSet;
 use ral_core::compose::ObjLabel;
 use ral_core::history::{History, OpRecord};
 use ral_core::ids::{ObjId, ReplicaId};
+use ral_obs as obs;
 
 /// Timestamp-generator sharing discipline for a composition of objects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -322,6 +323,7 @@ impl<C: OpBased> MultiCluster<C> {
     /// `pub`: the probe count is an implementation detail of the drain,
     /// not an API contract.
     fn deliver_all_counting(&mut self) -> u64 {
+        let _span = obs::span("runtime.multi.drain");
         let mut probes = 0;
         for idx in 0..self.replicas.len() {
             if !self.replicas[idx].up {
@@ -343,6 +345,9 @@ impl<C: OpBased> MultiCluster<C> {
                 }
             }
             self.pending[idx] = blocked;
+        }
+        if probes > 0 {
+            obs::counter("runtime.multi.probes", probes);
         }
         probes
     }

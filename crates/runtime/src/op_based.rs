@@ -13,6 +13,7 @@ use crate::gen::{GenCtx, GenOutcome};
 use ral_core::bitset::BitSet;
 use ral_core::history::{History, OpRecord};
 use ral_core::ids::ReplicaId;
+use ral_obs as obs;
 use std::fmt::Debug;
 
 /// An operation-based CRDT, in the style of Listings 1–5.
@@ -289,12 +290,15 @@ impl<C: OpBased> Cluster<C> {
 
     /// Delivers every pending effector everywhere, respecting causal order.
     pub fn deliver_all(&mut self) {
+        let _span = obs::span("runtime.deliver_all");
         loop {
             let mut progress = false;
+            obs::counter("runtime.deliver_rounds", 1);
             for r in 0..self.replicas.len() {
                 let r = ReplicaId(r as u32);
                 for d in self.deliverable(r) {
                     self.deliver(r, d);
+                    obs::counter("runtime.deliveries", 1);
                     progress = true;
                 }
             }

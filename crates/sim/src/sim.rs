@@ -27,6 +27,7 @@ use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
 use ral_core::ids::ReplicaId;
 use ral_core::rng::Rng;
+use ral_obs as obs;
 
 /// Configuration of one simulated run.
 #[derive(Clone, Debug)]
@@ -167,6 +168,12 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
     let mut routed = 0usize; // messages already put on links
     let mut now = SimTime::ZERO;
 
+    // Everything recorded until these guards drop carries sim-tick
+    // timestamps. Declaration order matters: `_run_span` drops first, so
+    // its End event is still stamped on the virtual clock.
+    let _vclock = obs::enter_virtual_clock(0);
+    let _run_span = obs::span("sim.run");
+
     // Seed the periodic activity…
     for r in 0..cfg.n_replicas {
         let r = ReplicaId(r as u32);
@@ -194,12 +201,15 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
             break; // active phase over; the queue drains into final sync
         }
         now = t;
+        obs::set_virtual_now(now.0);
         stats.events += 1;
         match event {
             Event::Invoke(r) => {
+                let _span = obs::span("sim.event.invoke");
                 let ok = driver.is_up(r) && driver.invoke(&mut rng, r);
                 if ok {
                     stats.invokes += 1;
+                    obs::counter("sim.invokes", 1);
                 }
                 trace.push(now, TraceEvent::Invoke { replica: r, ok });
                 route_new::<D>(
@@ -218,7 +228,11 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
                 );
             }
             Event::Gossip(r) => {
+                let _span = obs::span("sim.event.gossip");
                 let ok = driver.is_up(r) && driver.gossip(r);
+                if ok {
+                    obs::counter("sim.gossips", 1);
+                }
                 trace.push(now, TraceEvent::Gossip { replica: r, ok });
                 route_new::<D>(
                     driver,
@@ -236,7 +250,9 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
                 );
             }
             Event::Arrive { to, msg } => {
+                let _span = obs::span("sim.event.arrive");
                 let from = driver.origin(msg);
+                let link = obs::link_key(from.0, to.0);
                 let blocked = cfg.faults.cut(now, from, to) || !driver.is_up(to);
                 if blocked {
                     if D::RELIABLE {
@@ -244,10 +260,12 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
                         // the receiver is back.
                         let at = now + cfg.network.retry.max(1);
                         stats.retried += 1;
+                        obs::counter("sim.retries", 1);
                         trace.push(now, TraceEvent::Retry { msg, to, at });
                         queue.push(at, Event::Arrive { to, msg });
                     } else {
                         stats.dropped += 1;
+                        obs::counter_keyed("sim.link.dropped", link, 1);
                         trace.push(now, TraceEvent::Drop { msg, to });
                     }
                     continue;
@@ -255,6 +273,8 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
                 match driver.receive(to, msg) {
                     Received::Applied(n) => {
                         stats.applied += n;
+                        obs::counter_keyed("sim.link.delivered", link, 1);
+                        obs::counter_keyed("sim.link.applied", link, n as u64);
                         trace.push(
                             now,
                             TraceEvent::Deliver {
@@ -266,6 +286,7 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
                     }
                     Received::Held => {
                         stats.held += 1;
+                        obs::counter("sim.held", 1);
                         trace.push(now, TraceEvent::Hold { msg, to });
                     }
                     Received::Ignored => {
@@ -274,16 +295,20 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
                 }
             }
             Event::PartitionStart(w) => {
+                obs::instant_keyed("sim.partition.start", w as u64);
                 trace.push(now, TraceEvent::PartitionStart { window: w });
             }
             Event::PartitionEnd(w) => {
+                obs::instant_keyed("sim.partition.end", w as u64);
                 trace.push(now, TraceEvent::PartitionEnd { window: w });
             }
             Event::Crash(r) => {
+                obs::instant_keyed("sim.crash", r.0 as u64);
                 driver.crash(r);
                 trace.push(now, TraceEvent::Crash { replica: r });
             }
             Event::Restart(r) => {
+                obs::instant_keyed("sim.restart", r.0 as u64);
                 driver.restart(r);
                 trace.push(now, TraceEvent::Restart { replica: r });
             }
@@ -292,6 +317,9 @@ pub fn run<D: Driver>(driver: &mut D, cfg: &SimConfig, seed: u64) -> SimRun {
 
     if cfg.final_sync {
         now = cfg.duration;
+        obs::set_virtual_now(now.0);
+        obs::instant("sim.final_sync");
+        let _span = obs::span("sim.event.final_sync");
         trace.push(now, TraceEvent::FinalSync);
         driver.final_sync();
     }
@@ -326,14 +354,20 @@ fn route_new<D: Driver>(
             if to == from {
                 continue;
             }
+            let link = obs::link_key(from.0, to.0);
             if !D::RELIABLE && rng.random_bool(cfg.network.faults.drop) {
                 stats.dropped += 1;
+                obs::counter_keyed("sim.link.dropped", link, 1);
                 trace.push(now, TraceEvent::Drop { msg, to });
                 continue;
             }
             let delay = cfg.network.delay(rng, from, to).max(1);
+            let bytes = driver.message_bytes(msg, to) as u64;
             stats.sends += 1;
-            stats.payload_bytes += driver.message_bytes(msg, to) as u64;
+            stats.payload_bytes += bytes;
+            obs::counter_keyed("sim.link.sends", link, 1);
+            obs::counter_keyed("sim.link.bytes", link, bytes);
+            obs::observe("sim.link.delay", delay);
             trace.push(
                 now,
                 TraceEvent::Send {
@@ -349,7 +383,11 @@ fn route_new<D: Driver>(
                 let delay = cfg.network.delay(rng, from, to).max(1);
                 stats.duplicated += 1;
                 stats.sends += 1;
-                stats.payload_bytes += driver.message_bytes(msg, to) as u64;
+                stats.payload_bytes += bytes;
+                obs::counter_keyed("sim.link.duplicated", link, 1);
+                obs::counter_keyed("sim.link.sends", link, 1);
+                obs::counter_keyed("sim.link.bytes", link, bytes);
+                obs::observe("sim.link.delay", delay);
                 trace.push(
                     now,
                     TraceEvent::Send {

@@ -13,12 +13,15 @@
 //! * [`sim`] — the deterministic discrete-event network simulator
 //!   (latency, partitions, crashes, topologies) and its scenario corpus;
 //! * [`verify`] — the property-based verification harness (Commutativity,
-//!   Refinement, Prop1–Prop6) and the Figure 12 report.
+//!   Refinement, Prop1–Prop6) and the Figure 12 report;
+//! * [`obs`] — structured observability (spans, counters, histograms)
+//!   with Chrome-trace/Perfetto export. See `examples/observability.rs`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use ral_core as core;
 pub use ral_crdts as crdts;
+pub use ral_obs as obs;
 pub use ral_runtime as runtime;
 pub use ral_sim as sim;
 pub use ral_spec as spec;

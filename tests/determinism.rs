@@ -109,6 +109,21 @@ fn partitioned_same_seed_is_byte_identical() {
     }
 }
 
+/// Observability is inert: recording events must not perturb a scheduler
+/// run. Same seed, recording off vs on, byte-identical histories — the
+/// load-bearing invariant that lets `RAL_OBS=1` be turned on in
+/// production runs without invalidating recorded seeds.
+#[test]
+fn obs_recording_leaves_histories_byte_identical() {
+    let off = op_based_bytes(42);
+    ral_obs::reset();
+    ral_obs::enable(None);
+    let on = op_based_bytes(42);
+    ral_obs::disable();
+    ral_obs::reset();
+    assert_eq!(off, on, "recording changed an op-based scheduler run");
+}
+
 #[test]
 fn raw_rng_stream_is_stable_within_a_run() {
     // The schedulers above go through closures; this pins the raw stream

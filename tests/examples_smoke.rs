@@ -18,6 +18,7 @@ const EXAMPLES: &[&str] = &[
     "fig12_report",
     "kv_store",
     "network_partition",
+    "observability",
     "partition_demo",
     "quickstart",
     "shopping_cart",

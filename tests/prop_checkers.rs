@@ -16,7 +16,7 @@ use ral_core::ids::ReplicaId;
 use ral_core::label::{Identity, Rewrite};
 use ral_core::ralin::{
     check_guided, count_linearizations, search_brute_with_budget, search_with_budget,
-    search_with_threads, SearchOutcome, Strategy,
+    search_with_threads, search_with_threads_stats, SearchOutcome, Strategy,
 };
 use ral_core::rng::run_seeded_cases;
 use ral_core::spec::Spec;
@@ -378,6 +378,56 @@ fn memo_matches_brute_on_refutations() {
         }
         cross_check(&corrupted, &CounterSpec);
     });
+}
+
+/// Refutations are where memoization earns its keep: at `n ≥ 8`
+/// concurrent increments the impossible-read walk revisits placed-set
+/// configurations, so the reported hit rate is non-zero — and because a
+/// refutation runs every branch to completion, the exploration counters
+/// are identical at any thread count (the [`SearchStats`] determinism
+/// contract).
+///
+/// [`SearchStats`]: ral_core::ralin::SearchStats
+#[test]
+fn refuting_runs_hit_the_memo_table() {
+    use ral_core::history::OpRecord;
+    use ral_spec::counter::CounterOp;
+
+    for n in [8usize, 10, 12] {
+        let mut h = History::new();
+        let incs: Vec<usize> = (0..n)
+            .map(|i| h.push(OpRecord::new(CounterOp::Inc, ReplicaId(i as u32)), []))
+            .collect();
+        h.push(
+            OpRecord::new(CounterOp::Read(n as i64 + 1), ReplicaId(0)),
+            incs,
+        );
+
+        let (seq, seq_stats) = search_with_threads_stats(&h, &CounterSpec, u64::MAX, 1);
+        assert!(seq.is_refuted(), "n = {n}");
+        assert!(
+            seq_stats.memo_hits > 0,
+            "n = {n}: no memo hits on a refutation"
+        );
+        assert!(seq_stats.memo_hit_rate() > 0.0, "n = {n}");
+        assert!(seq_stats.nodes_expanded > 0, "n = {n}");
+
+        let (par, par_stats) = search_with_threads_stats(&h, &CounterSpec, u64::MAX, 3);
+        assert!(par.is_refuted(), "n = {n}");
+        assert_eq!(
+            (
+                seq_stats.nodes_expanded,
+                seq_stats.memo_hits,
+                seq_stats.prune_causes()
+            ),
+            (
+                par_stats.nodes_expanded,
+                par_stats.memo_hits,
+                par_stats.prune_causes()
+            ),
+            "n = {n}: refuting-run exploration counters must be thread-count independent"
+        );
+    }
 }
 
 /// Tampering with a counter read's return value must be caught by both

@@ -86,22 +86,27 @@ fn multi_run(sc: &Scenario, seed: u64) -> RunBytes {
     multi_run_mode(sc, seed, TsMode::Shared)
 }
 
+/// The cluster kind each corpus scenario most stresses.
+fn runner_for(name: &str) -> fn(&Scenario, u64) -> RunBytes {
+    match name {
+        // Reliable causal broadcast through geo latency and partitions…
+        "geo_3dc" | "split_brain_heal" => op_run,
+        // …lossy gossip through faults, restarts, and the big mesh…
+        "flaky_wan" | "rolling_restart" | "gossip_50" => state_run,
+        // …the delta transport through its own stress scenario…
+        "delta_wan" => delta_run,
+        // …and the composed cluster through the 50×32 object mix.
+        "multi_mix" => multi_run,
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
 /// Every named scenario, each through the cluster kind it most stresses;
 /// byte-identical reruns for several seeds, and distinct seeds distinct.
 #[test]
 fn all_seven_scenarios_are_byte_deterministic() {
     for sc in scenario::all() {
-        let runner: fn(&Scenario, u64) -> RunBytes = match sc.name {
-            // Reliable causal broadcast through geo latency and partitions…
-            "geo_3dc" | "split_brain_heal" => op_run,
-            // …lossy gossip through faults, restarts, and the big mesh…
-            "flaky_wan" | "rolling_restart" | "gossip_50" => state_run,
-            // …the delta transport through its own stress scenario…
-            "delta_wan" => delta_run,
-            // …and the composed cluster through the 50×32 object mix.
-            "multi_mix" => multi_run,
-            other => panic!("unknown scenario {other}"),
-        };
+        let runner = runner_for(sc.name);
         for seed in [0u64, 42] {
             let (trace_a, hist_a) = runner(&sc, seed);
             let (trace_b, hist_b) = runner(&sc, seed);
@@ -165,6 +170,25 @@ fn multi_cluster_scenario_is_byte_deterministic() {
     };
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));
+}
+
+/// Observability is inert under simulation: every corpus scenario
+/// replays byte-identically — trace and history — with recording on.
+/// This is the obs layer's non-negotiable contract: spans and counters
+/// observe the run, they never steer it.
+#[test]
+fn obs_recording_leaves_every_scenario_byte_identical() {
+    for sc in scenario::all() {
+        let runner = runner_for(sc.name);
+        let off = runner(&sc, 7);
+        ral_obs::reset();
+        ral_obs::enable(None);
+        let on = runner(&sc, 7);
+        ral_obs::disable();
+        ral_obs::reset();
+        assert_eq!(off.0, on.0, "{}: recording changed the trace", sc.name);
+        assert_eq!(off.1, on.1, "{}: recording changed the history", sc.name);
+    }
 }
 
 /// Crash/restart bookkeeping is part of the determinism contract: the
