@@ -53,6 +53,15 @@ step cargo bench --offline --bench composed_scaling -- --quick --save "$PWD/BENC
 # this step; OBS_report.json persists the span/counter aggregates per
 # commit (the full Perfetto trace stays local — it is tens of MB).
 step env RAL_OBS=1 RAL_OBS_OUT="$PWD/OBS_trace.json" cargo run --offline --example observability
+# Fuzz smoke: a fixed-seed coverage-guided campaign over every shipped
+# family. Fails on any finding (the shrunk counterexample is printed) or
+# if structural coverage drops below the 900-per-mille baseline; the
+# campaign is deterministic per seed, so FUZZ_report.json is a stable
+# per-commit artifact (modulo its wall_nanos field). The --broken run is
+# the oracle's negative control: the deliberately broken fixtures must be
+# caught and shrunk, or the step fails.
+step cargo run --offline --release -p ral-fuzz -- --quick --seed 1 --min-coverage 900 --report "$PWD/FUZZ_report.json"
+step cargo run --offline --release -p ral-fuzz -- --broken --seed 1 --runs 10 --no-report
 # Static-analysis gate: bounded-exhaustive simulation-obligation checking
 # over every shipped CRDT plus the workspace determinism lint. Exits
 # non-zero on any undischarged obligation, unrefuted negative fixture, or
@@ -60,4 +69,4 @@ step env RAL_OBS=1 RAL_OBS_OUT="$PWD/OBS_trace.json" cargo run --offline --examp
 step cargo run --offline --release -p ral-analyze -- --report "$PWD/ANALYZE_report.json"
 
 echo
-echo "CI green: fmt, clippy, docs, build, examples, tests, benches, analyze gate all pass offline."
+echo "CI green: fmt, clippy, docs, build, examples, tests, benches, fuzz smoke, analyze gate all pass offline."

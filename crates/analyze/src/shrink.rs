@@ -36,6 +36,41 @@ pub fn shrink_trace<E: Clone, F: FnMut(&[E]) -> bool>(events: &[E], mut still_fa
     }
 }
 
+/// Minimizes a scalar toward `min` while `still_fails` holds.
+///
+/// The companion to [`shrink_trace`] for the *quantitative* parts of a
+/// counterexample (durations, op budgets, window lengths): first a
+/// bisection toward `min`, then unit decrements, repeated until a full
+/// pass makes no progress. Because the passes run to their own fixpoint,
+/// re-shrinking the result is the identity (given a deterministic
+/// predicate) — the property the fuzz fixtures pin.
+///
+/// `still_fails(current)` is assumed to hold on entry; the function never
+/// probes values below `min` and returns a value on which `still_fails`
+/// held (or `current.max(min)` untouched if nothing smaller failed).
+pub fn shrink_scalar<F: FnMut(u64) -> bool>(current: u64, min: u64, mut still_fails: F) -> u64 {
+    let mut cur = current.max(min);
+    loop {
+        let mut next = cur;
+        // Bisect toward the floor while the failure persists…
+        loop {
+            let mid = min + (next - min) / 2;
+            if mid == next || !still_fails(mid) {
+                break;
+            }
+            next = mid;
+        }
+        // …then creep down by units to the exact boundary.
+        while next > min && still_fails(next - 1) {
+            next -= 1;
+        }
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +102,23 @@ mod tests {
         let events = vec![1, 2];
         let shrunk = shrink_trace(&events, |t| t.len() == 2);
         assert_eq!(shrunk, vec![1, 2]);
+    }
+
+    #[test]
+    fn scalar_shrink_finds_the_boundary() {
+        // Fails for any value >= 37: must land exactly on 37.
+        assert_eq!(shrink_scalar(1000, 0, |v| v >= 37), 37);
+        // Floor respected even when everything fails.
+        assert_eq!(shrink_scalar(1000, 5, |_| true), 5);
+        // Nothing smaller fails: untouched.
+        assert_eq!(shrink_scalar(12, 0, |v| v >= 12), 12);
+    }
+
+    #[test]
+    fn scalar_shrink_is_a_fixpoint() {
+        let pred = |v: u64| v >= 37 || (v % 10 == 3);
+        let once = shrink_scalar(1000, 0, pred);
+        let twice = shrink_scalar(once, 0, pred);
+        assert_eq!(once, twice, "re-shrinking must be the identity");
     }
 }

@@ -1,0 +1,96 @@
+//! Fuzzer throughput: scenarios generated/sec, full campaign cost, and
+//! the price of shrinking one counterexample.
+//!
+//! Three groups on the internal harness:
+//!
+//! * `generate` — derive + render + parse one scenario per shipped
+//!   family draw (the pure-generator hot path, no simulation);
+//! * `campaign` — a complete seeded 20-run campaign over the shipped
+//!   families (replay + oracle cross-check + coverage accounting), which
+//!   must end with zero findings;
+//! * `shrink` — delta-debug one diverging `broken_counter` scenario to
+//!   its 1-minimal core (the per-finding cost a real campaign pays).
+//!
+//! Every run is deterministic, so each group also asserts its outcome —
+//! a fuzzer regression (missed negative control, lost coverage, shrink
+//! blow-up) fails the bench rather than silently shifting the numbers.
+//!
+//! Run with `cargo bench -p ral-bench --bench fuzz_throughput`.
+
+use ral_bench::{bench_group, bench_main, Criterion};
+use ral_core::rng::Rng;
+use ral_fuzz::oracle::{run_scenario, VerdictKind};
+use ral_fuzz::scenario::{Family, FuzzScenario};
+use ral_fuzz::{fuzz, gen, shrink, FuzzConfig};
+use std::hint::black_box;
+
+fn generate_and_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_throughput/generate");
+    group.sample_size(11);
+    group.bench_function("gen_render_parse_x100", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from_u64(7);
+            let families = Family::SHIPPED.to_vec();
+            let mut bytes = 0usize;
+            for _ in 0..100 {
+                let sc = gen::generate(&mut rng, &families);
+                let rendered = sc.render();
+                let parsed = FuzzScenario::parse(&rendered).expect("round-trip");
+                assert_eq!(parsed, sc);
+                bytes += rendered.len();
+            }
+            black_box(bytes)
+        })
+    });
+    group.finish();
+}
+
+fn campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_throughput/campaign");
+    group.sample_size(5);
+    let cfg = FuzzConfig {
+        seed: 1,
+        runs: 20,
+        search_budget: 200_000,
+        ..Default::default()
+    };
+    group.bench_function("shipped_20_runs", |b| {
+        b.iter(|| {
+            let out = fuzz(&cfg);
+            assert!(out.findings.is_empty(), "shipped families must pass");
+            assert!(out.coverage.hit() > 0);
+            black_box(out.stream_fnv)
+        })
+    });
+    group.finish();
+}
+
+fn shrink_one_finding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_throughput/shrink");
+    group.sample_size(5);
+    // A diverging BrokenCounter scenario, found deterministically once.
+    let sc = {
+        let mut rng = Rng::seed_from_u64(1);
+        (0..200)
+            .map(|_| gen::generate_for_family(&mut rng, Family::BrokenCounter))
+            .find(|sc| run_scenario(sc, 1_000).verdict == VerdictKind::Diverged)
+            .expect("a diverging BrokenCounter scenario")
+    };
+    group.bench_function("broken_counter_to_core", |b| {
+        b.iter(|| {
+            let out = shrink::shrink(&sc, 1_000, 400);
+            assert_eq!(out.verdict, VerdictKind::Diverged);
+            assert!(out.scenario.n_elements() <= 6, "shrink regressed");
+            black_box(out.replays)
+        })
+    });
+    group.finish();
+}
+
+bench_group!(
+    fuzz_throughput,
+    generate_and_roundtrip,
+    campaign,
+    shrink_one_finding
+);
+bench_main!(fuzz_throughput);

@@ -1,0 +1,62 @@
+//! Regenerates the byte-pinned counterexample fixtures under
+//! `tests/fixtures/` from the seeded negative-control campaigns.
+//!
+//! ```text
+//! cargo run -p ral-fuzz --example regen_fixtures
+//! ```
+//!
+//! For each negative-control family this runs the exact campaign
+//! `tests/fuzz_negative_control.rs` runs, takes the first shrunk finding,
+//! and writes its byte-stable rendering next to the root test suite. Run
+//! it (and re-check the pinned seeds it prints) whenever the generator,
+//! the oracle, or the shrinker changes shape; the test then fails loudly
+//! until the new bytes are reviewed and committed.
+
+use ral_fuzz::scenario::Family;
+use ral_fuzz::{fuzz, FuzzConfig};
+use std::path::Path;
+
+/// The campaign `tests/fuzz_negative_control.rs` pins: one family, a
+/// bounded number of runs, a checker budget too small to matter (broken
+/// families fail before the search), and a generous shrink allowance.
+fn campaign(family: Family, seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        seed,
+        runs: 10,
+        families: vec![family],
+        search_budget: 1_000,
+        shrink_replays: 400,
+    }
+}
+
+fn main() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("tests/fixtures");
+    std::fs::create_dir_all(&fixtures).expect("create tests/fixtures");
+    for (family, file) in [
+        (Family::BrokenCounter, "fuzz_broken_counter.txt"),
+        (Family::SummingCounter, "fuzz_summing_counter.txt"),
+    ] {
+        // The first seed whose bounded campaign catches the bug; the test
+        // hardcodes the same seed, so a generator change that shifts it
+        // must be mirrored there.
+        let (seed, out) = (1..=20)
+            .map(|seed| (seed, fuzz(&campaign(family, seed))))
+            .find(|(_, out)| !out.findings.is_empty())
+            .unwrap_or_else(|| panic!("{}: no finding in seeds 1..=20", family.name()));
+        let finding = &out.findings[0];
+        let path = fixtures.join(file);
+        std::fs::write(&path, finding.shrunk.render()).expect("write fixture");
+        println!(
+            "{}: seed {} verdict {} ({} -> {} elements, {} replays) -> {}",
+            family.name(),
+            seed,
+            finding.verdict.name(),
+            finding.original.n_elements(),
+            finding.shrunk.n_elements(),
+            finding.replays,
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! The corpus pool: deduplicated scenarios worth mutating again.
+//!
+//! Admission is novelty-gated: a scenario enters only if its run hit a
+//! never-seen coverage dimension or lit up a new dimension-*combination*
+//! (signature). Scheduling is novelty-weighted — scenarios that opened more
+//! of the map get proportionally more mutation turns — which is the whole
+//! "coverage-guided" feedback loop in one structure.
+//!
+//! Dedup keys are FNV fingerprints of the canonical fixture rendering
+//! ([`crate::scenario::FuzzScenario::render`]), so two structurally equal
+//! scenarios collide no matter how they were produced.
+
+use crate::scenario::FuzzScenario;
+use ral_core::rng::Rng;
+use ral_core::spec::fingerprint;
+use std::collections::BTreeSet;
+
+struct Entry {
+    sc: FuzzScenario,
+    novelty: u64,
+}
+
+/// The deduplicated, novelty-weighted scenario pool.
+#[derive(Default)]
+pub struct Corpus {
+    entries: Vec<Entry>,
+    seen: BTreeSet<u64>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus {
+            entries: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Registers a candidate before it runs. Returns `false` if an equal
+    /// scenario was already observed (the caller skips the replay).
+    pub fn observe(&mut self, sc: &FuzzScenario) -> bool {
+        self.seen.insert(fingerprint(&sc.render()))
+    }
+
+    /// Admits a scenario whose run produced novelty (weight `novelty > 0`).
+    pub fn add(&mut self, sc: FuzzScenario, novelty: u64) {
+        debug_assert!(novelty > 0, "novelty-gated admission");
+        self.entries.push(Entry { sc, novelty });
+    }
+
+    /// Number of admitted scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Picks a scenario to mutate, with probability proportional to its
+    /// admission novelty.
+    pub fn pick(&self, rng: &mut Rng) -> Option<&FuzzScenario> {
+        let total: u64 = self.entries.iter().map(|e| e.novelty).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut roll = rng.random_range(0..total);
+        for e in &self.entries {
+            if roll < e.novelty {
+                return Some(&e.sc);
+            }
+            roll -= e.novelty;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::scenario::Family;
+
+    #[test]
+    fn observe_dedups_on_structure() {
+        let mut rng = Rng::seed_from_u64(5);
+        let sc = gen::generate(&mut rng, &Family::SHIPPED);
+        let mut corpus = Corpus::new();
+        assert!(corpus.observe(&sc));
+        assert!(!corpus.observe(&sc.clone()), "same rendering, same key");
+        let other = gen::generate(&mut rng, &Family::SHIPPED);
+        assert!(corpus.observe(&other));
+    }
+
+    #[test]
+    fn pick_prefers_high_novelty() {
+        let mut rng = Rng::seed_from_u64(6);
+        let a = gen::generate(&mut rng, &Family::SHIPPED);
+        let b = gen::generate(&mut rng, &Family::SHIPPED);
+        let mut corpus = Corpus::new();
+        corpus.add(a.clone(), 99);
+        corpus.add(b.clone(), 1);
+        let mut a_hits = 0;
+        for _ in 0..200 {
+            if corpus.pick(&mut rng).unwrap() == &a {
+                a_hits += 1;
+            }
+        }
+        assert!(a_hits > 150, "novelty weighting ignored: {a_hits}/200");
+    }
+
+    #[test]
+    fn empty_corpus_picks_nothing() {
+        let mut rng = Rng::seed_from_u64(7);
+        assert!(Corpus::new().pick(&mut rng).is_none());
+    }
+}

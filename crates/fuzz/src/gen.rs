@@ -1,0 +1,232 @@
+//! Seeded scenario generation and mutation.
+//!
+//! Everything here is a pure function of the supplied [`Rng`]: the fuzz
+//! loop owns one seeded stream, so the i-th generated scenario is a pure
+//! function of `(fuzzer seed, i)` — the determinism contract the fixture
+//! pins (`tests/fuzz_determinism.rs`).
+//!
+//! Parameter ranges are tuned so every generated run stays *checkable*:
+//! op-based and composed families face a complete search, so their
+//! histories are capped tighter than the gossip families whose oracle is
+//! convergence plus lattice laws.
+
+use crate::scenario::{Family, FuzzCrash, FuzzPartition, FuzzScenario, FuzzTopology, Transport};
+use ral_core::rng::Rng;
+use ral_runtime::multi::TsMode;
+
+/// Generates one scenario for a family drawn from `families`.
+pub fn generate(rng: &mut Rng, families: &[Family]) -> FuzzScenario {
+    assert!(!families.is_empty(), "no families to fuzz");
+    let family = families[rng.random_range(0..families.len())];
+    generate_for_family(rng, family)
+}
+
+/// Generates one scenario of the given family.
+pub fn generate_for_family(rng: &mut Rng, family: Family) -> FuzzScenario {
+    let transport = family.transport();
+    // Search-facing families keep clusters and histories small; the
+    // gossip families can afford wider clusters and more ops.
+    let (n_replicas, max_invokes) = match (transport, family) {
+        (_, Family::OpWooki) => (rng.random_range(2..=3u32), rng.random_range(4..=8u64)),
+        (Transport::Op | Transport::Multi, _) => {
+            (rng.random_range(2..=4u32), rng.random_range(6..=12u64))
+        }
+        (Transport::State | Transport::Delta, _) => {
+            (rng.random_range(2..=6u32), rng.random_range(8..=16u64))
+        }
+    };
+    let duration = rng.random_range(150..=400u64);
+    let lossy = matches!(transport, Transport::State | Transport::Delta);
+    let mut sc = FuzzScenario {
+        family,
+        ts_mode: if rng.random_bool(0.5) {
+            TsMode::Shared
+        } else {
+            TsMode::PerObject
+        },
+        n_objects: match transport {
+            Transport::Multi => rng.random_range(2..=4u32),
+            _ => 1,
+        },
+        n_replicas,
+        duration,
+        invoke: (rng.random_range(8..=25u64), rng.random_range(0..=12u64)),
+        gossip: (rng.random_range(6..=20u64), rng.random_range(0..=8u64)),
+        topo: random_topology(rng, n_replicas),
+        drop_pm: if lossy && rng.random_bool(0.5) {
+            rng.random_range(1..=250u32)
+        } else {
+            0
+        },
+        dup_pm: if lossy && rng.random_bool(0.35) {
+            rng.random_range(1..=150u32)
+        } else {
+            0
+        },
+        retry: rng.random_range(5..=20u64),
+        resync_after: rng.random_range(4..=16u64),
+        max_invokes,
+        sim_seed: rng.next_u64(),
+        partitions: Vec::new(),
+        crashes: Vec::new(),
+    };
+    let n_partitions = [0usize, 1, 1, 2][rng.random_range(0..4usize)];
+    for _ in 0..n_partitions {
+        let p = random_partition(rng, &sc);
+        sc.partitions.push(p);
+    }
+    let n_crashes = [0usize, 0, 1, 2][rng.random_range(0..4usize)];
+    for _ in 0..n_crashes {
+        let c = random_crash(rng, &sc);
+        sc.crashes.push(c);
+    }
+    debug_assert!(sc.validate().is_ok(), "generator broke its own invariants");
+    sc
+}
+
+fn random_topology(rng: &mut Rng, n_replicas: u32) -> FuzzTopology {
+    if n_replicas < 3 || rng.random_bool(0.6) {
+        FuzzTopology::Uniform {
+            base: rng.random_range(1..=30u64),
+            jitter: rng.random_range(0..=20u64),
+        }
+    } else {
+        let n_dcs = rng.random_range(2..=3u32.min(n_replicas));
+        // Round-robin assignment guarantees every DC is populated, then a
+        // shuffle decorrelates DC membership from replica ids.
+        let mut dc_of: Vec<u32> = (0..n_replicas).map(|r| r % n_dcs).collect();
+        rng.shuffle(&mut dc_of);
+        FuzzTopology::DataCenters {
+            dc_of,
+            intra: (rng.random_range(1..=3u64), rng.random_range(0..=2u64)),
+            inter: (rng.random_range(30..=60u64), rng.random_range(0..=25u64)),
+        }
+    }
+}
+
+fn random_partition(rng: &mut Rng, sc: &FuzzScenario) -> FuzzPartition {
+    let start = rng.random_range(10..=sc.duration / 2);
+    let len = rng.random_range(20..=sc.duration / 2);
+    // Up to three-way splits on clusters big enough to have three sides.
+    let sides = if sc.n_replicas >= 3 && rng.random_bool(0.3) {
+        3
+    } else {
+        2
+    };
+    let groups = (0..sc.n_replicas)
+        .map(|_| rng.random_range(0..sides))
+        .collect();
+    FuzzPartition {
+        start,
+        end: start + len,
+        groups,
+    }
+}
+
+fn random_crash(rng: &mut Rng, sc: &FuzzScenario) -> FuzzCrash {
+    let replica = rng.random_range(0..sc.n_replicas);
+    let crash_at = rng.random_range(20..=sc.duration * 2 / 3);
+    let restart_at = if rng.random_bool(0.75) {
+        Some(crash_at + rng.random_range(20..=120u64))
+    } else {
+        None
+    };
+    FuzzCrash {
+        replica,
+        crash_at,
+        restart_at,
+    }
+}
+
+/// Mutates a corpus scenario: 1–3 random small edits (the coverage loop
+/// feeds back high-novelty seeds through this).
+pub fn mutate(rng: &mut Rng, sc: &FuzzScenario) -> FuzzScenario {
+    let mut out = sc.clone();
+    let edits = rng.random_range(1..=3usize);
+    for _ in 0..edits {
+        match rng.random_range(0..8u32) {
+            // A fresh workload/latency draw over the same structure.
+            0 => out.sim_seed = rng.next_u64(),
+            // Nudge the invoke cadence (contention knob).
+            1 => out.invoke.0 = rng.random_range(8..=25u64),
+            // Add or re-roll a partition.
+            2 => {
+                if out.partitions.len() < 3 {
+                    let p = random_partition(rng, &out);
+                    out.partitions.push(p);
+                } else {
+                    let i = rng.random_range(0..out.partitions.len());
+                    out.partitions[i] = random_partition(rng, &out);
+                }
+            }
+            // Add or re-roll a crash.
+            3 => {
+                if out.crashes.len() < 3 {
+                    let c = random_crash(rng, &out);
+                    out.crashes.push(c);
+                } else {
+                    let i = rng.random_range(0..out.crashes.len());
+                    out.crashes[i] = random_crash(rng, &out);
+                }
+            }
+            // Re-roll the topology.
+            4 => out.topo = random_topology(rng, out.n_replicas),
+            // Flip the timestamp discipline (composed stores only).
+            5 => {
+                out.ts_mode = match out.ts_mode {
+                    TsMode::Shared => TsMode::PerObject,
+                    TsMode::PerObject => TsMode::Shared,
+                };
+            }
+            // Re-roll link faults on lossy transports.
+            6 => {
+                if matches!(out.family.transport(), Transport::State | Transport::Delta) {
+                    out.drop_pm = rng.random_range(0..=250u32);
+                    out.dup_pm = rng.random_range(0..=150u32);
+                }
+            }
+            // Stretch or squeeze the run (more/less overlap with faults).
+            _ => out.duration = rng.random_range(150..=400u64),
+        }
+    }
+    debug_assert!(out.validate().is_ok(), "mutation broke scenario invariants");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let gen_stream = |seed: u64| -> Vec<String> {
+            let mut rng = Rng::seed_from_u64(seed);
+            (0..30)
+                .map(|_| generate(&mut rng, &Family::SHIPPED).render())
+                .collect()
+        };
+        assert_eq!(gen_stream(7), gen_stream(7));
+        assert_ne!(gen_stream(7), gen_stream(8));
+    }
+
+    #[test]
+    fn generated_scenarios_validate_and_round_trip() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..200 {
+            let sc = generate(&mut rng, &Family::ALL);
+            sc.validate().expect("generated scenario must validate");
+            let back = FuzzScenario::parse(&sc.render()).unwrap();
+            assert_eq!(back, sc);
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let mut rng = Rng::seed_from_u64(13);
+        let mut sc = generate(&mut rng, &Family::SHIPPED);
+        for _ in 0..100 {
+            sc = mutate(&mut rng, &sc);
+            sc.validate().expect("mutated scenario must validate");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+#![warn(missing_docs)]
+//! `ral-fuzz` — a coverage-guided scenario fuzzer for the RA-linearizability
+//! toolchain, with delta-debugged counterexample shrinking.
+//!
+//! The loop is classic greybox fuzzing transplanted from programs to
+//! *distributed executions*:
+//!
+//! 1. [`gen`] derives a random [`scenario::FuzzScenario`] from the seeded
+//!    stream — topology, link faults, partition windows, crash plans, and a
+//!    per-family workload over every shipped CRDT and both timestamp
+//!    disciplines — or mutates a high-novelty corpus entry.
+//! 2. [`oracle`] replays it on the `ral-sim` discrete-event engine and
+//!    cross-checks the outcome: convergence, lattice laws, and the
+//!    independent RA-linearizability deciders run side by side
+//!    ([`ral_verify::crosscheck`]).
+//! 3. [`coverage`] scores which structural shapes the run exercised; novel
+//!    runs enter the [`corpus`] and get mutated again.
+//! 4. Findings (divergence, lattice violation, refutation, or checker
+//!    disagreement) are [`shrink`]-minimized to a 1-minimal scenario and
+//!    rendered as a byte-stable fixture anyone can replay.
+//!
+//! Everything is a pure function of the fuzzer seed: the scenario stream,
+//! the coverage map, the verdict counters, and every shrunk counterexample
+//! (`tests/fuzz_determinism.rs` pins this).
+
+pub mod corpus;
+pub mod coverage;
+pub mod gen;
+pub mod oracle;
+pub mod report;
+pub mod scenario;
+pub mod shrink;
+
+use corpus::Corpus;
+use coverage::CoverageMap;
+use oracle::VerdictKind;
+use ral_core::rng::Rng;
+use ral_core::spec::fingerprint;
+use scenario::{Family, FuzzScenario};
+use std::collections::BTreeMap;
+
+/// Everything one fuzzing campaign needs to be reproducible.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Seed of the whole campaign (scenario stream, mutation choices).
+    pub seed: u64,
+    /// Scenario attempts (duplicates count — they cost no replay).
+    pub runs: u64,
+    /// Families to draw from (default: every shipped family).
+    pub families: Vec<Family>,
+    /// Node budget per complete-search decider.
+    pub search_budget: u64,
+    /// Simulation-replay budget per shrink.
+    pub shrink_replays: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 1,
+            runs: 200,
+            families: Family::SHIPPED.to_vec(),
+            search_budget: 500_000,
+            shrink_replays: 400,
+        }
+    }
+}
+
+/// One shrunk counterexample.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The scenario as generated.
+    pub original: FuzzScenario,
+    /// The 1-minimal scenario preserving the verdict.
+    pub shrunk: FuzzScenario,
+    /// What the replay proved.
+    pub verdict: VerdictKind,
+    /// The oracle's account of the failure.
+    pub detail: String,
+    /// Simulations spent shrinking.
+    pub replays: u64,
+}
+
+/// The result of a campaign: counters, the coverage map, and every finding.
+#[derive(Debug, Default)]
+pub struct FuzzOutcome {
+    /// Scenario attempts made.
+    pub runs: u64,
+    /// Attempts skipped as structural duplicates (no replay spent).
+    pub dedup: u64,
+    /// Runs that earned corpus admission (new dimension or signature).
+    pub novel: u64,
+    /// Per-verdict run counts, keyed by [`VerdictKind::name`].
+    pub verdicts: BTreeMap<&'static str, u64>,
+    /// The structural-coverage map over all replayed runs.
+    pub coverage: CoverageMap,
+    /// Shrunk counterexamples, in discovery order.
+    pub findings: Vec<Finding>,
+    /// FNV fingerprint folded over the rendered scenario stream — the
+    /// cheapest possible "same seed, same campaign" pin.
+    pub stream_fnv: u64,
+}
+
+impl FuzzOutcome {
+    fn new() -> Self {
+        FuzzOutcome {
+            coverage: CoverageMap::new(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs one fuzzing campaign.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut corpus = Corpus::new();
+    let mut out = FuzzOutcome::new();
+    for _ in 0..cfg.runs {
+        out.runs += 1;
+        // Half the attempts mutate a prior high-novelty scenario (once the
+        // corpus has any), half explore fresh structure.
+        let sc = match corpus.pick(&mut rng) {
+            Some(base) if rng.random_bool(0.5) => {
+                let base = base.clone();
+                gen::mutate(&mut rng, &base)
+            }
+            _ => gen::generate(&mut rng, &cfg.families),
+        };
+        let rendered = sc.render();
+        out.stream_fnv = fingerprint(&(out.stream_fnv, &rendered));
+        if !corpus.observe(&sc) {
+            out.dedup += 1;
+            ral_obs::counter("fuzz.dedup", 1);
+            continue;
+        }
+        let obs = oracle::run_scenario(&sc, cfg.search_budget);
+        ral_obs::counter("fuzz.runs", 1);
+        let (newly_hit, new_signature) = out.coverage.record(&obs.dims);
+        *out.verdicts.entry(obs.verdict.name()).or_insert(0) += 1;
+        let novelty = 4 * newly_hit as u64 + u64::from(new_signature);
+        if novelty > 0 {
+            out.novel += 1;
+            ral_obs::counter("fuzz.novel", 1);
+            corpus.add(sc.clone(), novelty);
+        }
+        if obs.verdict.is_finding() {
+            ral_obs::counter("fuzz.findings", 1);
+            let shrunk = shrink::shrink(&sc, cfg.search_budget, cfg.shrink_replays);
+            out.findings.push(Finding {
+                original: sc,
+                shrunk: shrunk.scenario,
+                verdict: obs.verdict,
+                detail: obs.detail,
+                replays: shrunk.replays,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_families_produce_no_findings() {
+        let cfg = FuzzConfig {
+            seed: 2,
+            runs: 12,
+            search_budget: 500_000,
+            ..Default::default()
+        };
+        let out = fuzz(&cfg);
+        assert_eq!(out.runs, 12);
+        assert!(
+            out.findings.is_empty(),
+            "unexpected finding: {:?}",
+            out.findings[0].verdict
+        );
+        assert!(out.coverage.hit() > 0);
+        assert!(out.novel > 0, "first runs always open coverage");
+    }
+
+    #[test]
+    fn broken_families_are_found_and_shrunk() {
+        let cfg = FuzzConfig {
+            seed: 3,
+            runs: 10,
+            families: Family::BROKEN.to_vec(),
+            search_budget: 1_000,
+            shrink_replays: 300,
+        };
+        let out = fuzz(&cfg);
+        assert!(
+            !out.findings.is_empty(),
+            "negative controls must be caught within {} runs",
+            cfg.runs
+        );
+        for f in &out.findings {
+            assert!(f.verdict.is_finding());
+            assert!(
+                f.shrunk.n_elements() <= f.original.n_elements(),
+                "shrinking never grows a scenario"
+            );
+        }
+    }
+
+    #[test]
+    fn campaigns_are_seed_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 4,
+            runs: 10,
+            search_budget: 200_000,
+            ..Default::default()
+        };
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert_eq!(a.stream_fnv, b.stream_fnv);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.verdicts, b.verdicts);
+        assert_eq!(a.dedup, b.dedup);
+    }
+}

@@ -1,0 +1,135 @@
+//! The `ral-fuzz` CLI: seeded fuzzing campaigns with a JSON report.
+//!
+//! ```text
+//! cargo run -p ral-fuzz --release -- --seed 1 --runs 200 --report FUZZ_report.json
+//! ```
+//!
+//! Exit codes: `0` success; `2` a finding survived on shipped families (or
+//! none was found under `--broken`, where findings are *expected*); `3`
+//! coverage fell below `--min-coverage`; `1` bad usage.
+
+use ral_fuzz::scenario::Family;
+use ral_fuzz::{fuzz, report, FuzzConfig};
+use std::process::ExitCode;
+
+struct Args {
+    cfg: FuzzConfig,
+    report_path: Option<String>,
+    broken: bool,
+    min_coverage_permille: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ral-fuzz [--seed N] [--runs N] [--quick] [--broken] \
+         [--min-coverage PERMILLE] [--report PATH] [--no-report]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: FuzzConfig::default(),
+        report_path: Some("FUZZ_report.json".to_string()),
+        broken: false,
+        min_coverage_permille: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => match value("--seed").parse() {
+                Ok(v) => args.cfg.seed = v,
+                Err(_) => usage(),
+            },
+            "--runs" => match value("--runs").parse() {
+                Ok(v) => args.cfg.runs = v,
+                Err(_) => usage(),
+            },
+            "--min-coverage" => match value("--min-coverage").parse() {
+                Ok(v) => args.min_coverage_permille = v,
+                Err(_) => usage(),
+            },
+            "--report" => args.report_path = Some(value("--report")),
+            "--no-report" => args.report_path = None,
+            // The CI smoke profile: small but still spanning the map.
+            "--quick" => {
+                args.cfg.runs = 40;
+                args.cfg.search_budget = 300_000;
+                args.cfg.shrink_replays = 200;
+            }
+            "--broken" => args.broken = true,
+            _ => {
+                eprintln!("unknown argument: {arg}");
+                usage();
+            }
+        }
+    }
+    if args.broken {
+        args.cfg.families = Family::BROKEN.to_vec();
+        // Broken families never face the complete search; keep it cheap.
+        args.cfg.search_budget = 1_000;
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let started = ral_obs::wallclock::now_nanos();
+    let out = fuzz(&args.cfg);
+    let elapsed = ral_obs::wallclock::now_nanos().saturating_sub(started);
+    if let Some(path) = &args.report_path {
+        let report = report::render_report(&args.cfg, &out, Some(elapsed));
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("ral-fuzz: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    let permille = (out.coverage.hit() as u64 * 1000) / ral_fuzz::coverage::DIMENSIONS.len() as u64;
+    println!(
+        "ral-fuzz: seed {} runs {} (dedup {}) novel {} coverage {}/{} ({permille}‰) \
+         signatures {} findings {}",
+        args.cfg.seed,
+        out.runs,
+        out.dedup,
+        out.novel,
+        out.coverage.hit(),
+        ral_fuzz::coverage::DIMENSIONS.len(),
+        out.coverage.signatures(),
+        out.findings.len(),
+    );
+    for f in &out.findings {
+        println!(
+            "  [{}] {} ({} elements after shrinking, {} replays)",
+            f.verdict.name(),
+            f.detail,
+            f.shrunk.n_elements(),
+            f.replays
+        );
+    }
+    if args.broken {
+        if out.findings.is_empty() {
+            eprintln!("ral-fuzz: negative controls produced no findings — the oracle is blind");
+            return ExitCode::from(2);
+        }
+    } else if !out.findings.is_empty() {
+        eprintln!(
+            "ral-fuzz: {} finding(s) on shipped families — counterexamples above",
+            out.findings.len()
+        );
+        return ExitCode::from(2);
+    }
+    if permille < args.min_coverage_permille {
+        eprintln!(
+            "ral-fuzz: coverage {permille}‰ below the {}‰ baseline",
+            args.min_coverage_permille
+        );
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

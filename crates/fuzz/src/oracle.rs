@@ -1,0 +1,820 @@
+//! The fuzzing oracle: replay one [`FuzzScenario`] and decide what it
+//! proved.
+//!
+//! Every run goes through the same three gates, strongest first:
+//!
+//! 1. **Convergence** after the driver's final sync — the paper's "all
+//!    updates eventually visible everywhere" hypothesis. A correct CRDT can
+//!    *never* fail this, whatever the network did, so a failure is a
+//!    finding on its own (the [`super::scenario::Family::BrokenCounter`]
+//!    negative control trips exactly here).
+//! 2. **Lattice laws** on the surviving states (gossip transports only) —
+//!    the join-semilattice obligations of Appendix D.
+//! 3. **Checker cross-check** of the recorded history through
+//!    [`ral_verify::crosscheck`]: guided strategy vs complete memoized
+//!    search vs brute-force reference (single-object), or sharded vs
+//!    whole-history search (composed). Refutations *and* decider
+//!    disagreements are findings.
+//!
+//! Alongside the verdict, the oracle reports which structural-coverage
+//! dimensions the run exercised (from the scenario shape, the engine's
+//! fault counters, and the history's concurrency structure) — the feedback
+//! signal of the fuzz loop — plus the engine trace for byte-stable replay
+//! comparison.
+
+use crate::coverage::dim;
+use crate::scenario::{Family, FuzzScenario, FuzzTopology, Transport};
+use ral_analyze::fixtures::{BrokenCall, BrokenCounter, SumCall, SummingCounter};
+use ral_core::compose::{ComposedLabel, MultiObjRewrite, MultiObjSpec, ObjLabel};
+use ral_core::history::History;
+use ral_core::ids::{ObjId, ReplicaId};
+use ral_core::label::{Identity, Rewrite};
+use ral_core::ralin::{ShardableSpec, Strategy};
+use ral_core::rng::Rng;
+use ral_core::spec::Spec;
+use ral_crdts::op::counter::OpCounter;
+use ral_crdts::op::lww_register::LwwRegister;
+use ral_crdts::op::or_set::{OrSet, OrSetRewrite};
+use ral_crdts::op::rga::Rga;
+use ral_crdts::op::rga_addat::RgaAddAt;
+use ral_crdts::op::wooki::Wooki;
+use ral_crdts::state::lww_element_set::LwwElementSet;
+use ral_crdts::state::mv_register::MvRegister;
+use ral_crdts::state::pn_counter::PnCounter;
+use ral_crdts::state::two_phase_set::TwoPhaseSet;
+use ral_runtime::delta::{DeltaConfig, DeltaCrdt};
+use ral_runtime::multi::{MultiCluster, TsMode};
+use ral_runtime::op_based::OpBased;
+use ral_runtime::state_based::StateBased;
+use ral_sim::driver::{DeltaDriver, Driver, MultiDriver, OpDriver, StateDriver};
+use ral_sim::sim::{self, SimStats};
+use ral_spec::addat::AddAt3Spec;
+use ral_spec::counter::CounterSpec;
+use ral_spec::register::{MvRegSpec, RegSpec};
+use ral_spec::rga::RgaSpec;
+use ral_spec::set::{OrSetSpec, SetSpec};
+use ral_spec::wooki::WookiSpec;
+use ral_verify::crosscheck::{self, HistoryVerdict};
+use ral_verify::workloads;
+
+/// Wooki's spec is exponential in concurrent inserts; the workload caps
+/// inserts per replica at this many.
+const WOOKI_INSERT_LIMIT: u16 = 5;
+
+/// What one replayed scenario proved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerdictKind {
+    /// Converged and every decider agreed the history is RA-linearizable.
+    Pass,
+    /// Replicas disagreed after final sync — a convergence violation.
+    Diverged,
+    /// The surviving states violate the join-semilattice laws.
+    LatticeBroken,
+    /// The complete search refuted RA-linearizability of the history.
+    Refuted,
+    /// Two deciders reached contradictory definite verdicts — a checker bug.
+    Disagreement,
+    /// Complete search found a witness the guided strategy missed
+    /// (heuristic blind spot, not a soundness bug).
+    StrategyMiss,
+    /// Every decider exhausted its budget undecided.
+    Undecided,
+}
+
+impl VerdictKind {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictKind::Pass => "pass",
+            VerdictKind::Diverged => "diverged",
+            VerdictKind::LatticeBroken => "lattice_broken",
+            VerdictKind::Refuted => "refuted",
+            VerdictKind::Disagreement => "disagreement",
+            VerdictKind::StrategyMiss => "strategy_miss",
+            VerdictKind::Undecided => "undecided",
+        }
+    }
+
+    /// Whether this verdict is a counterexample worth shrinking.
+    pub fn is_finding(self) -> bool {
+        matches!(
+            self,
+            VerdictKind::Diverged
+                | VerdictKind::LatticeBroken
+                | VerdictKind::Refuted
+                | VerdictKind::Disagreement
+        )
+    }
+}
+
+/// Everything one replay produced: the verdict, the coverage dimensions the
+/// run lit up, and the byte-stable engine trace.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// The oracle's verdict.
+    pub verdict: VerdictKind,
+    /// Human-readable account of a non-`Pass` verdict (empty on `Pass`).
+    pub detail: String,
+    /// Structural-coverage dimension indices the run exercised.
+    pub dims: Vec<usize>,
+    /// Successful invocations the engine performed.
+    pub invokes: u64,
+    /// Operations in the recorded history.
+    pub history_len: usize,
+    /// The engine trace ([`ral_sim::trace::Trace::render`]).
+    pub trace: String,
+}
+
+/// Replays `sc` and cross-checks it with `budget` search nodes per decider.
+pub fn run_scenario(sc: &FuzzScenario, budget: u64) -> Observation {
+    dispatch(sc, Some(budget))
+}
+
+/// Replays `sc` without the history cross-check and returns the engine
+/// trace — the byte-stable replay record the round-trip fixtures compare.
+pub fn replay_trace(sc: &FuzzScenario) -> String {
+    dispatch(sc, None).trace
+}
+
+fn dispatch(sc: &FuzzScenario, budget: Option<u64>) -> Observation {
+    match sc.family {
+        Family::OpCounter => op_case(
+            sc,
+            budget,
+            OpCounter,
+            &Identity,
+            &CounterSpec,
+            OpCounter::STRATEGY,
+            |rng, _, _| Some(workloads::counter(rng)),
+        ),
+        Family::OpLwwRegister => op_case(
+            sc,
+            budget,
+            LwwRegister::<u8>::new(),
+            &Identity,
+            &RegSpec::new(),
+            LwwRegister::<u8>::STRATEGY,
+            |rng, _, _| Some(workloads::lww_register(rng)),
+        ),
+        Family::OpOrSet => op_case(
+            sc,
+            budget,
+            OrSet::<u8>::new(),
+            &OrSetRewrite::new(),
+            &OrSetSpec::new(),
+            OrSet::<u8>::STRATEGY,
+            |rng, _, _| Some(workloads::or_set(rng)),
+        ),
+        Family::OpRga => {
+            let mut next = 0u16;
+            op_case(
+                sc,
+                budget,
+                Rga::<u16>::new(),
+                &Identity,
+                &RgaSpec::new(),
+                Rga::<u16>::STRATEGY,
+                move |rng, _, st| workloads::rga(rng, st, &mut next),
+            )
+        }
+        Family::OpRgaAddAt => {
+            let mut next = 0u16;
+            op_case(
+                sc,
+                budget,
+                RgaAddAt::<u16>::new(),
+                &Identity,
+                &AddAt3Spec::new(),
+                RgaAddAt::<u16>::STRATEGY,
+                move |rng, _, st| workloads::rga_addat(rng, st, &mut next),
+            )
+        }
+        Family::OpWooki => {
+            let mut next = 0u16;
+            op_case(
+                sc,
+                budget,
+                Wooki::<u16>::new(),
+                &Identity,
+                &WookiSpec::new(),
+                Wooki::<u16>::STRATEGY,
+                move |rng, _, st| workloads::wooki(rng, st, &mut next, WOOKI_INSERT_LIMIT),
+            )
+        }
+        Family::StatePnCounter => state_case(
+            sc,
+            budget,
+            PnCounter,
+            &Identity,
+            &CounterSpec,
+            PnCounter::STRATEGY,
+            |rng, _, _| Some(workloads::pn_counter(rng)),
+        ),
+        Family::StateMvRegister => state_case(
+            sc,
+            budget,
+            MvRegister::<u8>::new(),
+            &Identity,
+            &MvRegSpec::new(),
+            MvRegister::<u8>::STRATEGY,
+            |rng, _, _| Some(workloads::mv_register(rng)),
+        ),
+        Family::StateLwwElementSet => state_case(
+            sc,
+            budget,
+            LwwElementSet::<u8>::new(),
+            &Identity,
+            &SetSpec::new(),
+            LwwElementSet::<u8>::STRATEGY,
+            |rng, _, _| Some(workloads::lww_element_set(rng)),
+        ),
+        Family::StateTwoPhaseSet => {
+            let mut next = 0u16;
+            state_case(
+                sc,
+                budget,
+                TwoPhaseSet::<u16>::new(),
+                &Identity,
+                &SetSpec::new(),
+                TwoPhaseSet::<u16>::STRATEGY,
+                move |rng, _, st| workloads::two_phase_set(rng, st, &mut next),
+            )
+        }
+        Family::DeltaPnCounter => delta_case(
+            sc,
+            budget,
+            PnCounter,
+            &Identity,
+            &CounterSpec,
+            PnCounter::STRATEGY,
+            |rng, _, _| Some(workloads::pn_counter(rng)),
+        ),
+        Family::DeltaLwwElementSet => delta_case(
+            sc,
+            budget,
+            LwwElementSet::<u8>::new(),
+            &Identity,
+            &SetSpec::new(),
+            LwwElementSet::<u8>::STRATEGY,
+            |rng, _, _| Some(workloads::lww_element_set(rng)),
+        ),
+        Family::MultiCounter => multi_case(
+            sc,
+            budget,
+            OpCounter,
+            &MultiObjRewrite::new(Identity),
+            &MultiObjSpec::new(CounterSpec, sc.n_objects as usize),
+            |rng, _, _, _| Some(workloads::counter(rng)),
+        ),
+        Family::MultiLwwRegister => multi_case(
+            sc,
+            budget,
+            LwwRegister::<u8>::new(),
+            &MultiObjRewrite::new(Identity),
+            &MultiObjSpec::new(RegSpec::new(), sc.n_objects as usize),
+            |rng, _, _, _| Some(workloads::lww_register(rng)),
+        ),
+        Family::BrokenCounter => broken_case(sc),
+        Family::SummingCounter => summing_case(sc),
+    }
+}
+
+// Wraps a workload with the scenario's total-invoke cap (the knob that
+// keeps histories inside the complete searches' reach — and that the
+// shrinker minimizes).
+fn capped<St, Call>(
+    max_invokes: u64,
+    mut call_gen: impl FnMut(&mut Rng, ReplicaId, &St) -> Option<Call>,
+) -> impl FnMut(&mut Rng, ReplicaId, &St) -> Option<Call> {
+    let mut left = max_invokes;
+    move |rng, r, st| {
+        if left == 0 {
+            return None;
+        }
+        let call = call_gen(rng, r, st)?;
+        left -= 1;
+        Some(call)
+    }
+}
+
+fn op_case<C, R, S, F>(
+    sc: &FuzzScenario,
+    budget: Option<u64>,
+    crdt: C,
+    rw: &R,
+    spec: &S,
+    strategy: Strategy,
+    call_gen: F,
+) -> Observation
+where
+    C: OpBased,
+    R: Rewrite<C::Label, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    let mut driver = OpDriver::new(
+        crdt,
+        sc.n_replicas as usize,
+        capped(sc.max_invokes, call_gen),
+    );
+    let run = sim::run(&mut driver, &sc.sim_config(), sc.sim_seed);
+    let converged = driver.converged();
+    let h = driver.into_cluster().into_history();
+    let dims = all_dims(sc, &run.stats, &h);
+    let (verdict, detail) = if !converged {
+        diverged()
+    } else {
+        checked(budget, || {
+            fold(crosscheck::op_oracle(
+                &h,
+                rw,
+                spec,
+                strategy,
+                budget.unwrap(),
+            ))
+        })
+    };
+    observe(
+        verdict,
+        detail,
+        dims,
+        &run.stats,
+        h.len(),
+        run.trace.render(),
+    )
+}
+
+fn state_case<C, R, S, F>(
+    sc: &FuzzScenario,
+    budget: Option<u64>,
+    crdt: C,
+    rw: &R,
+    spec: &S,
+    strategy: Strategy,
+    call_gen: F,
+) -> Observation
+where
+    C: StateBased,
+    R: Rewrite<C::Label, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    let mut driver = StateDriver::new(
+        crdt,
+        sc.n_replicas as usize,
+        capped(sc.max_invokes, call_gen),
+    );
+    let run = sim::run(&mut driver, &sc.sim_config(), sc.sim_seed);
+    let converged = driver.converged();
+    let lattice_ok = driver.cluster().check_lattice_laws();
+    let h = driver.into_cluster().into_history();
+    let dims = all_dims(sc, &run.stats, &h);
+    let (verdict, detail) = if !converged {
+        diverged()
+    } else if !lattice_ok {
+        lattice_broken()
+    } else {
+        checked(budget, || {
+            fold(crosscheck::op_oracle(
+                &h,
+                rw,
+                spec,
+                strategy,
+                budget.unwrap(),
+            ))
+        })
+    };
+    observe(
+        verdict,
+        detail,
+        dims,
+        &run.stats,
+        h.len(),
+        run.trace.render(),
+    )
+}
+
+fn delta_case<C, R, S, F>(
+    sc: &FuzzScenario,
+    budget: Option<u64>,
+    crdt: C,
+    rw: &R,
+    spec: &S,
+    strategy: Strategy,
+    call_gen: F,
+) -> Observation
+where
+    C: DeltaCrdt,
+    R: Rewrite<C::Label, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+{
+    let config = DeltaConfig {
+        resync_after: sc.resync_after as usize,
+    };
+    let mut driver = DeltaDriver::new(
+        crdt,
+        config,
+        sc.n_replicas as usize,
+        capped(sc.max_invokes, call_gen),
+    );
+    let run = sim::run(&mut driver, &sc.sim_config(), sc.sim_seed);
+    let converged = driver.converged();
+    let lattice_ok = driver.cluster().check_lattice_laws();
+    let delta_stats = driver.cluster().stats();
+    let h = driver.into_cluster().into_history();
+    let mut dims = all_dims(sc, &run.stats, &h);
+    if delta_stats.resyncs > 0 {
+        dims.push(dim("delta_resync"));
+    }
+    if delta_stats.gc_entries > 0 {
+        dims.push(dim("delta_gc"));
+    }
+    let (verdict, detail) = if !converged {
+        diverged()
+    } else if !lattice_ok {
+        lattice_broken()
+    } else {
+        checked(budget, || {
+            fold(crosscheck::op_oracle(
+                &h,
+                rw,
+                spec,
+                strategy,
+                budget.unwrap(),
+            ))
+        })
+    };
+    observe(
+        verdict,
+        detail,
+        dims,
+        &run.stats,
+        h.len(),
+        run.trace.render(),
+    )
+}
+
+fn multi_case<C, R, S, F>(
+    sc: &FuzzScenario,
+    budget: Option<u64>,
+    crdt: C,
+    rw: &R,
+    spec: &S,
+    call_gen: F,
+) -> Observation
+where
+    C: OpBased,
+    R: Rewrite<ObjLabel<C::Label>, Out = S::Label>,
+    S: ShardableSpec + Sync,
+    S::Label: ComposedLabel + Sync,
+    F: FnMut(&mut Rng, ReplicaId, ObjId, &C::State) -> Option<C::Call>,
+{
+    let cluster = MultiCluster::new(
+        crdt,
+        sc.n_objects as usize,
+        sc.n_replicas as usize,
+        sc.ts_mode,
+    );
+    // The per-object cap wrapper has a different workload shape, so the
+    // invoke budget is threaded by hand here.
+    let mut left = sc.max_invokes;
+    let mut call_gen = call_gen;
+    let mut driver = MultiDriver::new(cluster, move |rng, r, obj, st| {
+        if left == 0 {
+            return None;
+        }
+        let call = call_gen(rng, r, obj, st)?;
+        left -= 1;
+        Some(call)
+    });
+    let run = sim::run(&mut driver, &sc.sim_config(), sc.sim_seed);
+    let converged = driver.converged();
+    let h = driver.into_cluster().into_history();
+    let mut dims = all_dims(sc, &run.stats, &h);
+    if cross_object_interleave(&h) {
+        dims.push(dim("cross_object_interleave"));
+    }
+    let (verdict, detail) = if !converged {
+        diverged()
+    } else {
+        checked(budget, || {
+            fold(crosscheck::composed_oracle(&h, rw, spec, budget.unwrap()))
+        })
+    };
+    observe(
+        verdict,
+        detail,
+        dims,
+        &run.stats,
+        h.len(),
+        run.trace.render(),
+    )
+}
+
+// Negative control: convergence is the only oracle a broken op-based
+// counter needs — its non-commutative effectors diverge on their own.
+fn broken_case(sc: &FuzzScenario) -> Observation {
+    let mut driver = OpDriver::new(
+        BrokenCounter,
+        sc.n_replicas as usize,
+        capped(sc.max_invokes, |rng: &mut Rng, _, _| {
+            Some(if rng.random_bool(0.7) {
+                BrokenCall::Inc
+            } else {
+                BrokenCall::Dec
+            })
+        }),
+    );
+    let run = sim::run(&mut driver, &sc.sim_config(), sc.sim_seed);
+    let converged = driver.converged();
+    let h = driver.into_cluster().into_history();
+    let dims = all_dims(sc, &run.stats, &h);
+    let (verdict, detail) = if converged {
+        (VerdictKind::Pass, String::new())
+    } else {
+        diverged()
+    };
+    observe(
+        verdict,
+        detail,
+        dims,
+        &run.stats,
+        h.len(),
+        run.trace.render(),
+    )
+}
+
+// Negative control: the summing "join" breaks idempotence, so the lattice
+// laws catch it even when the states happen to agree.
+fn summing_case(sc: &FuzzScenario) -> Observation {
+    let mut driver = StateDriver::new(
+        SummingCounter,
+        sc.n_replicas as usize,
+        capped(sc.max_invokes, |_: &mut Rng, _, _| Some(SumCall::Inc)),
+    );
+    let run = sim::run(&mut driver, &sc.sim_config(), sc.sim_seed);
+    let converged = driver.converged();
+    let lattice_ok = driver.cluster().check_lattice_laws();
+    let h = driver.into_cluster().into_history();
+    let dims = all_dims(sc, &run.stats, &h);
+    let (verdict, detail) = if !lattice_ok {
+        lattice_broken()
+    } else if !converged {
+        diverged()
+    } else {
+        (VerdictKind::Pass, String::new())
+    };
+    observe(
+        verdict,
+        detail,
+        dims,
+        &run.stats,
+        h.len(),
+        run.trace.render(),
+    )
+}
+
+fn diverged() -> (VerdictKind, String) {
+    (
+        VerdictKind::Diverged,
+        "replicas disagree after final sync".into(),
+    )
+}
+
+fn lattice_broken() -> (VerdictKind, String) {
+    (
+        VerdictKind::LatticeBroken,
+        "surviving states violate the join-semilattice laws".into(),
+    )
+}
+
+// Runs the history cross-check only when a budget was supplied (trace-only
+// replays skip it).
+fn checked(
+    budget: Option<u64>,
+    run: impl FnOnce() -> (VerdictKind, String),
+) -> (VerdictKind, String) {
+    match budget {
+        Some(_) => run(),
+        None => (VerdictKind::Pass, String::new()),
+    }
+}
+
+fn fold(v: HistoryVerdict) -> (VerdictKind, String) {
+    match v {
+        HistoryVerdict::Linearizable => (VerdictKind::Pass, String::new()),
+        HistoryVerdict::StrategyMiss => (
+            VerdictKind::StrategyMiss,
+            "guided strategy missed a witness the complete search found".into(),
+        ),
+        HistoryVerdict::Refuted { detail } => (VerdictKind::Refuted, detail),
+        HistoryVerdict::Disagreement { detail } => (VerdictKind::Disagreement, detail),
+        HistoryVerdict::Undecided => (
+            VerdictKind::Undecided,
+            "every decider exhausted its budget".into(),
+        ),
+    }
+}
+
+fn observe(
+    verdict: VerdictKind,
+    detail: String,
+    mut dims: Vec<usize>,
+    stats: &SimStats,
+    history_len: usize,
+    trace: String,
+) -> Observation {
+    dims.sort_unstable();
+    dims.dedup();
+    Observation {
+        verdict,
+        detail,
+        dims,
+        invokes: stats.invokes as u64,
+        history_len,
+        trace,
+    }
+}
+
+// The structural dimensions a run exercised: scenario shape + engine fault
+// counters + history concurrency. Transport-specific dims (delta resync,
+// cross-object interleave) are appended by the case functions.
+fn all_dims<L>(sc: &FuzzScenario, stats: &SimStats, h: &History<L>) -> Vec<usize> {
+    let mut dims = Vec::new();
+    dims.push(match sc.n_replicas {
+        2 => dim("replicas_2"),
+        3 | 4 => dim("replicas_3_4"),
+        _ => dim("replicas_5_plus"),
+    });
+    dims.push(match sc.topo {
+        FuzzTopology::Uniform { .. } => dim("topology_uniform"),
+        FuzzTopology::DataCenters { .. } => dim("topology_dc"),
+    });
+    match sc.partitions.len() {
+        0 => {}
+        1 => dims.push(dim("partition_single")),
+        _ => dims.push(dim("partition_multi")),
+    }
+    if sc.partitions.iter().any(|p| p.sides() >= 3) {
+        dims.push(dim("partition_3way"));
+    }
+    if sc.crashes.iter().any(|c| c.restart_at.is_some()) {
+        dims.push(dim("crash_bounce"));
+    }
+    if sc.crashes.iter().any(|c| c.restart_at.is_none()) {
+        dims.push(dim("crash_permanent"));
+    }
+    if sc.crashes.iter().any(|c| {
+        sc.partitions
+            .iter()
+            .any(|p| p.start <= c.crash_at && c.crash_at < p.end)
+    }) {
+        dims.push(dim("crash_during_partition"));
+    }
+    if stats.dropped > 0 {
+        dims.push(dim("faults_drop"));
+    }
+    if stats.duplicated > 0 {
+        dims.push(dim("faults_dup"));
+    }
+    if stats.held > 0 {
+        dims.push(dim("reorder_held"));
+    }
+    if stats.retried > 0 {
+        dims.push(dim("retry_recovery"));
+    }
+    dims.push(match sc.family.transport() {
+        Transport::Op => dim("family_op"),
+        Transport::State => dim("family_state"),
+        Transport::Delta => dim("family_delta"),
+        Transport::Multi => dim("family_multi"),
+    });
+    if sc.family.transport() == Transport::Multi {
+        dims.push(match sc.ts_mode {
+            TsMode::Shared => dim("ts_shared"),
+            TsMode::PerObject => dim("ts_per_object"),
+        });
+        if sc.n_objects >= 2 {
+            dims.push(dim("multi_objects_2plus"));
+        }
+    }
+    if antichain_at_least(h, 4) {
+        dims.push(dim("concurrency_width_4plus"));
+    }
+    dims
+}
+
+// Greedy search for an antichain of `k` pairwise-concurrent operations
+// (exact maximum-width computation is NP-ish; greedy from each start is
+// plenty for a coverage bit on histories this small).
+fn antichain_at_least<L>(h: &History<L>, k: usize) -> bool {
+    for start in 0..h.len() {
+        let mut chain = vec![start];
+        for j in start + 1..h.len() {
+            if chain.iter().all(|&c| h.concurrent(c, j)) {
+                chain.push(j);
+                if chain.len() >= k {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// Did two operations on *different* objects overlap in time? The composed
+// shapes the §5 composition theorems (and the Fig. 10 anomaly) care about.
+fn cross_object_interleave<L>(h: &History<ObjLabel<L>>) -> bool {
+    for i in 0..h.len() {
+        for j in i + 1..h.len() {
+            if h.label(i).obj != h.label(j).obj && h.concurrent(i, j) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn quiet(family: Family) -> FuzzScenario {
+        FuzzScenario {
+            family,
+            ts_mode: TsMode::Shared,
+            n_objects: if family.transport() == Transport::Multi {
+                2
+            } else {
+                1
+            },
+            n_replicas: 2,
+            duration: 200,
+            invoke: (15, 5),
+            gossip: (10, 2),
+            topo: FuzzTopology::Uniform { base: 2, jitter: 3 },
+            drop_pm: 0,
+            dup_pm: 0,
+            retry: 10,
+            resync_after: 8,
+            max_invokes: 8,
+            sim_seed: 42,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn every_shipped_family_passes_a_quiet_scenario() {
+        for family in Family::SHIPPED {
+            let obs = run_scenario(&quiet(family), 2_000_000);
+            assert_eq!(
+                obs.verdict,
+                VerdictKind::Pass,
+                "{}: {}",
+                family.name(),
+                obs.detail
+            );
+            assert!(obs.history_len > 0, "{}: empty history", family.name());
+        }
+    }
+
+    #[test]
+    fn broken_counter_is_caught() {
+        // Concurrent ops on both replicas: the non-commutative effectors
+        // race, so some seed in a small window must diverge.
+        let mut sc = quiet(Family::BrokenCounter);
+        sc.invoke = (5, 2);
+        sc.max_invokes = 12;
+        let found = (0..20).any(|seed| {
+            sc.sim_seed = seed;
+            run_scenario(&sc, 1_000).verdict == VerdictKind::Diverged
+        });
+        assert!(found, "BrokenCounter never diverged in 20 seeds");
+    }
+
+    #[test]
+    fn summing_counter_breaks_the_lattice() {
+        let obs = run_scenario(&quiet(Family::SummingCounter), 1_000);
+        assert_eq!(obs.verdict, VerdictKind::LatticeBroken, "{}", obs.detail);
+    }
+
+    #[test]
+    fn observation_is_deterministic() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..8 {
+            let sc = gen::generate(&mut rng, &Family::SHIPPED);
+            let a = run_scenario(&sc, 500_000);
+            let b = run_scenario(&sc, 500_000);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.dims, b.dims);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(replay_trace(&sc), a.trace);
+        }
+    }
+}

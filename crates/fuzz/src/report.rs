@@ -1,0 +1,123 @@
+//! FUZZ_report.json rendering — hand-rolled, canonical, byte-stable.
+//!
+//! Same-seed campaigns must render byte-identical reports, so everything
+//! ordered is emitted in a fixed order (coverage dimensions by index,
+//! verdicts by name, findings by discovery) and the only nondeterministic
+//! field — wall-clock nanoseconds — is optional and last, so tests simply
+//! omit it. Fractions are reported in per-mille integers; no float
+//! formatting anywhere.
+
+use crate::coverage::DIMENSIONS;
+use crate::{FuzzConfig, FuzzOutcome};
+use ral_obs::json::json_string;
+use std::fmt::Write as _;
+
+/// Renders the campaign report. Pass `wall_nanos: None` for a byte-stable
+/// report (the determinism fixtures do), or `Some(ral_obs::wallclock::now_nanos())`
+/// for the CLI.
+pub fn render_report(cfg: &FuzzConfig, out: &FuzzOutcome, wall_nanos: Option<u64>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"tool\": \"ral-fuzz\",");
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"runs\": {},", out.runs);
+    let _ = writeln!(s, "  \"dedup\": {},", out.dedup);
+    let _ = writeln!(s, "  \"novel\": {},", out.novel);
+    let _ = writeln!(s, "  \"stream_fnv\": {},", out.stream_fnv);
+    let _ = writeln!(s, "  \"coverage\": {{");
+    let _ = writeln!(s, "    \"hit\": {},", out.coverage.hit());
+    let _ = writeln!(s, "    \"total\": {},", DIMENSIONS.len());
+    let _ = writeln!(
+        s,
+        "    \"fraction_permille\": {},",
+        (out.coverage.hit() * 1000) / DIMENSIONS.len()
+    );
+    let _ = writeln!(s, "    \"signatures\": {},", out.coverage.signatures());
+    let _ = writeln!(s, "    \"dims\": {{");
+    let n_dims = DIMENSIONS.len();
+    for (i, (name, count)) in out.coverage.iter().enumerate() {
+        let comma = if i + 1 < n_dims { "," } else { "" };
+        let _ = writeln!(s, "      {}: {count}{comma}", json_string(name));
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"verdicts\": {{");
+    let n_verdicts = out.verdicts.len();
+    for (i, (name, count)) in out.verdicts.iter().enumerate() {
+        let comma = if i + 1 < n_verdicts { "," } else { "" };
+        let _ = writeln!(s, "    {}: {count}{comma}", json_string(name));
+    }
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"findings\": [");
+    let n_findings = out.findings.len();
+    for (i, f) in out.findings.iter().enumerate() {
+        let comma = if i + 1 < n_findings { "," } else { "" };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"verdict\": {},", json_string(f.verdict.name()));
+        let _ = writeln!(s, "      \"detail\": {},", json_string(&f.detail));
+        let _ = writeln!(
+            s,
+            "      \"family\": {},",
+            json_string(f.shrunk.family.name())
+        );
+        let _ = writeln!(s, "      \"elements\": {},", f.shrunk.n_elements());
+        let _ = writeln!(s, "      \"shrink_replays\": {},", f.replays);
+        let _ = writeln!(s, "      \"shrunk\": {}", json_string(&f.shrunk.render()));
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    match wall_nanos {
+        Some(ns) => {
+            let _ = writeln!(s, "  \"wall_nanos\": {ns}");
+        }
+        None => {
+            let _ = writeln!(s, "  \"wall_nanos\": null");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz;
+    use crate::scenario::Family;
+
+    #[test]
+    fn report_is_valid_json_and_stable() {
+        let cfg = FuzzConfig {
+            seed: 5,
+            runs: 6,
+            search_budget: 200_000,
+            ..Default::default()
+        };
+        let out = fuzz(&cfg);
+        let report = render_report(&cfg, &out, None);
+        ral_obs::json::validate(&report).expect("report must be valid JSON");
+        assert_eq!(
+            report,
+            render_report(&cfg, &fuzz(&cfg), None),
+            "same seed, same report bytes"
+        );
+        assert!(report.contains("\"tool\": \"ral-fuzz\""));
+        assert!(report.contains("\"fraction_permille\""));
+    }
+
+    #[test]
+    fn findings_render_with_their_fixture() {
+        let cfg = FuzzConfig {
+            seed: 6,
+            runs: 6,
+            families: Family::BROKEN.to_vec(),
+            search_budget: 1_000,
+            shrink_replays: 200,
+        };
+        let out = fuzz(&cfg);
+        assert!(!out.findings.is_empty());
+        let report = render_report(&cfg, &out, Some(123));
+        ral_obs::json::validate(&report).expect("report must be valid JSON");
+        assert!(report.contains("ral-fuzz scenario v1"));
+        assert!(report.contains("\"wall_nanos\": 123"));
+    }
+}

@@ -1,0 +1,666 @@
+//! The generated-scenario model: every knob the fuzzer can turn, plus a
+//! byte-stable fixture rendering (`render`) and a parser (`parse`) that
+//! round-trips it exactly.
+//!
+//! A [`FuzzScenario`] is a *value*, not a closure: two equal scenarios
+//! replay the same simulation bit-for-bit (the sim is a pure function of
+//! `(config, driver, seed)` and the driver workload is derived from the
+//! scenario fields alone). That is what makes shrinking and byte-pinned
+//! counterexample fixtures possible.
+//!
+//! All latencies and probabilities are kept as integers (ticks and
+//! per-mille) so the fixture text has one canonical spelling — no float
+//! formatting to drift.
+
+use ral_core::ids::ReplicaId;
+use ral_runtime::multi::TsMode;
+use ral_sim::fault::{CrashPlan, FaultPlan, PartitionWindow};
+use ral_sim::network::{Latency, LinkFaults, Network, Topology};
+use ral_sim::sim::SimConfig;
+use ral_sim::time::SimTime;
+use std::fmt::Write as _;
+
+/// Magic first line of every rendered scenario fixture.
+pub const FIXTURE_MAGIC: &str = "ral-fuzz scenario v1";
+
+/// How a family ships its updates (which cluster runtime it exercises).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Op-based: reliable causal broadcast (§3.1).
+    Op,
+    /// State-based: lossy gossip of full states (App. D.2).
+    State,
+    /// Delta-state: lossy gossip of delta batches with resync fallback.
+    Delta,
+    /// Composed multi-object store over reliable broadcast (§5).
+    Multi,
+}
+
+/// One CRDT-under-one-transport the generator can target.
+///
+/// The two `Broken*` families are negative controls (known-broken objects
+/// from `ral_analyze::fixtures`); they are excluded from [`Family::SHIPPED`]
+/// and only run when explicitly requested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Op-based increment/decrement counter.
+    OpCounter,
+    /// Op-based last-writer-wins register.
+    OpLwwRegister,
+    /// Op-based observed-remove set.
+    OpOrSet,
+    /// Op-based replicated growable array (insert-after).
+    OpRga,
+    /// Op-based RGA with index-addressed inserts (`addAt`).
+    OpRgaAddAt,
+    /// Op-based Wooki list (exponential spec — kept to tiny histories).
+    OpWooki,
+    /// State-based PN-counter.
+    StatePnCounter,
+    /// State-based multi-value register.
+    StateMvRegister,
+    /// State-based LWW element set.
+    StateLwwElementSet,
+    /// State-based two-phase set.
+    StateTwoPhaseSet,
+    /// PN-counter over the delta transport.
+    DeltaPnCounter,
+    /// LWW element set over the delta transport.
+    DeltaLwwElementSet,
+    /// Composed store of op-counters (⊗ / ⊗ts).
+    MultiCounter,
+    /// Composed store of LWW registers (⊗ / ⊗ts).
+    MultiLwwRegister,
+    /// Negative control: non-commutative op counter (must diverge).
+    BrokenCounter,
+    /// Negative control: non-idempotent state "join" (must break laws).
+    SummingCounter,
+}
+
+impl Family {
+    /// Every correct family the fuzzer targets by default.
+    pub const SHIPPED: [Family; 14] = [
+        Family::OpCounter,
+        Family::OpLwwRegister,
+        Family::OpOrSet,
+        Family::OpRga,
+        Family::OpRgaAddAt,
+        Family::OpWooki,
+        Family::StatePnCounter,
+        Family::StateMvRegister,
+        Family::StateLwwElementSet,
+        Family::StateTwoPhaseSet,
+        Family::DeltaPnCounter,
+        Family::DeltaLwwElementSet,
+        Family::MultiCounter,
+        Family::MultiLwwRegister,
+    ];
+
+    /// The negative-control families.
+    pub const BROKEN: [Family; 2] = [Family::BrokenCounter, Family::SummingCounter];
+
+    /// Every family, shipped and broken.
+    pub const ALL: [Family; 16] = [
+        Family::OpCounter,
+        Family::OpLwwRegister,
+        Family::OpOrSet,
+        Family::OpRga,
+        Family::OpRgaAddAt,
+        Family::OpWooki,
+        Family::StatePnCounter,
+        Family::StateMvRegister,
+        Family::StateLwwElementSet,
+        Family::StateTwoPhaseSet,
+        Family::DeltaPnCounter,
+        Family::DeltaLwwElementSet,
+        Family::MultiCounter,
+        Family::MultiLwwRegister,
+        Family::BrokenCounter,
+        Family::SummingCounter,
+    ];
+
+    /// The stable fixture name of the family.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::OpCounter => "op_counter",
+            Family::OpLwwRegister => "op_lww_register",
+            Family::OpOrSet => "op_or_set",
+            Family::OpRga => "op_rga",
+            Family::OpRgaAddAt => "op_rga_addat",
+            Family::OpWooki => "op_wooki",
+            Family::StatePnCounter => "state_pn_counter",
+            Family::StateMvRegister => "state_mv_register",
+            Family::StateLwwElementSet => "state_lww_element_set",
+            Family::StateTwoPhaseSet => "state_two_phase_set",
+            Family::DeltaPnCounter => "delta_pn_counter",
+            Family::DeltaLwwElementSet => "delta_lww_element_set",
+            Family::MultiCounter => "multi_counter",
+            Family::MultiLwwRegister => "multi_lww_register",
+            Family::BrokenCounter => "broken_counter",
+            Family::SummingCounter => "summing_counter",
+        }
+    }
+
+    /// Parses a fixture name back into a family.
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// The transport the family runs on.
+    pub fn transport(self) -> Transport {
+        match self {
+            Family::OpCounter
+            | Family::OpLwwRegister
+            | Family::OpOrSet
+            | Family::OpRga
+            | Family::OpRgaAddAt
+            | Family::OpWooki
+            | Family::BrokenCounter => Transport::Op,
+            Family::StatePnCounter
+            | Family::StateMvRegister
+            | Family::StateLwwElementSet
+            | Family::StateTwoPhaseSet
+            | Family::SummingCounter => Transport::State,
+            Family::DeltaPnCounter | Family::DeltaLwwElementSet => Transport::Delta,
+            Family::MultiCounter | Family::MultiLwwRegister => Transport::Multi,
+        }
+    }
+
+    /// Whether this is a negative-control family.
+    pub fn is_broken(self) -> bool {
+        matches!(self, Family::BrokenCounter | Family::SummingCounter)
+    }
+}
+
+/// Network layout of a generated scenario (integer mirror of
+/// [`ral_sim::network::Topology`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuzzTopology {
+    /// One latency class for every link: `base + uniform(0..=jitter)`.
+    Uniform {
+        /// Minimum link delay in ticks.
+        base: u64,
+        /// Inclusive uniform jitter in ticks.
+        jitter: u64,
+    },
+    /// Data-center layout: fast intra links, slow inter links.
+    DataCenters {
+        /// Data-center id per replica (`dc_of.len() == n_replicas`).
+        dc_of: Vec<u32>,
+        /// `(base, jitter)` of same-DC links.
+        intra: (u64, u64),
+        /// `(base, jitter)` of cross-DC links.
+        inter: (u64, u64),
+    },
+}
+
+/// A partition window in scenario form: sides per replica, active in
+/// `[start, end)` ticks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzPartition {
+    /// When the partition forms.
+    pub start: u64,
+    /// When it heals (exclusive; must exceed `start`).
+    pub end: u64,
+    /// Group id per replica (`groups.len() == n_replicas`).
+    pub groups: Vec<u32>,
+}
+
+impl FuzzPartition {
+    /// Number of distinct sides the window actually splits the cluster into.
+    pub fn sides(&self) -> usize {
+        let mut seen: Vec<u32> = self.groups.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+/// A crash window in scenario form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzCrash {
+    /// The replica that halts.
+    pub replica: u32,
+    /// When it halts.
+    pub crash_at: u64,
+    /// When it restarts (`None` = down until final sync).
+    pub restart_at: Option<u64>,
+}
+
+/// A fully-specified fuzz scenario: one simulation the oracle can replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzScenario {
+    /// The CRDT/transport under test.
+    pub family: Family,
+    /// Timestamp discipline for composed stores (ignored elsewhere).
+    pub ts_mode: TsMode,
+    /// Number of objects in a composed store (1 elsewhere).
+    pub n_objects: u32,
+    /// Cluster size.
+    pub n_replicas: u32,
+    /// Simulated run length in ticks (faults and invokes live inside it).
+    pub duration: u64,
+    /// Per-replica invoke cadence `(base, jitter)` in ticks.
+    pub invoke: (u64, u64),
+    /// Gossip cadence `(base, jitter)` for gossiping transports.
+    pub gossip: (u64, u64),
+    /// Network layout.
+    pub topo: FuzzTopology,
+    /// Message drop probability in per-mille (lossy transports only).
+    pub drop_pm: u32,
+    /// Message duplication probability in per-mille (lossy transports only).
+    pub dup_pm: u32,
+    /// Retransmission delay in ticks for reliable transports.
+    pub retry: u64,
+    /// Delta-transport resync horizon (ignored elsewhere).
+    pub resync_after: u64,
+    /// Cap on total invokes across the cluster (keeps histories checkable).
+    pub max_invokes: u64,
+    /// The simulation seed (workload choices and latency samples).
+    pub sim_seed: u64,
+    /// Scheduled partitions.
+    pub partitions: Vec<FuzzPartition>,
+    /// Scheduled crashes.
+    pub crashes: Vec<FuzzCrash>,
+}
+
+impl FuzzScenario {
+    /// Structural element count used by the shrink target (`≤ 6` is the
+    /// bar for a "minimal" counterexample): replicas + fault-plan entries
+    /// + one per active link-fault knob.
+    pub fn n_elements(&self) -> usize {
+        self.n_replicas as usize
+            + self.partitions.len()
+            + self.crashes.len()
+            + usize::from(self.drop_pm > 0)
+            + usize::from(self.dup_pm > 0)
+    }
+
+    /// Checks internal consistency (everything `sim::run` would assert,
+    /// plus fuzzer-side invariants). Returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_replicas < 2 {
+            return Err("need at least 2 replicas".into());
+        }
+        if self.duration == 0 {
+            return Err("duration must be positive".into());
+        }
+        if self.max_invokes == 0 {
+            return Err("max_invokes must be positive".into());
+        }
+        if self.n_objects == 0 {
+            return Err("n_objects must be positive".into());
+        }
+        if self.drop_pm > 1000 || self.dup_pm > 1000 {
+            return Err("fault probabilities are per-mille (0..=1000)".into());
+        }
+        if let FuzzTopology::DataCenters { dc_of, .. } = &self.topo {
+            if dc_of.len() != self.n_replicas as usize {
+                return Err(format!(
+                    "dc_of covers {} replicas, cluster has {}",
+                    dc_of.len(),
+                    self.n_replicas
+                ));
+            }
+        }
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.start >= p.end {
+                return Err(format!("partition {i}: start {} >= end {}", p.start, p.end));
+            }
+            if p.groups.len() != self.n_replicas as usize {
+                return Err(format!(
+                    "partition {i}: {} groups for {} replicas",
+                    p.groups.len(),
+                    self.n_replicas
+                ));
+            }
+        }
+        for (i, c) in self.crashes.iter().enumerate() {
+            if c.replica >= self.n_replicas {
+                return Err(format!("crash {i}: replica {} out of range", c.replica));
+            }
+            if let Some(r) = c.restart_at {
+                if r <= c.crash_at {
+                    return Err(format!("crash {i}: restart {} <= crash {}", r, c.crash_at));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the scenario to the simulator's configuration.
+    pub fn sim_config(&self) -> SimConfig {
+        let topology = match &self.topo {
+            FuzzTopology::Uniform { base, jitter } => {
+                Topology::Uniform(Latency::jittered(*base, *jitter))
+            }
+            FuzzTopology::DataCenters {
+                dc_of,
+                intra,
+                inter,
+            } => Topology::DataCenters {
+                dc_of: dc_of.clone(),
+                intra: Latency::jittered(intra.0, intra.1),
+                inter: Latency::jittered(inter.0, inter.1),
+            },
+        };
+        SimConfig {
+            n_replicas: self.n_replicas as usize,
+            duration: SimTime(self.duration),
+            invoke_every: Latency::jittered(self.invoke.0, self.invoke.1),
+            gossip_every: Latency::jittered(self.gossip.0, self.gossip.1),
+            network: Network {
+                topology,
+                faults: LinkFaults {
+                    drop: f64::from(self.drop_pm) / 1000.0,
+                    duplicate: f64::from(self.dup_pm) / 1000.0,
+                },
+                retry: self.retry,
+            },
+            faults: FaultPlan {
+                partitions: self
+                    .partitions
+                    .iter()
+                    .map(|p| {
+                        PartitionWindow::new(SimTime(p.start), SimTime(p.end), p.groups.clone())
+                    })
+                    .collect(),
+                crashes: self
+                    .crashes
+                    .iter()
+                    .map(|c| match c.restart_at {
+                        Some(r) => {
+                            CrashPlan::bounce(ReplicaId(c.replica), SimTime(c.crash_at), SimTime(r))
+                        }
+                        None => CrashPlan::permanent(ReplicaId(c.replica), SimTime(c.crash_at)),
+                    })
+                    .collect(),
+            },
+            final_sync: true,
+        }
+    }
+
+    /// The scenario with its last replica removed (shrink step). Fault-plan
+    /// entries referring to the removed replica are dropped or truncated.
+    pub fn without_last_replica(&self) -> FuzzScenario {
+        let mut sc = self.clone();
+        let gone = sc.n_replicas - 1;
+        sc.n_replicas = gone;
+        for p in &mut sc.partitions {
+            p.groups.truncate(gone as usize);
+        }
+        sc.crashes.retain(|c| c.replica < gone);
+        if let FuzzTopology::DataCenters { dc_of, .. } = &mut sc.topo {
+            dc_of.truncate(gone as usize);
+        }
+        sc
+    }
+
+    /// Renders the scenario as byte-stable fixture text. Every field is
+    /// always present, in a fixed order, with one canonical spelling —
+    /// `parse(render(sc)) == sc` exactly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{FIXTURE_MAGIC}");
+        let _ = writeln!(out, "family = {}", self.family.name());
+        let ts = match self.ts_mode {
+            TsMode::PerObject => "per_object",
+            TsMode::Shared => "shared",
+        };
+        let _ = writeln!(out, "ts_mode = {ts}");
+        let _ = writeln!(out, "objects = {}", self.n_objects);
+        let _ = writeln!(out, "replicas = {}", self.n_replicas);
+        let _ = writeln!(out, "duration = {}", self.duration);
+        let _ = writeln!(out, "invoke = {}+{}", self.invoke.0, self.invoke.1);
+        let _ = writeln!(out, "gossip = {}+{}", self.gossip.0, self.gossip.1);
+        match &self.topo {
+            FuzzTopology::Uniform { base, jitter } => {
+                let _ = writeln!(out, "topology = uniform {base}+{jitter}");
+            }
+            FuzzTopology::DataCenters {
+                dc_of,
+                intra,
+                inter,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "topology = dc {} intra {}+{} inter {}+{}",
+                    csv(dc_of),
+                    intra.0,
+                    intra.1,
+                    inter.0,
+                    inter.1
+                );
+            }
+        }
+        let _ = writeln!(out, "drop_pm = {}", self.drop_pm);
+        let _ = writeln!(out, "dup_pm = {}", self.dup_pm);
+        let _ = writeln!(out, "retry = {}", self.retry);
+        let _ = writeln!(out, "resync_after = {}", self.resync_after);
+        let _ = writeln!(out, "max_invokes = {}", self.max_invokes);
+        let _ = writeln!(out, "sim_seed = {}", self.sim_seed);
+        for p in &self.partitions {
+            let _ = writeln!(out, "partition = {}..{} {}", p.start, p.end, csv(&p.groups));
+        }
+        for c in &self.crashes {
+            match c.restart_at {
+                Some(r) => {
+                    let _ = writeln!(out, "crash = {} {}..{}", c.replica, c.crash_at, r);
+                }
+                None => {
+                    let _ = writeln!(out, "crash = {} {}..-", c.replica, c.crash_at);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses fixture text produced by [`FuzzScenario::render`].
+    pub fn parse(text: &str) -> Result<FuzzScenario, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l == FIXTURE_MAGIC => {}
+            other => return Err(format!("bad magic line: {other:?}")),
+        }
+        // Field defaults are only placeholders: render always writes every
+        // scalar field, so a round-tripped scenario never relies on them.
+        let mut sc = FuzzScenario {
+            family: Family::OpCounter,
+            ts_mode: TsMode::Shared,
+            n_objects: 1,
+            n_replicas: 2,
+            duration: 100,
+            invoke: (10, 0),
+            gossip: (10, 0),
+            topo: FuzzTopology::Uniform { base: 1, jitter: 0 },
+            drop_pm: 0,
+            dup_pm: 0,
+            retry: 10,
+            resync_after: 8,
+            max_invokes: 8,
+            sim_seed: 0,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        };
+        for (no, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(" = ")
+                .ok_or_else(|| format!("line {}: expected `key = value`", no + 2))?;
+            let err = |what: &str| format!("line {}: bad {what}: {value:?}", no + 2);
+            match key {
+                "family" => {
+                    sc.family = Family::from_name(value).ok_or_else(|| err("family"))?;
+                }
+                "ts_mode" => {
+                    sc.ts_mode = match value {
+                        "per_object" => TsMode::PerObject,
+                        "shared" => TsMode::Shared,
+                        _ => return Err(err("ts_mode")),
+                    };
+                }
+                "objects" => sc.n_objects = value.parse().map_err(|_| err("objects"))?,
+                "replicas" => sc.n_replicas = value.parse().map_err(|_| err("replicas"))?,
+                "duration" => sc.duration = value.parse().map_err(|_| err("duration"))?,
+                "invoke" => sc.invoke = parse_pair(value).ok_or_else(|| err("invoke"))?,
+                "gossip" => sc.gossip = parse_pair(value).ok_or_else(|| err("gossip"))?,
+                "topology" => sc.topo = parse_topology(value).ok_or_else(|| err("topology"))?,
+                "drop_pm" => sc.drop_pm = value.parse().map_err(|_| err("drop_pm"))?,
+                "dup_pm" => sc.dup_pm = value.parse().map_err(|_| err("dup_pm"))?,
+                "retry" => sc.retry = value.parse().map_err(|_| err("retry"))?,
+                "resync_after" => {
+                    sc.resync_after = value.parse().map_err(|_| err("resync_after"))?;
+                }
+                "max_invokes" => sc.max_invokes = value.parse().map_err(|_| err("max_invokes"))?,
+                "sim_seed" => sc.sim_seed = value.parse().map_err(|_| err("sim_seed"))?,
+                "partition" => {
+                    let (span, groups) = value.split_once(' ').ok_or_else(|| err("partition"))?;
+                    let (start, end) = parse_span(span).ok_or_else(|| err("partition"))?;
+                    let groups = parse_csv(groups).ok_or_else(|| err("partition"))?;
+                    sc.partitions.push(FuzzPartition { start, end, groups });
+                }
+                "crash" => {
+                    let (replica, span) = value.split_once(' ').ok_or_else(|| err("crash"))?;
+                    let replica = replica.parse().map_err(|_| err("crash"))?;
+                    let (crash_at, rest) = span.split_once("..").ok_or_else(|| err("crash"))?;
+                    let crash_at = crash_at.parse().map_err(|_| err("crash"))?;
+                    let restart_at = if rest == "-" {
+                        None
+                    } else {
+                        Some(rest.parse().map_err(|_| err("crash"))?)
+                    };
+                    sc.crashes.push(FuzzCrash {
+                        replica,
+                        crash_at,
+                        restart_at,
+                    });
+                }
+                _ => return Err(format!("line {}: unknown key {key:?}", no + 2)),
+            }
+        }
+        Ok(sc)
+    }
+}
+
+fn csv(xs: &[u32]) -> String {
+    let mut s = String::new();
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{x}");
+    }
+    s
+}
+
+fn parse_csv(s: &str) -> Option<Vec<u32>> {
+    s.split(',').map(|p| p.parse().ok()).collect()
+}
+
+fn parse_pair(s: &str) -> Option<(u64, u64)> {
+    let (a, b) = s.split_once('+')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+fn parse_span(s: &str) -> Option<(u64, u64)> {
+    let (a, b) = s.split_once("..")?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+fn parse_topology(s: &str) -> Option<FuzzTopology> {
+    if let Some(rest) = s.strip_prefix("uniform ") {
+        let (base, jitter) = parse_pair(rest)?;
+        return Some(FuzzTopology::Uniform { base, jitter });
+    }
+    let rest = s.strip_prefix("dc ")?;
+    let (dcs, rest) = rest.split_once(" intra ")?;
+    let (intra, inter) = rest.split_once(" inter ")?;
+    Some(FuzzTopology::DataCenters {
+        dc_of: parse_csv(dcs)?,
+        intra: parse_pair(intra)?,
+        inter: parse_pair(inter)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzScenario {
+        FuzzScenario {
+            family: Family::MultiLwwRegister,
+            ts_mode: TsMode::PerObject,
+            n_objects: 3,
+            n_replicas: 4,
+            duration: 240,
+            invoke: (15, 10),
+            gossip: (12, 4),
+            topo: FuzzTopology::DataCenters {
+                dc_of: vec![0, 0, 1, 1],
+                intra: (1, 2),
+                inter: (40, 20),
+            },
+            drop_pm: 150,
+            dup_pm: 50,
+            retry: 12,
+            resync_after: 8,
+            max_invokes: 14,
+            sim_seed: 99,
+            partitions: vec![FuzzPartition {
+                start: 40,
+                end: 160,
+                groups: vec![0, 0, 1, 1],
+            }],
+            crashes: vec![
+                FuzzCrash {
+                    replica: 2,
+                    crash_at: 60,
+                    restart_at: Some(180),
+                },
+                FuzzCrash {
+                    replica: 1,
+                    crash_at: 90,
+                    restart_at: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let sc = sample();
+        let text = sc.render();
+        let back = FuzzScenario::parse(&text).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(back.render(), text, "second render must be byte-identical");
+    }
+
+    #[test]
+    fn element_count_counts_structure() {
+        let sc = sample();
+        // 4 replicas + 1 partition + 2 crashes + drop + dup
+        assert_eq!(sc.n_elements(), 9);
+    }
+
+    #[test]
+    fn validate_catches_inconsistencies() {
+        let mut sc = sample();
+        sc.partitions[0].groups.pop();
+        assert!(sc.validate().is_err());
+        let mut sc = sample();
+        sc.crashes[0].replica = 9;
+        assert!(sc.validate().is_err());
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Family::from_name("nope"), None);
+    }
+}

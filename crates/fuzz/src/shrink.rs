@@ -1,0 +1,337 @@
+//! Delta-debugging a failing scenario down to a minimal counterexample.
+//!
+//! [`ral_analyze::shrink`] minimizes *traces* (lists of events) and
+//! *scalars*; this module lifts both to scenario structure. A scenario's
+//! removable elements are its replicas, partition windows, crash windows,
+//! and link-fault knobs ([`FuzzScenario::n_elements`]); its scalars are the
+//! invoke budget, run length, fault-window endpoints, and cadence jitters.
+//! Passes run in that order — structure first, then quantities — and repeat
+//! until a whole cycle changes nothing, so the result is 1-minimal w.r.t.
+//! element removal *and* a fixpoint of re-shrinking (given the deterministic
+//! oracle, which [`crate::oracle`] guarantees).
+//!
+//! The predicate is "replaying still produces the *same* [`VerdictKind`]"
+//! — a Diverged counterexample may not degrade into, say, an Undecided one
+//! mid-shrink. Every probe is one full simulation, so a replay budget caps
+//! the work; when it runs out, the current (still-failing) scenario is
+//! returned as-is.
+
+use crate::oracle::{run_scenario, VerdictKind};
+use crate::scenario::FuzzScenario;
+use ral_analyze::shrink::{shrink_scalar, shrink_trace};
+
+/// The result of shrinking one finding.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized scenario (still produces [`ShrinkOutcome::verdict`]).
+    pub scenario: FuzzScenario,
+    /// Simulations replayed while shrinking.
+    pub replays: u64,
+    /// The verdict being preserved.
+    pub verdict: VerdictKind,
+}
+
+struct Ctx {
+    budget: u64,
+    target: VerdictKind,
+    replays: u64,
+    max_replays: u64,
+}
+
+impl Ctx {
+    fn exhausted(&self) -> bool {
+        self.replays >= self.max_replays
+    }
+
+    // One probe: does the candidate still produce the target verdict?
+    fn fails(&mut self, sc: &FuzzScenario) -> bool {
+        if self.exhausted() || sc.validate().is_err() {
+            return false;
+        }
+        self.replays += 1;
+        run_scenario(sc, self.budget).verdict == self.target
+    }
+}
+
+/// Minimizes `sc`, whose replay must produce a finding verdict, preserving
+/// that exact verdict. `max_replays` bounds the total simulations spent.
+pub fn shrink(sc: &FuzzScenario, budget: u64, max_replays: u64) -> ShrinkOutcome {
+    let target = run_scenario(sc, budget).verdict;
+    assert!(
+        target.is_finding(),
+        "shrink target must be a finding, got {}",
+        target.name()
+    );
+    let mut ctx = Ctx {
+        budget,
+        target,
+        replays: 1,
+        max_replays,
+    };
+    let mut cur = sc.clone();
+    loop {
+        let before = cur.render();
+        cur = pass_replicas(&mut ctx, cur);
+        cur = pass_elements(&mut ctx, cur);
+        cur = pass_scalars(&mut ctx, cur);
+        if ctx.exhausted() || cur.render() == before {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        scenario: cur,
+        replays: ctx.replays,
+        verdict: target,
+    }
+}
+
+// Drop trailing replicas while the verdict survives (2 is the floor — a
+// single replica cannot disagree with anyone).
+fn pass_replicas(ctx: &mut Ctx, mut cur: FuzzScenario) -> FuzzScenario {
+    while cur.n_replicas > 2 {
+        let candidate = cur.without_last_replica();
+        if !ctx.fails(&candidate) {
+            break;
+        }
+        cur = candidate;
+    }
+    cur
+}
+
+// The removable non-replica elements, mirrored from
+// [`FuzzScenario::n_elements`].
+#[derive(Clone, Copy)]
+enum Elem {
+    Partition(usize),
+    Crash(usize),
+    Drop,
+    Dup,
+}
+
+fn elements_of(sc: &FuzzScenario) -> Vec<Elem> {
+    let mut elems: Vec<Elem> = (0..sc.partitions.len()).map(Elem::Partition).collect();
+    elems.extend((0..sc.crashes.len()).map(Elem::Crash));
+    if sc.drop_pm > 0 {
+        elems.push(Elem::Drop);
+    }
+    if sc.dup_pm > 0 {
+        elems.push(Elem::Dup);
+    }
+    elems
+}
+
+fn with_elements(sc: &FuzzScenario, elems: &[Elem]) -> FuzzScenario {
+    let mut out = sc.clone();
+    out.partitions.clear();
+    out.crashes.clear();
+    out.drop_pm = 0;
+    out.dup_pm = 0;
+    for e in elems {
+        match e {
+            Elem::Partition(i) => out.partitions.push(sc.partitions[*i].clone()),
+            Elem::Crash(i) => out.crashes.push(sc.crashes[*i].clone()),
+            Elem::Drop => out.drop_pm = sc.drop_pm,
+            Elem::Dup => out.dup_pm = sc.dup_pm,
+        }
+    }
+    out
+}
+
+// Greedy 1-minimization of the fault-plan elements, via the same ddmin-ish
+// sweep the trace shrinker uses.
+fn pass_elements(ctx: &mut Ctx, cur: FuzzScenario) -> FuzzScenario {
+    let elems = elements_of(&cur);
+    if elems.is_empty() {
+        return cur;
+    }
+    let kept = shrink_trace(&elems, |subset| ctx.fails(&with_elements(&cur, subset)));
+    with_elements(&cur, &kept)
+}
+
+// Bisect-then-creep every quantitative knob toward its floor.
+fn pass_scalars(ctx: &mut Ctx, mut cur: FuzzScenario) -> FuzzScenario {
+    cur = scalar(ctx, cur, 1, |sc| sc.max_invokes, |sc, v| sc.max_invokes = v);
+    cur = scalar(ctx, cur, 1, |sc| sc.duration, |sc, v| sc.duration = v);
+    cur = scalar(ctx, cur, 1, |sc| sc.invoke.0, |sc, v| sc.invoke.0 = v);
+    cur = scalar(ctx, cur, 0, |sc| sc.invoke.1, |sc, v| sc.invoke.1 = v);
+    cur = scalar(ctx, cur, 1, |sc| sc.gossip.0, |sc, v| sc.gossip.0 = v);
+    cur = scalar(ctx, cur, 0, |sc| sc.gossip.1, |sc, v| sc.gossip.1 = v);
+    if cur.n_objects > 1 {
+        cur = scalar(
+            ctx,
+            cur,
+            1,
+            |sc| u64::from(sc.n_objects),
+            |sc, v| sc.n_objects = v as u32,
+        );
+    }
+    for i in 0..cur.partitions.len() {
+        // End first (shorter window), then start (earlier window).
+        let end_floor = cur.partitions[i].start + 1;
+        cur = scalar(
+            ctx,
+            cur,
+            end_floor,
+            |sc| sc.partitions[i].end,
+            |sc, v| sc.partitions[i].end = v,
+        );
+        cur = scalar(
+            ctx,
+            cur,
+            0,
+            |sc| sc.partitions[i].start,
+            |sc, v| sc.partitions[i].start = v,
+        );
+    }
+    for i in 0..cur.crashes.len() {
+        if cur.crashes[i].restart_at.is_some() {
+            let restart_floor = cur.crashes[i].crash_at + 1;
+            cur = scalar(
+                ctx,
+                cur,
+                restart_floor,
+                |sc| sc.crashes[i].restart_at.unwrap(),
+                |sc, v| sc.crashes[i].restart_at = Some(v),
+            );
+        }
+        cur = scalar(
+            ctx,
+            cur,
+            0,
+            |sc| sc.crashes[i].crash_at,
+            |sc, v| sc.crashes[i].crash_at = v,
+        );
+    }
+    if cur.drop_pm > 0 {
+        cur = scalar(
+            ctx,
+            cur,
+            1,
+            |sc| u64::from(sc.drop_pm),
+            |sc, v| sc.drop_pm = v as u32,
+        );
+    }
+    if cur.dup_pm > 0 {
+        cur = scalar(
+            ctx,
+            cur,
+            1,
+            |sc| u64::from(sc.dup_pm),
+            |sc, v| sc.dup_pm = v as u32,
+        );
+    }
+    cur
+}
+
+fn scalar(
+    ctx: &mut Ctx,
+    mut cur: FuzzScenario,
+    min: u64,
+    get: impl Fn(&FuzzScenario) -> u64,
+    set: impl Fn(&mut FuzzScenario, u64),
+) -> FuzzScenario {
+    let best = shrink_scalar(get(&cur), min, |v| {
+        let mut candidate = cur.clone();
+        set(&mut candidate, v);
+        ctx.fails(&candidate)
+    });
+    set(&mut cur, best);
+    cur
+}
+
+/// Every scenario reachable from `sc` by removing exactly one structural
+/// element — the candidates a 1-minimality check must all see *not* fail.
+pub fn one_element_removals(sc: &FuzzScenario) -> Vec<FuzzScenario> {
+    let mut out = Vec::new();
+    if sc.n_replicas > 2 {
+        out.push(sc.without_last_replica());
+    }
+    for i in 0..sc.partitions.len() {
+        let mut c = sc.clone();
+        c.partitions.remove(i);
+        out.push(c);
+    }
+    for i in 0..sc.crashes.len() {
+        let mut c = sc.clone();
+        c.crashes.remove(i);
+        out.push(c);
+    }
+    if sc.drop_pm > 0 {
+        let mut c = sc.clone();
+        c.drop_pm = 0;
+        out.push(c);
+    }
+    if sc.dup_pm > 0 {
+        let mut c = sc.clone();
+        c.dup_pm = 0;
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::scenario::Family;
+    use ral_core::rng::Rng;
+
+    // A BrokenCounter scenario that diverges (searched deterministically).
+    fn failing_broken() -> FuzzScenario {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let sc = gen::generate_for_family(&mut rng, Family::BrokenCounter);
+            if run_scenario(&sc, 1_000).verdict == VerdictKind::Diverged {
+                return sc;
+            }
+        }
+        panic!("no diverging BrokenCounter scenario in 200 tries");
+    }
+
+    #[test]
+    fn shrinks_broken_counter_to_a_small_core() {
+        let sc = failing_broken();
+        let out = shrink(&sc, 1_000, 400);
+        assert_eq!(out.verdict, VerdictKind::Diverged);
+        assert_eq!(
+            run_scenario(&out.scenario, 1_000).verdict,
+            VerdictKind::Diverged,
+            "shrunk scenario must still fail"
+        );
+        assert!(
+            out.scenario.n_elements() <= 6,
+            "expected a minimal counterexample, got {} elements:\n{}",
+            out.scenario.n_elements(),
+            out.scenario.render()
+        );
+    }
+
+    #[test]
+    fn shrinking_is_a_fixpoint() {
+        let sc = failing_broken();
+        let once = shrink(&sc, 1_000, 400);
+        let twice = shrink(&once.scenario, 1_000, 400);
+        assert_eq!(
+            twice.scenario.render(),
+            once.scenario.render(),
+            "re-shrinking a shrunk scenario must change nothing"
+        );
+    }
+
+    #[test]
+    fn shrunk_scenario_is_one_minimal() {
+        let sc = failing_broken();
+        let out = shrink(&sc, 1_000, 400);
+        for candidate in one_element_removals(&out.scenario) {
+            if candidate.validate().is_err() {
+                continue;
+            }
+            assert_ne!(
+                run_scenario(&candidate, 1_000).verdict,
+                out.verdict,
+                "removing an element still fails — not 1-minimal:\n{}",
+                out.scenario.render()
+            );
+        }
+    }
+}

@@ -281,6 +281,21 @@ pub fn gossip(n: usize) -> Scenario {
     }
 }
 
+/// Names of every zero-argument scenario constructor this module exports,
+/// in corpus order. Guard tests (`crates/sim` unit tests and the root
+/// `sim_determinism` suite) scrape the module source against this table, so
+/// adding a constructor without registering it here — and without giving it
+/// a determinism runner — fails the build's test gate, not a code review.
+pub const CONSTRUCTOR_NAMES: [&str; 7] = [
+    "geo_3dc",
+    "flaky_wan",
+    "rolling_restart",
+    "split_brain_heal",
+    "delta_wan",
+    "multi_mix",
+    "gossip_50",
+];
+
 /// The whole named corpus, in a stable order.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -335,5 +350,34 @@ mod tests {
         assert_eq!(by_name("flaky_wan").unwrap().cfg.n_replicas, 5);
         assert!(by_name("no_such_scenario").is_none());
         assert_eq!(gossip(15).cfg.n_replicas, 15);
+    }
+
+    /// Scrapes this module's own source: every zero-argument constructor
+    /// returning `Scenario` must be registered in [`CONSTRUCTOR_NAMES`]
+    /// (and therefore reachable through [`all`] / [`by_name`]).
+    #[test]
+    fn every_constructor_is_registered() {
+        let src = include_str!("scenario.rs");
+        let mut scraped = Vec::new();
+        for line in src.lines() {
+            let Some(rest) = line.trim_start().strip_prefix("pub fn ") else {
+                continue;
+            };
+            let Some((name, args)) = rest.split_once('(') else {
+                continue;
+            };
+            if args.starts_with(')') && args.contains("-> Scenario") {
+                scraped.push(name.to_string());
+            }
+        }
+        let expected: Vec<String> = CONSTRUCTOR_NAMES.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            scraped, expected,
+            "zero-arg Scenario constructors drifted from CONSTRUCTOR_NAMES"
+        );
+        for name in CONSTRUCTOR_NAMES {
+            assert!(by_name(name).is_some(), "{name}: not reachable by_name");
+        }
+        assert_eq!(all().len(), CONSTRUCTOR_NAMES.len());
     }
 }

@@ -30,10 +30,14 @@
 //! discrete-event simulator's named scenario corpus, replacing the coin-flip
 //! scheduler with latency, partitions, and crashes. [`delta`] adds the
 //! delta-replication obligations: delta-transport convergence and lockstep
-//! differential equivalence against full-state replication.
+//! differential equivalence against full-state replication. [`crosscheck`]
+//! runs the independent checker engines side by side over one history and
+//! folds their outcomes into a single verdict — the oracle the `ral-fuzz`
+//! scenario fuzzer drives.
 
 pub mod commutativity;
 pub mod convergence;
+pub mod crosscheck;
 pub mod delta;
 pub mod obligations;
 pub mod refinement;

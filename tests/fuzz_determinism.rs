@@ -1,0 +1,110 @@
+//! Fuzzer determinism: the whole campaign is a pure function of its seed.
+//!
+//! Same seed ⇒ byte-identical scenario stream (pinned by the folded FNV),
+//! byte-identical coverage map, and a byte-identical `FUZZ_report.json`
+//! (modulo wall-clock, which the report keeps in a single trailing field
+//! and which these tests simply omit). The shrinker is deterministic, a
+//! fixpoint under re-shrinking, and 1-minimal w.r.t. element removal —
+//! exactly the properties that make a shipped counterexample replayable.
+
+use ral_fuzz::oracle::run_scenario;
+use ral_fuzz::scenario::Family;
+use ral_fuzz::shrink::{one_element_removals, shrink};
+use ral_fuzz::{fuzz, report, FuzzConfig};
+
+fn shipped(seed: u64, runs: u64) -> FuzzConfig {
+    FuzzConfig {
+        seed,
+        runs,
+        search_budget: 200_000,
+        ..Default::default()
+    }
+}
+
+fn broken(seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        seed,
+        runs: 10,
+        families: Family::BROKEN.to_vec(),
+        search_budget: 1_000,
+        shrink_replays: 300,
+    }
+}
+
+/// Two campaigns from one seed agree on every observable: the scenario
+/// stream, the coverage map, the verdict counters, and the report bytes.
+/// A third campaign from a different seed produces a different stream.
+#[test]
+fn same_seed_means_byte_identical_campaigns() {
+    let cfg = shipped(11, 15);
+    let a = fuzz(&cfg);
+    let b = fuzz(&cfg);
+    assert_eq!(a.stream_fnv, b.stream_fnv, "scenario stream diverged");
+    assert_eq!(
+        a.coverage.render(),
+        b.coverage.render(),
+        "coverage map diverged"
+    );
+    assert_eq!(a.verdicts, b.verdicts);
+    assert_eq!((a.runs, a.dedup, a.novel), (b.runs, b.dedup, b.novel));
+    // The report with wall-clock omitted must be byte-identical too.
+    let report_a = report::render_report(&cfg, &a, None);
+    let report_b = report::render_report(&cfg, &b, None);
+    assert_eq!(report_a, report_b, "FUZZ_report.json diverged");
+    assert!(ral_obs::json::validate(&report_a).is_ok());
+
+    let other = fuzz(&shipped(12, 15));
+    assert_ne!(
+        a.stream_fnv, other.stream_fnv,
+        "different seeds, same stream"
+    );
+}
+
+/// Campaigns that *find* something are deterministic end to end: both the
+/// discovered scenario and its shrunk form come out byte-identical, so a
+/// reported counterexample always replays.
+#[test]
+fn findings_and_their_shrunk_forms_are_deterministic() {
+    let cfg = broken(3);
+    let a = fuzz(&cfg);
+    let b = fuzz(&cfg);
+    assert!(!a.findings.is_empty(), "negative controls must be caught");
+    assert_eq!(a.findings.len(), b.findings.len());
+    for (fa, fb) in a.findings.iter().zip(&b.findings) {
+        assert_eq!(fa.original.render(), fb.original.render());
+        assert_eq!(fa.shrunk.render(), fb.shrunk.render());
+        assert_eq!(fa.verdict, fb.verdict);
+        assert_eq!(fa.replays, fb.replays, "shrink replay count diverged");
+    }
+    assert_eq!(
+        report::render_report(&cfg, &a, None),
+        report::render_report(&cfg, &b, None)
+    );
+}
+
+/// Re-shrinking a shrunk counterexample is a no-op (fixpoint), and no
+/// single structural element can be removed from it without losing the
+/// verdict (1-minimality).
+#[test]
+fn shrinking_is_a_fixpoint_and_one_minimal() {
+    let out = fuzz(&broken(3));
+    let f = out.findings.first().expect("a finding to shrink");
+    let again = shrink(&f.shrunk, 1_000, 300);
+    assert_eq!(
+        again.scenario.render(),
+        f.shrunk.render(),
+        "re-shrinking changed the scenario — not a fixpoint"
+    );
+    assert_eq!(again.verdict, f.verdict);
+    for candidate in one_element_removals(&f.shrunk) {
+        if candidate.validate().is_err() {
+            continue;
+        }
+        assert_ne!(
+            run_scenario(&candidate, 1_000).verdict,
+            f.verdict,
+            "an element could still be removed — not 1-minimal:\n{}",
+            f.shrunk.render()
+        );
+    }
+}

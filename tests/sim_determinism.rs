@@ -191,6 +191,36 @@ fn obs_recording_leaves_every_scenario_byte_identical() {
     }
 }
 
+/// Corpus-registration guard: every `Scenario` constructor `ral-sim`
+/// exports is listed in [`scenario::CONSTRUCTOR_NAMES`], reachable by
+/// name, present in `all()`, and wired to a runner in this suite. A new
+/// constructor that is not registered fails the in-crate scraping test
+/// (`every_constructor_is_registered`); one that is registered but has no
+/// runner panics here — either way, adding a scenario without putting it
+/// under the determinism contract is a CI failure.
+#[test]
+fn corpus_table_and_runners_cover_every_constructor() {
+    let all = scenario::all();
+    assert_eq!(
+        all.len(),
+        scenario::CONSTRUCTOR_NAMES.len(),
+        "corpus and constructor table disagree on size"
+    );
+    for name in scenario::CONSTRUCTOR_NAMES {
+        let sc = scenario::by_name(name)
+            .unwrap_or_else(|| panic!("{name}: in CONSTRUCTOR_NAMES but not by_name"));
+        assert!(
+            all.iter().any(|s| s.name == name),
+            "{name}: in CONSTRUCTOR_NAMES but not in all()"
+        );
+        // `runner_for` panics on an unregistered name; one short run proves
+        // the pairing actually executes.
+        let (trace, history) = runner_for(name)(&sc, 11);
+        assert!(!trace.is_empty(), "{name}: empty trace");
+        assert!(!history.is_empty(), "{name}: empty history");
+    }
+}
+
 /// Crash/restart bookkeeping is part of the determinism contract: the
 /// rolling restart fires exactly its scheduled crashes, every time.
 #[test]
