@@ -47,6 +47,13 @@ step cargo bench --offline --bench checker_scaling -- --quick --save "$PWD/BENCH
 # persisted BENCH_composed_scaling.json tracks the sharded speedup
 # (monolithic/k ÷ sharded/k) per commit.
 step cargo bench --offline --bench composed_scaling -- --quick --save "$PWD/BENCH_composed_scaling.json"
+# Runtime-throughput smoke: mailbox-drain delivery rate on the 50×32
+# multi_mix-class workload at 1 and 8 configured runtime threads. The
+# bench asserts convergence of every run, and the persisted
+# BENCH_runtime_throughput.json tracks delivered effectors/sec per commit
+# (the benchmark name encodes the deterministic event count, so
+# median_ns → events/sec needs no extra metadata).
+step cargo bench --offline --bench runtime_throughput -- --quick --save "$PWD/BENCH_runtime_throughput.json"
 # Observability smoke: the traced multi_mix + sharded-search example with
 # recording on. The example itself validates both JSON artifacts with the
 # strict ral-obs parser before writing them, so a malformed trace fails

@@ -59,6 +59,30 @@ fn wall_clock_in_obs_outside_wallclock_module_still_fires() {
 }
 
 #[test]
+fn thread_id_in_runtime_outside_exec_module_still_fires() {
+    // `crates/runtime` carries the one allowlisted thread-identity read in
+    // `src/exec.rs` (realized-parallelism telemetry). That entry is
+    // file-scoped: the same construct anywhere else in the crate must
+    // still fail the gate.
+    let src = fixture("uses_thread_id_in_runtime.rs");
+    for path in [
+        "crates/runtime/src/mailbox.rs",
+        "crates/runtime/src/op_based.rs",
+    ] {
+        let hits = scan_source(path, &src);
+        assert!(
+            hits.iter().any(|h| h.rule == RULE_THREAD),
+            "{path}: expected a {RULE_THREAD} hit, got {hits:?}"
+        );
+    }
+    // The allowlisted file itself also *scans* dirty — suppression is the
+    // allowlist's job, not the scanner's, which is what keeps the entry
+    // from going stale silently.
+    let hits = scan_source("crates/runtime/src/exec.rs", &src);
+    assert!(hits.iter().any(|h| h.rule == RULE_THREAD));
+}
+
+#[test]
 fn clean_fixture_stays_clean() {
     let hits = scan_source("crates/example/src/clean.rs", &fixture("clean.rs"));
     assert!(hits.is_empty(), "clean fixture tripped the lint: {hits:?}");

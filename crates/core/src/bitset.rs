@@ -108,6 +108,16 @@ impl BitSet {
         self.blocks.iter().all(|&b| b == 0)
     }
 
+    /// The largest element, or `None` for an empty set. Scans whole blocks
+    /// downward from the top, so on dense sets (visibility sets, whose top
+    /// block is almost always occupied) this is O(1) — unlike
+    /// `iter().last()`, which walks every element.
+    pub fn max(&self) -> Option<usize> {
+        self.blocks.iter().enumerate().rev().find_map(|(idx, &b)| {
+            (b != 0).then(|| idx * BITS + (BITS - 1 - b.leading_zeros() as usize))
+        })
+    }
+
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -181,6 +191,22 @@ impl<'a> IntoIterator for &'a BitSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn max_tracks_the_largest_element() {
+        let mut s = BitSet::new();
+        assert_eq!(s.max(), None);
+        s.insert(0);
+        assert_eq!(s.max(), Some(0));
+        s.insert(63);
+        assert_eq!(s.max(), Some(63));
+        s.insert(200);
+        assert_eq!(s.max(), Some(200));
+        s.remove(200);
+        // The top block is now empty; the scan must skip it.
+        assert_eq!(s.max(), Some(63));
+        assert_eq!(s.max(), s.iter().last());
+    }
 
     #[test]
     fn insert_and_contains() {

@@ -12,6 +12,7 @@
 //! | `RAL_PROP_SEED` | [`prop_seed`] | unset | replay exactly one property case with this seed |
 //! | `RAL_PROP_CASES` | [`prop_cases`] | per-suite | run this many property cases |
 //! | `RAL_CHECK_THREADS` | [`check_threads`] | `0` (auto) | thread count for the parallel RA-lin search |
+//! | `RAL_RUNTIME_THREADS` | [`runtime_threads`] | `0` (sequential) | worker threads for the sharded replication runtime |
 //! | `RAL_BENCH_QUICK` | [`bench_quick`] | unset | bench harness quick mode (shorter samples) |
 //! | `RAL_BENCH_JSON` | [`bench_json`] | unset | bench harness JSON output path |
 //! | `RAL_OBS` | [`obs`] | unset | enable `ral-obs` recording in obs-aware entry points |
@@ -70,20 +71,21 @@ pub fn prop_cases() -> Option<u64> {
     env_u64("RAL_PROP_CASES")
 }
 
-/// Parses a `RAL_CHECK_THREADS`-style value. `None` (unset) and `"0"` both
-/// mean automatic.
+/// Parses a thread-count value. `None` (unset) and `"0"` both mean the
+/// variable's documented default (automatic for the checker, sequential
+/// for the runtime).
 ///
 /// # Panics
 ///
 /// Panics on an unparseable value — silently ignoring a typo'd override
 /// would let "parallel" runs pass sequentially.
-pub(crate) fn threads_from(raw: Option<String>) -> usize {
+pub(crate) fn threads_from(name: &str, raw: Option<String>) -> usize {
     match raw {
         None => 0,
         Some(raw) => match raw.trim().parse::<usize>() {
             Ok(v) => v,
             Err(_) => {
-                panic!("invalid RAL_CHECK_THREADS={raw:?}: expected a non-negative thread count")
+                panic!("invalid {name}={raw:?}: expected a non-negative thread count")
             }
         },
     }
@@ -97,7 +99,23 @@ pub(crate) fn threads_from(raw: Option<String>) -> usize {
 ///
 /// Panics on an unparseable value.
 pub fn check_threads() -> usize {
-    threads_from(std::env::var("RAL_CHECK_THREADS").ok())
+    threads_from("RAL_CHECK_THREADS", std::env::var("RAL_CHECK_THREADS").ok())
+}
+
+/// `RAL_RUNTIME_THREADS` — worker threads for the sharded replication
+/// runtime's delivery drains (`ral_runtime::exec`). `0` or unset means
+/// sequential delivery on the calling thread — the conservative default:
+/// parallel delivery is byte-identical by construction, but opting in is
+/// explicit, like every other scaling knob.
+///
+/// # Panics
+///
+/// Panics on an unparseable value.
+pub fn runtime_threads() -> usize {
+    threads_from(
+        "RAL_RUNTIME_THREADS",
+        std::env::var("RAL_RUNTIME_THREADS").ok(),
+    )
 }
 
 /// `RAL_BENCH_QUICK` — when set (to anything), the bench harness runs with
@@ -164,10 +182,11 @@ mod tests {
 
     #[test]
     fn threads_parse_and_default() {
-        assert_eq!(threads_from(None), 0);
-        assert_eq!(threads_from(Some("0".into())), 0);
-        assert_eq!(threads_from(Some(" 4 ".into())), 4);
-        let caught = std::panic::catch_unwind(|| threads_from(Some("lots".into())));
+        assert_eq!(threads_from("RAL_CHECK_THREADS", None), 0);
+        assert_eq!(threads_from("RAL_CHECK_THREADS", Some("0".into())), 0);
+        assert_eq!(threads_from("RAL_RUNTIME_THREADS", Some(" 4 ".into())), 4);
+        let caught =
+            std::panic::catch_unwind(|| threads_from("RAL_RUNTIME_THREADS", Some("lots".into())));
         assert!(caught.is_err(), "unparseable thread count must panic");
     }
 

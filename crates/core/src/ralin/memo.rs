@@ -999,10 +999,11 @@ mod tests {
 
     #[test]
     fn thread_override_parsing() {
-        assert_eq!(threads_from(None), 0);
-        assert_eq!(threads_from(Some("0".into())), 0);
-        assert_eq!(threads_from(Some(" 4 ".into())), 4);
-        let caught = std::panic::catch_unwind(|| threads_from(Some("lots".into())));
+        assert_eq!(threads_from("RAL_CHECK_THREADS", None), 0);
+        assert_eq!(threads_from("RAL_CHECK_THREADS", Some("0".into())), 0);
+        assert_eq!(threads_from("RAL_CHECK_THREADS", Some(" 4 ".into())), 4);
+        let caught =
+            std::panic::catch_unwind(|| threads_from("RAL_CHECK_THREADS", Some("lots".into())));
         assert!(caught.is_err(), "typo'd override must fail loudly");
     }
 }

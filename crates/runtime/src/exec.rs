@@ -1,0 +1,378 @@
+//! The sharded delivery executor: replica-parallel drains, deterministic by
+//! construction.
+//!
+//! Delivery in every transport decomposes into per-replica work whose
+//! outcome depends only on the target replica's own node (seen-set, clock,
+//! state, mailbox) and on shared **immutable** inputs (the record pool, the
+//! history, inbound messages). [`for_each_replica`] exploits that: it
+//! partitions a cluster's node slice into contiguous shards and runs one
+//! scoped `std::thread` worker per shard. Since no worker writes anything
+//! another worker reads, the result of a drain is a pure function of the
+//! pre-drain configuration — histories, traces, and final states are
+//! byte-identical at 1, 2, or 64 threads, whatever the OS makes of the
+//! actual interleaving. The determinism suites assert this; the executor's
+//! job is merely not to give them anything to find.
+//!
+//! [`ExecMode::Seeded`] additionally jitters the shard *boundaries* from a
+//! seed, so replaying a run also replays its replica→worker assignment and
+//! distinct seeds exercise distinct partitions — scheduler diversity for
+//! tests, with provably invariant outcomes. [`ExecMode::Free`] uses the
+//! plain even split.
+//!
+//! Thread count comes from `RAL_RUNTIME_THREADS` (via
+//! [`ral_core::env::runtime_threads`]; `0`/unset = sequential on the caller
+//! thread, no spawns) or an explicit [`ExecConfig`]. Tests and benches that
+//! must not touch process environment can use [`override_threads`].
+
+use ral_core::env;
+use ral_core::rng::Rng;
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+/// How the executor assigns replicas to workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Shard boundaries are jittered deterministically from the seed:
+    /// replaying a seed replays the exact replica→worker assignment, and
+    /// different seeds exercise different partitions. Outcomes are
+    /// invariant either way — this buys schedule *diversity*, not schedule
+    /// *dependence*.
+    Seeded(u64),
+    /// Plain even split (the production default).
+    Free,
+}
+
+/// Executor configuration a cluster carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker thread count; `0` and `1` both mean sequential delivery on
+    /// the calling thread (no spawns at all).
+    pub threads: usize,
+    /// Shard-assignment mode.
+    pub mode: ExecMode,
+}
+
+impl ExecConfig {
+    /// Sequential delivery on the calling thread — the compatibility
+    /// default every cluster constructor starts from.
+    pub fn sequential() -> Self {
+        ExecConfig {
+            threads: 1,
+            mode: ExecMode::Free,
+        }
+    }
+
+    /// A seeded parallel executor: `threads` workers, shard assignment
+    /// derived from `seed`.
+    pub fn seeded(threads: usize, seed: u64) -> Self {
+        ExecConfig {
+            threads,
+            mode: ExecMode::Seeded(seed),
+        }
+    }
+
+    /// A free-running parallel executor: `threads` workers, even split.
+    pub fn free(threads: usize) -> Self {
+        ExecConfig {
+            threads,
+            mode: ExecMode::Free,
+        }
+    }
+
+    /// The executor `RAL_RUNTIME_THREADS` asks for (sequential when unset),
+    /// unless a process-local [`override_threads`] is active.
+    ///
+    /// The request is capped at the machine's available parallelism:
+    /// outcomes are thread-count invariant anyway, so oversubscribing buys
+    /// no wall-clock and only costs scheduling churn. The explicit
+    /// constructors ([`ExecConfig::free`], [`ExecConfig::seeded`]) stay
+    /// exact — the determinism suites use them to force real multi-worker
+    /// runs whatever the machine offers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparseable `RAL_RUNTIME_THREADS` value.
+    pub fn from_env() -> Self {
+        let requested = match thread_override() {
+            Some(t) => t,
+            None => env::runtime_threads(),
+        };
+        let cap = std::thread::available_parallelism().map_or(usize::MAX, |p| p.get());
+        ExecConfig {
+            threads: requested.min(cap),
+            mode: ExecMode::Free,
+        }
+    }
+
+    /// Workers actually used for `n` items: never more than `n`, never
+    /// fewer than one.
+    fn workers_for(&self, n: usize) -> usize {
+        self.threads.max(1).min(n.max(1))
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::sequential()
+    }
+}
+
+// Process-local thread-count override for ExecConfig::from_env: -1 = none.
+// Tests and benches use this instead of mutating RAL_RUNTIME_THREADS, which
+// would race across the parallel test harness.
+static THREAD_OVERRIDE: AtomicIsize = AtomicIsize::new(-1);
+
+/// Overrides (or, with `None`, clears the override of) the thread count
+/// [`ExecConfig::from_env`] reports, process-wide. For tests and benches
+/// that construct clusters through code paths they don't control;
+/// preferable to `std::env::set_var`, which races under the parallel test
+/// harness.
+pub fn override_threads(threads: Option<usize>) {
+    let raw = match threads {
+        Some(t) => isize::try_from(t).expect("thread override out of range"),
+        None => -1,
+    };
+    THREAD_OVERRIDE.store(raw, Ordering::SeqCst);
+}
+
+fn thread_override() -> Option<usize> {
+    let raw = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    usize::try_from(raw).ok()
+}
+
+/// What one [`for_each_replica`] call actually did — realized-parallelism
+/// telemetry. Flows into obs metrics and assertions only; results never
+/// depend on it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Shards (= workers) the call partitioned the items into.
+    pub workers: usize,
+    /// Distinct OS threads observed executing shards — the proof that the
+    /// configured parallelism was realized, not just partitioned.
+    pub engaged: usize,
+    /// Items per shard, in item order (shards are contiguous ascending
+    /// ranges, so `shard_sizes` also maps item index → worker).
+    pub shard_sizes: Vec<usize>,
+}
+
+/// Item counts per shard: an even split in [`ExecMode::Free`], a
+/// seed-jittered (but seed-deterministic) split in [`ExecMode::Seeded`].
+/// Every shard stays non-empty and sizes always sum to `n`.
+fn shard_sizes(n: usize, workers: usize, mode: ExecMode) -> Vec<usize> {
+    let mut sizes = vec![n / workers; workers];
+    for s in sizes.iter_mut().take(n % workers) {
+        *s += 1;
+    }
+    if let ExecMode::Seeded(seed) = mode {
+        // A fixed tweak keeps the shard RNG stream distinct from every
+        // other consumer of the run seed.
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5EED_51AB_D15C_0DE5);
+        for w in 0..workers.saturating_sub(1) {
+            if sizes[w] > 1 {
+                // Donate a random prefix of this shard's surplus rightward;
+                // both shards stay non-empty.
+                let give = rng.random_range(0..sizes[w]);
+                sizes[w] -= give;
+                sizes[w + 1] += give;
+            }
+        }
+    }
+    sizes
+}
+
+/// Runs `f(index, &mut items[index])` for every item, partitioned across
+/// the configured workers, and returns the per-item results in item order
+/// plus the [`ExecReport`].
+///
+/// `f` must confine its writes to the item it is handed (shared captures
+/// are `&`-only, which the `Sync` bound enforces); under that contract the
+/// results are identical at every thread count. With one worker (or one
+/// item) everything runs inline on the caller thread — no spawns, no
+/// overhead, byte-compatible with the historical sequential loops.
+pub fn for_each_replica<T, R, F>(cfg: &ExecConfig, items: &mut [T], f: F) -> (Vec<R>, ExecReport)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = cfg.workers_for(n);
+    if workers <= 1 {
+        let results = items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        return (
+            results,
+            ExecReport {
+                workers: 1,
+                engaged: 1,
+                shard_sizes: vec![n],
+            },
+        );
+    }
+    let sizes = shard_sizes(n, workers, cfg.mode);
+    let mut shards = Vec::with_capacity(workers);
+    let mut rest = items;
+    let mut start = 0;
+    for &size in &sizes {
+        let (shard, tail) = rest.split_at_mut(size);
+        shards.push((start, shard));
+        start += size;
+        rest = tail;
+    }
+    let f = &f;
+    let mut results = Vec::with_capacity(n);
+    let mut thread_ids: Vec<std::thread::ThreadId> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|(start, shard)| {
+                scope.spawn(move || {
+                    let out: Vec<R> = shard
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, t)| f(start + i, t))
+                        .collect();
+                    // Realized-parallelism telemetry only: the identity of
+                    // the OS thread that ran this shard. It feeds
+                    // ExecReport::engaged and obs gauges — never results.
+                    (out, std::thread::current().id())
+                })
+            })
+            .collect();
+        // Joining in spawn order makes the flattened results (and any panic
+        // the workers raise) deterministic regardless of completion order.
+        for handle in handles {
+            match handle.join() {
+                Ok((out, tid)) => {
+                    results.extend(out);
+                    if !thread_ids.contains(&tid) {
+                        thread_ids.push(tid);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let engaged = thread_ids.len();
+    (
+        results,
+        ExecReport {
+            workers,
+            engaged,
+            shard_sizes: sizes,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_sum(cfg: &ExecConfig, n: usize) -> (Vec<u64>, ExecReport) {
+        let mut items: Vec<u64> = (0..n as u64).collect();
+        let (results, report) = for_each_replica(cfg, &mut items, |i, item| {
+            *item += 1;
+            *item * 10 + i as u64
+        });
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+        (results, report)
+    }
+
+    #[test]
+    fn sequential_path_never_spawns() {
+        let (results, report) = run_sum(&ExecConfig::sequential(), 5);
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.engaged, 1);
+        assert_eq!(report.shard_sizes, vec![5]);
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts_and_modes() {
+        let (baseline, _) = run_sum(&ExecConfig::sequential(), 37);
+        for cfg in [
+            ExecConfig::free(2),
+            ExecConfig::free(8),
+            ExecConfig::seeded(8, 0),
+            ExecConfig::seeded(8, 0xDEAD),
+            ExecConfig::seeded(3, 7),
+        ] {
+            let (results, report) = run_sum(&cfg, 37);
+            assert_eq!(results, baseline, "{cfg:?}: results drifted");
+            assert_eq!(report.shard_sizes.iter().sum::<usize>(), 37);
+            assert!(report.shard_sizes.iter().all(|&s| s > 0));
+            assert_eq!(report.workers, report.shard_sizes.len());
+        }
+    }
+
+    #[test]
+    fn parallel_execution_engages_distinct_threads() {
+        let (_, report) = run_sum(&ExecConfig::free(4), 32);
+        assert_eq!(report.workers, 4);
+        assert_eq!(
+            report.engaged, 4,
+            "each shard must run on its own OS thread"
+        );
+    }
+
+    #[test]
+    fn workers_never_exceed_items() {
+        let (_, report) = run_sum(&ExecConfig::free(16), 3);
+        assert_eq!(report.workers, 3);
+        assert_eq!(report.shard_sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn seeded_sharding_replays_exactly() {
+        assert_eq!(
+            shard_sizes(50, 8, ExecMode::Seeded(42)),
+            shard_sizes(50, 8, ExecMode::Seeded(42))
+        );
+        assert_eq!(
+            shard_sizes(50, 8, ExecMode::Free),
+            vec![7, 7, 6, 6, 6, 6, 6, 6]
+        );
+    }
+
+    #[test]
+    fn seeded_sharding_varies_with_the_seed() {
+        let partitions: Vec<_> = (0..16)
+            .map(|seed| shard_sizes(50, 8, ExecMode::Seeded(seed)))
+            .collect();
+        assert!(
+            partitions.windows(2).any(|w| w[0] != w[1]),
+            "16 consecutive seeds should not all shard identically"
+        );
+        for p in &partitions {
+            assert_eq!(p.iter().sum::<usize>(), 50);
+            assert!(p.iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_message() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut items = vec![0u8; 8];
+            for_each_replica(&ExecConfig::free(4), &mut items, |i, _| {
+                assert!(i != 5, "boom at item {i}");
+            });
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at item 5"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn override_hook_beats_the_environment() {
+        let cap = std::thread::available_parallelism().map_or(usize::MAX, |p| p.get());
+        override_threads(Some(3));
+        assert_eq!(ExecConfig::from_env().threads, 3.min(cap));
+        override_threads(None);
+        // Unset in the test environment ⇒ sequential.
+        assert_eq!(
+            ExecConfig::from_env().threads,
+            ral_core::env::runtime_threads().min(cap)
+        );
+    }
+}

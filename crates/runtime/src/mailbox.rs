@@ -1,0 +1,248 @@
+//! Per-replica mailboxes and the shared delivery-record pool.
+//!
+//! Every broadcast transport ([`Cluster`](crate::op_based::Cluster),
+//! [`MultiCluster`](crate::multi::MultiCluster)) follows the same shape: an
+//! invocation appends one immutable [`DeliveryRecord`] to a cluster-wide
+//! pool, and because every record is addressed to *every* other replica, a
+//! replica's inbound queue is just a suffix of that pool — each [`Mailbox`]
+//! tracks a `cursor` (the first pool id no drain of this replica has
+//! examined yet) instead of materializing per-replica queues, so an
+//! invocation broadcasts in O(1) without touching any other replica's
+//! memory. Delivery then happens replica-locally: a drain walks the blocked
+//! `backlog` and then the pool from the cursor up, in ascending id order,
+//! applies whatever causal delivery admits, and keeps the rest in the
+//! backlog. Because record ids ascend with operation ids and every causal
+//! predecessor of a record has a smaller id, **one ascending pass reaches
+//! the fixpoint** — no retry loop — and because a drain writes nothing but
+//! its own replica's node, drains for different replicas can run on
+//! different worker threads (see [`crate::exec`]) without changing a single
+//! byte of any history or trace.
+//!
+//! The pending set is pruned lazily: whether an id is still pending is
+//! decided by the replica's seen-set (see [`crate::membership::Member`]),
+//! never by per-record flags — own-origin records and targeted deliveries
+//! are simply skipped as already seen — so broadcasting, draining, and
+//! targeted delivery all agree by construction.
+
+use ral_obs as obs;
+
+use crate::exec::ExecReport;
+
+/// One replicated effector, broadcast at invoke time and applied at most
+/// once per replica.
+///
+/// Records are immutable after creation — all delivery state lives in the
+/// receiving replica's seen-set. `M` carries transport-specific metadata
+/// (`()` for the single-object cluster; the object id for the composed
+/// one).
+#[derive(Clone, Debug)]
+pub struct DeliveryRecord<E, M = ()> {
+    /// History index of the operation this record replicates.
+    pub op: usize,
+    /// Effector payload; `None` for queries (identity effectors).
+    pub eff: Option<E>,
+    /// The origin replica's Lamport clock right after the generator ran;
+    /// receivers take the max, so clocks propagate even through identity
+    /// effectors (the paper's monotone-counter requirement, Section 5.3).
+    pub clock: u64,
+    /// Transport-specific metadata.
+    pub meta: M,
+}
+
+/// A replica's view of its inbound deliveries.
+///
+/// `cursor` marks the prefix of the shared record pool this replica's
+/// drains have already examined; everything at or above it is implicitly
+/// queued (broadcast is O(1): appending to the pool addresses everyone).
+/// `backlog` holds examined-but-blocked ids — records below the cursor
+/// whose causal predecessors were missing at drain time — kept ascending.
+/// `held` buffers out-of-order network arrivals: ids a simulator handed to
+/// [`receive`](crate::op_based::Cluster::receive) before causal delivery
+/// admitted them.
+#[derive(Clone, Debug, Default)]
+pub struct Mailbox {
+    cursor: usize,
+    backlog: Vec<usize>,
+    held: Vec<usize>,
+}
+
+impl Mailbox {
+    /// An empty mailbox with its cursor at the start of the pool.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// The pending candidate ids given the pool size `total`: the blocked
+    /// backlog first, then every unexamined id from the cursor up —
+    /// ascending overall, since backlog ids all precede the cursor. May
+    /// include ids the replica has already applied (its own operations, or
+    /// targeted delivers) — callers filter against the seen-set.
+    pub fn pending(&self, total: usize) -> impl Iterator<Item = usize> + '_ {
+        self.backlog.iter().copied().chain(self.cursor..total)
+    }
+
+    /// Pending-candidate count (including lazily-pruned ids) given the pool
+    /// size `total`; the pre-drain mailbox depth the obs layer reports.
+    pub fn depth(&self, total: usize) -> usize {
+        self.backlog.len() + (total - self.cursor)
+    }
+
+    /// The first pool id no drain of this replica has examined yet.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Marks the pool prefix below `to` as examined (a drain walked it;
+    /// whatever it could not apply went to the backlog).
+    pub fn advance_cursor(&mut self, to: usize) {
+        debug_assert!(to >= self.cursor, "cursor moved backwards");
+        self.cursor = to;
+    }
+
+    /// Moves the backlog out for an in-place drain (zero allocation); the
+    /// drain compacts survivors and hands the buffer back via
+    /// [`Mailbox::restore_backlog`].
+    pub fn take_backlog(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.backlog)
+    }
+
+    /// Returns the (compacted) backlog buffer after a drain.
+    pub fn restore_backlog(&mut self, backlog: Vec<usize>) {
+        debug_assert!(self.backlog.is_empty(), "restore over a non-empty backlog");
+        self.backlog = backlog;
+    }
+
+    /// Buffers an out-of-order arrival for later causal re-examination.
+    pub fn hold(&mut self, id: usize) {
+        self.held.push(id);
+    }
+
+    /// The held (out-of-order) arrivals, in arrival order.
+    pub fn held(&self) -> &[usize] {
+        &self.held
+    }
+
+    /// Moves the held buffer out for a holdback drain (the swap-remove scan
+    /// the sim drivers have always used); hand it back via
+    /// [`Mailbox::restore_held`].
+    pub fn take_held(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.held)
+    }
+
+    /// Returns the held buffer after a holdback drain.
+    pub fn restore_held(&mut self, held: Vec<usize>) {
+        debug_assert!(self.held.is_empty(), "restore over a non-empty holdback");
+        self.held = held;
+    }
+
+    /// Drops held entries that no longer need holding (`keep` is typically
+    /// "not yet seen"). Removal preserves order and only ever drops
+    /// undeliverable-as-held entries, so holdback scans are unaffected.
+    pub fn prune_held(&mut self, keep: impl FnMut(&usize) -> bool) {
+        let mut keep = keep;
+        self.held.retain(|id| keep(id));
+    }
+}
+
+/// What one replica's drain did: how many pool entries it probed for
+/// deliverability and how many effectors it applied. The probe count is the
+/// complexity witness regression tests pin (one probe per pending pair, no
+/// fixpoint re-scans); the applied count feeds the obs batch metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Deliverability checks performed.
+    pub probes: u64,
+    /// Effectors applied.
+    pub applied: u64,
+}
+
+/// Obs metric names for one transport's drain (names must be `'static` for
+/// the recorder).
+pub(crate) struct DrainObs {
+    /// Histogram: total pending candidates across all mailboxes before the
+    /// drain.
+    pub depth: &'static str,
+    /// Histogram: effectors applied by this drain (the batch size).
+    pub batch: &'static str,
+    /// Keyed counter: effectors applied per executor worker.
+    pub per_worker: &'static str,
+}
+
+/// Records one drain's mailbox metrics, on the caller thread, after the
+/// executor has joined — obs stays inert and its event order deterministic
+/// no matter how many workers ran.
+pub(crate) fn record_drain(names: &DrainObs, depth: usize, stats: &[DrainStats], rep: &ExecReport) {
+    obs::observe(names.depth, depth as u64);
+    let applied: u64 = stats.iter().map(|s| s.applied).sum();
+    obs::observe(names.batch, applied);
+    let mut start = 0;
+    for (worker, &size) in rep.shard_sizes.iter().enumerate() {
+        let shard: u64 = stats[start..start + size].iter().map(|s| s.applied).sum();
+        obs::counter_keyed(names.per_worker, worker as u64, shard);
+        start += size;
+    }
+}
+
+/// How a driver's `receive` handled an inbound message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Received {
+    /// Applied now; the count includes any held messages it unblocked.
+    Applied(usize),
+    /// Buffered for causal holdback (delivering now would violate causal
+    /// order, or the replica is down).
+    Held,
+    /// A duplicate of something already applied; dropped.
+    Ignored,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_mailbox_sees_the_whole_pool_as_pending() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.cursor(), 0);
+        assert_eq!(mb.pending(3).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(mb.depth(3), 3);
+    }
+
+    #[test]
+    fn backlog_precedes_the_unexamined_suffix_and_stays_ascending() {
+        let mut mb = Mailbox::new();
+        let mut backlog = mb.take_backlog();
+        backlog.push(1); // blocked below the cursor
+        mb.restore_backlog(backlog);
+        mb.advance_cursor(4);
+        assert_eq!(mb.pending(6).collect::<Vec<_>>(), vec![1, 4, 5]);
+        assert_eq!(mb.depth(6), 3);
+    }
+
+    #[test]
+    fn take_and_restore_backlog_round_trip_without_realloc() {
+        let mut mb = Mailbox::new();
+        let mut b = mb.take_backlog();
+        b.push(1);
+        b.push(2);
+        mb.restore_backlog(b);
+        let mut b = mb.take_backlog();
+        assert_eq!(mb.depth(0), 0);
+        let cap = b.capacity();
+        b.clear();
+        b.push(2);
+        mb.restore_backlog(b);
+        assert_eq!(mb.pending(0).collect::<Vec<_>>(), vec![2]);
+        assert!(mb.take_backlog().capacity() >= cap);
+    }
+
+    #[test]
+    fn holdback_buffer_is_separate_and_prunable() {
+        let mut mb = Mailbox::new();
+        mb.hold(9);
+        mb.hold(5);
+        assert_eq!(mb.held(), &[9, 5]);
+        mb.prune_held(|&id| id != 5);
+        assert_eq!(mb.held(), &[9]);
+        assert_eq!(mb.cursor(), 0, "pruning held leaves the cursor alone");
+    }
+}

@@ -8,10 +8,20 @@
 //! unrestricted composition `⊗` and the shared-timestamp composition `⊗ts`
 //! (Figure 11) is whether replicas keep one Lamport clock per object or a
 //! single clock spanning all of them.
+//!
+//! Replication plumbing is the shared delivery core ([`crate::mailbox`] +
+//! [`crate::membership`]); per-object causal delivery is certified in O(1)
+//! against the target's seen frontier, falling back to the cluster's
+//! per-object op index only when the seen-set has holes.
+//! [`MultiCluster::deliver_all`] drains each replica's mailbox in one
+//! ascending pass, sharded across the configured [`exec`]
+//! workers.
 
+use crate::exec::{self, ExecConfig};
 use crate::gen::{GenCtx, GenOutcome};
+use crate::mailbox::{self, DeliveryRecord, DrainObs, DrainStats, Mailbox, Received};
+use crate::membership::Member;
 use crate::op_based::{Invoked, OpBased};
-use ral_core::bitset::BitSet;
 use ral_core::compose::ObjLabel;
 use ral_core::history::{History, OpRecord};
 use ral_core::ids::{ObjId, ReplicaId};
@@ -33,27 +43,25 @@ pub enum TsMode {
 #[derive(Clone)]
 struct MultiNode<S> {
     states: Vec<S>,
-    seen: BitSet,
-    clocks: Vec<u64>,
-    // Running flag; composed replica state is durable, as in
+    // Liveness + seen-set; composed replica state is durable, as in
     // [`crate::op_based::Cluster`].
-    up: bool,
+    member: Member,
+    clocks: Vec<u64>,
+    mailbox: Mailbox,
 }
 
-#[derive(Clone)]
-struct Delivery<E> {
-    op: usize,
+/// Composed-transport record metadata: just the target object. The op's
+/// *same-object* visibility predecessors are not materialized per record —
+/// deliverability certifies them in O(1) against the target's seen
+/// [`frontier`](Member::frontier) (every predecessor has a smaller id), and
+/// only a replica whose seen-set has holes falls back to scanning the
+/// cluster's per-object op index against the history's pred set.
+#[derive(Clone, Debug)]
+struct MultiMeta {
     obj: usize,
-    eff: Option<E>,
-    // Origin's clock (for the object's slot) after the generator ran.
-    clock: u64,
-    delivered: Vec<bool>,
-    // The op's *same-object* visibility predecessors, extracted once at
-    // invoke time: per-object causal delivery consults exactly these, and
-    // with many composed objects they are a small fraction of the full
-    // pred set (which deliverability probes used to rescan every time).
-    same_obj_preds: Vec<usize>,
 }
+
+type MultiRecord<E> = DeliveryRecord<E, MultiMeta>;
 
 /// A cluster replicating `n` objects of the same data type.
 // Cloning forks the whole composed configuration — the branch point of
@@ -64,23 +72,46 @@ pub struct MultiCluster<C: OpBased> {
     mode: TsMode,
     n_objects: usize,
     replicas: Vec<MultiNode<C::State>>,
-    deliveries: Vec<Delivery<C::Eff>>,
-    // Per-replica frontier of not-yet-applied delivery ids, ascending by
-    // creation. Entries applied through targeted `deliver` calls are
-    // pruned lazily by the next `deliver_all` drain.
-    pending: Vec<Vec<usize>>,
+    records: Vec<MultiRecord<C::Eff>>,
+    // Per-object index of every op issued on that object, ascending — the
+    // candidate pool the slow-path causal check scans (a hole-free replica
+    // never touches it).
+    obj_ops: Vec<Vec<usize>>,
     history: History<ObjLabel<C::Label>>,
     next_uid: u64,
+    exec: ExecConfig,
 }
+
+const MULTI_DRAIN_OBS: DrainObs = DrainObs {
+    depth: "runtime.multi.mailbox.depth",
+    batch: "runtime.multi.mailbox.batch",
+    per_worker: "runtime.exec.worker_deliveries",
+};
 
 impl<C: OpBased> MultiCluster<C> {
     /// Creates a cluster of `n_replicas` replicas, each holding `n_objects`
-    /// objects, under the given timestamp discipline.
+    /// objects, under the given timestamp discipline, with the executor
+    /// `RAL_RUNTIME_THREADS` configures (sequential when unset).
     ///
     /// # Panics
     ///
     /// Panics if `n_replicas` or `n_objects` is zero.
     pub fn new(crdt: C, n_objects: usize, n_replicas: usize, mode: TsMode) -> Self {
+        MultiCluster::with_exec(crdt, n_objects, n_replicas, mode, ExecConfig::from_env())
+    }
+
+    /// [`MultiCluster::new`] with an explicit executor configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` or `n_objects` is zero.
+    pub fn with_exec(
+        crdt: C,
+        n_objects: usize,
+        n_replicas: usize,
+        mode: TsMode,
+        exec: ExecConfig,
+    ) -> Self {
         assert!(n_replicas > 0, "a cluster needs at least one replica");
         assert!(n_objects > 0, "a composition needs at least one object");
         let clock_slots = match mode {
@@ -90,9 +121,9 @@ impl<C: OpBased> MultiCluster<C> {
         let replicas = (0..n_replicas)
             .map(|_| MultiNode {
                 states: (0..n_objects).map(|_| crdt.initial()).collect(),
-                seen: BitSet::new(),
+                member: Member::new(),
                 clocks: vec![0; clock_slots],
-                up: true,
+                mailbox: Mailbox::new(),
             })
             .collect();
         MultiCluster {
@@ -100,11 +131,23 @@ impl<C: OpBased> MultiCluster<C> {
             mode,
             n_objects,
             replicas,
-            deliveries: Vec::new(),
-            pending: vec![Vec::new(); n_replicas],
+            records: Vec::new(),
+            obj_ops: vec![Vec::new(); n_objects],
             history: History::new(),
             next_uid: 0,
+            exec,
         }
+    }
+
+    /// Replaces the executor configuration (delivery semantics are
+    /// executor-invariant; this changes only how drains are scheduled).
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// The executor configuration delivery drains run under.
+    pub fn exec(&self) -> &ExecConfig {
+        &self.exec
     }
 
     /// Number of composed objects.
@@ -153,7 +196,7 @@ impl<C: OpBased> MultiCluster<C> {
         assert!(o < self.n_objects, "object {obj} out of range");
         let slot = self.clock_slot(o);
         let node = &self.replicas[idx];
-        assert!(node.up, "cannot invoke at crashed replica {r}");
+        node.member.expect_up("invoke at", r);
         let mut ctx = GenCtx::new(r, node.clocks[slot], self.next_uid);
         match self.crdt.generator(&node.states[o], &call, &mut ctx) {
             GenOutcome::Refused => None,
@@ -164,35 +207,22 @@ impl<C: OpBased> MultiCluster<C> {
                     None => OpRecord::new(label, r),
                 };
                 let node = &mut self.replicas[idx];
-                let op = self.history.push_set(record, node.seen.clone());
+                let op = self.history.push_set(record, node.member.seen().clone());
                 node.clocks[slot] = ctx.clock();
                 self.next_uid = ctx.uid_counter();
                 if let Some(eff) = &eff {
                     self.crdt.apply(&mut node.states[o], eff);
                 }
-                node.seen.insert(op);
+                node.member.observe(op);
                 let clock = node.clocks[slot];
-                let mut delivered = vec![false; self.replicas.len()];
-                delivered[idx] = true;
-                let delivery = self.deliveries.len();
-                for (other, pending) in self.pending.iter_mut().enumerate() {
-                    if other != idx {
-                        pending.push(delivery);
-                    }
-                }
-                let same_obj_preds = self
-                    .history
-                    .preds(op)
-                    .iter()
-                    .filter(|&p| self.history.label(p).obj.0 as usize == o)
-                    .collect();
-                self.deliveries.push(Delivery {
+                // Appending to the shared pool IS the broadcast: every other
+                // replica's mailbox cursor lies at or below the new id.
+                self.obj_ops[o].push(op);
+                self.records.push(DeliveryRecord {
                     op,
-                    obj: o,
                     eff,
                     clock,
-                    delivered,
-                    same_obj_preds,
+                    meta: MultiMeta { obj: o },
                 });
                 Some(Invoked { ret, op })
             }
@@ -201,48 +231,51 @@ impl<C: OpBased> MultiCluster<C> {
 
     /// The history index of pending delivery `d`.
     pub fn delivery_op(&self, d: usize) -> usize {
-        self.deliveries[d].op
+        self.records[d].op
     }
 
     /// Total number of deliveries created so far (ids are `0..n`).
     pub fn n_deliveries(&self) -> usize {
-        self.deliveries.len()
+        self.records.len()
     }
 
-    /// Whether delivery `d` has already been applied at replica `r`.
+    /// Whether delivery `d` has already been applied at replica `r` —
+    /// equivalently, whether its operation is in the replica's seen-set.
     pub fn is_delivered(&self, d: usize, r: ReplicaId) -> bool {
-        self.deliveries[d].delivered[r.0 as usize]
+        self.replicas[r.0 as usize]
+            .member
+            .has_seen(self.records[d].op)
     }
 
     /// Non-panicking probe for [`MultiCluster::deliver`]: up, not yet
     /// applied, and per-object causal delivery admits it now.
     pub fn can_deliver(&self, r: ReplicaId, d: usize) -> bool {
         let node = &self.replicas[r.0 as usize];
-        let del = &self.deliveries[d];
-        node.up
-            && !del.delivered[r.0 as usize]
-            && del.same_obj_preds.iter().all(|&p| node.seen.contains(p))
+        let rec = &self.records[d];
+        node.member.is_up()
+            && !node.member.has_seen(rec.op)
+            && same_obj_deliverable::<C>(rec, &node.member, &self.history, &self.obj_ops)
     }
 
     /// Whether replica `r` is running (not crashed).
     pub fn is_up(&self, r: ReplicaId) -> bool {
-        self.replicas[r.0 as usize].up
+        self.replicas[r.0 as usize].member.is_up()
     }
 
     /// Crashes replica `r` (durable composed state; processing halts).
     pub fn crash(&mut self, r: ReplicaId) {
-        self.replicas[r.0 as usize].up = false;
+        self.replicas[r.0 as usize].member.crash();
     }
 
     /// Restarts a crashed replica.
     pub fn restart(&mut self, r: ReplicaId) {
-        self.replicas[r.0 as usize].up = true;
+        self.replicas[r.0 as usize].member.restart();
     }
 
     /// Restarts every crashed replica.
     pub fn restart_all(&mut self) {
         for node in &mut self.replicas {
-            node.up = true;
+            node.member.restart();
         }
     }
 
@@ -250,17 +283,28 @@ impl<C: OpBased> MultiCluster<C> {
     /// required only among operations of the *same* object. Empty while the
     /// replica is crashed.
     pub fn deliverable(&self, r: ReplicaId) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.deliverable_into(r, &mut out);
+        out
+    }
+
+    /// [`MultiCluster::deliverable`] into a caller-owned scratch buffer
+    /// (cleared first) — the allocation-free form the schedule drivers
+    /// probe with on every delivery step.
+    pub fn deliverable_into(&self, r: ReplicaId, out: &mut Vec<usize>) {
+        out.clear();
         let node = &self.replicas[r.0 as usize];
-        if !node.up {
-            return Vec::new();
+        if !node.member.is_up() {
+            return;
         }
-        self.deliveries
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| !d.delivered[r.0 as usize])
-            .filter(|(_, d)| d.same_obj_preds.iter().all(|&p| node.seen.contains(p)))
-            .map(|(i, _)| i)
-            .collect()
+        for d in node.mailbox.pending(self.records.len()) {
+            let rec = &self.records[d];
+            if !node.member.has_seen(rec.op)
+                && same_obj_deliverable::<C>(rec, &node.member, &self.history, &self.obj_ops)
+            {
+                out.push(d);
+            }
+        }
     }
 
     /// Delivers pending effector `delivery` at replica `r`.
@@ -270,48 +314,64 @@ impl<C: OpBased> MultiCluster<C> {
     /// Panics on double delivery or a per-object causal violation.
     pub fn deliver(&mut self, r: ReplicaId, delivery: usize) {
         let idx = r.0 as usize;
-        assert!(
-            self.replicas[idx].up,
-            "cannot deliver at crashed replica {r}"
-        );
-        let (op, obj) = {
-            let d = &self.deliveries[delivery];
-            assert!(
-                !d.delivered[idx],
-                "effector of operation {} already applied at {r}",
-                d.op
-            );
-            (d.op, d.obj)
-        };
-        let same_obj_causal = self.deliveries[delivery]
-            .same_obj_preds
-            .iter()
-            .all(|&p| self.replicas[idx].seen.contains(p));
-        assert!(
-            same_obj_causal,
-            "causal delivery violated for object o{obj} at {r}"
-        );
-        let slot = self.clock_slot(obj);
+        let slot = self.clock_slot(self.records[delivery].meta.obj);
         let node = &mut self.replicas[idx];
-        if let Some(eff) = &self.deliveries[delivery].eff {
-            self.crdt.apply(&mut node.states[obj], eff);
+        node.member.expect_up("deliver at", r);
+        let rec = &self.records[delivery];
+        assert!(
+            !node.member.has_seen(rec.op),
+            "effector of operation {} already applied at {r}",
+            rec.op
+        );
+        assert!(
+            same_obj_deliverable::<C>(rec, &node.member, &self.history, &self.obj_ops),
+            "causal delivery violated for object o{} at {r}",
+            rec.meta.obj
+        );
+        if let Some(eff) = &rec.eff {
+            self.crdt.apply(&mut node.states[rec.meta.obj], eff);
         }
-        node.clocks[slot] = node.clocks[slot].max(self.deliveries[delivery].clock);
-        node.seen.insert(op);
-        self.deliveries[delivery].delivered[idx] = true;
+        node.clocks[slot] = node.clocks[slot].max(rec.clock);
+        node.member.observe(rec.op);
+    }
+
+    /// Handles a network arrival of delivery `d` at replica `r` with causal
+    /// holdback: duplicates are ignored, out-of-order (or crashed-target)
+    /// arrivals are buffered in the replica's mailbox, and an in-order
+    /// arrival is applied together with every held delivery it unblocks.
+    pub fn receive(&mut self, r: ReplicaId, d: usize) -> Received {
+        let idx = r.0 as usize;
+        if self.is_delivered(d, r) {
+            return Received::Ignored;
+        }
+        if !self.can_deliver(r, d) {
+            self.replicas[idx].mailbox.hold(d);
+            return Received::Held;
+        }
+        self.deliver(r, d);
+        let mut applied = 1;
+        let mut held = self.replicas[idx].mailbox.take_held();
+        while let Some(pos) = held.iter().position(|&h| self.can_deliver(r, h)) {
+            let h = held.swap_remove(pos);
+            self.deliver(r, h);
+            applied += 1;
+        }
+        self.replicas[idx].mailbox.restore_held(held);
+        Received::Applied(applied)
     }
 
     /// Delivers every pending effector everywhere.
     ///
     /// Linear in the outstanding work: one pass per replica over its
-    /// pending frontier, in delivery-creation order. Ascending order is
-    /// what makes a single pass complete — every same-object causal
-    /// predecessor of a delivery was created earlier, so by the time a
-    /// delivery is probed its predecessors have either originated at this
-    /// replica or been applied earlier in the same pass. (The seed-era
-    /// drain recomputed `deliverable` from the full delivery log until a
-    /// fixpoint: O(d²·|preds|) probes on the 10⁴-delivery histories the
-    /// `multi_mix` scenario produces.)
+    /// mailbox queue, in delivery-creation order, sharded across the
+    /// configured executor. Ascending order is what makes a single pass
+    /// complete — every same-object causal predecessor of a delivery was
+    /// created earlier, so by the time a delivery is probed its
+    /// predecessors have either originated at this replica or been applied
+    /// earlier in the same pass. (The seed-era drain recomputed
+    /// `deliverable` from the full delivery log until a fixpoint:
+    /// O(d²·|preds|) probes on the 10⁴-delivery histories the `multi_mix`
+    /// scenario produces.)
     pub fn deliver_all(&mut self) {
         self.deliver_all_counting();
     }
@@ -324,31 +384,21 @@ impl<C: OpBased> MultiCluster<C> {
     /// not an API contract.
     fn deliver_all_counting(&mut self) -> u64 {
         let _span = obs::span("runtime.multi.drain");
-        let mut probes = 0;
-        for idx in 0..self.replicas.len() {
-            if !self.replicas[idx].up {
-                // Crashed replicas keep their backlog for after restart.
-                continue;
-            }
-            let r = ReplicaId(idx as u32);
-            let pending = std::mem::take(&mut self.pending[idx]);
-            let mut blocked = Vec::new();
-            for d in pending {
-                if self.deliveries[d].delivered[idx] {
-                    continue; // applied earlier through a targeted deliver
-                }
-                probes += 1;
-                if self.can_deliver(r, d) {
-                    self.deliver(r, d);
-                } else {
-                    blocked.push(d);
-                }
-            }
-            self.pending[idx] = blocked;
-        }
+        let total = self.records.len();
+        let depth: usize = self.replicas.iter().map(|n| n.mailbox.depth(total)).sum();
+        let crdt = &self.crdt;
+        let records = &self.records;
+        let history = &self.history;
+        let obj_ops = &self.obj_ops;
+        let mode = self.mode;
+        let (stats, report) = exec::for_each_replica(&self.exec, &mut self.replicas, |_, node| {
+            drain_node(crdt, records, history, obj_ops, mode, node)
+        });
+        let probes: u64 = stats.iter().map(|s| s.probes).sum();
         if probes > 0 {
             obs::counter("runtime.multi.probes", probes);
         }
+        mailbox::record_drain(&MULTI_DRAIN_OBS, depth, &stats, &report);
         probes
     }
 
@@ -362,9 +412,113 @@ impl<C: OpBased> MultiCluster<C> {
     }
 }
 
+/// Per-object causal deliverability: every same-object predecessor applied.
+///
+/// Tiered: every predecessor of `rec.op` has a smaller id, so a member whose
+/// seen [`frontier`](Member::frontier) has reached `rec.op` admits it in
+/// O(1) — the only path a steady-state drain ever takes. A member with holes
+/// above its frontier narrows `obj_ops` (all ops on this object, ascending)
+/// to the candidates between frontier and `rec.op`, and only then consults
+/// the history's exact pred set. Outcomes are identical on every tier.
+fn same_obj_deliverable<C: OpBased>(
+    rec: &MultiRecord<C::Eff>,
+    member: &Member,
+    history: &History<ObjLabel<C::Label>>,
+    obj_ops: &[Vec<usize>],
+) -> bool {
+    if rec.op <= member.frontier() {
+        return true;
+    }
+    let same_obj = &obj_ops[rec.meta.obj];
+    let cut = same_obj.partition_point(|&p| p < rec.op);
+    let lo = same_obj.partition_point(|&p| p < member.frontier());
+    let candidates = &same_obj[lo..cut];
+    if candidates.is_empty() {
+        return true;
+    }
+    let preds = history.preds(rec.op);
+    candidates
+        .iter()
+        .all(|&p| member.has_seen(p) || !preds.contains(p))
+}
+
+/// Drains one replica's mailbox: a single ascending pass under per-object
+/// causal delivery, compacting survivors in place. Writes only `node`.
+fn drain_node<C: OpBased>(
+    crdt: &C,
+    records: &[MultiRecord<C::Eff>],
+    history: &History<ObjLabel<C::Label>>,
+    obj_ops: &[Vec<usize>],
+    mode: TsMode,
+    node: &mut MultiNode<C::State>,
+) -> DrainStats {
+    let mut stats = DrainStats::default();
+    if !node.member.is_up() {
+        // Crashed replicas keep their backlog for after restart.
+        return stats;
+    }
+    // Blocked backlog first, then the unexamined pool suffix — backlog ids
+    // all precede the cursor, so the whole pass is ascending.
+    let mut backlog = node.mailbox.take_backlog();
+    let mut write = 0;
+    for read in 0..backlog.len() {
+        let d = backlog[read];
+        let rec = &records[d];
+        if node.member.has_seen(rec.op) {
+            continue; // applied earlier through a targeted deliver
+        }
+        stats.probes += 1;
+        if same_obj_deliverable::<C>(rec, &node.member, history, obj_ops) {
+            apply_record(crdt, mode, node, rec);
+            stats.applied += 1;
+        } else {
+            backlog[write] = d;
+            write += 1;
+        }
+    }
+    backlog.truncate(write);
+    for (d, rec) in records.iter().enumerate().skip(node.mailbox.cursor()) {
+        if node.member.has_seen(rec.op) {
+            continue; // own operation, or applied through a targeted deliver
+        }
+        stats.probes += 1;
+        if same_obj_deliverable::<C>(rec, &node.member, history, obj_ops) {
+            apply_record(crdt, mode, node, rec);
+            stats.applied += 1;
+        } else {
+            backlog.push(d);
+        }
+    }
+    node.mailbox.advance_cursor(records.len());
+    node.mailbox.restore_backlog(backlog);
+    let member = &node.member;
+    node.mailbox
+        .prune_held(|&id| !member.has_seen(records[id].op));
+    stats
+}
+
+/// Applies one admitted record at a node: effector, clock slot, seen-set.
+fn apply_record<C: OpBased>(
+    crdt: &C,
+    mode: TsMode,
+    node: &mut MultiNode<C::State>,
+    rec: &MultiRecord<C::Eff>,
+) {
+    let slot = match mode {
+        TsMode::PerObject => rec.meta.obj,
+        TsMode::Shared => 0,
+    };
+    if let Some(eff) = &rec.eff {
+        crdt.apply(&mut node.states[rec.meta.obj], eff);
+    }
+    node.clocks[slot] = node.clocks[slot].max(rec.clock);
+    node.member.observe(rec.op);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ExecMode;
     use ral_core::timestamp::Ts;
 
     /// A register that stores the last written value with its timestamp.
@@ -522,7 +676,7 @@ mod tests {
 
     /// The seed-era fixpoint drain, through the public per-delivery API:
     /// rescan `deliverable` until no pass makes progress. Kept as the
-    /// behavioural oracle for the frontier-based `deliver_all`.
+    /// behavioural oracle for the mailbox-based `deliver_all`.
     fn reference_drain<C: OpBased>(c: &mut MultiCluster<C>) {
         loop {
             let mut progress = false;
@@ -542,7 +696,7 @@ mod tests {
     #[test]
     fn deliver_all_matches_the_fixpoint_reference_drain() {
         // Same invocation stream into two clusters; one drains with the
-        // frontier-based deliver_all, the other with the seed-era
+        // mailbox-based deliver_all, the other with the seed-era
         // fixpoint rescan. History and every per-replica object state
         // must come out identical.
         let mut fast = MultiCluster::new(TsReg, 3, 4, TsMode::Shared);
@@ -553,7 +707,7 @@ mod tests {
             slow.invoke(rep, obj, Call::Write(i)).unwrap();
             if i % 50 == 17 {
                 // Interleave partial drains so pruning of already-applied
-                // pending entries is exercised too.
+                // queue entries is exercised too.
                 fast.deliver_all();
                 reference_drain(&mut slow);
             }
@@ -580,7 +734,7 @@ mod tests {
     #[test]
     fn ten_thousand_delivery_drain_is_linear_in_probes() {
         // 10⁴ deliveries outstanding at 3 peers each — the multi_mix
-        // regime. The frontier drain must probe each outstanding
+        // regime. The mailbox drain must probe each outstanding
         // (delivery, replica) pair exactly once: O(d) probes, where the
         // seed-era fixpoint rescan performed O(d²·|preds|) work.
         let mut c = MultiCluster::new(TsReg, 8, 4, TsMode::Shared);
@@ -592,7 +746,7 @@ mod tests {
         let probes = c.deliver_all_counting();
         assert_eq!(
             probes, outstanding,
-            "frontier drain must probe each outstanding pair exactly once"
+            "mailbox drain must probe each outstanding pair exactly once"
         );
         assert!(c.converged());
         // A drained cluster re-drains for free.
@@ -613,5 +767,32 @@ mod tests {
         assert!(c.can_deliver(r(1), 0));
         c.deliver_all();
         assert!(c.converged());
+    }
+
+    #[test]
+    fn parallel_drain_matches_sequential_byte_for_byte() {
+        let run = |exec: ExecConfig| {
+            let mut c = MultiCluster::with_exec(TsReg, 16, 10, TsMode::Shared, exec);
+            for i in 0..400u32 {
+                c.invoke(r(i % 10), o(i % 16), Call::Write(i)).unwrap();
+                if i % 37 == 11 {
+                    c.deliver_all();
+                }
+            }
+            c.deliver_all();
+            assert!(c.converged());
+            format!("{:?}", c.into_history())
+        };
+        let baseline = run(ExecConfig::sequential());
+        for exec in [
+            ExecConfig::free(2),
+            ExecConfig::free(8),
+            ExecConfig {
+                threads: 8,
+                mode: ExecMode::Seeded(3),
+            },
+        ] {
+            assert_eq!(run(exec), baseline, "{exec:?}: history drifted");
+        }
     }
 }

@@ -83,6 +83,9 @@ pub fn drive_op_based_filtered<C, F, P>(
     let mut rng = Rng::seed_from_u64(seed);
     let total = cfg.invoke_weight + cfg.deliver_weight;
     assert!(total > 0, "at least one action must have non-zero weight");
+    // One scratch buffer for the whole schedule: `deliverable_into` refills
+    // it in place, so delivery steps allocate nothing after warm-up.
+    let mut ds: Vec<usize> = Vec::new();
     for _ in 0..cfg.steps {
         let r = pick_replica(&mut rng, cluster.n_replicas());
         if rng.random_range(0..total) < cfg.invoke_weight {
@@ -90,14 +93,11 @@ pub fn drive_op_based_filtered<C, F, P>(
                 cluster.invoke(r, call);
             }
         } else {
-            let ds: Vec<usize> = cluster
-                .deliverable(r)
-                .into_iter()
-                .filter(|&d| {
-                    let origin = cluster.history().op(cluster.delivery_op(d)).replica;
-                    admit(origin, r)
-                })
-                .collect();
+            cluster.deliverable_into(r, &mut ds);
+            ds.retain(|&d| {
+                let origin = cluster.history().op(cluster.delivery_op(d)).replica;
+                admit(origin, r)
+            });
             if !ds.is_empty() {
                 let d = ds[rng.random_range(0..ds.len())];
                 cluster.deliver(r, d);
@@ -123,6 +123,7 @@ pub fn drive_multi<C, F>(
     let mut rng = Rng::seed_from_u64(seed);
     let total = cfg.invoke_weight + cfg.deliver_weight;
     assert!(total > 0, "at least one action must have non-zero weight");
+    let mut ds: Vec<usize> = Vec::new();
     for _ in 0..cfg.steps {
         let r = pick_replica(&mut rng, cluster.n_replicas());
         if rng.random_range(0..total) < cfg.invoke_weight {
@@ -131,7 +132,7 @@ pub fn drive_multi<C, F>(
                 cluster.invoke(r, obj, call);
             }
         } else {
-            let ds = cluster.deliverable(r);
+            cluster.deliverable_into(r, &mut ds);
             if !ds.is_empty() {
                 let d = ds[rng.random_range(0..ds.len())];
                 cluster.deliver(r, d);

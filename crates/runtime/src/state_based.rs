@@ -6,11 +6,21 @@
 //! lattice order. The network offers **no** guarantees: a message may be
 //! applied several times, at any subset of replicas, in any order, or never
 //! (Appendix D.2) — convergence must come from the lattice laws alone.
+//!
+//! Liveness and visibility bookkeeping live in the shared
+//! [`Member`]; [`StateCluster::sync_all`]'s
+//! apply phase runs replica-parallel on the configured
+//! [`exec`] workers (a merge mutates only the receiving node
+//! while reading the immutable message log, so per-replica outcomes are
+//! thread-count-invariant by construction).
 
+use crate::exec::{self, ExecConfig};
 use crate::gen::GenCtx;
+use crate::membership::Member;
 use ral_core::bitset::BitSet;
 use ral_core::history::{History, OpRecord};
 use ral_core::ids::ReplicaId;
+use ral_obs as obs;
 use std::fmt::Debug;
 
 /// The result of invoking a method on a state-based CRDT.
@@ -29,9 +39,14 @@ pub enum StateOutcome<R, S> {
 }
 
 /// A state-based CRDT, in the style of Listings 7–10.
-pub trait StateBased {
+///
+/// The `Send + Sync` bounds exist for the sharded executor: `sync_all`'s
+/// apply phase may merge on worker threads, which share the descriptor and
+/// the message log immutably. Every shipped CRDT is plain data, so the
+/// bounds cost nothing.
+pub trait StateBased: Sync {
     /// Replica state; the carrier of the join semilattice.
-    type State: Clone + Debug + PartialEq;
+    type State: Clone + Debug + PartialEq + Send + Sync;
     /// A method invocation: name plus arguments.
     type Call: Clone + Debug;
     /// Return values.
@@ -71,10 +86,9 @@ pub trait StateBased {
 #[derive(Clone)]
 struct StateNode<S> {
     state: S,
-    seen: BitSet,
+    // Liveness + seen-set.
+    member: Member,
     clock: u64,
-    // Whether the replica process is running.
-    up: bool,
     // Last durable checkpoint `(state, seen, clock)`. Local invocations are
     // written ahead (invoke re-checkpoints automatically), so a crash can
     // only lose *merged-in* remote knowledge — which the unreliable network
@@ -155,22 +169,33 @@ pub struct StateCluster<C: StateBased> {
     messages: Vec<Message<C::State>>,
     history: History<C::Label>,
     next_uid: u64,
+    exec: ExecConfig,
 }
 
 impl<C: StateBased> StateCluster<C> {
-    /// Creates a cluster of `n_replicas` replicas in the initial state.
+    /// Creates a cluster of `n_replicas` replicas in the initial state,
+    /// with the executor `RAL_RUNTIME_THREADS` configures (sequential when
+    /// unset).
     ///
     /// # Panics
     ///
     /// Panics if `n_replicas` is zero.
     pub fn new(crdt: C, n_replicas: usize) -> Self {
+        StateCluster::with_exec(crdt, n_replicas, ExecConfig::from_env())
+    }
+
+    /// [`StateCluster::new`] with an explicit executor configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero.
+    pub fn with_exec(crdt: C, n_replicas: usize, exec: ExecConfig) -> Self {
         assert!(n_replicas > 0, "a cluster needs at least one replica");
         let replicas = (0..n_replicas)
             .map(|_| StateNode {
                 state: crdt.initial(n_replicas),
-                seen: BitSet::new(),
+                member: Member::new(),
                 clock: 0,
-                up: true,
                 durable: (crdt.initial(n_replicas), BitSet::new(), 0),
             })
             .collect();
@@ -180,7 +205,15 @@ impl<C: StateBased> StateCluster<C> {
             messages: Vec::new(),
             history: History::new(),
             next_uid: 0,
+            exec,
         }
+    }
+
+    /// Replaces the executor configuration (sync semantics are
+    /// executor-invariant; this changes only how apply phases are
+    /// scheduled).
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.exec = exec;
     }
 
     /// Number of replicas.
@@ -210,7 +243,7 @@ impl<C: StateBased> StateCluster<C> {
 
     /// The set of operations replica `r` has performed or merged in.
     pub fn seen(&self, r: ReplicaId) -> &BitSet {
-        &self.replicas[r.0 as usize].seen
+        self.replicas[r.0 as usize].member.seen()
     }
 
     /// The set of operations reflected in snapshot message `msg`.
@@ -230,7 +263,7 @@ impl<C: StateBased> StateCluster<C> {
     pub fn invoke(&mut self, r: ReplicaId, call: C::Call) -> Option<Invoked<C::Ret>> {
         let idx = r.0 as usize;
         let node = &self.replicas[idx];
-        assert!(node.up, "cannot invoke at crashed replica {r}");
+        node.member.expect_up("invoke at", r);
         let mut ctx = GenCtx::new(r, node.clock, self.next_uid);
         match self.crdt.invoke(&node.state, &call, &mut ctx) {
             StateOutcome::Refused => None,
@@ -241,12 +274,12 @@ impl<C: StateBased> StateCluster<C> {
                     None => OpRecord::new(label, r),
                 };
                 let node = &mut self.replicas[idx];
-                let op = self.history.push_set(record, node.seen.clone());
+                let op = self.history.push_set(record, node.member.seen().clone());
                 node.clock = ctx.clock();
                 self.next_uid = ctx.uid_counter();
                 node.state = next;
-                node.seen.insert(op);
-                node.durable = (node.state.clone(), node.seen.clone(), node.clock);
+                node.member.observe(op);
+                node.durable = (node.state.clone(), node.member.seen().clone(), node.clock);
                 Some(Invoked { ret, op })
             }
         }
@@ -259,9 +292,9 @@ impl<C: StateBased> StateCluster<C> {
     /// Panics if the replica is crashed.
     pub fn send(&mut self, r: ReplicaId) -> usize {
         let node = &self.replicas[r.0 as usize];
-        assert!(node.up, "cannot send from crashed replica {r}");
+        node.member.expect_up("send from", r);
         self.messages.push(Message {
-            seen: node.seen.clone(),
+            seen: node.member.seen().clone(),
             state: node.state.clone(),
             clock: node.clock,
             origin: r,
@@ -292,34 +325,32 @@ impl<C: StateBased> StateCluster<C> {
     ///
     /// Panics if the replica is crashed.
     pub fn apply(&mut self, r: ReplicaId, msg: usize) {
-        assert!(
-            self.replicas[r.0 as usize].up,
-            "cannot apply at crashed replica {r}"
-        );
-        let message_state = self.messages[msg].state.clone();
-        let message_seen = self.messages[msg].seen.clone();
-        let message_clock = self.messages[msg].clock;
         let node = &mut self.replicas[r.0 as usize];
-        node.state = self.crdt.merge(&node.state, &message_state);
-        node.seen.union_with(&message_seen);
-        node.clock = node
-            .clock
-            .max(message_clock)
-            .max(self.crdt.clock_floor(&node.state));
+        node.member.expect_up("apply at", r);
+        apply_message(&self.crdt, &self.messages[msg], node);
     }
 
     /// Broadcasts every replica's current state and applies all snapshots
     /// everywhere — one full synchronization round.
+    ///
+    /// Sends are sequential (message ids stay deterministic); the apply
+    /// phase runs replica-parallel on the configured executor, each node
+    /// merging the round's snapshots in message order.
     pub fn sync_all(&mut self) {
         let snapshot_start = self.messages.len();
         for r in 0..self.replicas.len() {
             self.send(ReplicaId(r as u32));
         }
-        for r in 0..self.replicas.len() {
-            for m in snapshot_start..self.messages.len() {
-                self.apply(ReplicaId(r as u32), m);
+        let crdt = &self.crdt;
+        let round = &self.messages[snapshot_start..];
+        let (merges, report) = exec::for_each_replica(&self.exec, &mut self.replicas, |i, node| {
+            node.member.expect_up("apply at", ReplicaId(i as u32));
+            for msg in round {
+                apply_message(crdt, msg, node);
             }
-        }
+            round.len() as u64
+        });
+        record_sync_obs(&merges, &report);
     }
 
     /// Returns `true` if all replicas hold the same state.
@@ -351,14 +382,14 @@ impl<C: StateBased> StateCluster<C> {
 
     /// Whether replica `r` is running (not crashed).
     pub fn is_up(&self, r: ReplicaId) -> bool {
-        self.replicas[r.0 as usize].up
+        self.replicas[r.0 as usize].member.is_up()
     }
 
     /// Checkpoints replica `r`: its current state (including merged-in
     /// remote knowledge) becomes the durable state a crash recovers to.
     pub fn persist(&mut self, r: ReplicaId) {
         let node = &mut self.replicas[r.0 as usize];
-        node.durable = (node.state.clone(), node.seen.clone(), node.clock);
+        node.durable = (node.state.clone(), node.member.seen().clone(), node.clock);
     }
 
     /// Crashes replica `r`: the process halts and its volatile state is
@@ -368,22 +399,44 @@ impl<C: StateBased> StateCluster<C> {
     /// same operation).
     pub fn crash(&mut self, r: ReplicaId) {
         let node = &mut self.replicas[r.0 as usize];
-        node.up = false;
+        node.member.crash();
         node.state = node.durable.0.clone();
-        node.seen = node.durable.1.clone();
+        node.member.restore_seen(node.durable.1.clone());
         node.clock = node.durable.2;
     }
 
     /// Restarts a crashed replica from its durable checkpoint.
     pub fn restart(&mut self, r: ReplicaId) {
-        self.replicas[r.0 as usize].up = true;
+        self.replicas[r.0 as usize].member.restart();
     }
 
     /// Restarts every crashed replica.
     pub fn restart_all(&mut self) {
         for node in &mut self.replicas {
-            node.up = true;
+            node.member.restart();
         }
+    }
+}
+
+/// Merges one snapshot message into one node — the core of both the
+/// targeted [`StateCluster::apply`] and the parallel `sync_all` phase.
+/// Mutates only `node`; the message log is read-only.
+fn apply_message<C: StateBased>(crdt: &C, msg: &Message<C::State>, node: &mut StateNode<C::State>) {
+    node.state = crdt.merge(&node.state, &msg.state);
+    node.member.merge_seen(&msg.seen);
+    node.clock = node.clock.max(msg.clock).max(crdt.clock_floor(&node.state));
+}
+
+/// Obs metrics for one `sync_all` round, emitted on the caller thread
+/// after the executor joined.
+fn record_sync_obs(merges: &[u64], report: &exec::ExecReport) {
+    let total: u64 = merges.iter().sum();
+    obs::observe("runtime.state.sync_batch", total);
+    let mut start = 0;
+    for (worker, &size) in report.shard_sizes.iter().enumerate() {
+        let shard: u64 = merges[start..start + size].iter().sum();
+        obs::counter_keyed("runtime.exec.worker_merges", worker as u64, shard);
+        start += size;
     }
 }
 

@@ -34,17 +34,9 @@ use ral_runtime::multi::MultiCluster;
 use ral_runtime::op_based::{Cluster, OpBased};
 use ral_runtime::state_based::{StateBased, StateCluster};
 
-/// The outcome of handing a message to a replica.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Received {
-    /// Applied; `usize` counts the effectors/merges performed (more than
-    /// one when held-back effectors drained behind it).
-    Applied(usize),
-    /// Buffered awaiting causal predecessors (op-based transports only).
-    Held,
-    /// Ignored: already applied at this replica.
-    Ignored,
-}
+// Causal holdback lives in the clusters' own mailboxes now; the drivers
+// reuse the runtime's arrival classification verbatim.
+pub use ral_runtime::mailbox::Received;
 
 /// Adapts one cluster kind to the discrete-event engine.
 pub trait Driver {
@@ -105,79 +97,10 @@ pub trait Driver {
     fn converged(&self) -> bool;
 }
 
-// The causal-holdback machinery, shared by both op-based cluster kinds:
-// they expose the same targeted delivery probes, so the reliable-transport
-// receive/drain logic lives once.
-trait CausalDelivery {
-    fn can_deliver_now(&self, r: ReplicaId, d: usize) -> bool;
-    fn deliver_now(&mut self, r: ReplicaId, d: usize);
-    fn already_delivered(&self, d: usize, r: ReplicaId) -> bool;
-}
-
-impl<C: OpBased> CausalDelivery for Cluster<C> {
-    fn can_deliver_now(&self, r: ReplicaId, d: usize) -> bool {
-        self.can_deliver(r, d)
-    }
-    fn deliver_now(&mut self, r: ReplicaId, d: usize) {
-        self.deliver(r, d);
-    }
-    fn already_delivered(&self, d: usize, r: ReplicaId) -> bool {
-        self.is_delivered(d, r)
-    }
-}
-
-impl<C: OpBased> CausalDelivery for MultiCluster<C> {
-    fn can_deliver_now(&self, r: ReplicaId, d: usize) -> bool {
-        self.can_deliver(r, d)
-    }
-    fn deliver_now(&mut self, r: ReplicaId, d: usize) {
-        self.deliver(r, d);
-    }
-    fn already_delivered(&self, d: usize, r: ReplicaId) -> bool {
-        self.is_delivered(d, r)
-    }
-}
-
-// Applies every held effector that has become deliverable at `r`; returns
-// how many were applied.
-fn drain_held<T: CausalDelivery>(cluster: &mut T, held: &mut Vec<usize>, r: ReplicaId) -> usize {
-    let mut applied = 0;
-    loop {
-        let Some(pos) = held.iter().position(|&d| cluster.can_deliver_now(r, d)) else {
-            return applied;
-        };
-        let d = held.swap_remove(pos);
-        cluster.deliver_now(r, d);
-        applied += 1;
-    }
-}
-
-// One reliable-transport arrival: dedup, causal holdback, or apply plus a
-// drain of whatever the application unblocked.
-fn receive_causal<T: CausalDelivery>(
-    cluster: &mut T,
-    held: &mut Vec<usize>,
-    r: ReplicaId,
-    m: usize,
-) -> Received {
-    if cluster.already_delivered(m, r) {
-        return Received::Ignored;
-    }
-    if !cluster.can_deliver_now(r, m) {
-        // Out-of-order arrival: park it until the causal gap closes.
-        held.push(m);
-        return Received::Held;
-    }
-    cluster.deliver_now(r, m);
-    Received::Applied(1 + drain_held(cluster, held, r))
-}
-
 /// Drives an operation-based [`Cluster`].
 pub struct OpDriver<C: OpBased, F> {
     cluster: Cluster<C>,
     call_gen: F,
-    // Effectors that arrived before their causal predecessors, per replica.
-    held: Vec<Vec<usize>>,
 }
 
 impl<C, F> OpDriver<C, F>
@@ -192,13 +115,18 @@ where
         OpDriver {
             cluster: Cluster::new(crdt, n_replicas),
             call_gen,
-            held: vec![Vec::new(); n_replicas],
         }
     }
 
     /// The underlying cluster.
     pub fn cluster(&self) -> &Cluster<C> {
         &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster (executor configuration,
+    /// targeted fault injection in tests).
+    pub fn cluster_mut(&mut self) -> &mut Cluster<C> {
+        &mut self.cluster
     }
 
     /// Consumes the driver, returning the cluster (and with it the
@@ -243,7 +171,7 @@ where
     }
 
     fn receive(&mut self, r: ReplicaId, m: usize) -> Received {
-        receive_causal(&mut self.cluster, &mut self.held[r.0 as usize], r, m)
+        self.cluster.receive(r, m)
     }
 
     fn is_up(&self, r: ReplicaId) -> bool {
@@ -262,11 +190,10 @@ where
     }
 
     fn final_sync(&mut self) {
+        // deliver_all applies the mailbox backlog (held entries included —
+        // the drain prunes whatever it makes stale).
         self.cluster.restart_all();
         self.cluster.deliver_all();
-        for held in &mut self.held {
-            held.clear(); // deliver_all already applied them
-        }
     }
 
     fn converged(&self) -> bool {
@@ -311,6 +238,11 @@ where
     /// The underlying cluster.
     pub fn cluster(&self) -> &StateCluster<C> {
         &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster.
+    pub fn cluster_mut(&mut self) -> &mut StateCluster<C> {
+        &mut self.cluster
     }
 
     /// Consumes the driver, returning the cluster.
@@ -421,6 +353,11 @@ where
         &self.cluster
     }
 
+    /// Mutable access to the underlying cluster.
+    pub fn cluster_mut(&mut self) -> &mut DeltaCluster<C> {
+        &mut self.cluster
+    }
+
     /// Consumes the driver, returning the cluster.
     pub fn into_cluster(self) -> DeltaCluster<C> {
         self.cluster
@@ -499,7 +436,6 @@ where
 pub struct MultiDriver<C: OpBased, F> {
     cluster: MultiCluster<C>,
     call_gen: F,
-    held: Vec<Vec<usize>>,
 }
 
 impl<C, F> MultiDriver<C, F>
@@ -510,17 +446,17 @@ where
     /// Wraps a fresh composed cluster; `call_gen` has the same signature as
     /// in [`ral_runtime::schedule::drive_multi`].
     pub fn new(cluster: MultiCluster<C>, call_gen: F) -> Self {
-        let n = cluster.n_replicas();
-        MultiDriver {
-            cluster,
-            call_gen,
-            held: vec![Vec::new(); n],
-        }
+        MultiDriver { cluster, call_gen }
     }
 
     /// The underlying cluster.
     pub fn cluster(&self) -> &MultiCluster<C> {
         &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster.
+    pub fn cluster_mut(&mut self) -> &mut MultiCluster<C> {
+        &mut self.cluster
     }
 
     /// Consumes the driver, returning the cluster.
@@ -565,7 +501,7 @@ where
     }
 
     fn receive(&mut self, r: ReplicaId, m: usize) -> Received {
-        receive_causal(&mut self.cluster, &mut self.held[r.0 as usize], r, m)
+        self.cluster.receive(r, m)
     }
 
     fn is_up(&self, r: ReplicaId) -> bool {
@@ -586,9 +522,6 @@ where
     fn final_sync(&mut self) {
         self.cluster.restart_all();
         self.cluster.deliver_all();
-        for held in &mut self.held {
-            held.clear();
-        }
     }
 
     fn converged(&self) -> bool {

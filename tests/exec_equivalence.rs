@@ -1,0 +1,216 @@
+//! Executor equivalence: the sharded replication runtime is **outcome
+//! invariant** at every thread count.
+//!
+//! The determinism contract of `docs/RUNTIME.md`: a replica's drain mutates
+//! only its own node while reading the immutable shared record pool, and
+//! history is written at invoke time only — so partitioning replicas across
+//! worker threads cannot change a single byte of any trace or history. This
+//! suite pins that claim over the *whole* scenario corpus, for the
+//! synchronous executor, the seeded scheduler at 1/2/8 workers, and the
+//! free-running (non-seeded) mode.
+
+use ral_core::ids::{ObjId, ReplicaId};
+use ral_core::rng::Rng;
+use ral_crdts::op::lww_register::LwwRegister;
+use ral_crdts::op::or_set::OrSet;
+use ral_crdts::state::lww_element_set::LwwElementSet;
+use ral_crdts::state::pn_counter::PnCounter;
+use ral_runtime::delta::DeltaConfig;
+use ral_runtime::exec::ExecConfig;
+use ral_runtime::multi::{MultiCluster, TsMode};
+use ral_runtime::op_based::Cluster;
+use ral_sim::driver::{DeltaDriver, Driver, MultiDriver, OpDriver, StateDriver};
+use ral_sim::scenario::{self, Scenario};
+use ral_sim::sim;
+use ral_verify::workloads;
+
+/// Trace bytes, history bytes, and the converged final state rendered per
+/// replica — everything a run can possibly disclose.
+struct RunOutput {
+    trace: Vec<u8>,
+    history: Vec<u8>,
+    final_states: Vec<String>,
+}
+
+fn op_run(sc: &Scenario, seed: u64, exec: ExecConfig) -> RunOutput {
+    let mut driver = OpDriver::new(
+        OrSet::<u8>::new(),
+        sc.cfg.n_replicas,
+        |rng: &mut Rng, _, _| Some(workloads::or_set(rng)),
+    );
+    driver.cluster_mut().set_exec(exec);
+    let run = sim::run(&mut driver, &sc.cfg, seed);
+    assert!(driver.converged(), "{}: no convergence", sc.name);
+    let cluster = driver.into_cluster();
+    RunOutput {
+        trace: run.trace.render().into_bytes(),
+        final_states: (0..sc.cfg.n_replicas)
+            .map(|r| format!("{:?}", cluster.state(ReplicaId(r as u32))))
+            .collect(),
+        history: format!("{:?}", cluster.into_history()).into_bytes(),
+    }
+}
+
+fn state_run(sc: &Scenario, seed: u64, exec: ExecConfig) -> RunOutput {
+    let mut driver = StateDriver::new(PnCounter, sc.cfg.n_replicas, |rng: &mut Rng, _, _| {
+        Some(workloads::pn_counter(rng))
+    });
+    driver.cluster_mut().set_exec(exec);
+    let run = sim::run(&mut driver, &sc.cfg, seed);
+    assert!(driver.converged(), "{}: no convergence", sc.name);
+    let cluster = driver.into_cluster();
+    RunOutput {
+        trace: run.trace.render().into_bytes(),
+        final_states: (0..sc.cfg.n_replicas)
+            .map(|r| format!("{:?}", cluster.state(ReplicaId(r as u32))))
+            .collect(),
+        history: format!("{:?}", cluster.into_history()).into_bytes(),
+    }
+}
+
+fn delta_run(sc: &Scenario, seed: u64, exec: ExecConfig) -> RunOutput {
+    let mut driver = DeltaDriver::new(
+        LwwElementSet::<u8>::new(),
+        DeltaConfig { resync_after: 8 },
+        sc.cfg.n_replicas,
+        |rng: &mut Rng, _, _| Some(workloads::lww_element_set(rng)),
+    );
+    driver.cluster_mut().set_exec(exec);
+    let run = sim::run(&mut driver, &sc.cfg, seed);
+    assert!(driver.converged(), "{}: no convergence", sc.name);
+    let cluster = driver.into_cluster();
+    RunOutput {
+        trace: run.trace.render().into_bytes(),
+        final_states: (0..sc.cfg.n_replicas)
+            .map(|r| format!("{:?}", cluster.state(ReplicaId(r as u32))))
+            .collect(),
+        history: format!("{:?}", cluster.into_history()).into_bytes(),
+    }
+}
+
+fn multi_run(sc: &Scenario, seed: u64, exec: ExecConfig) -> RunOutput {
+    let cluster = MultiCluster::with_exec(
+        LwwRegister::<u8>::new(),
+        32,
+        sc.cfg.n_replicas,
+        TsMode::Shared,
+        exec,
+    );
+    let mut driver = MultiDriver::new(cluster, |rng: &mut Rng, _, _obj: ObjId, _| {
+        Some(workloads::lww_register(rng))
+    });
+    let run = sim::run(&mut driver, &sc.cfg, seed);
+    assert!(driver.converged(), "{}: no convergence", sc.name);
+    let cluster = driver.into_cluster();
+    RunOutput {
+        trace: run.trace.render().into_bytes(),
+        final_states: (0..sc.cfg.n_replicas)
+            .map(|r| format!("{:?}", cluster.state(ReplicaId(r as u32), ObjId(0))))
+            .collect(),
+        history: format!("{:?}", cluster.into_history()).into_bytes(),
+    }
+}
+
+fn runner_for(name: &str) -> fn(&Scenario, u64, ExecConfig) -> RunOutput {
+    match name {
+        "geo_3dc" | "split_brain_heal" => op_run,
+        "flaky_wan" | "rolling_restart" | "gossip_50" => state_run,
+        "delta_wan" => delta_run,
+        "multi_mix" => multi_run,
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// Every corpus scenario, synchronous baseline vs the seeded scheduler at
+/// 1, 2, and 8 worker threads: traces and histories must be byte-identical.
+#[test]
+fn seeded_executor_is_byte_identical_across_the_corpus() {
+    for sc in scenario::all() {
+        let runner = runner_for(sc.name);
+        let base = runner(&sc, 42, ExecConfig::sequential());
+        for threads in [1, 2, 8] {
+            let exec = ExecConfig::seeded(threads, 0xD15C);
+            let run = runner(&sc, 42, exec);
+            assert_eq!(
+                run.trace, base.trace,
+                "{}: trace drifted under {exec:?}",
+                sc.name
+            );
+            assert_eq!(
+                run.history, base.history,
+                "{}: history drifted under {exec:?}",
+                sc.name
+            );
+        }
+    }
+}
+
+/// Free-running (non-seeded) mode at 8 threads: final states must equal the
+/// synchronous baseline's on every scenario — and since the runtime is
+/// deterministic by construction, the traces and histories match too.
+#[test]
+fn free_running_executor_reaches_identical_final_states() {
+    for sc in scenario::all() {
+        let runner = runner_for(sc.name);
+        let base = runner(&sc, 7, ExecConfig::sequential());
+        let free = runner(&sc, 7, ExecConfig::free(8));
+        assert_eq!(
+            free.final_states, base.final_states,
+            "{}: free-running final states drifted",
+            sc.name
+        );
+        assert_eq!(free.trace, base.trace, "{}: trace drifted", sc.name);
+        assert_eq!(free.history, base.history, "{}: history drifted", sc.name);
+    }
+}
+
+/// Different scheduler seeds jitter the shard boundaries but may not change
+/// outcomes — seed-independence is part of the contract.
+#[test]
+fn scheduler_seed_never_changes_outcomes() {
+    let sc = scenario::by_name("multi_mix").expect("corpus scenario");
+    let base = multi_run(&sc, 11, ExecConfig::sequential());
+    for seed in [0u64, 1, 0xFEED_FACE] {
+        let run = multi_run(&sc, 11, ExecConfig::seeded(4, seed));
+        assert_eq!(run.trace, base.trace, "scheduler seed {seed} leaked");
+        assert_eq!(run.history, base.history, "scheduler seed {seed} leaked");
+    }
+}
+
+/// Direct (non-sim) drain equivalence on a raw op-based cluster, crash and
+/// holdback included — the smallest reproduction of the contract, kept here
+/// as the first thing to bisect with if a corpus scenario ever drifts.
+#[test]
+fn raw_cluster_drain_is_thread_count_invariant() {
+    let run = |exec: ExecConfig| {
+        let mut c = Cluster::with_exec(OrSet::<u8>::new(), 6, exec);
+        let mut rng = Rng::seed_from_u64(3);
+        for i in 0..240u32 {
+            let r = ReplicaId(i % 6);
+            if i == 60 {
+                c.crash(ReplicaId(2));
+            }
+            if i == 120 {
+                c.restart(ReplicaId(2));
+            }
+            if c.is_up(r) {
+                c.invoke(r, workloads::or_set(&mut rng));
+            }
+            if i % 31 == 17 {
+                c.deliver_all();
+            }
+        }
+        c.restart_all();
+        c.deliver_all();
+        assert!(c.converged());
+        format!("{:?}", c.into_history())
+    };
+    let base = run(ExecConfig::sequential());
+    for exec in [
+        ExecConfig::free(2),
+        ExecConfig::free(8),
+        ExecConfig::seeded(3, 99),
+    ] {
+        assert_eq!(run(exec), base, "drain outcome drifted under {exec:?}");
+    }
+}

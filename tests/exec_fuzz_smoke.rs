@@ -1,0 +1,39 @@
+//! Fixed-seed fuzz campaign under the parallel runtime: the whole campaign
+//! — scenario stream, verdict tallies, coverage map, findings — must be
+//! identical whether cluster delivery runs synchronously or sharded across
+//! worker threads.
+//!
+//! Lives in its own integration-test binary because it flips the
+//! process-global executor thread override; no other test shares the
+//! process, so the override cannot race a concurrently running test.
+
+use ral_fuzz::{fuzz, FuzzConfig};
+use ral_runtime::exec;
+
+#[test]
+fn fuzz_campaign_is_identical_under_the_parallel_runtime() {
+    let cfg = FuzzConfig {
+        seed: 7,
+        runs: 40,
+        ..Default::default()
+    };
+    exec::override_threads(Some(1));
+    let base = fuzz(&cfg);
+    exec::override_threads(Some(2));
+    let parallel = fuzz(&cfg);
+    exec::override_threads(None);
+    assert_eq!(
+        parallel.stream_fnv, base.stream_fnv,
+        "scenario stream drifted"
+    );
+    assert_eq!(parallel.verdicts, base.verdicts, "verdict tallies drifted");
+    assert_eq!(parallel.coverage, base.coverage, "coverage map drifted");
+    assert_eq!(
+        parallel.findings.len(),
+        base.findings.len(),
+        "finding count drifted"
+    );
+    assert_eq!(parallel.runs, base.runs);
+    assert_eq!(parallel.dedup, base.dedup);
+    assert_eq!(parallel.novel, base.novel);
+}

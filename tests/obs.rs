@@ -185,7 +185,7 @@ fn perfetto_export_is_golden() {
     assert!(trace.contains("\"name\": \"sim.final_sync\""));
     assert_eq!(
         fnv1a(trace.as_bytes()),
-        6_997_781_120_783_401_953,
+        17_355_052_159_729_752_074,
         "golden Perfetto trace drifted ({} bytes)",
         trace.len()
     );
