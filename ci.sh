@@ -54,6 +54,12 @@ step cargo bench --offline --bench composed_scaling -- --quick --save "$PWD/BENC
 # (the benchmark name encodes the deterministic event count, so
 # median_ns → events/sec needs no extra metadata).
 step cargo bench --offline --bench runtime_throughput -- --quick --save "$PWD/BENCH_runtime_throughput.json"
+# Streaming-monitor smoke: monitored ops/sec replaying churn histories of
+# 1k/10k/100k operations. Every replay must end accepted and fully
+# settled (the bench asserts both), and the printed peak live window /
+# live configs pin the O(window) retention claim per commit via
+# BENCH_monitor_streaming.json.
+step cargo bench --offline --bench monitor_streaming -- --quick --save "$PWD/BENCH_monitor_streaming.json"
 # Observability smoke: the traced multi_mix + sharded-search example with
 # recording on. The example itself validates both JSON artifacts with the
 # strict ral-obs parser before writing them, so a malformed trace fails

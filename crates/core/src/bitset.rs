@@ -118,6 +118,14 @@ impl BitSet {
         })
     }
 
+    /// The backing 64-bit blocks, least-significant first. Block `j` holds
+    /// the membership bits for values `64j..64j+64`; trailing blocks may be
+    /// absent (absent means empty). Used by the streaming monitor for
+    /// word-parallel window scans that skip the settled prefix.
+    pub(crate) fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {

@@ -96,6 +96,16 @@ pub trait Rewrite<In> {
     fn rewrite(&self, label: &In) -> Rewritten<Self::Out>;
 }
 
+// A rewriting can be used through a shared reference — this is what lets the
+// streaming monitor feed borrow the caller's rewriting instead of taking it.
+impl<In, R: Rewrite<In>> Rewrite<In> for &R {
+    type Out = R::Out;
+
+    fn rewrite(&self, label: &In) -> Rewritten<Self::Out> {
+        (**self).rewrite(label)
+    }
+}
+
 /// The identity rewriting, for data types without query-update methods
 /// (their implementation labels already are specification labels).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -65,10 +65,10 @@
 //! qualitatively.
 
 use super::check::check_linearization;
-use super::{Linearization, SearchOutcome};
+use super::{monitor, Linearization, SearchOutcome};
 use crate::history::History;
 use crate::label::SpecLabel;
-use crate::spec::{mix64, Frontier, Spec};
+use crate::spec::{Frontier, Spec};
 use ral_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -373,17 +373,22 @@ impl<'a, S: Spec> Walk<'a, S> {
     }
 
     /// Hashes the current configuration: placed mask, main frontier, and
-    /// the justification frontiers of started pending queries.
+    /// the justification frontiers of started pending queries. Uses the
+    /// shared key-fold helpers of [`super::monitor`], which owns the
+    /// canonical configuration identity for all engines.
     fn config_hash(&self) -> u64 {
-        let mut key = 0xcbf2_9ce4_8422_2325u64;
+        let mut key = monitor::CONFIG_KEY_SEED;
         for &w in &self.mask {
-            key = mix64(key ^ w);
+            key = monitor::fold_mask_word(key, w);
         }
-        key = mix64(key ^ self.fstack.last().expect("frontier stack").canonical_hash());
+        key = monitor::fold_frontier_hash(
+            key,
+            self.fstack.last().expect("frontier stack").canonical_hash(),
+        );
         for &q in &self.shape.queries {
             if !self.placed[q] && self.started(q) {
                 let f = self.qfront[q].as_ref().expect("query frontier");
-                key = mix64(key ^ (q as u64) ^ f.canonical_hash().rotate_left(17));
+                key = monitor::fold_query_frontier(key, q, f.canonical_hash());
             }
         }
         key

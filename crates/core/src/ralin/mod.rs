@@ -11,7 +11,7 @@
 //! Histories containing query-updates are first rewritten with a
 //! query-update rewriting `γ` ([`crate::history::rewrite_history`]).
 //!
-//! Five checkers are provided:
+//! Six checkers are provided:
 //!
 //! * [`check_linearization`] validates a *given* candidate sequence;
 //! * [`check_guided`] builds the constructive *execution-order* (Section 4.1)
@@ -32,12 +32,24 @@
 //! * [`search_brute`] is the seed's naive permutation enumeration —
 //!   factorially slower, kept as the independent ground truth the
 //!   property suites cross-check the memoized engine against, and the
-//!   only complete engine for non-`Sync` specifications.
+//!   only complete engine for non-`Sync` specifications;
+//! * [`Monitor`] (module [`monitor`]) is the *incremental* core the batch
+//!   entry points are rebased on: a per-event
+//!   `advance(op | delivery) → Verdict` that extends live configuration
+//!   frontiers instead of re-searching, with a causal-stability rule
+//!   that settles ops below every replica's seen-frontier and compacts
+//!   retained state to O(concurrent window) — this is what lets the
+//!   simulator verify million-op runs continuously.
+//!
+//! The `ra_search*` facades run the monitor's exact batch closure first
+//! and fall back to the depth-first memoized engine when the closure
+//! overruns its caps; verdicts (and witnesses) agree on every history.
 
 mod brute;
 mod check;
 mod guided;
 pub mod memo;
+pub mod monitor;
 pub mod sharded;
 
 pub use brute::{count_linearizations, search_brute, search_brute_with_budget};
@@ -46,6 +58,7 @@ pub use guided::{check_guided, check_rewritten, execution_order_of, timestamp_or
 pub use memo::{
     search, search_with_budget, search_with_threads, search_with_threads_stats, SearchStats,
 };
+pub use monitor::{monitor_history, try_search_batch, Monitor, MonitorFeed, MonitorStats, Verdict};
 pub use sharded::{
     search_sharded, search_sharded_with_budget, search_sharded_with_threads,
     search_sharded_with_threads_stats, shard_history, ShardableSpec,
@@ -225,7 +238,7 @@ where
     S::Label: Sync,
 {
     let rewritten = rewrite_history(h, rw);
-    search(&rewritten.history, spec)
+    monitor::search_batch_with_stats(&rewritten.history, spec, u64::MAX, memo::env_threads()).0
 }
 
 /// [`ra_search`], also returning the engine's [`SearchStats`]
@@ -244,7 +257,7 @@ where
     S::Label: Sync,
 {
     let rewritten = rewrite_history(h, rw);
-    search_with_threads_stats(&rewritten.history, spec, u64::MAX, memo::env_threads())
+    monitor::search_batch_with_stats(&rewritten.history, spec, u64::MAX, memo::env_threads())
 }
 
 /// [`ra_search`] with a node budget: the memoized engine explores at most
@@ -263,7 +276,7 @@ where
     S::Label: Sync,
 {
     let rewritten = rewrite_history(h, rw);
-    search_with_budget(&rewritten.history, spec, budget)
+    monitor::search_batch_with_stats(&rewritten.history, spec, budget, memo::env_threads()).0
 }
 
 /// [`ra_search`] for composed histories, decided per object: rewrite,

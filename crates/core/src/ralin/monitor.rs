@@ -1,0 +1,1476 @@
+//! Streaming online RA-linearizability monitor — one incremental
+//! configuration-frontier core serving both the batch search entry points
+//! and continuous per-event verification.
+//!
+//! The memoized batch search ([`super::memo`]) and the sharded search
+//! ([`super::sharded`]) each privately maintain the same machinery: a
+//! placement mask over operations, the update projection's spec frontier,
+//! and an incremental justification frontier per pending query, all keyed
+//! by a canonical configuration hash. This module extracts that machinery
+//! into a [`Monitor`] with a per-event [`Monitor::advance_op`] /
+//! [`Monitor::observe_frontier`] interface that *extends* live
+//! configurations instead of re-searching the history, in the
+//! induction-style per-op shape of "Automatically Verifying
+//! Replication-aware Linearizability" (arXiv 2502.19967).
+//!
+//! # The two modes
+//!
+//! **Batch** mode registers a complete history and then runs one exact,
+//! level-ordered closure over the configuration DAG ([`try_search_batch`]).
+//! Dedup merging keeps the lexicographically smallest placement order per
+//! configuration, so a witness, when one exists, is *identical* to the one
+//! the depth-first memoized search returns. The facades `ra_search` /
+//! `ra_search_sharded` are rebased on this path, falling back to
+//! [`super::memo`] when the closure overruns its caps.
+//!
+//! **Streaming** mode consumes an open-ended op/delivery stream. The live
+//! configuration set `R` is kept *eagerly closed*: every configuration
+//! reachable by placing known operations is materialized (deduplicated by
+//! canonical key), so a verdict is maintained after every event with no
+//! re-search.
+//!
+//! # Causal stability
+//!
+//! The monitor tracks each replica's seen-frontier (the first operation id
+//! the replica has *not* seen). The minimum over all replicas is the
+//! **settled watermark**: every op below it is in the causal past of any
+//! future operation, so any future operation must be linearized after it.
+//! That justifies the stability rule: a live configuration that has not
+//! placed a settled op can be discarded — any completion it admits passes
+//! through a configuration (already in the eagerly-closed `R`) that places
+//! the settled op before all future ops. Settled prefixes are then
+//! *compacted*: placement-mask words below the watermark are dropped,
+//! per-configuration replayed prefixes are absorbed into a base state
+//! (`qbase`), and per-op metadata is released. Retained state is
+//! O(concurrent window), not O(history length) — the property the
+//! `monitor_streaming` bench and the 100k-op churn test pin.
+//!
+//! # Verdicts
+//!
+//! Prefix RA-linearizability is *not* monotone (a currently-linearizable
+//! prefix can become unrepairable, and a currently-unorderable prefix can
+//! be repaired by future concurrent ops), so the monitor distinguishes
+//! [`Verdict::Ok`] (some configuration places everything fed so far) from
+//! [`Verdict::Deferred`] (no complete configuration yet, but live ones
+//! remain) and the sticky [`Verdict::Violated`] (no configuration can ever
+//! complete — detected when settlement empties `R`).
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use super::memo::{self, SearchStats};
+use super::{Linearization, SearchOutcome};
+use crate::bitset::BitSet;
+use crate::history::{History, Parts};
+use crate::ids::ReplicaId;
+use crate::label::{Rewrite, Rewritten, SpecLabel};
+use crate::spec::{
+    advance_states, mix64, states_admit, states_canonical_hash, states_set_eq, Spec,
+};
+use ral_obs as obs;
+
+#[cfg(debug_assertions)]
+use super::check::check_linearization;
+
+/// Seed of the canonical configuration key (the FNV-64 offset basis, shared
+/// with [`crate::spec::fingerprint`]). The fold helpers below reproduce the
+/// exact key the memoized search has always used, so the extraction is
+/// behavior-preserving there.
+pub(crate) const CONFIG_KEY_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one placement-mask word into a configuration key.
+pub(crate) fn fold_mask_word(key: u64, word: u64) -> u64 {
+    mix64(key ^ word)
+}
+
+/// Folds the canonical hash of the main spec frontier (or, in streaming
+/// mode, of the absorbed base states) into a configuration key.
+pub(crate) fn fold_frontier_hash(key: u64, frontier_hash: u64) -> u64 {
+    mix64(key ^ frontier_hash)
+}
+
+/// Folds one pending query's justification frontier into a configuration
+/// key. The rotation decorrelates it from the main frontier fold.
+pub(crate) fn fold_query_frontier(key: u64, query: usize, qfront_hash: u64) -> u64 {
+    mix64(key ^ (query as u64) ^ qfront_hash.rotate_left(17))
+}
+
+/// Replays `updates` from the initial state, returning the reachable state
+/// set, or `None` if the sequence is not admitted by `spec`. Shared by the
+/// per-shard admissibility checks in [`super::sharded`].
+pub(crate) fn replay_updates<'l, S, I>(spec: &S, updates: I) -> Option<Vec<S::State>>
+where
+    S: Spec,
+    I: IntoIterator<Item = &'l S::Label>,
+    S::Label: 'l,
+{
+    let mut states = vec![spec.initial()];
+    for l in updates {
+        states = advance_states(spec, &states, l);
+        if states.is_empty() {
+            return None;
+        }
+    }
+    Some(states)
+}
+
+/// Returns `true` if `updates` is admitted by `spec` and, when `query` is
+/// given, some reached state admits it — the shape of every
+/// `ShardableSpec::admits_shard` implementation.
+pub(crate) fn replay_admits<'l, S, I>(spec: &S, updates: I, query: Option<&S::Label>) -> bool
+where
+    S: Spec,
+    I: IntoIterator<Item = &'l S::Label>,
+    S::Label: 'l,
+{
+    match replay_updates(spec, updates) {
+        None => false,
+        Some(states) => query.is_none_or(|q| states_admit(spec, &states, q)),
+    }
+}
+
+/// The monitor's rolling judgement about the stream consumed so far.
+///
+/// Prefix RA-linearizability is not monotone, hence the four-way split:
+/// only [`Verdict::Violated`] and [`Verdict::Exhausted`] are permanent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Some live configuration places every operation fed so far: the
+    /// stream, read as a finished history, is RA-linearizable right now.
+    Ok,
+    /// No configuration is complete yet, but live configurations remain:
+    /// concurrent operations still in flight can repair the prefix. At
+    /// end-of-stream this means *not* linearizable.
+    Deferred,
+    /// The live configuration set is empty: no extension of the stream can
+    /// ever linearize it. Sticky.
+    Violated,
+    /// The monitor exceeded its live-configuration cap and gave up
+    /// tracking. Sticky; no judgement is implied.
+    Exhausted,
+}
+
+impl Verdict {
+    /// True when the prefix fed so far is linearizable as-is.
+    pub fn is_ok(self) -> bool {
+        matches!(self, Verdict::Ok)
+    }
+
+    /// True for the permanent verdicts that stop all further tracking.
+    pub fn is_sticky(self) -> bool {
+        matches!(self, Verdict::Violated | Verdict::Exhausted)
+    }
+}
+
+/// Diagnostic counters for one monitor run.
+///
+/// `peak_live_configs` and `peak_live_window` are the bounded-memory
+/// story: the long-churn tests assert they stay O(concurrent window)
+/// while `ops` grows unbounded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Operations fed via `advance_op` (rewritten space: a split
+    /// query-update pair counts as two).
+    pub ops: u64,
+    /// Query operations among `ops`.
+    pub queries: u64,
+    /// Seen-frontier observations fed via `observe_frontier`.
+    pub frontier_observations: u64,
+    /// Configurations expanded (candidate placements enumerated).
+    pub expansions: u64,
+    /// Child configurations dropped because an equal configuration was
+    /// already live (the memoization of the incremental core).
+    pub dedup_hits: u64,
+    /// Placements rejected because the update projection's frontier died.
+    pub prune_frontier_death: u64,
+    /// Placements rejected because a placed query was not justified by its
+    /// visible-update projection.
+    pub prune_query_unjustified: u64,
+    /// Children discarded because a pending query's justification frontier
+    /// died and can never be revived.
+    pub prune_dead_pending_query: u64,
+    /// Configurations discarded by the causal-stability rule (a settled op
+    /// was never placed).
+    pub prune_unsettled: u64,
+    /// Operations below the settled watermark (cumulative).
+    pub settled: u64,
+    /// Times the settled prefix was compacted out of the live window.
+    pub compactions: u64,
+    /// Live configurations after the last event.
+    pub live_configs: u64,
+    /// Maximum of `live_configs` over the whole run.
+    pub peak_live_configs: u64,
+    /// Operations currently retained (fed minus settled).
+    pub live_window: u64,
+    /// Maximum of `live_window` over the whole run.
+    pub peak_live_window: u64,
+}
+
+impl MonitorStats {
+    /// Projects the monitor counters onto the batch-search stats shape so
+    /// the rebased `ra_search*` facades keep reporting [`SearchStats`].
+    fn to_search_stats(&self) -> SearchStats {
+        SearchStats {
+            nodes_expanded: self.expansions,
+            memo_hits: self.dedup_hits,
+            memo_entries: self.live_configs,
+            prune_frontier_death: self.prune_frontier_death,
+            prune_query_unjustified: self.prune_query_unjustified,
+            prune_dead_pending_query: self.prune_dead_pending_query,
+            branches: 1,
+            threads: 1,
+            ..SearchStats::default()
+        }
+    }
+}
+
+/// Emits the streaming counters to [`ral_obs`]. Called once per run (the
+/// hot path stays observability-free, like the batch walkers).
+fn emit_monitor_obs(stats: &MonitorStats) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter("monitor.ops", stats.ops);
+    obs::counter("monitor.queries", stats.queries);
+    obs::counter("monitor.expansions", stats.expansions);
+    obs::counter("monitor.dedup_hits", stats.dedup_hits);
+    obs::counter("monitor.settled_ops", stats.settled);
+    obs::counter("monitor.compactions", stats.compactions);
+    obs::counter("monitor.prune.unsettled", stats.prune_unsettled);
+    obs::observe("monitor.live_window", stats.live_window);
+    obs::observe("monitor.peak_live_window", stats.peak_live_window);
+    obs::observe("monitor.live_configs", stats.live_configs);
+    obs::observe("monitor.peak_live_configs", stats.peak_live_configs);
+}
+
+/// Which engine the monitor is running as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Whole history registered first, then one exact witness-tracking
+    /// closure. Configuration identity matches the memoized search.
+    Batch,
+    /// Open-world per-event closure with causal-stability compaction.
+    Streaming,
+}
+
+/// Per-operation bookkeeping, indexed by `id - meta_base`.
+struct OpMeta<S: Spec> {
+    /// `None` once the op is settled and no live configuration still needs
+    /// the label for base-state replay.
+    label: Option<S::Label>,
+    /// Direct predecessors (rewritten ids). Released at settlement.
+    preds: Option<BitSet>,
+    is_query: bool,
+    /// Settled watermark when the op arrived. Every update below it is in
+    /// the op's causal past even if the caller truncated it out of
+    /// `preds` (settled ⇒ seen by every replica ⇒ seen by the origin).
+    vis_floor: usize,
+    /// Pending queries that see this update (for incremental justification
+    /// frontier upkeep when the update is placed).
+    watchers: Vec<usize>,
+}
+
+/// One live configuration: a placement of a subset of the known ops,
+/// closed under visibility, with the state needed to extend it.
+#[derive(Clone, Debug)]
+struct Config<St> {
+    /// Window-relative placement mask: bit `i - base` set iff op `i` is
+    /// placed. Words below the settled base are compacted away.
+    mask: Vec<u64>,
+    /// Number of placed ops inside the window (`base + placed == n` means
+    /// the configuration is complete).
+    placed: usize,
+    /// Spec states after the update projection of the placement order.
+    frontier: Vec<St>,
+    /// Streaming: states after replaying the settled placement-order
+    /// prefix — the base every *future* query's justification starts from.
+    qbase: Vec<St>,
+    /// Streaming: placed updates not yet absorbed into `qbase`, in
+    /// placement order (absolute ids).
+    rem: Vec<usize>,
+    /// Justification frontiers of pending queries, ascending by query id.
+    /// Batch mode stores only *started* queries (some visible update
+    /// placed), matching the memoized search; streaming mode registers
+    /// every pending query at arrival.
+    qfronts: Vec<(usize, Vec<St>)>,
+    /// Batch mode: the placement order, for witness extraction. Dedup
+    /// merging keeps the lexicographically smallest, so the batch closure
+    /// returns exactly the witness the depth-first search would.
+    order: Vec<usize>,
+    /// Canonical key (see the `fold_*` helpers).
+    key: u64,
+}
+
+/// Why a candidate placement was rejected.
+enum Prune {
+    FrontierDeath,
+    QueryUnjustified,
+    DeadPendingQuery,
+}
+
+/// Default cap on live configurations in streaming mode before the monitor
+/// declares [`Verdict::Exhausted`].
+const DEFAULT_MAX_LIVE_CONFIGS: usize = 1 << 14;
+
+/// Expansion cap for the batch closure before `ra_search` falls back to
+/// the depth-first memoized engine.
+const BATCH_EXPANSIONS: u64 = 1 << 16;
+
+/// Live-configuration cap for the batch closure before fallback.
+const BATCH_CONFIGS: usize = 1 << 16;
+
+/// The incremental RA-linearizability engine.
+///
+/// Construct with [`Monitor::new_streaming`] and feed events with
+/// [`Monitor::advance_op`] / [`Monitor::observe_frontier`], or use the
+/// batch entry point [`try_search_batch`]. Histories with query-update
+/// operations must be rewritten first — [`MonitorFeed`] does this
+/// incrementally for live streams.
+///
+/// # Examples
+///
+/// ```
+/// use ral_core::bitset::BitSet;
+/// use ral_core::ids::ReplicaId;
+/// use ral_core::label::{Kind, SpecLabel};
+/// use ral_core::ralin::monitor::{Monitor, Verdict};
+/// use ral_core::spec::Spec;
+///
+/// #[derive(Clone, Debug, PartialEq)]
+/// enum L {
+///     Inc,
+///     Read(i64),
+/// }
+/// impl SpecLabel for L {
+///     fn kind(&self) -> Kind {
+///         match self {
+///             L::Inc => Kind::Update,
+///             L::Read(_) => Kind::Query,
+///         }
+///     }
+/// }
+/// struct Ctr;
+/// impl Spec for Ctr {
+///     type Label = L;
+///     type State = i64;
+///     fn initial(&self) -> i64 {
+///         0
+///     }
+///     fn step(&self, s: &i64, l: &L) -> Vec<i64> {
+///         match l {
+///             L::Inc => vec![s + 1],
+///             L::Read(k) if k == s => vec![*s],
+///             L::Read(_) => vec![],
+///         }
+///     }
+/// }
+///
+/// let mut m = Monitor::new_streaming(Ctr, 2);
+/// assert_eq!(m.advance_op(L::Inc, BitSet::new()), Verdict::Ok);
+/// let seen: BitSet = [0].into_iter().collect();
+/// assert_eq!(m.advance_op(L::Read(1), seen), Verdict::Ok);
+/// // Both replicas saw both ops: the prefix settles and compacts.
+/// m.observe_frontier(ReplicaId(0), 2);
+/// assert_eq!(m.observe_frontier(ReplicaId(1), 2), Verdict::Ok);
+/// assert_eq!(m.settled(), 2);
+/// ```
+pub struct Monitor<S: Spec> {
+    spec: S,
+    mode: Mode,
+    /// Operations fed so far (ids are dense `0..n`).
+    n: usize,
+    /// 64-aligned start of the live window; mask words below it are
+    /// compacted away. `base <= watermark`.
+    base: usize,
+    /// Settled watermark: minimum replica seen-frontier; every op below it
+    /// is placed in every live configuration.
+    watermark: usize,
+    /// First op id whose metadata is still retained.
+    meta_base: usize,
+    meta: Vec<OpMeta<S>>,
+    /// Per-replica seen-frontiers (first unseen op id), monotone.
+    frontiers: Vec<usize>,
+    configs: Vec<Config<S::State>>,
+    /// Canonical key → indices into `configs`. Point lookups only, never
+    /// iterated, so it cannot leak iteration nondeterminism.
+    index: HashMap<u64, Vec<usize>>,
+    verdict: Verdict,
+    max_live_configs: usize,
+    stats: MonitorStats,
+}
+
+/// Bits `lo..hi` of `mask` are all set.
+fn range_all_set(mask: &[u64], lo: usize, hi: usize) -> bool {
+    (lo..hi).all(|b| mask[b / 64] & (1 << (b % 64)) != 0)
+}
+
+/// Every predecessor at or above the window base is placed in `mask`.
+/// Predecessors below the base are settled, hence placed everywhere.
+fn preds_placed(preds: &BitSet, mask: &[u64], base_w: usize) -> bool {
+    let blocks = preds.blocks();
+    for (j, &w) in blocks.iter().enumerate().skip(base_w) {
+        if w & !mask.get(j - base_w).copied().unwrap_or(0) != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Mode-aware configuration equality (the collision check behind the
+/// canonical key). In streaming mode `frontier` is derived from
+/// `qbase ⊕ rem` and needs no comparison of its own.
+fn configs_equal<St: PartialEq>(batch: bool, a: &Config<St>, b: &Config<St>) -> bool {
+    if a.mask != b.mask {
+        return false;
+    }
+    if batch {
+        if !states_set_eq(&a.frontier, &b.frontier) {
+            return false;
+        }
+    } else if a.rem != b.rem || !states_set_eq(&a.qbase, &b.qbase) {
+        return false;
+    }
+    a.qfronts.len() == b.qfronts.len()
+        && a.qfronts
+            .iter()
+            .zip(&b.qfronts)
+            .all(|(x, y)| x.0 == y.0 && states_set_eq(&x.1, &y.1))
+}
+
+impl<S: Spec> Monitor<S> {
+    fn new(spec: S, mode: Mode, n_replicas: usize) -> Self {
+        let mut m = Monitor {
+            spec,
+            mode,
+            n: 0,
+            base: 0,
+            watermark: 0,
+            meta_base: 0,
+            meta: Vec::new(),
+            frontiers: vec![0; n_replicas],
+            configs: Vec::new(),
+            index: HashMap::new(),
+            verdict: Verdict::Ok,
+            max_live_configs: DEFAULT_MAX_LIVE_CONFIGS,
+            stats: MonitorStats::default(),
+        };
+        if mode == Mode::Streaming {
+            let mut root = Config {
+                mask: Vec::new(),
+                placed: 0,
+                frontier: vec![m.spec.initial()],
+                qbase: vec![m.spec.initial()],
+                rem: Vec::new(),
+                qfronts: Vec::new(),
+                order: Vec::new(),
+                key: 0,
+            };
+            root.key = m.config_key(&root);
+            m.index.entry(root.key).or_default().push(0);
+            m.configs.push(root);
+            m.stats.live_configs = 1;
+            m.stats.peak_live_configs = 1;
+        }
+        m
+    }
+
+    /// Creates a streaming monitor over `n_replicas` replicas. The empty
+    /// stream is trivially linearizable, so the initial verdict is
+    /// [`Verdict::Ok`].
+    pub fn new_streaming(spec: S, n_replicas: usize) -> Self {
+        Self::new(spec, Mode::Streaming, n_replicas)
+    }
+
+    /// Overrides the live-configuration cap past which the monitor stops
+    /// tracking with [`Verdict::Exhausted`].
+    pub fn with_max_live_configs(mut self, cap: usize) -> Self {
+        self.max_live_configs = cap.max(1);
+        self
+    }
+
+    /// Operations fed so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if no operation has been fed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The settled watermark: ops below it are in every future op's causal
+    /// past and have been committed to every live configuration.
+    pub fn settled(&self) -> usize {
+        self.watermark
+    }
+
+    /// Operations currently retained (fed minus settled).
+    pub fn live_window(&self) -> usize {
+        self.n - self.watermark
+    }
+
+    /// Live configurations currently tracked.
+    pub fn live_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// The current verdict (see [`Verdict`] for prefix semantics).
+    pub fn verdict(&self) -> Verdict {
+        self.verdict
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// Emits the run's counters to [`ral_obs`] (once, typically at end of
+    /// stream — the per-event path is observability-free).
+    pub fn emit_obs(&self) {
+        emit_monitor_obs(&self.stats);
+    }
+
+    /// Feeds one operation and returns the refreshed verdict.
+    ///
+    /// `preds` are the op's visible predecessors as *rewritten* ids (use
+    /// [`MonitorFeed`] to map an original-label stream). Predecessors
+    /// below the settled watermark may be omitted — they are implied,
+    /// since a settled op has been seen by every replica. Ids must be fed
+    /// densely in order: this call assigns id [`Monitor::len`].
+    pub fn advance_op(&mut self, label: S::Label, preds: BitSet) -> Verdict {
+        let id = self.n;
+        self.n += 1;
+        debug_assert!(
+            preds.max().is_none_or(|m| m < id),
+            "predecessors must be earlier ops"
+        );
+        let is_query = label.is_query();
+        self.stats.ops += 1;
+        if is_query {
+            self.stats.queries += 1;
+        }
+        if self.verdict.is_sticky() {
+            // Terminal: keep id accounting for feeds, drop all tracking.
+            return self.verdict;
+        }
+        if is_query {
+            // Register as a watcher of every visible unsettled update.
+            let meta_base = self.meta_base;
+            let blocks = preds.blocks();
+            for (j, &word) in blocks.iter().enumerate().skip(self.base / 64) {
+                let mut bits = word;
+                while bits != 0 {
+                    let u = j * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if u >= self.base && !self.meta[u - meta_base].is_query {
+                        self.meta[u - meta_base].watchers.push(id);
+                    }
+                }
+            }
+        }
+        self.meta.push(OpMeta {
+            label: Some(label),
+            preds: Some(preds),
+            is_query,
+            vis_floor: self.watermark,
+            watchers: Vec::new(),
+        });
+        self.stats.live_window = (self.n - self.watermark) as u64;
+        self.stats.peak_live_window = self.stats.peak_live_window.max(self.stats.live_window);
+        if self.mode == Mode::Batch {
+            return self.verdict;
+        }
+        self.grow_masks();
+        if is_query && !self.stream_register_query(id) {
+            return self.verdict; // Violated: the query is dead in every config.
+        }
+        self.stream_closure(id);
+        self.refresh_verdict();
+        self.stats.live_configs = self.configs.len() as u64;
+        self.stats.peak_live_configs = self.stats.peak_live_configs.max(self.stats.live_configs);
+        self.verdict
+    }
+
+    /// Feeds one replica seen-frontier observation (`first_unseen` is the
+    /// first rewritten op id the replica has *not* seen) and returns the
+    /// refreshed verdict. Advancing the minimum frontier settles ops and
+    /// compacts the retained window.
+    pub fn observe_frontier(&mut self, replica: ReplicaId, first_unseen: usize) -> Verdict {
+        self.stats.frontier_observations += 1;
+        if self.mode == Mode::Batch || self.verdict.is_sticky() {
+            return self.verdict;
+        }
+        let r = replica.0 as usize;
+        assert!(r < self.frontiers.len(), "replica out of range");
+        debug_assert!(first_unseen <= self.n, "cannot have seen unfed ops");
+        let f = first_unseen.min(self.n);
+        if f > self.frontiers[r] {
+            self.frontiers[r] = f;
+            let wm = self.frontiers.iter().copied().min().unwrap_or(0);
+            if wm > self.watermark {
+                self.settle(wm);
+            }
+        }
+        self.verdict
+    }
+
+    /// Widens every live mask to the current window (trailing zero words
+    /// do not participate in keys, so no rekeying is needed).
+    fn grow_masks(&mut self) {
+        let words = (self.n - self.base).div_ceil(64);
+        if self.configs.first().is_some_and(|c| c.mask.len() < words) {
+            for c in &mut self.configs {
+                c.mask.resize(words, 0);
+            }
+        }
+    }
+
+    /// Installs the justification frontier of freshly-arrived query `q` in
+    /// every live configuration (replaying the visible part of each
+    /// configuration's unabsorbed placement suffix on top of its base
+    /// states), pruning configurations where it is already dead. Returns
+    /// `false` if no configuration survives.
+    fn stream_register_query(&mut self, q: usize) -> bool {
+        let vis_floor = self.meta[q - self.meta_base].vis_floor;
+        let preds = self.meta[q - self.meta_base]
+            .preds
+            .take()
+            .expect("preds retained for live ops");
+        let label_missing = "label retained inside the live window";
+        let mut kept = Vec::with_capacity(self.configs.len());
+        let mut pruned = 0u64;
+        for mut c in std::mem::take(&mut self.configs) {
+            let mut states = c.qbase.clone();
+            let mut dead = false;
+            for &u in &c.rem {
+                if u < vis_floor || preds.contains(u) {
+                    let lbl = self.meta[u - self.meta_base]
+                        .label
+                        .as_ref()
+                        .expect(label_missing);
+                    states = advance_states(&self.spec, &states, lbl);
+                    if states.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                pruned += 1;
+                continue;
+            }
+            c.qfronts.push((q, states));
+            kept.push(c);
+        }
+        self.meta[q - self.meta_base].preds = Some(preds);
+        self.stats.prune_dead_pending_query += pruned;
+        self.configs = kept;
+        self.rebuild_index();
+        if self.configs.is_empty() {
+            self.fail(Verdict::Violated);
+            return false;
+        }
+        true
+    }
+
+    /// Restores eager closure after op `seed` arrives: tries `seed` in
+    /// every live configuration, then closes each new configuration over
+    /// every known op. (Feasibility of a placement is static, so old
+    /// configurations never gain new extensions from old ops.)
+    fn stream_closure(&mut self, seed: usize) {
+        let existing = self.configs.len();
+        for parent in 0..existing {
+            self.try_extend(parent, seed);
+        }
+        let mut idx = existing;
+        while idx < self.configs.len() {
+            if self.configs.len() > self.max_live_configs {
+                self.fail(Verdict::Exhausted);
+                return;
+            }
+            self.stats.expansions += 1;
+            for x in self.base..self.n {
+                self.try_extend(idx, x);
+            }
+            idx += 1;
+        }
+        if self.configs.len() > self.max_live_configs {
+            self.fail(Verdict::Exhausted);
+        }
+    }
+
+    /// Attempts to place `x` on top of configuration `parent`, inserting
+    /// the child (deduplicated) if the placement is feasible and live.
+    fn try_extend(&mut self, parent: usize, x: usize) {
+        let base_w = self.base / 64;
+        let bit = x - self.base;
+        {
+            let c = &self.configs[parent];
+            if c.mask[bit / 64] & (1 << (bit % 64)) != 0 {
+                return; // already placed
+            }
+            let preds = self.meta[x - self.meta_base]
+                .preds
+                .as_ref()
+                .expect("preds retained for unplaced ops");
+            if !preds_placed(preds, &c.mask, base_w) {
+                return; // not yet enabled
+            }
+        }
+        match self.make_child(parent, x) {
+            Ok(child) => self.insert_or_merge(child),
+            Err(Prune::FrontierDeath) => self.stats.prune_frontier_death += 1,
+            Err(Prune::QueryUnjustified) => self.stats.prune_query_unjustified += 1,
+            Err(Prune::DeadPendingQuery) => self.stats.prune_dead_pending_query += 1,
+        }
+    }
+
+    /// Builds the child configuration `parent + x`, or the prune cause.
+    fn make_child(&self, parent: usize, x: usize) -> Result<Config<S::State>, Prune> {
+        let m = &self.meta[x - self.meta_base];
+        let label = m.label.as_ref().expect("label retained");
+        let p = &self.configs[parent];
+        let batch = self.mode == Mode::Batch;
+        let bit = x - self.base;
+        let mut mask = p.mask.clone();
+        mask[bit / 64] |= 1 << (bit % 64);
+        let placed = p.placed + 1;
+        let mut child = if m.is_query {
+            let justified = match p.qfronts.binary_search_by_key(&x, |e| e.0) {
+                Ok(i) => states_admit(&self.spec, &p.qfronts[i].1, label),
+                Err(_) => {
+                    debug_assert!(batch, "streaming query frontiers exist from arrival");
+                    states_admit(&self.spec, &[self.spec.initial()], label)
+                }
+            };
+            if !justified {
+                return Err(Prune::QueryUnjustified);
+            }
+            Config {
+                mask,
+                placed,
+                frontier: p.frontier.clone(),
+                qbase: p.qbase.clone(),
+                rem: p.rem.clone(),
+                qfronts: p.qfronts.iter().filter(|e| e.0 != x).cloned().collect(),
+                order: Vec::new(),
+                key: 0,
+            }
+        } else {
+            let frontier = advance_states(&self.spec, &p.frontier, label);
+            if frontier.is_empty() {
+                return Err(Prune::FrontierDeath);
+            }
+            let mut qfronts = p.qfronts.clone();
+            for &q in &m.watchers {
+                if q < self.base {
+                    continue; // settled, hence placed everywhere
+                }
+                let qbit = q - self.base;
+                if mask[qbit / 64] & (1 << (qbit % 64)) != 0 {
+                    continue; // already placed in this configuration
+                }
+                match qfronts.binary_search_by_key(&q, |e| e.0) {
+                    Ok(i) => {
+                        let next = advance_states(&self.spec, &qfronts[i].1, label);
+                        if next.is_empty() {
+                            return Err(Prune::DeadPendingQuery);
+                        }
+                        qfronts[i].1 = next;
+                    }
+                    Err(i) => {
+                        debug_assert!(batch, "streaming query frontiers exist from arrival");
+                        let next = advance_states(&self.spec, &[self.spec.initial()], label);
+                        if next.is_empty() {
+                            return Err(Prune::DeadPendingQuery);
+                        }
+                        qfronts.insert(i, (q, next));
+                    }
+                }
+            }
+            let mut rem = p.rem.clone();
+            if !batch {
+                rem.push(x);
+            }
+            Config {
+                mask,
+                placed,
+                frontier,
+                qbase: p.qbase.clone(),
+                rem,
+                qfronts,
+                order: Vec::new(),
+                key: 0,
+            }
+        };
+        if batch {
+            let mut order = p.order.clone();
+            order.push(x);
+            child.order = order;
+        }
+        child.key = self.config_key(&child);
+        Ok(child)
+    }
+
+    /// Canonical key of a configuration. Trailing zero mask words are
+    /// skipped so streaming windows can grow without rekeying.
+    fn config_key(&self, c: &Config<S::State>) -> u64 {
+        let mut key = CONFIG_KEY_SEED;
+        let tail = c.mask.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        for &w in &c.mask[..tail] {
+            key = fold_mask_word(key, w);
+        }
+        match self.mode {
+            Mode::Batch => {
+                key = fold_frontier_hash(key, states_canonical_hash(&self.spec, &c.frontier));
+            }
+            Mode::Streaming => {
+                key = fold_frontier_hash(key, states_canonical_hash(&self.spec, &c.qbase));
+                for &u in &c.rem {
+                    key = mix64(key ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                }
+            }
+        }
+        for (q, states) in &c.qfronts {
+            key = fold_query_frontier(key, *q, states_canonical_hash(&self.spec, states));
+        }
+        key
+    }
+
+    /// Inserts `child` unless an equal configuration is already live; in
+    /// batch mode a merge keeps the lexicographically smaller placement
+    /// order (the witness invariant).
+    fn insert_or_merge(&mut self, child: Config<S::State>) {
+        let batch = self.mode == Mode::Batch;
+        let mut merged = None;
+        if let Some(bucket) = self.index.get(&child.key) {
+            for &i in bucket {
+                if configs_equal(batch, &self.configs[i], &child) {
+                    merged = Some(i);
+                    break;
+                }
+            }
+        }
+        match merged {
+            Some(i) => {
+                self.stats.dedup_hits += 1;
+                debug_assert!(states_set_eq(&self.configs[i].frontier, &child.frontier));
+                if batch && child.order < self.configs[i].order {
+                    self.configs[i].order = child.order;
+                }
+            }
+            None => {
+                let i = self.configs.len();
+                self.index.entry(child.key).or_default().push(i);
+                self.configs.push(child);
+            }
+        }
+    }
+
+    /// Applies the causal-stability rule after the watermark advances to
+    /// `wm`: prunes configurations that never placed a newly settled op,
+    /// absorbs settled placement prefixes into base states, and compacts
+    /// mask words and metadata out of the live window.
+    fn settle(&mut self, wm: usize) {
+        debug_assert!(wm > self.watermark && wm <= self.n);
+        let lo = self.watermark - self.base;
+        let hi = wm - self.base;
+        self.watermark = wm;
+        self.stats.settled = wm as u64;
+        self.stats.live_window = (self.n - wm) as u64;
+        let mut kept = Vec::with_capacity(self.configs.len());
+        let mut pruned = 0u64;
+        for c in std::mem::take(&mut self.configs) {
+            if range_all_set(&c.mask, lo, hi) {
+                kept.push(c);
+            } else {
+                pruned += 1;
+            }
+        }
+        self.stats.prune_unsettled += pruned;
+        self.configs = kept;
+        if self.configs.is_empty() {
+            self.fail(Verdict::Violated);
+            return;
+        }
+        // Absorb each configuration's settled placement prefix into its
+        // base states; stragglers (settled ops placed after a still-live
+        // one) stay in `rem` and are bounded by the concurrent window.
+        let label_missing = "label retained for unabsorbed placements";
+        for i in 0..self.configs.len() {
+            let k = self.configs[i].rem.iter().take_while(|&&u| u < wm).count();
+            for j in 0..k {
+                let u = self.configs[i].rem[j];
+                let lbl = self.meta[u - self.meta_base]
+                    .label
+                    .as_ref()
+                    .expect(label_missing);
+                let next = advance_states(&self.spec, &self.configs[i].qbase, lbl);
+                debug_assert!(!next.is_empty(), "absorbed prefix replays a live frontier");
+                self.configs[i].qbase = next;
+            }
+            if k > 0 {
+                self.configs[i].rem.drain(..k);
+            }
+        }
+        // Compact whole settled words out of the window.
+        let new_base = wm & !63;
+        if new_base > self.base {
+            let k_words = (new_base - self.base) / 64;
+            for c in &mut self.configs {
+                debug_assert!(c.mask[..k_words].iter().all(|&w| w == !0u64));
+                c.mask.drain(..k_words);
+                c.placed -= k_words * 64;
+            }
+            self.base = new_base;
+            self.stats.compactions += 1;
+            let min_rem = self
+                .configs
+                .iter()
+                .flat_map(|c| c.rem.iter().copied())
+                .min()
+                .unwrap_or(usize::MAX);
+            let keep_from = new_base.min(min_rem);
+            if keep_from > self.meta_base {
+                self.meta.drain(..keep_from - self.meta_base);
+                self.meta_base = keep_from;
+            }
+        }
+        // Settled ops are placed everywhere: their predecessor sets and
+        // watcher lists can never be consulted again.
+        for id in self.meta_base.max(self.base.min(wm))..wm {
+            if id < self.meta_base {
+                continue;
+            }
+            let m = &mut self.meta[id - self.meta_base];
+            m.preds = None;
+            m.watchers = Vec::new();
+        }
+        self.rebuild_index();
+        self.refresh_verdict();
+        self.stats.live_configs = self.configs.len() as u64;
+    }
+
+    /// Recomputes every key and rebuilds the dedup index (needed whenever
+    /// masks shift, base states absorb, or query frontiers are installed).
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for i in 0..self.configs.len() {
+            let key = self.config_key(&self.configs[i]);
+            self.configs[i].key = key;
+            self.index.entry(key).or_default().push(i);
+        }
+    }
+
+    fn refresh_verdict(&mut self) {
+        if self.verdict.is_sticky() {
+            return;
+        }
+        self.verdict = if self.configs.is_empty() {
+            Verdict::Violated
+        } else if self.configs.iter().any(|c| self.base + c.placed == self.n) {
+            Verdict::Ok
+        } else {
+            Verdict::Deferred
+        };
+    }
+
+    /// Enters a sticky terminal verdict and releases tracking state.
+    fn fail(&mut self, v: Verdict) {
+        debug_assert!(v.is_sticky());
+        self.verdict = v;
+        self.configs = Vec::new();
+        self.index = HashMap::new();
+        self.stats.live_configs = 0;
+    }
+
+    /// Batch mode: exact level-ordered closure over the configuration DAG.
+    /// Returns `None` if a cap is exceeded (caller falls back to the
+    /// depth-first engine). Level k holds exactly the configurations with
+    /// k placements, so every parent's minimal placement order is final
+    /// before its children are expanded — the merge in
+    /// [`Monitor::insert_or_merge`] therefore yields the global
+    /// lexicographic minimum, matching the DFS witness.
+    fn decide(&mut self, max_expansions: u64, max_configs: usize) -> Option<SearchOutcome> {
+        debug_assert!(self.mode == Mode::Batch && self.configs.is_empty());
+        let mut root = Config {
+            mask: vec![0; self.n.div_ceil(64)],
+            placed: 0,
+            frontier: vec![self.spec.initial()],
+            qbase: Vec::new(),
+            rem: Vec::new(),
+            qfronts: Vec::new(),
+            order: Vec::new(),
+            key: 0,
+        };
+        root.key = self.config_key(&root);
+        self.index.entry(root.key).or_default().push(0);
+        self.configs.push(root);
+        let mut lo = 0;
+        let mut hi = 1;
+        while lo < hi {
+            for parent in lo..hi {
+                self.stats.expansions += 1;
+                if self.stats.expansions > max_expansions {
+                    return None;
+                }
+                for x in 0..self.n {
+                    self.try_extend(parent, x);
+                }
+                if self.configs.len() > max_configs {
+                    return None;
+                }
+            }
+            lo = hi;
+            hi = self.configs.len();
+        }
+        self.stats.live_configs = self.configs.len() as u64;
+        self.stats.peak_live_configs = self.stats.live_configs;
+        let best = self
+            .configs
+            .iter()
+            .filter(|c| c.placed == self.n)
+            .map(|c| &c.order)
+            .min();
+        Some(match best {
+            Some(order) => SearchOutcome::Linearizable(Linearization {
+                order: order.clone(),
+            }),
+            None => SearchOutcome::NotLinearizable,
+        })
+    }
+}
+
+/// Decides a complete (already rewritten) history with the monitor's batch
+/// closure. Returns `None` when `max_expansions` or `max_configs` is
+/// exceeded — the search is exact otherwise, and a `Linearizable` outcome
+/// carries the same lexicographically-least witness the memoized
+/// depth-first search returns.
+pub fn try_search_batch<S: Spec>(
+    h: &History<S::Label>,
+    spec: &S,
+    max_expansions: u64,
+    max_configs: usize,
+) -> Option<(SearchOutcome, MonitorStats)> {
+    let mut m: Monitor<&S> = Monitor::new(spec, Mode::Batch, 0);
+    for i in 0..h.len() {
+        m.advance_op(h.label(i).clone(), h.preds(i).clone());
+    }
+    let out = m.decide(max_expansions, max_configs)?;
+    #[cfg(debug_assertions)]
+    if let SearchOutcome::Linearizable(lin) = &out {
+        debug_assert!(
+            check_linearization(h, spec, &lin.order).is_ok(),
+            "batch monitor produced an invalid witness"
+        );
+    }
+    Some((out, m.stats))
+}
+
+/// The batch engine behind the `ra_search*` facades: monitor closure
+/// first, depth-first memoized fallback (with the caller's full `budget`
+/// and `threads`) when the closure overruns its caps. Outcomes on the
+/// fallback path are byte-identical to the pre-monitor engine.
+pub(crate) fn search_batch_with_stats<S>(
+    h: &History<S::Label>,
+    spec: &S,
+    budget: u64,
+    threads: usize,
+) -> (SearchOutcome, SearchStats)
+where
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    if budget == 0 {
+        return (SearchOutcome::BudgetExhausted, SearchStats::default());
+    }
+    let t0 = obs::wallclock::now_nanos();
+    match try_search_batch(h, spec, budget.min(BATCH_EXPANSIONS), BATCH_CONFIGS) {
+        Some((out, mstats)) => {
+            let mut stats = mstats.to_search_stats();
+            let dt = obs::wallclock::now_nanos().saturating_sub(t0);
+            stats.busy_nanos = dt;
+            stats.elapsed_nanos = dt;
+            memo::emit_obs(&stats);
+            (out, stats)
+        }
+        None => {
+            if obs::enabled() {
+                obs::counter("monitor.batch_fallback", 1);
+            }
+            memo::search_with_threads_stats(h, spec, budget, threads)
+        }
+    }
+}
+
+/// Incremental mirror of [`crate::history::rewrite_history`]: feeds a
+/// stream of *original* labels (queries, updates, or query-updates) to a
+/// [`Monitor`], splitting query-updates on the fly and mapping visibility
+/// and seen-frontiers into the rewritten id space.
+///
+/// Use [`MonitorFeed::feed_op`] for each invocation (with its visible
+/// predecessors as original ids) and [`MonitorFeed::observe_frontier`]
+/// whenever a replica's seen-frontier advances (e.g. after mailbox
+/// drains). [`monitor_history`] replays a finished [`History`] through a
+/// feed, synthesizing the frontier observations from its visibility sets.
+pub struct MonitorFeed<In, R: Rewrite<In>, S: Spec<Label = R::Out>> {
+    rw: R,
+    monitor: Monitor<S>,
+    parts: Vec<Parts>,
+    /// Original ids below this are wholly settled; their predecessors are
+    /// implied and skipped when building rewritten visibility sets, which
+    /// keeps each feed O(concurrent window) instead of O(history).
+    orig_floor: usize,
+    _in: PhantomData<fn(&In)>,
+}
+
+impl<In, R: Rewrite<In>, S: Spec<Label = R::Out>> MonitorFeed<In, R, S> {
+    /// Creates a feed over a fresh streaming monitor.
+    pub fn new(rw: R, spec: S, n_replicas: usize) -> Self {
+        MonitorFeed {
+            rw,
+            monitor: Monitor::new_streaming(spec, n_replicas),
+            parts: Vec::new(),
+            orig_floor: 0,
+            _in: PhantomData,
+        }
+    }
+
+    /// The underlying monitor.
+    pub fn monitor(&self) -> &Monitor<S> {
+        &self.monitor
+    }
+
+    /// The current verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.monitor.verdict()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &MonitorStats {
+        self.monitor.stats()
+    }
+
+    /// Original operations fed so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if nothing has been fed yet.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Feeds one original-label operation with its visible predecessors
+    /// (original ids, e.g. the origin replica's seen-set at invocation).
+    pub fn feed_op(&mut self, label: &In, preds: &BitSet) -> Verdict {
+        let wm = self.monitor.settled();
+        while self.orig_floor < self.parts.len() && self.parts[self.orig_floor].update() < wm {
+            self.orig_floor += 1;
+        }
+        // Map visibility into rewritten space, skipping the settled prefix
+        // (implied by the monitor's vis_floor rule).
+        let mut pred_updates = BitSet::new();
+        let blocks = preds.blocks();
+        let floor_w = self.orig_floor / 64;
+        for (j, &word) in blocks.iter().enumerate().skip(floor_w) {
+            let mut bits = word;
+            if j == floor_w && self.orig_floor % 64 != 0 {
+                bits &= !0u64 << (self.orig_floor % 64);
+            }
+            while bits != 0 {
+                let p = j * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                pred_updates.insert(self.parts[p].update());
+            }
+        }
+        match self.rw.rewrite(label) {
+            Rewritten::One(l) => {
+                let id = self.monitor.len();
+                let v = self.monitor.advance_op(l, pred_updates);
+                self.parts.push(Parts::One(id));
+                v
+            }
+            Rewritten::Split { query, update } => {
+                let q = self.monitor.len();
+                self.monitor.advance_op(query, pred_updates);
+                let mut qp = BitSet::new();
+                qp.insert(q);
+                let v = self.monitor.advance_op(update, qp);
+                self.parts.push(Parts::Split {
+                    query: q,
+                    update: q + 1,
+                });
+                v
+            }
+        }
+    }
+
+    /// Feeds one replica seen-frontier observation in *original* id space
+    /// (`first_unseen` = the first original op the replica has not seen).
+    pub fn observe_frontier(&mut self, replica: ReplicaId, first_unseen: usize) -> Verdict {
+        let mapped = if first_unseen == 0 {
+            0
+        } else {
+            debug_assert!(first_unseen <= self.parts.len());
+            self.parts[first_unseen - 1].update() + 1
+        };
+        self.monitor.observe_frontier(replica, mapped)
+    }
+}
+
+/// Streams a finished history through a [`MonitorFeed`], synthesizing each
+/// replica's seen-frontier from the history's visibility sets (an op's
+/// predecessor set *is* its origin's seen-set at invocation), and returns
+/// the end-of-stream verdict. At end of stream [`Verdict::Ok`] means
+/// RA-linearizable and [`Verdict::Deferred`] / [`Verdict::Violated`] mean
+/// refuted — the cross-check suites hold this equal to `ra_search`.
+pub fn monitor_history<In, R, S>(h: &History<In>, rw: &R, spec: S) -> (Verdict, MonitorStats)
+where
+    R: Rewrite<In>,
+    S: Spec<Label = R::Out>,
+{
+    let n_replicas = h
+        .iter()
+        .map(|(_, op)| op.replica.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut feed: MonitorFeed<In, &R, S> = MonitorFeed::new(rw, spec, n_replicas);
+    let mut frontiers = vec![0usize; n_replicas];
+    let mut verdict = feed.verdict();
+    for i in 0..h.len() {
+        feed.feed_op(h.label(i), h.preds(i));
+        let r = h.op(i).replica;
+        let f = &mut frontiers[r.0 as usize];
+        while *f < h.len() && (*f == i || h.preds(i).contains(*f)) {
+            *f += 1;
+        }
+        verdict = feed.observe_frontier(r, *f);
+    }
+    feed.monitor().emit_obs();
+    (verdict, feed.monitor().stats().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::label::{Identity, Kind};
+
+    struct CtrSpec;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum L {
+        Inc,
+        Read(i64),
+    }
+
+    impl SpecLabel for L {
+        fn kind(&self) -> Kind {
+            match self {
+                L::Inc => Kind::Update,
+                L::Read(_) => Kind::Query,
+            }
+        }
+    }
+
+    impl Spec for CtrSpec {
+        type Label = L;
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn step(&self, s: &i64, l: &L) -> Vec<i64> {
+            match l {
+                L::Inc => vec![s + 1],
+                L::Read(k) if k == s => vec![*s],
+                L::Read(_) => vec![],
+            }
+        }
+    }
+
+    /// A flag that can be set exactly once: concurrent duplicate sets can
+    /// never linearize.
+    struct OnceSpec;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum O {
+        Set,
+        IsSet(bool),
+    }
+
+    impl SpecLabel for O {
+        fn kind(&self) -> Kind {
+            match self {
+                O::Set => Kind::Update,
+                O::IsSet(_) => Kind::Query,
+            }
+        }
+    }
+
+    impl Spec for OnceSpec {
+        type Label = O;
+        type State = bool;
+        fn initial(&self) -> bool {
+            false
+        }
+        fn step(&self, s: &bool, l: &O) -> Vec<bool> {
+            match l {
+                O::Set if !s => vec![true],
+                O::Set => vec![],
+                O::IsSet(k) if k == s => vec![*s],
+                O::IsSet(_) => vec![],
+            }
+        }
+    }
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    fn bits<const N: usize>(ids: [usize; N]) -> BitSet {
+        ids.into_iter().collect()
+    }
+
+    #[test]
+    fn empty_stream_is_ok() {
+        let m = Monitor::new_streaming(CtrSpec, 2);
+        assert_eq!(m.verdict(), Verdict::Ok);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ordered_counter_stream_stays_ok_and_settles() {
+        let mut m = Monitor::new_streaming(CtrSpec, 2);
+        assert_eq!(m.advance_op(L::Inc, BitSet::new()), Verdict::Ok);
+        assert_eq!(m.advance_op(L::Read(1), bits([0])), Verdict::Ok);
+        m.observe_frontier(r(0), 2);
+        assert_eq!(m.observe_frontier(r(1), 2), Verdict::Ok);
+        assert_eq!(m.settled(), 2);
+        assert_eq!(m.live_window(), 0);
+        assert_eq!(m.live_configs(), 1);
+    }
+
+    #[test]
+    fn concurrent_once_sets_defer_then_violate_at_settlement() {
+        let mut m = Monitor::new_streaming(OnceSpec, 2);
+        assert_eq!(m.advance_op(O::Set, BitSet::new()), Verdict::Ok);
+        // A concurrent second Set: no configuration can place both, so no
+        // complete configuration exists, but the prefix is still repairable
+        // in the open world.
+        assert_eq!(m.advance_op(O::Set, BitSet::new()), Verdict::Deferred);
+        // Once both replicas have seen both sets, the unplaceable one
+        // settles: every live configuration misses a settled op.
+        m.observe_frontier(r(0), 2);
+        assert_eq!(m.observe_frontier(r(1), 2), Verdict::Violated);
+        assert!(m.verdict().is_sticky());
+        // Sticky: further ops do not resurrect it.
+        assert_eq!(m.advance_op(O::IsSet(true), bits([0])), Verdict::Violated);
+        assert!(m.stats().prune_unsettled > 0);
+    }
+
+    #[test]
+    fn unjustified_query_violates_at_settlement() {
+        let mut m = Monitor::new_streaming(CtrSpec, 1);
+        assert_eq!(m.advance_op(L::Inc, BitSet::new()), Verdict::Ok);
+        // A read of 2 that saw exactly one increment can never be
+        // justified, so no configuration ever places it: the prefix hangs
+        // at Deferred until the query settles, which empties the live set.
+        assert_eq!(m.advance_op(L::Read(2), bits([0])), Verdict::Deferred);
+        assert_eq!(m.observe_frontier(r(0), 2), Verdict::Violated);
+        assert!(m.stats().prune_query_unjustified > 0);
+    }
+
+    #[test]
+    fn long_chain_compacts_to_constant_state() {
+        let mut m = Monitor::new_streaming(CtrSpec, 2);
+        let mut preds = BitSet::new();
+        for i in 0..1000usize {
+            assert_eq!(m.advance_op(L::Inc, preds.clone()), Verdict::Ok, "op {i}");
+            preds.insert(i);
+            m.observe_frontier(r(0), i + 1);
+            m.observe_frontier(r(1), i + 1);
+        }
+        assert_eq!(m.settled(), 1000);
+        assert_eq!(m.live_window(), 0);
+        assert!(m.stats().compactions >= 10);
+        // Retained state is O(window), not O(history).
+        assert!(m.meta.len() <= 64, "meta retained: {}", m.meta.len());
+        assert!(m.stats().peak_live_configs <= 4);
+        assert_eq!(m.stats().settled, 1000);
+    }
+
+    #[test]
+    fn batch_closure_matches_memo_on_witnesses_and_refutations() {
+        // A mix of linearizable and refuted counter histories.
+        let mut histories: Vec<History<L>> = Vec::new();
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Inc, r(0)), []);
+        let b = h.push(OpRecord::new(L::Inc, r(1)), []);
+        h.push(OpRecord::new(L::Read(2), r(0)), [a, b]);
+        histories.push(h);
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Inc, r(0)), []);
+        h.push(OpRecord::new(L::Read(2), r(1)), [a]); // refuted
+        histories.push(h);
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Inc, r(0)), []);
+        let _b = h.push(OpRecord::new(L::Inc, r(1)), []);
+        h.push(OpRecord::new(L::Read(1), r(0)), [a]);
+        histories.push(h);
+        histories.push(History::new());
+        for h in &histories {
+            let (memo_out, _) = memo::search_with_threads_stats(h, &CtrSpec, u64::MAX, 1);
+            let (mon_out, _) = try_search_batch(h, &CtrSpec, u64::MAX, usize::MAX)
+                .expect("uncapped closure always decides");
+            assert_eq!(mon_out, memo_out, "history {h:?}");
+        }
+    }
+
+    #[test]
+    fn batch_caps_trigger_fallback_path() {
+        let mut h = History::new();
+        for i in 0..8 {
+            h.push(OpRecord::new(L::Inc, r(i)), []);
+        }
+        assert!(try_search_batch(&h, &CtrSpec, 3, usize::MAX).is_none());
+        let (out, _) = search_batch_with_stats(&h, &CtrSpec, u64::MAX, 1);
+        assert!(out.is_linearizable());
+    }
+
+    #[test]
+    fn streaming_replay_agrees_with_batch_search() {
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Inc, r(0)), []);
+        let b = h.push(OpRecord::new(L::Inc, r(1)), [a]);
+        h.push(OpRecord::new(L::Read(2), r(1)), [a, b]);
+        let (verdict, _) = monitor_history(&h, &Identity, CtrSpec);
+        assert_eq!(verdict, Verdict::Ok);
+
+        let mut h = History::new();
+        let a = h.push(OpRecord::new(L::Inc, r(0)), []);
+        h.push(OpRecord::new(L::Read(3), r(1)), [a]);
+        let (verdict, _) = monitor_history(&h, &Identity, CtrSpec);
+        assert!(matches!(verdict, Verdict::Deferred | Verdict::Violated));
+    }
+
+    #[test]
+    fn exhaustion_is_sticky() {
+        let mut m = Monitor::new_streaming(CtrSpec, 1).with_max_live_configs(2);
+        for _ in 0..6 {
+            m.advance_op(L::Inc, BitSet::new());
+        }
+        assert_eq!(m.verdict(), Verdict::Exhausted);
+        assert_eq!(m.advance_op(L::Inc, BitSet::new()), Verdict::Exhausted);
+        assert_eq!(m.live_configs(), 0);
+    }
+
+    #[test]
+    fn replay_helpers_admit_and_refute() {
+        let inc = L::Inc;
+        assert!(replay_admits(&CtrSpec, [&inc, &inc], Some(&L::Read(2))));
+        assert!(!replay_admits(&CtrSpec, [&inc], Some(&L::Read(2))));
+        let set = O::Set;
+        assert!(!replay_admits(&OnceSpec, [&set, &set], None));
+    }
+}

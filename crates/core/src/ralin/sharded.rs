@@ -48,12 +48,12 @@ use super::check::check_linearization;
 use super::memo::{
     effective_threads, env_threads, run_pool, search_with_threads_stats, SearchStats,
 };
-use super::{Linearization, SearchOutcome};
+use super::{monitor, Linearization, SearchOutcome};
 use crate::compose::{ComposedLabel, EitherLabel, MultiObjSpec, PairSpec};
 use crate::history::History;
 use crate::ids::ObjId;
 use crate::label::SpecLabel;
-use crate::spec::{Frontier, Spec};
+use crate::spec::Spec;
 use ral_obs as obs;
 use std::collections::BTreeMap;
 
@@ -183,7 +183,7 @@ where
         threads: usize,
     ) -> (SearchOutcome, SearchStats) {
         let inner = shard.clone().map(|l| l.label);
-        search_with_threads_stats(&inner, self.inner(), budget, threads)
+        monitor::search_batch_with_stats(&inner, self.inner(), budget, threads)
     }
 
     fn admits_shard(
@@ -192,13 +192,11 @@ where
         updates: &[&Self::Label],
         query: Option<&Self::Label>,
     ) -> bool {
-        let mut f = Frontier::new(self.inner());
-        for l in updates {
-            if !f.advance(&l.label) {
-                return false;
-            }
-        }
-        query.is_none_or(|q| f.admits(&q.label))
+        monitor::replay_admits(
+            self.inner(),
+            updates.iter().map(|l| &l.label),
+            query.map(|q| &q.label),
+        )
     }
 }
 
@@ -231,13 +229,13 @@ where
                 EitherLabel::First(a) => a,
                 EitherLabel::Second(_) => unreachable!("shard of object 0 holds First labels only"),
             });
-            search_with_threads_stats(&inner, self.first(), budget, threads)
+            monitor::search_batch_with_stats(&inner, self.first(), budget, threads)
         } else {
             let inner = shard.clone().map(|l| match l {
                 EitherLabel::Second(b) => b,
                 EitherLabel::First(_) => unreachable!("shard of object 1 holds Second labels only"),
             });
-            search_with_threads_stats(&inner, self.second(), budget, threads)
+            monitor::search_batch_with_stats(&inner, self.second(), budget, threads)
         }
     }
 
@@ -248,41 +246,33 @@ where
         query: Option<&Self::Label>,
     ) -> bool {
         if obj == ObjId(0) {
-            let mut f = Frontier::new(self.first());
-            for l in updates {
-                match l {
-                    EitherLabel::First(a) => {
-                        if !f.advance(a) {
-                            return false;
-                        }
-                    }
+            monitor::replay_admits(
+                self.first(),
+                updates.iter().map(|l| match l {
+                    EitherLabel::First(a) => a,
                     EitherLabel::Second(_) => {
                         unreachable!("object 0 sequence holds First labels only")
                     }
-                }
-            }
-            query.is_none_or(|q| match q {
-                EitherLabel::First(a) => f.admits(a),
-                EitherLabel::Second(_) => unreachable!("object 0 query must be a First label"),
-            })
+                }),
+                query.map(|q| match q {
+                    EitherLabel::First(a) => a,
+                    EitherLabel::Second(_) => unreachable!("object 0 query must be a First label"),
+                }),
+            )
         } else {
-            let mut f = Frontier::new(self.second());
-            for l in updates {
-                match l {
-                    EitherLabel::Second(b) => {
-                        if !f.advance(b) {
-                            return false;
-                        }
-                    }
+            monitor::replay_admits(
+                self.second(),
+                updates.iter().map(|l| match l {
+                    EitherLabel::Second(b) => b,
                     EitherLabel::First(_) => {
                         unreachable!("object 1 sequence holds Second labels only")
                     }
-                }
-            }
-            query.is_none_or(|q| match q {
-                EitherLabel::Second(b) => f.admits(b),
-                EitherLabel::First(_) => unreachable!("object 1 query must be a Second label"),
-            })
+                }),
+                query.map(|q| match q {
+                    EitherLabel::Second(b) => b,
+                    EitherLabel::First(_) => unreachable!("object 1 query must be a Second label"),
+                }),
+            )
         }
     }
 }
@@ -436,7 +426,7 @@ where
     let shards = shard_history(h);
     if shards.len() <= 1 {
         // One object: sharding adds nothing over the monolithic engine.
-        let (out, mut stats) = search_with_threads_stats(h, spec, budget, threads);
+        let (out, mut stats) = monitor::search_batch_with_stats(h, spec, budget, threads);
         stats.shards = shards.len() as u64;
         return (out, stats);
     }

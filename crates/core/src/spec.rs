@@ -51,6 +51,27 @@ pub trait Spec {
     }
 }
 
+// A specification can be used through a shared reference. This is what lets
+// the batch search entry points drive a borrowing `Monitor<&S>` without
+// taking ownership of the caller's spec. Delegates every method so
+// `state_fingerprint` overrides are preserved.
+impl<S: Spec> Spec for &S {
+    type Label = S::Label;
+    type State = S::State;
+
+    fn initial(&self) -> Self::State {
+        (**self).initial()
+    }
+
+    fn step(&self, state: &Self::State, label: &Self::Label) -> Vec<Self::State> {
+        (**self).step(state, label)
+    }
+
+    fn state_fingerprint(&self, state: &Self::State) -> u64 {
+        (**self).state_fingerprint(state)
+    }
+}
+
 /// FNV-1a, 64-bit: the workspace's dependency-free deterministic hasher.
 ///
 /// Used for state fingerprints and memo keys. Unlike
@@ -108,6 +129,57 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Advances a duplicate-free state *set* by one label: the union of
+/// [`Spec::step`] over every state, deduplicated with `PartialEq`. An empty
+/// result means no run admits the label.
+///
+/// This is the single transition primitive shared by [`Frontier`], the
+/// memoized checker, and the incremental monitor
+/// ([`crate::ralin::monitor`]) — they all hold bare state slices and step
+/// them through here so the dedup discipline (and therefore every
+/// canonical hash) is identical across engines.
+pub(crate) fn advance_states<S: Spec>(
+    spec: &S,
+    states: &[S::State],
+    label: &S::Label,
+) -> Vec<S::State> {
+    let mut next: Vec<S::State> = Vec::new();
+    for st in states {
+        for succ in spec.step(st, label) {
+            if !next.contains(&succ) {
+                next.push(succ);
+            }
+        }
+    }
+    next
+}
+
+/// Returns `true` if some state in the set admits `label` (has at least one
+/// successor), without advancing.
+pub(crate) fn states_admit<S: Spec>(spec: &S, states: &[S::State], label: &S::Label) -> bool {
+    states.iter().any(|st| !spec.step(st, label).is_empty())
+}
+
+/// An order-independent 64-bit hash of a state *set*: two slices holding the
+/// same states in any order hash identically. The canonical-hash half of
+/// both search engines' configuration keys; key equality is always verified
+/// with [`states_set_eq`] afterwards, so collisions are harmless.
+pub(crate) fn states_canonical_hash<S: Spec>(spec: &S, states: &[S::State]) -> u64 {
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for st in states {
+        let m = mix64(spec.state_fingerprint(st));
+        sum = sum.wrapping_add(m);
+        xor ^= m.rotate_left(31);
+    }
+    mix64(sum ^ xor.rotate_left(7) ^ (states.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Set equality of two duplicate-free state slices.
+pub(crate) fn states_set_eq<St: PartialEq>(a: &[St], b: &[St]) -> bool {
+    a.len() == b.len() && a.iter().all(|st| b.contains(st))
+}
+
 /// The set of abstract states reachable by some specification run over the
 /// labels fed to [`Frontier::advance`].
 ///
@@ -147,15 +219,7 @@ impl<'a, S: Spec> Frontier<'a, S> {
     /// Advances the frontier by one label; returns `false` (and leaves the
     /// frontier empty) if no run admits it.
     pub fn advance(&mut self, label: &S::Label) -> bool {
-        let mut next: Vec<S::State> = Vec::new();
-        for st in &self.states {
-            for succ in self.spec.step(st, label) {
-                if !next.contains(&succ) {
-                    next.push(succ);
-                }
-            }
-        }
-        self.states = next;
+        self.states = advance_states(self.spec, &self.states, label);
         !self.states.is_empty()
     }
 
@@ -163,9 +227,7 @@ impl<'a, S: Spec> Frontier<'a, S> {
     /// advancing. Used for justifying queries (condition (iii) of
     /// Definition 3.5).
     pub fn admits(&self, label: &S::Label) -> bool {
-        self.states
-            .iter()
-            .any(|st| !self.spec.step(st, label).is_empty())
+        states_admit(self.spec, &self.states, label)
     }
 
     /// The current frontier states.
@@ -180,23 +242,13 @@ impl<'a, S: Spec> Frontier<'a, S> {
     /// configuration key; equality of keys is later verified with
     /// [`Frontier::states_set_eq`], so hash collisions are harmless.
     pub fn canonical_hash(&self) -> u64 {
-        let mut sum = 0u64;
-        let mut xor = 0u64;
-        for st in &self.states {
-            let m = mix64(self.spec.state_fingerprint(st));
-            sum = sum.wrapping_add(m);
-            xor ^= m.rotate_left(31);
-        }
-        mix64(
-            sum ^ xor.rotate_left(7)
-                ^ (self.states.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        )
+        states_canonical_hash(self.spec, &self.states)
     }
 
     /// Returns `true` if this frontier holds exactly the states in `other`
     /// (as sets; both sides are duplicate-free by construction).
     pub fn states_set_eq(&self, other: &[S::State]) -> bool {
-        self.states.len() == other.len() && self.states.iter().all(|st| other.contains(st))
+        states_set_eq(&self.states, other)
     }
 
     /// Returns `true` if no run admits the labels consumed so far.

@@ -362,6 +362,25 @@ impl<C: OpBased> Cluster<C> {
         self.deliver_all_counting();
     }
 
+    /// [`Cluster::deliver_all`], then reports each replica's updated
+    /// seen-frontier (first unseen operation id) to `observe` — the hook a
+    /// streaming RA-linearizability monitor uses to learn causal stability
+    /// from mailbox drains. Replicas are reported in ascending id order
+    /// regardless of how the executor sharded the drain, so observers see
+    /// a deterministic stream.
+    pub fn deliver_all_observed(&mut self, mut observe: impl FnMut(ReplicaId, usize)) {
+        self.deliver_all_counting();
+        for (i, node) in self.replicas.iter().enumerate() {
+            observe(ReplicaId(i as u32), node.member.frontier());
+        }
+    }
+
+    /// Replica `r`'s seen-frontier: the first operation id whose effector
+    /// it has *not* applied (its own operations count as applied).
+    pub fn seen_frontier(&self, r: ReplicaId) -> usize {
+        self.replicas[r.0 as usize].member.frontier()
+    }
+
     /// [`Cluster::deliver_all`], returning the number of deliverability
     /// probes performed — the regression hook pinning the drain's linearity
     /// (at most one probe per outstanding (record, replica) pair per

@@ -30,6 +30,8 @@
 //! * [`fault`] — scheduled partitions and crash/restart plans;
 //! * [`driver`] — the [`Driver`] trait adapting the cluster kinds
 //!   ([`OpDriver`], [`StateDriver`], [`DeltaDriver`], [`MultiDriver`]);
+//! * [`monitored`] — [`MonitoredDriver`], an [`OpDriver`] wrapper that
+//!   verifies RA-linearizability continuously while the engine runs;
 //! * [`sim`] — the engine ([`run`]);
 //! * [`trace`] — the byte-comparable event record;
 //! * [`scenario`] — the named corpus (`geo_3dc`, `flaky_wan`,
@@ -73,6 +75,7 @@
 
 pub mod driver;
 pub mod fault;
+pub mod monitored;
 pub mod network;
 pub mod queue;
 pub mod scenario;
@@ -82,6 +85,7 @@ pub mod trace;
 
 pub use driver::{DeltaDriver, Driver, MultiDriver, OpDriver, Received, StateDriver};
 pub use fault::{CrashPlan, FaultPlan, Partition, PartitionWindow};
+pub use monitored::MonitoredDriver;
 pub use network::{Latency, LinkFaults, Network, Topology};
 pub use scenario::Scenario;
 pub use sim::{run, SimConfig, SimRun, SimStats};

@@ -13,6 +13,7 @@
 //! | `delta_wan`        | 8 replicas, loss + dup + long 4/4 split + crash   | delta-transport stress: retransmission, GC starvation, resync |
 //! | `multi_mix`        | 50 replicas on composed objects, split + crashes  | §5 composition at scale; sharded-checker workload |
 //! | `gossip_50`        | 50 replicas, light faults — the scaling scenario  | "large enough to matter" benchmarking |
+//! | `lan_tight`        | 4 replicas, 1–2 tick LAN, no faults               | streaming-monitor settlement regime |
 //!
 //! All parameters are fixed constants: a scenario never samples its own
 //! shape, so `(scenario, seed)` fully determines a run.
@@ -281,12 +282,38 @@ pub fn gossip(n: usize) -> Scenario {
     }
 }
 
+/// A tight LAN: four replicas a tick or two apart, no faults. Operations
+/// become causally stable almost as soon as they are invoked, so the
+/// streaming monitor's settlement keeps its live window (and so its
+/// configuration frontier) a handful of operations wide for the whole run
+/// — the corpus scenario for continuous monitored verification, where the
+/// wide-window scenarios above are the ones that exhaust it honestly.
+pub fn lan_tight() -> Scenario {
+    Scenario {
+        name: "lan_tight",
+        about: "4 replicas; 1-2 tick LAN, no faults — ops settle almost immediately",
+        cfg: SimConfig {
+            n_replicas: 4,
+            duration: SimTime(1_500),
+            invoke_every: Latency::jittered(25, 30),
+            gossip_every: Latency::jittered(20, 25),
+            network: Network {
+                topology: Topology::Uniform(Latency::jittered(1, 2)),
+                faults: LinkFaults::NONE,
+                retry: 10,
+            },
+            faults: FaultPlan::none(),
+            final_sync: true,
+        },
+    }
+}
+
 /// Names of every zero-argument scenario constructor this module exports,
 /// in corpus order. Guard tests (`crates/sim` unit tests and the root
 /// `sim_determinism` suite) scrape the module source against this table, so
 /// adding a constructor without registering it here — and without giving it
 /// a determinism runner — fails the build's test gate, not a code review.
-pub const CONSTRUCTOR_NAMES: [&str; 7] = [
+pub const CONSTRUCTOR_NAMES: [&str; 8] = [
     "geo_3dc",
     "flaky_wan",
     "rolling_restart",
@@ -294,6 +321,7 @@ pub const CONSTRUCTOR_NAMES: [&str; 7] = [
     "delta_wan",
     "multi_mix",
     "gossip_50",
+    "lan_tight",
 ];
 
 /// The whole named corpus, in a stable order.
@@ -306,6 +334,7 @@ pub fn all() -> Vec<Scenario> {
         delta_wan(),
         multi_mix(),
         gossip_50(),
+        lan_tight(),
     ]
 }
 
@@ -321,7 +350,7 @@ mod tests {
     #[test]
     fn corpus_is_complete_and_valid() {
         let corpus = all();
-        assert_eq!(corpus.len(), 7);
+        assert_eq!(corpus.len(), 8);
         let names: Vec<&str> = corpus.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
@@ -332,7 +361,8 @@ mod tests {
                 "split_brain_heal",
                 "delta_wan",
                 "multi_mix",
-                "gossip_50"
+                "gossip_50",
+                "lan_tight"
             ]
         );
         for s in &corpus {

@@ -11,11 +11,11 @@
 //! outcomes into one [`HistoryVerdict`].
 
 use ral_core::compose::ComposedLabel;
-use ral_core::history::History;
+use ral_core::history::{rewrite_history, History};
 use ral_core::label::Rewrite;
 use ral_core::ralin::{
-    ra_check, ra_search_brute, ra_search_sharded_with_budget, ra_search_with_budget, SearchOutcome,
-    ShardableSpec, Strategy,
+    monitor_history, ra_check, ra_search_brute, ra_search_sharded_with_budget,
+    ra_search_with_budget, search_with_budget, SearchOutcome, ShardableSpec, Strategy, Verdict,
 };
 use ral_core::spec::Spec;
 
@@ -72,6 +72,21 @@ where
 {
     let guided_ok = ra_check(h, rw, spec, strategy).is_ok();
     let searched = ra_search_with_budget(h, rw, spec, budget);
+    let memo = search_with_budget(&rewrite_history(h, rw).history, spec, budget);
+    if definite_disagreement(&searched, &memo) {
+        return HistoryVerdict::Disagreement {
+            detail: format!(
+                "monitor batch closure says {} but memo search says {} on {} ops",
+                outcome_name(&searched),
+                outcome_name(&memo),
+                h.len()
+            ),
+        };
+    }
+    let (streamed, _) = monitor_history(h, rw, spec);
+    if let Some(detail) = streaming_disagreement(streamed, &searched, h.len()) {
+        return HistoryVerdict::Disagreement { detail };
+    }
     if h.len() <= BRUTE_CAP {
         let brute = ra_search_brute(h, rw, spec);
         if definite_disagreement(&searched, &brute) {
@@ -124,6 +139,10 @@ where
             ),
         };
     }
+    let (streamed, _) = monitor_history(h, rw, spec);
+    if let Some(detail) = streaming_disagreement(streamed, &memo, h.len()) {
+        return HistoryVerdict::Disagreement { detail };
+    }
     match (sharded, memo) {
         (SearchOutcome::Linearizable(_), _) | (_, SearchOutcome::Linearizable(_)) => {
             HistoryVerdict::Linearizable
@@ -139,6 +158,25 @@ where
         (SearchOutcome::BudgetExhausted, SearchOutcome::BudgetExhausted) => {
             HistoryVerdict::Undecided
         }
+    }
+}
+
+/// A definite end-of-stream monitor verdict contradicting a definite batch
+/// outcome. After the whole history has streamed through, the monitor's
+/// eager closure is complete, so [`Verdict::Ok`] means a linearization
+/// exists and [`Verdict::Deferred`] / [`Verdict::Violated`] mean none does;
+/// [`Verdict::Exhausted`] (the streaming live-config cap) is not a verdict
+/// and never disagrees — like batch budget exhaustion, it only counts as
+/// undecided.
+fn streaming_disagreement(v: Verdict, batch: &SearchOutcome, n: usize) -> Option<String> {
+    match (v, batch) {
+        (Verdict::Ok, SearchOutcome::NotLinearizable) => Some(format!(
+            "streaming monitor accepts the {n}-op history but the batch search refutes it"
+        )),
+        (Verdict::Deferred | Verdict::Violated, SearchOutcome::Linearizable(_)) => Some(format!(
+            "streaming monitor says {v:?} but the batch search found a witness on {n} ops"
+        )),
+        _ => None,
     }
 }
 

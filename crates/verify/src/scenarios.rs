@@ -20,7 +20,7 @@ use ral_core::ids::{ObjId, ReplicaId};
 use ral_core::label::Rewrite;
 use ral_core::ralin::{
     ra_check, ra_search_sharded_with_budget, ra_search_with_budget, SearchOutcome, ShardableSpec,
-    Strategy,
+    Strategy, Verdict,
 };
 use ral_core::rng::Rng;
 use ral_core::spec::Spec;
@@ -29,7 +29,7 @@ use ral_runtime::op_based::OpBased;
 use ral_runtime::state_based::StateBased;
 use ral_sim::driver::{Driver, MultiDriver, OpDriver, StateDriver};
 use ral_sim::scenario::Scenario;
-use ral_sim::sim;
+use ral_sim::{sim, MonitoredDriver};
 use std::ops::Range;
 
 /// Checks strong eventual consistency of a state-based CRDT under a named
@@ -150,6 +150,81 @@ where
     report
 }
 
+/// Verifies an op-based CRDT *while the scenario runs*: every seed wraps
+/// the driver in a [`MonitoredDriver`], so the streaming monitor consumes
+/// each invocation and each applied delivery as the engine produces them,
+/// settling causally-stable operations along the way. After the run the
+/// end-of-stream verdict is cross-checked against the batch search
+/// ([`ra_search_with_budget`]) on the recorded history.
+///
+/// Three obligations per seed:
+///
+/// 1. **agreement** — a definite streaming verdict must match the batch
+///    outcome ([`Verdict::Exhausted`] and budget exhaustion are undecided,
+///    never disagreement — but both are still reported as failures here,
+///    because an undecided corpus run means the harness chose a scenario
+///    the monitor cannot carry);
+/// 2. **acceptance** — the corpus histories are RA-linearizable, so the
+///    verdict must be [`Verdict::Ok`];
+/// 3. **stability** — the final sync drains every mailbox, so every
+///    operation must have settled and the live window collapsed to zero.
+pub fn monitor_in<C, F, M, R, S>(
+    crdt: C,
+    scenario: &Scenario,
+    rw: &R,
+    spec: &S,
+    budget: u64,
+    seeds: Range<u64>,
+    mut mk_call_gen: M,
+) -> Report
+where
+    C: OpBased + Clone,
+    F: FnMut(&mut Rng, ReplicaId, &C::State) -> Option<C::Call>,
+    M: FnMut() -> F,
+    R: Rewrite<C::Label, Out = S::Label>,
+    S: Spec + Sync,
+    S::Label: Sync,
+{
+    let mut report = Report::new(format!("RA-Monitor@{}", scenario.name));
+    for seed in seeds {
+        let inner = OpDriver::new(crdt.clone(), scenario.cfg.n_replicas, mk_call_gen());
+        let mut driver = MonitoredDriver::new(inner, rw, spec);
+        sim::run(&mut driver, &scenario.cfg, seed);
+        let verdict = driver.verdict();
+        let stats = driver.stats().clone();
+        let history = driver.into_inner().into_cluster().into_history();
+        let ops = history.len();
+        let batch = ra_search_with_budget(&history, rw, spec, budget);
+        let disagreement = matches!(
+            (verdict, &batch),
+            (Verdict::Ok, SearchOutcome::NotLinearizable)
+                | (
+                    Verdict::Deferred | Verdict::Violated,
+                    SearchOutcome::Linearizable(_)
+                )
+        );
+        if disagreement {
+            report.fail(format!(
+                "seed {seed}: streaming verdict {verdict:?} contradicts the batch \
+                 search on the {ops}-op history"
+            ));
+        } else if !verdict.is_ok() {
+            report.fail(format!(
+                "seed {seed}: monitored run of {ops} ops ended {verdict:?}"
+            ));
+        } else if stats.settled != ops as u64 || stats.live_window != 0 {
+            report.fail(format!(
+                "seed {seed}: final sync left {} of {ops} ops unsettled (live window {})",
+                ops as u64 - stats.settled,
+                stats.live_window
+            ));
+        } else {
+            report.pass();
+        }
+    }
+    report
+}
+
 /// Decides RA-linearizability of a *composed* workload outright with the
 /// sharded compositional search ([`ra_search_sharded_with_budget`]): for
 /// every seed, a [`MultiCluster`] of `n_objects` objects under the given
@@ -254,6 +329,48 @@ mod tests {
             );
             assert!(report.ok(), "{mode:?}: {report}");
         }
+    }
+
+    #[test]
+    fn monitor_tracks_the_corpus_live() {
+        // The streaming monitor rides inside the engine for the corpus
+        // scenario whose concurrent window it can always carry — the
+        // tight LAN it was built for: verdicts must match the batch
+        // search, end Ok, and settle everything at the final sync.
+        let name = "lan_tight";
+        let report = monitor_in(
+            OpCounter,
+            &scenario::by_name(name).unwrap(),
+            &Identity,
+            &CounterSpec,
+            2_000_000,
+            0..2,
+            || |rng: &mut Rng, _, _| Some(workloads::counter(rng)),
+        );
+        assert!(report.ok(), "{name}: {report}");
+    }
+
+    #[test]
+    fn monitor_exhausts_honestly_on_split_brain() {
+        // A split brain holds hundreds of operations concurrent for the
+        // whole partition window; the complete streaming closure tracks
+        // every placement order, so the live-config cap trips. The
+        // obligation here is honesty: the monitor must end Exhausted
+        // (undecided), never a wrong definite verdict — monitor_in counts
+        // that as a failure and says why, and the batch arms still decide
+        // the same histories (op_counter_search_decides_the_split_brain).
+        let report = monitor_in(
+            OpCounter,
+            &scenario::split_brain_heal(),
+            &Identity,
+            &CounterSpec,
+            2_000_000,
+            0..2,
+            || |rng: &mut Rng, _, _| Some(workloads::counter(rng)),
+        );
+        assert!(!report.ok());
+        let shown = format!("{report}");
+        assert!(shown.contains("Exhausted"), "unexpected failure: {shown}");
     }
 
     #[test]

@@ -113,7 +113,7 @@ fn multi_run(sc: &Scenario, seed: u64, exec: ExecConfig) -> RunOutput {
 
 fn runner_for(name: &str) -> fn(&Scenario, u64, ExecConfig) -> RunOutput {
     match name {
-        "geo_3dc" | "split_brain_heal" => op_run,
+        "geo_3dc" | "split_brain_heal" | "lan_tight" => op_run,
         "flaky_wan" | "rolling_restart" | "gossip_50" => state_run,
         "delta_wan" => delta_run,
         "multi_mix" => multi_run,

@@ -1,5 +1,5 @@
 //! Simulator determinism: same seed + same scenario ⇒ byte-identical event
-//! traces and histories, for all seven named scenarios.
+//! traces and histories, for every named scenario in the corpus.
 //!
 //! This is the contract everything else leans on: a failure seed printed by
 //! a scenario-driven property run must replay the exact run that failed —
@@ -89,8 +89,9 @@ fn multi_run(sc: &Scenario, seed: u64) -> RunBytes {
 /// The cluster kind each corpus scenario most stresses.
 fn runner_for(name: &str) -> fn(&Scenario, u64) -> RunBytes {
     match name {
-        // Reliable causal broadcast through geo latency and partitions…
-        "geo_3dc" | "split_brain_heal" => op_run,
+        // Reliable causal broadcast through geo latency, partitions, and
+        // the tight LAN the streaming monitor rides…
+        "geo_3dc" | "split_brain_heal" | "lan_tight" => op_run,
         // …lossy gossip through faults, restarts, and the big mesh…
         "flaky_wan" | "rolling_restart" | "gossip_50" => state_run,
         // …the delta transport through its own stress scenario…
@@ -104,7 +105,7 @@ fn runner_for(name: &str) -> fn(&Scenario, u64) -> RunBytes {
 /// Every named scenario, each through the cluster kind it most stresses;
 /// byte-identical reruns for several seeds, and distinct seeds distinct.
 #[test]
-fn all_seven_scenarios_are_byte_deterministic() {
+fn every_corpus_scenario_is_byte_deterministic() {
     for sc in scenario::all() {
         let runner = runner_for(sc.name);
         for seed in [0u64, 42] {
